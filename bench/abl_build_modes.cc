@@ -1,0 +1,73 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Ablation (DESIGN.md §6) — construction-mode cost for each structure:
+//   bulk    : sorted bottom-up build, every node created & hashed once
+//   batched : PutBatch in 4k-record batches (the paper's default batch)
+//   per-op  : one Put per record (the paper's MPT / baseline write path)
+// This isolates the mechanism behind Figure 7(b): POS-Tree's bottom-up
+// batched build is the reason it wins block construction, while per-op
+// insertion re-hashes a root-to-leaf path per record for every structure.
+
+#include "bench/bench_common.h"
+
+using namespace siri;
+using namespace siri::bench;
+
+int main(int argc, char** argv) {
+  const uint64_t scale = ParseScale(argc, argv);
+  const uint64_t n = 20000 * scale;
+
+  PrintHeader("Ablation", "construction modes (krecords/s)");
+  printf("%8s %10s %10s %10s\n", "index", "bulk", "batched", "per-op");
+
+  YcsbGenerator gen(1);
+  auto records = gen.GenerateRecords(n);
+  auto sorted = records;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const KV& a, const KV& b) { return a.key < b.key; });
+
+  for (auto& [name, index] : MakeAllIndexes(NewInMemoryNodeStore())) {
+    double bulk_kps = 0;
+    {
+      Timer t;
+      if (name == "pos") {
+        auto* pos = static_cast<PosTree*>(index.get());
+        SIRI_CHECK(pos->BuildFromSorted(sorted).ok());
+      } else if (name == "mvmb") {
+        auto* mvmb = static_cast<MvmbTree*>(index.get());
+        SIRI_CHECK(mvmb->BuildFromSorted(sorted).ok());
+      } else {
+        // MPT/MBT have no bulk path beyond a whole-dataset batch.
+        SIRI_CHECK(index->PutBatch(index->EmptyRoot(), sorted).ok());
+      }
+      bulk_kps = n / t.ElapsedSeconds() / 1000.0;
+    }
+
+    double batched_kps = 0;
+    {
+      Timer t;
+      (void)LoadRecords(index.get(), records, 4000);
+      batched_kps = n / t.ElapsedSeconds() / 1000.0;
+    }
+
+    double per_op_kps = 0;
+    {
+      // Per-op over a subset, extrapolated (full per-op MPT at 160k would
+      // dominate the suite's runtime).
+      const uint64_t sub = std::min<uint64_t>(n, 5000);
+      Timer t;
+      Hash root = index->EmptyRoot();
+      for (uint64_t i = 0; i < sub; ++i) {
+        auto next = index->Put(root, records[i].key, records[i].value);
+        SIRI_CHECK(next.ok());
+        root = *next;
+      }
+      per_op_kps = sub / t.ElapsedSeconds() / 1000.0;
+    }
+
+    printf("%8s %10.1f %10.1f %10.1f\n", name.c_str(), bulk_kps, batched_kps,
+           per_op_kps);
+    fflush(stdout);
+  }
+  return 0;
+}

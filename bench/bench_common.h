@@ -1,0 +1,194 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Shared scaffolding for the per-figure benchmark binaries. Every binary
+// prints the same series the corresponding paper figure/table plots, at a
+// laptop-scale default that preserves the figure's *shape* (who wins, by
+// what factor, where the crossovers are). Pass --scale=K to multiply the
+// dataset sizes, e.g. --scale=8 approaches the paper's full sizes.
+
+#ifndef SIRI_BENCH_BENCH_COMMON_H_
+#define SIRI_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "index/index.h"
+#include "index/mbt/mbt.h"
+#include "index/mpt/mpt.h"
+#include "index/mvmb/mvmb_tree.h"
+#include "index/pos/pos_tree.h"
+#include "store/node_store.h"
+#include "workload/ycsb.h"
+
+namespace siri {
+namespace bench {
+
+/// Parses --scale=K (default 1) and --help from argv.
+inline uint64_t ParseScale(int argc, char** argv) {
+  uint64_t scale = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (strncmp(argv[i], "--scale=", 8) == 0) {
+      scale = strtoull(argv[i] + 8, nullptr, 10);
+      if (scale == 0) scale = 1;
+    } else if (strcmp(argv[i], "--help") == 0) {
+      printf("usage: %s [--scale=K]\n", argv[0]);
+      exit(0);
+    }
+  }
+  return scale;
+}
+
+struct NamedIndex {
+  std::string name;
+  std::unique_ptr<ImmutableIndex> index;
+};
+
+/// The paper's four structures, node sizes tuned to ~1 KB (§5).
+/// \param mbt_buckets bucket count; the paper picks it per experiment.
+inline std::vector<NamedIndex> MakeAllIndexes(const NodeStorePtr& store,
+                                              uint64_t mbt_buckets = 8192) {
+  std::vector<NamedIndex> out;
+  out.push_back({"pos", std::make_unique<PosTree>(store)});
+  MbtOptions mbt_opt;
+  mbt_opt.num_buckets = mbt_buckets;
+  mbt_opt.fanout = 32;
+  out.push_back({"mbt", std::make_unique<Mbt>(store, mbt_opt)});
+  out.push_back({"mpt", std::make_unique<Mpt>(store)});
+  out.push_back({"mvmb", std::make_unique<MvmbTree>(store)});
+  return out;
+}
+
+/// Loads records in batches; returns the resulting version root.
+inline Hash LoadRecords(ImmutableIndex* index, const std::vector<KV>& records,
+                        size_t batch_size = 4000) {
+  Hash root = index->EmptyRoot();
+  for (size_t i = 0; i < records.size(); i += batch_size) {
+    std::vector<KV> batch(
+        records.begin() + i,
+        records.begin() + std::min(i + batch_size, records.size()));
+    auto next = index->PutBatch(root, batch);
+    SIRI_CHECK(next.ok());
+    root = *next;
+  }
+  return root;
+}
+
+/// Runs an op stream (reads point-lookup, writes batched per
+/// \p write_batch) and returns throughput in kops/s.
+inline double RunOps(ImmutableIndex* index, Hash* root,
+                     const std::vector<YcsbOp>& ops, size_t write_batch = 1) {
+  Timer timer;
+  std::vector<KV> pending;
+  pending.reserve(write_batch);
+  uint64_t done = 0;
+  for (const YcsbOp& op : ops) {
+    if (op.type == YcsbOp::Type::kRead) {
+      auto got = index->Get(*root, op.key, nullptr);
+      SIRI_CHECK(got.ok());
+    } else {
+      pending.push_back(KV{op.key, op.value});
+      if (pending.size() >= write_batch) {
+        auto next = index->PutBatch(*root, std::move(pending));
+        SIRI_CHECK(next.ok());
+        *root = *next;
+        pending.clear();
+      }
+    }
+    ++done;
+  }
+  if (!pending.empty()) {
+    auto next = index->PutBatch(*root, std::move(pending));
+    SIRI_CHECK(next.ok());
+    *root = *next;
+  }
+  const double secs = timer.ElapsedSeconds();
+  return secs == 0 ? 0 : static_cast<double>(done) / secs / 1000.0;
+}
+
+/// Write batch granularity per structure, mirroring the paper's
+/// implementations (§5.2): POS-Tree "applies batching techniques, taking
+/// advantage of the bottom-up build order"; MBT groups a batch by bucket.
+/// The MPT port and the MVMB+-Tree baseline apply operations individually
+/// (Ethereum's trie and a classic B+-tree have no batch write path).
+inline size_t WriteBatchFor(const std::string& name, size_t batch) {
+  if (name == "pos" || name == "prolly" || name == "mbt") return batch;
+  return 1;
+}
+
+/// Paper §5.4.2 collaboration setup: every party initializes the same base
+/// dataset, then runs its own insert workload. An `overlap` fraction of
+/// the inserted records (key AND value) is common to all parties and lives
+/// under a shared key namespace (collaborative datasets partition key
+/// space by ownership); the rest is party-private. All intermediate
+/// versions are retained, as an immutable store does. Returns the version
+/// roots per party.
+struct CollaborationConfig {
+  uint64_t base_records = 4000;
+  uint64_t insert_records = 16000;  ///< workload size per party
+  int parties = 10;
+  double overlap = 0.5;
+  size_t batch_size = 1000;
+  bool shuffle_order = true;   ///< party-specific op order (SI stressor)
+  bool all_versions = true;    ///< collect every intermediate version
+};
+
+inline std::vector<std::vector<Hash>> RunCollaboration(
+    ImmutableIndex* index, const CollaborationConfig& cfg,
+    YcsbGenerator* gen) {
+  auto base = gen->GenerateRecords(cfg.base_records, "base");
+  const uint64_t shared_records =
+      static_cast<uint64_t>(cfg.insert_records * cfg.overlap);
+
+  std::vector<std::vector<Hash>> roots_per_party;
+  for (int p = 0; p < cfg.parties; ++p) {
+    const std::string ns = "party" + std::to_string(p);
+    std::vector<KV> ops;
+    ops.reserve(cfg.insert_records);
+    for (uint64_t j = 0; j < shared_records; ++j) {
+      ops.push_back(KV{"shared/" + gen->KeyOf(j, "shared"),
+                       gen->ValueOf(j, 0, "shared")});
+    }
+    for (uint64_t j = shared_records; j < cfg.insert_records; ++j) {
+      ops.push_back(KV{ns + "/" + gen->KeyOf(j, ns), gen->ValueOf(j, 0, ns)});
+    }
+    if (cfg.shuffle_order) {
+      Rng rng(0xc0ffee + p);
+      for (size_t i = ops.size(); i > 1; --i) {
+        std::swap(ops[i - 1], ops[rng.Uniform(i)]);
+      }
+    }
+
+    std::vector<Hash> roots;
+    Hash root = LoadRecords(index, base, cfg.batch_size);
+    if (cfg.all_versions) roots.push_back(root);
+    for (size_t i = 0; i < ops.size(); i += cfg.batch_size) {
+      std::vector<KV> batch(ops.begin() + i,
+                            ops.begin() +
+                                std::min(i + cfg.batch_size, ops.size()));
+      auto next = index->PutBatch(root, batch);
+      SIRI_CHECK(next.ok());
+      root = *next;
+      if (cfg.all_versions) roots.push_back(root);
+    }
+    if (!cfg.all_versions) roots.push_back(root);
+    roots_per_party.push_back(std::move(roots));
+  }
+  return roots_per_party;
+}
+
+/// Printf a header line like the paper's figure captions.
+inline void PrintHeader(const char* fig, const char* title) {
+  printf("==============================================================\n");
+  printf("%s — %s\n", fig, title);
+  printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace siri
+
+#endif  // SIRI_BENCH_BENCH_COMMON_H_

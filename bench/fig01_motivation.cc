@@ -1,0 +1,73 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Figure 1 — motivation: storage usage and transmission time for a growing
+// number of dataset versions, raw (every version stored separately) vs
+// deduplicated (page-level sharing via the content-addressed store).
+// Paper setup: 100k initial records, 1k record updates per version,
+// versions 100..500; 1 Gbit/s link for the transfer-time estimate.
+// Shape to reproduce: raw grows linearly and steeply; deduplicated grows
+// by roughly the delta size per version (~30x flatter).
+
+#include "bench/bench_common.h"
+#include "index/pos/pos_tree.h"
+#include "metrics/dedup.h"
+
+using namespace siri;
+using namespace siri::bench;
+
+int main(int argc, char** argv) {
+  const uint64_t scale = ParseScale(argc, argv);
+  const uint64_t num_records = 20000 * scale;
+  const uint64_t updates_per_version = 200 * scale;
+  const int max_versions = 100;
+  const int step = 20;
+  const double gbit_per_sec = 1e9 / 8;  // bytes per second on 1 GbE
+
+  PrintHeader("Figure 1", "storage & transfer time, raw vs deduplicated");
+  printf("records=%llu updates/version=%llu\n",
+         static_cast<unsigned long long>(num_records),
+         static_cast<unsigned long long>(updates_per_version));
+
+  auto store = NewInMemoryNodeStore();
+  PosTree index(store);
+  YcsbGenerator gen(1);
+  auto records = gen.GenerateRecords(num_records);
+
+  std::vector<Hash> roots;
+  Hash root = LoadRecords(&index, records);
+  roots.push_back(root);
+
+  printf("%10s %18s %18s %14s %14s\n", "#versions", "raw(MB)", "dedup(MB)",
+         "raw-xfer(s)", "dedup-xfer(s)");
+  uint64_t raw_bytes_per_version = 0;
+  {
+    auto fp = ComputeFootprint(index, {root});
+    SIRI_CHECK(fp.ok());
+    raw_bytes_per_version = fp->bytes;  // a full standalone copy
+  }
+
+  Rng rng(7);
+  for (int v = 1; v <= max_versions; ++v) {
+    std::vector<KV> updates;
+    updates.reserve(updates_per_version);
+    for (uint64_t i = 0; i < updates_per_version; ++i) {
+      const uint64_t r = rng.Uniform(num_records);
+      updates.push_back(KV{gen.KeyOf(r), gen.ValueOf(r, v)});
+    }
+    auto next = index.PutBatch(root, updates);
+    SIRI_CHECK(next.ok());
+    root = *next;
+    roots.push_back(root);
+
+    if (v % step == 0) {
+      auto fp = ComputeFootprint(index, roots);
+      SIRI_CHECK(fp.ok());
+      const double raw_mb =
+          static_cast<double>(raw_bytes_per_version) * roots.size() / 1e6;
+      const double dedup_mb = static_cast<double>(fp->bytes) / 1e6;
+      printf("%10d %18.1f %18.1f %14.2f %14.2f\n", v, raw_mb, dedup_mb,
+             raw_mb * 1e6 / gbit_per_sec, dedup_mb * 1e6 / gbit_per_sec);
+    }
+  }
+  return 0;
+}

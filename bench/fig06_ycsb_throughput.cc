@@ -1,0 +1,48 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Figure 6 (a–i) — YCSB throughput grid: Zipfian θ ∈ {0, 0.5, 0.9} ×
+// write-ratio ∈ {0, 0.5, 1}, dataset sizes sweeping upward, for POS-Tree,
+// MBT, MPT and the MVMB+-Tree baseline.
+// Shape to reproduce (paper): throughput of every index decreases with N;
+// MBT reads start far ahead (shallow fixed path) and degrade below the
+// others as buckets grow; POS ≈ baseline and ahead of MPT everywhere;
+// write-heavy workloads are ~10x slower than read-only across the board;
+// skew (θ) changes almost nothing.
+
+#include "bench/bench_common.h"
+
+using namespace siri;
+using namespace siri::bench;
+
+int main(int argc, char** argv) {
+  const uint64_t scale = ParseScale(argc, argv);
+  std::vector<uint64_t> sizes;
+  for (uint64_t n : {10000, 20000, 40000, 80000}) sizes.push_back(n * scale);
+  const uint64_t num_ops = 3000;
+  const double thetas[] = {0.0, 0.5, 0.9};
+  const double write_ratios[] = {0.0, 0.5, 1.0};
+
+  PrintHeader("Figure 6", "YCSB throughput (kops/s) across θ and write ratio");
+
+  for (double theta : thetas) {
+    for (double wr : write_ratios) {
+      printf("\n[θ=%.1f write_ratio=%.1f]\n", theta, wr);
+      printf("%10s %10s %10s %10s %10s\n", "#records", "pos", "mbt", "mpt",
+             "mvmb");
+      for (uint64_t n : sizes) {
+        printf("%10llu", static_cast<unsigned long long>(n));
+        YcsbGenerator gen(1);
+        auto records = gen.GenerateRecords(n);
+        auto ops = gen.GenerateOps(num_ops, n, wr, theta);
+        for (auto& [name, index] : MakeAllIndexes(NewInMemoryNodeStore())) {
+          Hash root = LoadRecords(index.get(), records);
+          const double kops = RunOps(index.get(), &root, ops, WriteBatchFor(name, 100));
+          printf(" %10.1f", kops);
+          fflush(stdout);
+        }
+        printf("\n");
+      }
+    }
+  }
+  return 0;
+}

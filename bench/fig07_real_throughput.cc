@@ -1,0 +1,81 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Figure 7 — throughput on the real-world-shaped datasets: (a) Wiki
+// versions, uniform read and write workloads; (b) Ethereum transactions,
+// per-block indexes behind a block list (ledger simulation).
+// Shape to reproduce: (a) ranks like YCSB (MBT reads strong, POS ≈
+// baseline, MPT slowest — Wiki's long URL keys hurt it). (b) POS-Tree wins
+// writes thanks to its bottom-up batched block build; reads are slower
+// than writes for everyone because the block scan dominates.
+
+#include "bench/bench_common.h"
+#include "system/ledger.h"
+#include "workload/datasets.h"
+
+using namespace siri;
+using namespace siri::bench;
+
+int main(int argc, char** argv) {
+  const uint64_t scale = ParseScale(argc, argv);
+
+  PrintHeader("Figure 7(a)", "Wiki dataset read/write throughput (kops/s)");
+  {
+    const uint64_t pages = 20000 * scale;
+    WikiDataset wiki(pages);
+    auto records = wiki.InitialRecords();
+    printf("%8s %10s %10s\n", "index", "read", "write");
+    for (auto& [name, index] : MakeAllIndexes(NewInMemoryNodeStore())) {
+      Hash root = LoadRecords(index.get(), records);
+      // Uniformly selected keys (paper: "read and write workload using
+      // keys uniformly selected from the dataset").
+      Rng rng(3);
+      std::vector<YcsbOp> reads, writes;
+      for (int i = 0; i < 3000; ++i) {
+        const uint64_t p = rng.Uniform(pages);
+        reads.push_back({YcsbOp::Type::kRead, wiki.KeyOf(p), ""});
+        writes.push_back(
+            {YcsbOp::Type::kWrite, wiki.KeyOf(p), wiki.ValueOf(p, 1 + i)});
+      }
+      const double r = RunOps(index.get(), &root, reads);
+      const double w = RunOps(index.get(), &root, writes, WriteBatchFor(name, 100));
+      printf("%8s %10.1f %10.1f\n", name.c_str(), r, w);
+      fflush(stdout);
+    }
+  }
+
+  PrintHeader("Figure 7(b)",
+              "Ethereum transactions: block building (write) and tx lookup "
+              "(read), kops/s");
+  {
+    const uint64_t blocks = 30 * scale;
+    const uint64_t txs_per_block = 200;
+    EthDataset eth;
+    printf("%8s %10s %10s\n", "index", "read", "write");
+    for (auto& [name, index] : MakeAllIndexes(NewInMemoryNodeStore(), 512)) {
+      Ledger ledger(index.get(), /*batch_build=*/name == "pos" || name == "mbt");
+      // Write = append blocks (per-block index built from scratch).
+      Timer wt;
+      for (uint64_t b = 0; b < blocks; ++b) {
+        SIRI_CHECK(ledger.AppendBlock(eth.BlockRecords(b, txs_per_block)).ok());
+      }
+      const double write_kops =
+          blocks * txs_per_block / wt.ElapsedSeconds() / 1000.0;
+
+      // Read = lookup of random transactions (block scan + index probe).
+      Rng rng(4);
+      Timer rt;
+      const int reads = 300;
+      for (int i = 0; i < reads; ++i) {
+        const uint64_t b = rng.Uniform(blocks);
+        auto txs = eth.BlockRecords(b, txs_per_block);
+        auto got = ledger.Lookup(txs[rng.Uniform(txs_per_block)].key);
+        SIRI_CHECK(got.ok());
+        SIRI_CHECK(got->has_value());
+      }
+      const double read_kops = reads / rt.ElapsedSeconds() / 1000.0;
+      printf("%8s %10.2f %10.2f\n", name.c_str(), read_kops, write_kops);
+      fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Figure 9 — distribution of traversed tree height per operation for a
+// write-only uniform workload over 160k keys.
+// Shape to reproduce: MBT constant and smallest (static skeleton); POS
+// concentrated at ~4 levels; MPT spread across deeper levels (5–7);
+// MVMB+-Tree between POS and MPT.
+
+#include "bench/bench_common.h"
+#include "common/histogram.h"
+
+using namespace siri;
+using namespace siri::bench;
+
+int main(int argc, char** argv) {
+  const uint64_t scale = ParseScale(argc, argv);
+  const uint64_t n = 160000 * scale / 4;  // default 40k, --scale=4 = paper
+  const uint64_t num_ops = 5000;
+
+  PrintHeader("Figure 9", "lookup-path height distribution (write workload)");
+  printf("records=%llu ops=%llu\n", static_cast<unsigned long long>(n),
+         static_cast<unsigned long long>(num_ops));
+
+  YcsbGenerator gen(1);
+  auto records = gen.GenerateRecords(n);
+  auto ops = gen.GenerateOps(num_ops, n, /*write_ratio=*/1.0, /*theta=*/0.0);
+
+  for (auto& [name, index] : MakeAllIndexes(NewInMemoryNodeStore())) {
+    Hash root = LoadRecords(index.get(), records);
+    CountHistogram heights;
+    for (const YcsbOp& op : ops) {
+      // A write = lookup + path rewrite; the traversed height is the
+      // lookup depth.
+      LookupStats stats;
+      auto got = index->Get(root, op.key, &stats);
+      SIRI_CHECK(got.ok());
+      heights.Record(stats.depth);
+      auto next = index->Put(root, op.key, op.value);
+      SIRI_CHECK(next.ok());
+      root = *next;
+    }
+    printf("%8s  height:count  %s\n", name.c_str(),
+           heights.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Figure 10 — per-operation latency distributions on YCSB: read/write ×
+// balanced (θ=0) / skewed (θ=0.9), 160k keys, 10k operations.
+// Shape to reproduce: POS fastest on both read and write; MPT slowest with
+// multiple peaks (keys at different trie depths); MBT best on reads but
+// behind POS on writes; skew barely changes anything.
+
+#include "bench/bench_common.h"
+#include "common/histogram.h"
+
+using namespace siri;
+using namespace siri::bench;
+
+namespace {
+
+void PrintHistogram(const char* label, const Histogram& h) {
+  printf("  %-6s %s\n", label, h.Summary().c_str());
+  auto buckets = h.FixedBuckets(8);
+  for (const auto& b : buckets) {
+    printf("    [%8.3f,%8.3f) us: %llu\n", b.lo, b.hi,
+           static_cast<unsigned long long>(b.count));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t scale = ParseScale(argc, argv);
+  const uint64_t n = 40000 * scale;
+  const uint64_t num_ops = 10000;
+
+  PrintHeader("Figure 10", "YCSB latency distributions (microseconds)");
+
+  YcsbGenerator gen(1);
+  auto records = gen.GenerateRecords(n);
+
+  for (double theta : {0.0, 0.9}) {
+    printf("\n[%s workload, θ=%.1f]\n", theta == 0 ? "balanced" : "skewed",
+           theta);
+    auto read_ops = gen.GenerateOps(num_ops, n, 0.0, theta);
+    auto write_ops = gen.GenerateOps(num_ops, n, 1.0, theta);
+    for (auto& [name, index] : MakeAllIndexes(NewInMemoryNodeStore())) {
+      Hash root = LoadRecords(index.get(), records);
+      Histogram read_lat, write_lat;
+      for (const YcsbOp& op : read_ops) {
+        Timer t;
+        auto got = index->Get(root, op.key, nullptr);
+        read_lat.Record(t.ElapsedMicros());
+        SIRI_CHECK(got.ok());
+      }
+      for (const YcsbOp& op : write_ops) {
+        Timer t;
+        auto next = index->Put(root, op.key, op.value);
+        write_lat.Record(t.ElapsedMicros());
+        SIRI_CHECK(next.ok());
+        root = *next;
+      }
+      printf(" %s:\n", name.c_str());
+      PrintHistogram("read", read_lat);
+      PrintHistogram("write", write_lat);
+      fflush(stdout);
+    }
+  }
+  return 0;
+}

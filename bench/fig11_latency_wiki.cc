@@ -1,0 +1,49 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Figure 11 — read/write latency distributions on the Wiki dataset.
+// Shape to reproduce: same ranking as Figure 10 (POS best, MPT worst —
+// amplified by the long URL keys).
+
+#include "bench/bench_common.h"
+#include "common/histogram.h"
+#include "workload/datasets.h"
+
+using namespace siri;
+using namespace siri::bench;
+
+int main(int argc, char** argv) {
+  const uint64_t scale = ParseScale(argc, argv);
+  const uint64_t pages = 20000 * scale;
+  const int num_ops = 5000;
+
+  PrintHeader("Figure 11", "Wiki latency distributions (microseconds)");
+
+  WikiDataset wiki(pages);
+  auto records = wiki.InitialRecords();
+  Rng rng(5);
+
+  for (auto& [name, index] : MakeAllIndexes(NewInMemoryNodeStore())) {
+    Hash root = LoadRecords(index.get(), records);
+    Histogram read_lat, write_lat;
+    for (int i = 0; i < num_ops; ++i) {
+      const uint64_t p = rng.Uniform(pages);
+      {
+        Timer t;
+        auto got = index->Get(root, wiki.KeyOf(p), nullptr);
+        read_lat.Record(t.ElapsedMicros());
+        SIRI_CHECK(got.ok());
+      }
+      {
+        Timer t;
+        auto next = index->Put(root, wiki.KeyOf(p), wiki.ValueOf(p, 1 + i));
+        write_lat.Record(t.ElapsedMicros());
+        SIRI_CHECK(next.ok());
+        root = *next;
+      }
+    }
+    printf("%8s  read:  %s\n", name.c_str(), read_lat.Summary().c_str());
+    printf("%8s  write: %s\n", name.c_str(), write_lat.Summary().c_str());
+    fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Figure 12 — read/write latency distributions on Ethereum transactions
+// through the ledger (per-block indexes + block scan).
+// Shape to reproduce: read latencies are similar for all indexes because
+// the block scan dominates; write latencies rank like the other write
+// benchmarks (POS best via bottom-up block builds).
+
+#include "bench/bench_common.h"
+#include "common/histogram.h"
+#include "system/ledger.h"
+#include "workload/datasets.h"
+
+using namespace siri;
+using namespace siri::bench;
+
+int main(int argc, char** argv) {
+  const uint64_t scale = ParseScale(argc, argv);
+  const uint64_t blocks = 20 * scale;
+  const uint64_t txs_per_block = 200;
+  const int reads = 300;
+
+  PrintHeader("Figure 12", "Ethereum latency distributions");
+
+  EthDataset eth;
+  for (auto& [name, index] : MakeAllIndexes(NewInMemoryNodeStore(), 512)) {
+    Ledger ledger(index.get(), /*batch_build=*/name == "pos" || name == "mbt");
+    Histogram write_lat;  // per-block build latency, amortized per tx (us)
+    for (uint64_t b = 0; b < blocks; ++b) {
+      auto txs = eth.BlockRecords(b, txs_per_block);
+      Timer t;
+      SIRI_CHECK(ledger.AppendBlock(txs).ok());
+      write_lat.Record(t.ElapsedMicros() / txs_per_block);
+    }
+
+    Histogram read_lat;  // per-tx lookup latency (ms: scan dominates)
+    Rng rng(6);
+    for (int i = 0; i < reads; ++i) {
+      const uint64_t b = rng.Uniform(blocks);
+      auto txs = eth.BlockRecords(b, txs_per_block);
+      const std::string& key = txs[rng.Uniform(txs_per_block)].key;
+      Timer t;
+      auto got = ledger.Lookup(key);
+      read_lat.Record(t.ElapsedMillis());
+      SIRI_CHECK(got.ok());
+    }
+    printf("%8s  read(ms):     %s\n", name.c_str(), read_lat.Summary().c_str());
+    printf("%8s  write(us/tx): %s\n", name.c_str(),
+           write_lat.Summary().c_str());
+    fflush(stdout);
+  }
+  return 0;
+}

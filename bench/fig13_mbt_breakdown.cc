@@ -1,0 +1,49 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Figure 13 — MBT lookup cost breakdown: time to traverse the tree and
+// load nodes vs time to scan (binary-search) the bucket.
+// Shape to reproduce: load time stays ~constant as N grows (fixed path
+// length and node count) while scan time keeps rising with the bucket
+// size N/B — the effect that makes MBT reads degrade at large N.
+
+#include "bench/bench_common.h"
+
+using namespace siri;
+using namespace siri::bench;
+
+int main(int argc, char** argv) {
+  const uint64_t scale = ParseScale(argc, argv);
+  std::vector<uint64_t> sizes;
+  for (uint64_t n = 10000; n <= 160000; n *= 2) sizes.push_back(n * scale);
+  const int probes = 3000;
+
+  PrintHeader("Figure 13", "MBT lookup breakdown: load vs scan (us/op)");
+  printf("%10s %12s %12s\n", "#records", "load(us)", "scan(us)");
+
+  for (uint64_t n : sizes) {
+    auto store = NewInMemoryNodeStore();
+    MbtOptions opt;
+    opt.num_buckets = 1024;  // small B so N/B growth is visible
+    opt.fanout = 32;
+    Mbt mbt(store, opt);
+    YcsbGenerator gen(1);
+    auto records = gen.GenerateRecords(n);
+    Hash root = LoadRecords(&mbt, records);
+
+    uint64_t load_total = 0, scan_total = 0;
+    Rng rng(2);
+    for (int i = 0; i < probes; ++i) {
+      uint64_t load_ns = 0, scan_ns = 0;
+      auto got = mbt.GetBreakdown(root, gen.KeyOf(rng.Uniform(n)), &load_ns,
+                                  &scan_ns);
+      SIRI_CHECK(got.ok());
+      load_total += load_ns;
+      scan_total += scan_ns;
+    }
+    printf("%10llu %12.3f %12.3f\n", static_cast<unsigned long long>(n),
+           static_cast<double>(load_total) / probes / 1000.0,
+           static_cast<double>(scan_total) / probes / 1000.0);
+    fflush(stdout);
+  }
+  return 0;
+}

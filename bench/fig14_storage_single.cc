@@ -1,0 +1,62 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Figure 14 — single-group data access: (a) storage usage and (b) number
+// of distinct nodes after loading N records and applying versioned
+// updates, per structure.
+// Shape to reproduce: MBT largest storage (biggest nodes) but the fewest
+// nodes (fixed skeleton); MPT more storage and far more nodes than
+// POS/baseline (deep paths => more node creations); POS ≈ baseline.
+
+#include "bench/bench_common.h"
+#include "metrics/dedup.h"
+
+using namespace siri;
+using namespace siri::bench;
+
+int main(int argc, char** argv) {
+  const uint64_t scale = ParseScale(argc, argv);
+  std::vector<uint64_t> sizes;
+  for (uint64_t n : {10000, 20000, 40000, 80000}) sizes.push_back(n * scale);
+  const int versions = 10;
+
+  PrintHeader("Figure 14",
+              "single-group storage (MB) and #nodes (x1000) incl. versions");
+  printf("%10s | %28s | %28s\n", "", "storage MB", "#nodes x1000");
+  printf("%10s | %6s %6s %6s %6s | %6s %6s %6s %6s\n", "#records", "pos",
+         "mbt", "mpt", "mvmb", "pos", "mbt", "mpt", "mvmb");
+
+  for (uint64_t n : sizes) {
+    YcsbGenerator gen(1);
+    auto records = gen.GenerateRecords(n);
+    double mb[4];
+    double knodes[4];
+    int idx = 0;
+    for (auto& [name, index] : MakeAllIndexes(NewInMemoryNodeStore())) {
+      std::vector<Hash> roots;
+      Hash root = LoadRecords(index.get(), records);
+      roots.push_back(root);
+      Rng rng(8);
+      for (int v = 1; v <= versions; ++v) {
+        std::vector<KV> updates;
+        for (uint64_t i = 0; i < n / 100; ++i) {
+          const uint64_t r = rng.Uniform(n);
+          updates.push_back(KV{gen.KeyOf(r), gen.ValueOf(r, v)});
+        }
+        auto next = index->PutBatch(root, updates);
+        SIRI_CHECK(next.ok());
+        root = *next;
+        roots.push_back(root);
+      }
+      auto fp = ComputeFootprint(*index, roots);
+      SIRI_CHECK(fp.ok());
+      mb[idx] = static_cast<double>(fp->bytes) / 1e6;
+      knodes[idx] = static_cast<double>(fp->nodes) / 1e3;
+      ++idx;
+    }
+    printf("%10llu | %6.1f %6.1f %6.1f %6.1f | %6.1f %6.1f %6.1f %6.1f\n",
+           static_cast<unsigned long long>(n), mb[0], mb[1], mb[2], mb[3],
+           knodes[0], knodes[1], knodes[2], knodes[3]);
+    fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Figure 15 — storage usage and node counts on the Wiki dataset as more
+// versions are loaded.
+// Shape to reproduce: MPT storage grows fastest (long URL keys make the
+// trie sparse: every update rewrites deep paths); MBT above POS/baseline;
+// POS ≈ baseline and flattest.
+
+#include "bench/bench_common.h"
+#include "metrics/dedup.h"
+#include "workload/datasets.h"
+
+using namespace siri;
+using namespace siri::bench;
+
+int main(int argc, char** argv) {
+  const uint64_t scale = ParseScale(argc, argv);
+  const uint64_t pages = 20000 * scale;
+  const int max_versions = 30;
+  const int step = 10;
+
+  PrintHeader("Figure 15", "Wiki storage (MB) / #nodes (x1000) by versions");
+  printf("%10s | %28s | %28s\n", "", "storage MB", "#nodes x1000");
+  printf("%10s | %6s %6s %6s %6s | %6s %6s %6s %6s\n", "#versions", "pos",
+         "mbt", "mpt", "mvmb", "pos", "mbt", "mpt", "mvmb");
+
+  WikiDataset wiki(pages);
+  auto initial = wiki.InitialRecords();
+
+  struct State {
+    std::string name;
+    std::unique_ptr<ImmutableIndex> index;
+    std::vector<Hash> roots;
+  };
+  std::vector<State> states;
+  for (auto& [name, index] : MakeAllIndexes(NewInMemoryNodeStore())) {
+    State s;
+    s.name = name;
+    s.index = std::move(index);
+    s.roots.push_back(LoadRecords(s.index.get(), initial));
+    states.push_back(std::move(s));
+  }
+
+  for (int v = 1; v <= max_versions; ++v) {
+    auto edits = wiki.VersionEdits(v, /*update_ratio=*/0.01);
+    for (State& s : states) {
+      auto next = s.index->PutBatch(s.roots.back(), edits);
+      SIRI_CHECK(next.ok());
+      s.roots.push_back(*next);
+    }
+    if (v % step == 0) {
+      printf("%10d |", v);
+      std::vector<double> knodes;
+      for (State& s : states) {
+        auto fp = ComputeFootprint(*s.index, s.roots);
+        SIRI_CHECK(fp.ok());
+        printf(" %6.1f", static_cast<double>(fp->bytes) / 1e6);
+        knodes.push_back(static_cast<double>(fp->nodes) / 1e3);
+      }
+      printf(" |");
+      for (double k : knodes) printf(" %6.1f", k);
+      printf("\n");
+      fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Figure 16 — storage usage and node counts on Ethereum transaction data
+// as blocks accumulate (one index instance per block).
+// Shape to reproduce: MPT grows fastest (64-hex keys double the nibble
+// depth); MBT inflates node *counts* relative to the others because every
+// small block pays the full fixed skeleton.
+
+#include "bench/bench_common.h"
+#include "metrics/dedup.h"
+#include "system/ledger.h"
+#include "workload/datasets.h"
+
+using namespace siri;
+using namespace siri::bench;
+
+int main(int argc, char** argv) {
+  const uint64_t scale = ParseScale(argc, argv);
+  const uint64_t max_blocks = 30 * scale;
+  const uint64_t txs_per_block = 200;
+  const uint64_t step = max_blocks / 3;
+
+  PrintHeader("Figure 16", "Ethereum storage (MB) / #nodes (x1000) by blocks");
+  printf("%10s | %28s | %28s\n", "", "storage MB", "#nodes x1000");
+  printf("%10s | %6s %6s %6s %6s | %6s %6s %6s %6s\n", "#blocks", "pos",
+         "mbt", "mpt", "mvmb", "pos", "mbt", "mpt", "mvmb");
+
+  EthDataset eth;
+  struct State {
+    std::string name;
+    std::unique_ptr<ImmutableIndex> index;
+    std::unique_ptr<Ledger> ledger;
+  };
+  std::vector<State> states;
+  for (auto& [name, index] : MakeAllIndexes(NewInMemoryNodeStore(), 512)) {
+    State s;
+    s.name = name;
+    s.index = std::move(index);
+    s.ledger = std::make_unique<Ledger>(s.index.get());
+    states.push_back(std::move(s));
+  }
+
+  for (uint64_t b = 1; b <= max_blocks; ++b) {
+    auto txs = eth.BlockRecords(b, txs_per_block);
+    for (State& s : states) SIRI_CHECK(s.ledger->AppendBlock(txs).ok());
+    if (b % step == 0) {
+      printf("%10llu |", static_cast<unsigned long long>(b));
+      std::vector<double> knodes;
+      for (State& s : states) {
+        auto fp = ComputeFootprint(*s.index, s.ledger->block_roots());
+        SIRI_CHECK(fp.ok());
+        printf(" %6.1f", static_cast<double>(fp->bytes) / 1e6);
+        knodes.push_back(static_cast<double>(fp->nodes) / 1e3);
+      }
+      printf(" |");
+      for (double k : knodes) printf(" %6.1f", k);
+      printf("\n");
+      fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Figure 21 — system-level throughput with the indexes integrated behind a
+// Forkbase-style servlet: reads go through a client-side node cache over
+// an accounted remote boundary; writes run server-side.
+// Shape to reproduce: read ranking shifts with the cache hit ratio — MBT
+// suffers at small N (fixed-entry nodes yield fewer repeated reads) and at
+// very large N (bucket scans), POS ≈ baseline; write ranking matches the
+// index-level experiment.
+
+#include "bench/bench_common.h"
+#include "system/forkbase.h"
+
+using namespace siri;
+using namespace siri::bench;
+
+int main(int argc, char** argv) {
+  const uint64_t scale = ParseScale(argc, argv);
+  std::vector<uint64_t> sizes;
+  for (uint64_t n : {10000, 40000, 160000}) sizes.push_back(n * scale);
+  const uint64_t num_ops = 3000;
+  const uint64_t rtt_nanos = 20000;  // 20us simulated round trip
+  const uint64_t cache_bytes = 4 << 20;
+
+  PrintHeader("Figure 21", "Forkbase-integrated throughput (kops/s)");
+
+  for (const char* phase : {"read", "write"}) {
+    printf("\n[%s workload, rtt=%lluus, cache=%lluMB]\n", phase,
+           static_cast<unsigned long long>(rtt_nanos / 1000),
+           static_cast<unsigned long long>(cache_bytes >> 20));
+    printf("%10s %18s %18s %18s %18s\n", "#records", "pos(kops|hit)",
+           "mbt(kops|hit)", "mpt(kops|hit)", "mvmb(kops|hit)");
+    for (uint64_t n : sizes) {
+      printf("%10llu", static_cast<unsigned long long>(n));
+      YcsbGenerator gen(1);
+      auto records = gen.GenerateRecords(n);
+      const bool is_read = strcmp(phase, "read") == 0;
+      auto ops = gen.GenerateOps(num_ops, n, is_read ? 0.0 : 1.0, 0.0);
+
+      auto server_store = NewInMemoryNodeStore();
+      ForkbaseServlet servlet(server_store);
+      for (auto& [name, server_index] : MakeAllIndexes(server_store)) {
+        // Server builds the dataset.
+        Hash root = LoadRecords(server_index.get(), records);
+        if (is_read) {
+          // Client reads through its cache.
+          auto client_store = std::make_shared<ForkbaseClientStore>(
+              &servlet, cache_bytes, rtt_nanos);
+          auto client_index = server_index->WithStore(client_store);
+          Hash client_root = root;
+          const double kops = RunOps(client_index.get(), &client_root, ops);
+          printf("   %9.1f|%4.2f", kops,
+                 client_store->remote_stats().HitRatio());
+        } else {
+          // Writes run fully server-side (no cache involvement).
+          const double kops = RunOps(server_index.get(), &root, ops, WriteBatchFor(name, 100));
+          printf("   %9.1f|----", kops);
+        }
+        fflush(stdout);
+      }
+      printf("\n");
+    }
+  }
+  return 0;
+}

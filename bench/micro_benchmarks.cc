@@ -1,0 +1,151 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// google-benchmark microbenchmarks for the substrates: SHA-256 digesting,
+// rolling-hash throughput, node codec encode/decode, store puts/gets, and
+// per-structure point operations. These are not paper figures; they guard
+// against substrate-level performance regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "crypto/rolling_hash.h"
+#include "crypto/sha256.h"
+#include "index/mbt/mbt.h"
+#include "index/mpt/mpt.h"
+#include "index/mvmb/mvmb_tree.h"
+#include "index/ordered/node_codec.h"
+#include "index/pos/pos_tree.h"
+#include "store/node_store.h"
+#include "workload/ycsb.h"
+
+namespace siri {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  Rng rng(1);
+  const std::string data = rng.Bytes(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Digest(data));
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_RollingHash(benchmark::State& state) {
+  Rng rng(2);
+  const std::string data = rng.Bytes(65536);
+  RollingHash rh(48);
+  for (auto _ : state) {
+    uint64_t acc = 0;
+    for (char c : data) acc ^= rh.Roll(static_cast<uint8_t>(c));
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_RollingHash);
+
+void BM_LeafEncodeDecode(benchmark::State& state) {
+  std::vector<KV> entries;
+  Rng rng(3);
+  for (int i = 0; i < 32; ++i) {
+    entries.push_back(KV{rng.AlphaNum(12), rng.AlphaNum(256)});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const KV& a, const KV& b) { return a.key < b.key; });
+  for (auto _ : state) {
+    const std::string node = EncodeLeaf(entries);
+    std::vector<KV> back;
+    benchmark::DoNotOptimize(DecodeLeaf(node, &back));
+  }
+}
+BENCHMARK(BM_LeafEncodeDecode);
+
+void BM_StorePutGet(benchmark::State& state) {
+  auto store = NewInMemoryNodeStore();
+  Rng rng(4);
+  std::vector<std::string> blobs;
+  std::vector<Hash> hashes;
+  for (int i = 0; i < 1024; ++i) {
+    blobs.push_back(rng.Bytes(1024));
+    hashes.push_back(store->Put(blobs.back()));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->Get(hashes[i++ % hashes.size()]));
+  }
+}
+BENCHMARK(BM_StorePutGet);
+
+template <typename MakeIndexFn>
+void RunIndexGet(benchmark::State& state, MakeIndexFn make_index) {
+  auto store = NewInMemoryNodeStore();
+  auto index = make_index(store);
+  YcsbGenerator gen(1);
+  auto records = gen.GenerateRecords(state.range(0));
+  Hash root = index->EmptyRoot();
+  for (size_t i = 0; i < records.size(); i += 4000) {
+    std::vector<KV> batch(
+        records.begin() + i,
+        records.begin() + std::min(i + 4000, records.size()));
+    root = *index->PutBatch(root, batch);
+  }
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index->Get(root, gen.KeyOf(rng.Uniform(records.size())), nullptr));
+  }
+}
+
+void BM_PosGet(benchmark::State& state) {
+  RunIndexGet(state, [](NodeStorePtr s) {
+    return std::make_unique<PosTree>(std::move(s));
+  });
+}
+BENCHMARK(BM_PosGet)->Arg(10000)->Arg(100000);
+
+void BM_MbtGet(benchmark::State& state) {
+  RunIndexGet(state, [](NodeStorePtr s) {
+    return std::make_unique<Mbt>(std::move(s));
+  });
+}
+BENCHMARK(BM_MbtGet)->Arg(10000)->Arg(100000);
+
+void BM_MptGet(benchmark::State& state) {
+  RunIndexGet(state, [](NodeStorePtr s) {
+    return std::make_unique<Mpt>(std::move(s));
+  });
+}
+BENCHMARK(BM_MptGet)->Arg(10000)->Arg(100000);
+
+void BM_MvmbGet(benchmark::State& state) {
+  RunIndexGet(state, [](NodeStorePtr s) {
+    return std::make_unique<MvmbTree>(std::move(s));
+  });
+}
+BENCHMARK(BM_MvmbGet)->Arg(10000)->Arg(100000);
+
+void BM_PosPut(benchmark::State& state) {
+  auto store = NewInMemoryNodeStore();
+  PosTree tree(store);
+  YcsbGenerator gen(1);
+  auto records = gen.GenerateRecords(50000);
+  Hash root = Hash::Zero();
+  for (size_t i = 0; i < records.size(); i += 4000) {
+    std::vector<KV> batch(
+        records.begin() + i,
+        records.begin() + std::min(i + 4000, records.size()));
+    root = *tree.PutBatch(root, batch);
+  }
+  Rng rng(6);
+  uint64_t version = 1;
+  for (auto _ : state) {
+    const uint64_t r = rng.Uniform(50000);
+    root = *tree.Put(root, gen.KeyOf(r), gen.ValueOf(r, version++));
+  }
+}
+BENCHMARK(BM_PosPut);
+
+}  // namespace
+}  // namespace siri
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Wiki versioning example (the paper's §5.1.2 scenario): a corpus of page
+// abstracts evolves over many revisions; every revision stays queryable,
+// history costs only the deltas, and any two revisions diff in
+// milliseconds. Also shows picking a structure per workload: compare the
+// same pipeline over POS-Tree and MPT.
+//
+// Build & run:  ./build/examples/wiki_versioning
+
+#include <cstdio>
+
+#include "index/mpt/mpt.h"
+#include "index/pos/pos_tree.h"
+#include "metrics/dedup.h"
+#include "common/timer.h"
+#include "workload/datasets.h"
+
+using namespace siri;
+
+namespace {
+
+void RunPipeline(const char* label, ImmutableIndex* index) {
+  WikiDataset wiki(10000);
+  const int kRevisions = 12;
+
+  // Initial dump.
+  auto initial = wiki.InitialRecords();
+  Hash head = index->EmptyRoot();
+  for (size_t i = 0; i < initial.size(); i += 2000) {
+    std::vector<KV> batch(initial.begin() + i,
+                          initial.begin() +
+                              std::min(i + 2000, initial.size()));
+    head = *index->PutBatch(head, batch);
+  }
+
+  // Monthly revisions: 2% of pages get edited each time.
+  std::vector<Hash> revisions{head};
+  for (int rev = 1; rev <= kRevisions; ++rev) {
+    head = *index->PutBatch(head, wiki.VersionEdits(rev, 0.02));
+    revisions.push_back(head);
+  }
+
+  // Any past revision remains directly readable — no delta replay.
+  const std::string some_page = wiki.KeyOf(4711);
+  auto then = index->Get(revisions[1], some_page, nullptr);
+  auto now = index->Get(revisions.back(), some_page, nullptr);
+  SIRI_CHECK(then.ok() && now.ok());
+
+  // Cost of keeping all revisions vs one.
+  auto fp_head = *ComputeFootprint(*index, {revisions.back()});
+  auto fp_all = *ComputeFootprint(*index, revisions);
+
+  // Fast diff between distant revisions.
+  Timer t;
+  auto changes = *index->Diff(revisions[2], revisions[10]);
+  const double diff_ms = t.ElapsedMillis();
+
+  printf("%-5s head=%.12s...  1-rev=%.1fMB  %d-revs=%.1fMB  "
+         "diff(rev2,rev10)=%zu records in %.2fms\n",
+         label, revisions.back().ToHex().c_str(), fp_head.bytes / 1e6,
+         kRevisions + 1, fp_all.bytes / 1e6, changes.size(), diff_ms);
+}
+
+}  // namespace
+
+int main() {
+  printf("versioned wiki corpus: 10000 pages, 12 revisions of 2%% edits\n");
+  {
+    auto store = NewInMemoryNodeStore();
+    PosTree pos(store);
+    RunPipeline("pos", &pos);
+  }
+  {
+    auto store = NewInMemoryNodeStore();
+    Mpt mpt(store);
+    RunPipeline("mpt", &mpt);
+  }
+  printf("note: identical content, different structures — POS keeps the\n"
+         "tree shallow for long URL keys, which the paper's Figure 7a/15\n"
+         "measurements reward.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#include "common/hex.h"
+
+namespace siri {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+}  // namespace
+
+std::string HexEncode(Slice in) {
+  std::string out;
+  out.reserve(in.size() * 2);
+  for (size_t i = 0; i < in.size(); ++i) {
+    const unsigned char b = static_cast<unsigned char>(in[i]);
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  return out;
+}
+
+int HexDigitValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+bool HexDecode(Slice hex, std::string* out) {
+  if (hex.size() % 2 != 0) return false;
+  std::string decoded;
+  decoded.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = HexDigitValue(hex[i]);
+    const int lo = HexDigitValue(hex[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    decoded.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  *out = std::move(decoded);
+  return true;
+}
+
+}  // namespace siri

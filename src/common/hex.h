@@ -1,0 +1,24 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#ifndef SIRI_COMMON_HEX_H_
+#define SIRI_COMMON_HEX_H_
+
+#include <string>
+
+#include "common/slice.h"
+
+namespace siri {
+
+/// Encodes \p in as lowercase hex (two chars per byte).
+std::string HexEncode(Slice in);
+
+/// Decodes lowercase/uppercase hex. Returns false on odd length or invalid
+/// characters; \p out is untouched on failure.
+bool HexDecode(Slice hex, std::string* out);
+
+/// Value of one hex digit, or -1 if the character is not a hex digit.
+int HexDigitValue(char c);
+
+}  // namespace siri
+
+#endif  // SIRI_COMMON_HEX_H_

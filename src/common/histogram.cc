@@ -1,0 +1,116 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace siri {
+
+void Histogram::Record(double v) {
+  values_.push_back(v);
+  sorted_ = false;
+  ++count_;
+  sum_ += v;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  sorted_ = false;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Clear() {
+  values_.clear();
+  sorted_ = true;
+  count_ = 0;
+  sum_ = 0;
+}
+
+void Histogram::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::min() const {
+  if (values_.empty()) return 0;
+  EnsureSorted();
+  return values_.front();
+}
+
+double Histogram::max() const {
+  if (values_.empty()) return 0;
+  EnsureSorted();
+  return values_.back();
+}
+
+double Histogram::mean() const { return count_ == 0 ? 0 : sum_ / count_; }
+
+double Histogram::Percentile(double q) const {
+  if (values_.empty()) return 0;
+  EnsureSorted();
+  if (q <= 0) return values_.front();
+  if (q >= 1) return values_.back();
+  const double pos = q * (values_.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const double frac = pos - lo;
+  if (lo + 1 >= values_.size()) return values_.back();
+  return values_[lo] * (1.0 - frac) + values_[lo + 1] * frac;
+}
+
+std::vector<Histogram::Bucket> Histogram::FixedBuckets(int num_buckets) const {
+  std::vector<Bucket> out;
+  if (values_.empty() || num_buckets <= 0) return out;
+  EnsureSorted();
+  const double lo = values_.front();
+  const double hi = values_.back();
+  const double width = (hi > lo) ? (hi - lo) / num_buckets : 1.0;
+  out.resize(num_buckets);
+  for (int i = 0; i < num_buckets; ++i) {
+    out[i].lo = lo + i * width;
+    out[i].hi = lo + (i + 1) * width;
+    out[i].count = 0;
+  }
+  for (double v : values_) {
+    int idx = static_cast<int>((v - lo) / width);
+    if (idx >= num_buckets) idx = num_buckets - 1;
+    if (idx < 0) idx = 0;
+    ++out[idx].count;
+  }
+  return out;
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.3f p50=%.3f p95=%.3f p99=%.3f min=%.3f max=%.3f",
+                static_cast<unsigned long long>(count_), mean(),
+                Percentile(0.50), Percentile(0.95), Percentile(0.99), min(),
+                max());
+  return buf;
+}
+
+uint64_t CountHistogram::total() const {
+  uint64_t t = 0;
+  for (const auto& [v, c] : counts_) t += c;
+  return t;
+}
+
+std::string CountHistogram::ToString() const {
+  std::string out;
+  char buf[64];
+  for (const auto& [v, c] : counts_) {
+    std::snprintf(buf, sizeof(buf), "%lld:%llu ",
+                  static_cast<long long>(v),
+                  static_cast<unsigned long long>(c));
+    out += buf;
+  }
+  if (!out.empty()) out.pop_back();
+  return out;
+}
+
+}  // namespace siri

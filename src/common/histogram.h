@@ -1,0 +1,70 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Latency / height histograms backing the distribution figures of the paper
+// (Figures 9–12). Values are recorded exactly (no bucketing error) and the
+// bucketed view is produced on demand, matching the paper's plots of
+// "#records per latency range".
+
+#ifndef SIRI_COMMON_HISTOGRAM_H_
+#define SIRI_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace siri {
+
+/// \brief Exact-value histogram with percentile queries and fixed-width
+/// bucketing for plot output.
+class Histogram {
+ public:
+  void Record(double v);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double sum() const { return sum_; }
+
+  /// Value at quantile \p q in [0, 1]; interpolates between samples.
+  double Percentile(double q) const;
+
+  struct Bucket {
+    double lo;      // inclusive lower bound
+    double hi;      // exclusive upper bound (last bucket inclusive)
+    uint64_t count;
+  };
+
+  /// Splits [min, max] into \p num_buckets fixed-width buckets.
+  std::vector<Bucket> FixedBuckets(int num_buckets) const;
+
+  /// One-line summary used by bench output.
+  std::string Summary() const;
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+};
+
+/// \brief Integer counter histogram (e.g. tree heights: height -> #ops).
+class CountHistogram {
+ public:
+  void Record(int64_t v) { ++counts_[v]; }
+  const std::map<int64_t, uint64_t>& counts() const { return counts_; }
+  uint64_t total() const;
+  std::string ToString() const;
+
+ private:
+  std::map<int64_t, uint64_t> counts_;
+};
+
+}  // namespace siri
+
+#endif  // SIRI_COMMON_HISTOGRAM_H_

@@ -1,0 +1,94 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Deterministic PRNGs. All workload generation routes through Rng so that
+// every experiment in bench/ is exactly reproducible from its seed.
+
+#ifndef SIRI_COMMON_RANDOM_H_
+#define SIRI_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace siri {
+
+/// splitmix64 — used to seed and to derive independent streams.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// \brief xoshiro256** — fast, high-quality, deterministic PRNG.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5441b1dec0de5eedULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : s_) word = SplitMix64(&sm);
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). \p n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi].
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability \p p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Random byte string of length \p n (all 256 byte values possible).
+  std::string Bytes(size_t n) {
+    std::string out;
+    out.reserve(n);
+    while (out.size() < n) {
+      uint64_t w = Next();
+      for (int i = 0; i < 8 && out.size() < n; ++i) {
+        out.push_back(static_cast<char>(w & 0xff));
+        w >>= 8;
+      }
+    }
+    return out;
+  }
+
+  /// Random printable-ASCII string of length \p n (letters and digits).
+  std::string AlphaNum(size_t n) {
+    static constexpr char kAlphabet[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    std::string out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(kAlphabet[Uniform(sizeof(kAlphabet) - 1)]);
+    }
+    return out;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace siri
+
+#endif  // SIRI_COMMON_RANDOM_H_

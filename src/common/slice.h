@@ -1,0 +1,80 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// A Slice is a cheap, non-owning view over a contiguous byte sequence, in the
+// spirit of rocksdb::Slice. Keys and values throughout the library are raw
+// byte strings; Slice lets the index layers pass them around without copying.
+
+#ifndef SIRI_COMMON_SLICE_H_
+#define SIRI_COMMON_SLICE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace siri {
+
+/// \brief Non-owning view over a byte sequence.
+///
+/// The referenced storage must outlive the Slice. Comparison is
+/// lexicographic on unsigned bytes, which matches the ordering used by every
+/// index in this library.
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* d, size_t n) : data_(d), size_(n) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(std::string_view s) : data_(s.data()), size_(s.size()) {}    // NOLINT
+  Slice(const char* s) : data_(s), size_(strlen(s)) {}               // NOLINT
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t n) const {
+    assert(n < size_);
+    return data_[n];
+  }
+
+  /// Drops the first \p n bytes from the view.
+  void remove_prefix(size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+  /// Three-way lexicographic comparison on unsigned bytes.
+  int compare(const Slice& b) const {
+    const size_t min_len = size_ < b.size_ ? size_ : b.size_;
+    int r = memcmp(data_, b.data_, min_len);
+    if (r == 0) {
+      if (size_ < b.size_) r = -1;
+      else if (size_ > b.size_) r = +1;
+    }
+    return r;
+  }
+
+  bool starts_with(const Slice& x) const {
+    return size_ >= x.size_ && memcmp(data_, x.data_, x.size_) == 0;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.size() == b.size() && memcmp(a.data(), b.data(), a.size()) == 0;
+}
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+inline bool operator<(const Slice& a, const Slice& b) {
+  return a.compare(b) < 0;
+}
+
+}  // namespace siri
+
+#endif  // SIRI_COMMON_SLICE_H_

@@ -1,0 +1,37 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#ifndef SIRI_COMMON_TIMER_H_
+#define SIRI_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace siri {
+
+/// \brief Monotonic wall-clock stopwatch used by the bench harness.
+class Timer {
+ public:
+  Timer() { Reset(); }
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset, in nanoseconds.
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+  double ElapsedMicros() const { return ElapsedNanos() / 1e3; }
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+  double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace siri
+
+#endif  // SIRI_COMMON_TIMER_H_

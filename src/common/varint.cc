@@ -1,0 +1,66 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#include "common/varint.h"
+
+namespace siri {
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  unsigned char buf[10];
+  int n = 0;
+  while (v >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(v) | 0x80;
+    v >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(v);
+  dst->append(reinterpret_cast<const char*>(buf), n);
+}
+
+bool GetVarint64(Slice* in, uint64_t* v) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && !in->empty(); shift += 7) {
+    const unsigned char byte = static_cast<unsigned char>((*in)[0]);
+    in->remove_prefix(1);
+    if (byte & 0x80) {
+      result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    } else {
+      result |= static_cast<uint64_t>(byte) << shift;
+      *v = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+void PutLengthPrefixed(std::string* dst, Slice s) {
+  PutVarint64(dst, s.size());
+  dst->append(s.data(), s.size());
+}
+
+bool GetLengthPrefixed(Slice* in, std::string* out) {
+  uint64_t len = 0;
+  if (!GetVarint64(in, &len)) return false;
+  if (in->size() < len) return false;
+  out->assign(in->data(), len);
+  in->remove_prefix(len);
+  return true;
+}
+
+void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xff);
+  buf[1] = static_cast<char>((v >> 8) & 0xff);
+  buf[2] = static_cast<char>((v >> 16) & 0xff);
+  buf[3] = static_cast<char>((v >> 24) & 0xff);
+  dst->append(buf, 4);
+}
+
+bool GetFixed32(Slice* in, uint32_t* v) {
+  if (in->size() < 4) return false;
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(in->data());
+  *v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+       (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+  in->remove_prefix(4);
+  return true;
+}
+
+}  // namespace siri

@@ -1,0 +1,36 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// LEB128-style varint plus length-prefixed string encoding. Used by every
+// index's node serializer so that byte(p) — the serialized size of a page —
+// is well defined and identical across structures.
+
+#ifndef SIRI_COMMON_VARINT_H_
+#define SIRI_COMMON_VARINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+
+namespace siri {
+
+/// Appends \p v to \p dst as a base-128 varint (1–10 bytes).
+void PutVarint64(std::string* dst, uint64_t v);
+
+/// Parses a varint from the front of \p in, advancing it. Returns false on
+/// truncated or malformed input.
+bool GetVarint64(Slice* in, uint64_t* v);
+
+/// Appends a varint length prefix followed by the raw bytes of \p s.
+void PutLengthPrefixed(std::string* dst, Slice s);
+
+/// Parses a length-prefixed string from the front of \p in, advancing it.
+bool GetLengthPrefixed(Slice* in, std::string* out);
+
+/// Fixed-width little-endian 32-bit integer, for positional fields.
+void PutFixed32(std::string* dst, uint32_t v);
+bool GetFixed32(Slice* in, uint32_t* v);
+
+}  // namespace siri
+
+#endif  // SIRI_COMMON_VARINT_H_

@@ -1,0 +1,77 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Hash — the 32-byte cryptographic digest that identifies every node (page)
+// in the content-addressed store. All four indexes reference children by
+// Hash instead of by pointer; this is what makes copy-on-write node sharing
+// and tamper evidence fall out of the same mechanism.
+
+#ifndef SIRI_CRYPTO_HASH_H_
+#define SIRI_CRYPTO_HASH_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+
+#include "common/slice.h"
+
+namespace siri {
+
+/// \brief 32-byte digest (SHA-256 output). Value type, totally ordered.
+class Hash {
+ public:
+  static constexpr size_t kSize = 32;
+
+  Hash() { bytes_.fill(0); }
+
+  static Hash FromBytes(const void* data) {
+    Hash h;
+    std::memcpy(h.bytes_.data(), data, kSize);
+    return h;
+  }
+
+  /// All-zero digest; used as the "null child" / empty-tree sentinel.
+  static Hash Zero() { return Hash(); }
+
+  bool IsZero() const {
+    for (uint8_t b : bytes_) {
+      if (b != 0) return false;
+    }
+    return true;
+  }
+
+  const uint8_t* data() const { return bytes_.data(); }
+  uint8_t* data() { return bytes_.data(); }
+
+  Slice AsSlice() const {
+    return Slice(reinterpret_cast<const char*>(bytes_.data()), kSize);
+  }
+
+  std::string ToHex() const;
+
+  bool operator==(const Hash& o) const { return bytes_ == o.bytes_; }
+  bool operator!=(const Hash& o) const { return bytes_ != o.bytes_; }
+  bool operator<(const Hash& o) const { return bytes_ < o.bytes_; }
+
+  /// First 8 bytes as little-endian uint64 — convenient non-crypto fingerprint
+  /// for hashing into unordered containers and for chunk-boundary tests.
+  uint64_t Prefix64() const {
+    uint64_t v;
+    std::memcpy(&v, bytes_.data(), sizeof(v));
+    return v;
+  }
+
+ private:
+  std::array<uint8_t, kSize> bytes_;
+};
+
+struct HashHasher {
+  size_t operator()(const Hash& h) const {
+    return static_cast<size_t>(h.Prefix64());
+  }
+};
+
+}  // namespace siri
+
+#endif  // SIRI_CRYPTO_HASH_H_

@@ -1,0 +1,61 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#include "crypto/rolling_hash.h"
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace siri {
+
+namespace {
+
+uint64_t* BuildTable() {
+  static uint64_t table[256];
+  uint64_t seed = 0xb422afa164dULL;  // arbitrary fixed seed: table must be
+                                     // identical across runs and processes.
+  for (int i = 0; i < 256; ++i) table[i] = SplitMix64(&seed);
+  return table;
+}
+
+inline uint64_t Rotl64(uint64_t x, int k) {
+  k &= 63;
+  if (k == 0) return x;
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+const uint64_t* BuzhashTable() {
+  static const uint64_t* table = BuildTable();
+  return table;
+}
+
+RollingHash::RollingHash(size_t window_size) : window_size_(window_size) {
+  SIRI_CHECK(window_size_ > 0 && window_size_ <= kMaxWindow);
+  Reset();
+}
+
+void RollingHash::Reset() {
+  hash_ = 0;
+  pos_ = 0;
+  filled_ = false;
+}
+
+uint64_t RollingHash::Roll(uint8_t in) {
+  const uint64_t* t = BuzhashTable();
+  if (filled_) {
+    const uint8_t out = window_[pos_];
+    // Remove the contribution of the evicted byte: it has been rotated
+    // window_size_ times since insertion.
+    hash_ = Rotl64(hash_, 1) ^ Rotl64(t[out], static_cast<int>(window_size_)) ^
+            t[in];
+  } else {
+    hash_ = Rotl64(hash_, 1) ^ t[in];
+  }
+  window_[pos_] = in;
+  pos_ = (pos_ + 1) % window_size_;
+  if (pos_ == 0 && !filled_) filled_ = true;
+  return hash_;
+}
+
+}  // namespace siri

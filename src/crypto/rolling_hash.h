@@ -1,0 +1,56 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Rolling hash over a fixed-size byte window — the "Rabin fingerprint" of
+// the paper's §3.4.3. POS-Tree slides this window over the serialized data
+// layer and declares a chunk boundary wherever the fingerprint matches a
+// bit pattern (e.g. the low 8 bits all set). We implement buzhash (cyclic
+// polynomial hashing): identical content-defined-boundary behavior to
+// Rabin fingerprinting with cheaper updates.
+
+#ifndef SIRI_CRYPTO_ROLLING_HASH_H_
+#define SIRI_CRYPTO_ROLLING_HASH_H_
+
+#include <cstdint>
+#include <cstddef>
+
+namespace siri {
+
+/// \brief Buzhash rolling hash over a window of fixed size.
+class RollingHash {
+ public:
+  /// \param window_size number of bytes the fingerprint covers. The paper's
+  /// Noms comparison uses 67 bytes; POS-Tree defaults to 48.
+  explicit RollingHash(size_t window_size);
+
+  /// Feeds one byte, evicting the oldest byte once the window is full.
+  /// Returns the fingerprint after ingestion.
+  uint64_t Roll(uint8_t in);
+
+  /// Current fingerprint value.
+  uint64_t value() const { return hash_; }
+
+  /// True once at least window_size bytes have been ingested.
+  bool Primed() const { return filled_; }
+
+  /// Clears all state so the hasher can scan a fresh byte stream.
+  void Reset();
+
+  size_t window_size() const { return window_size_; }
+
+ private:
+  size_t window_size_;
+  uint64_t hash_ = 0;
+  size_t pos_ = 0;
+  bool filled_ = false;
+  // Ring buffer of the bytes currently inside the window.
+  static constexpr size_t kMaxWindow = 256;
+  uint8_t window_[kMaxWindow];
+};
+
+/// Byte-indexed random table shared by all RollingHash instances; exposed so
+/// tests can verify its statistical properties.
+const uint64_t* BuzhashTable();
+
+}  // namespace siri
+
+#endif  // SIRI_CRYPTO_ROLLING_HASH_H_

@@ -1,0 +1,45 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Clean-room SHA-256 (FIPS 180-4). This is the tamper-evidence substrate:
+// every index node is serialized and digested through this module, and a
+// version's root digest commits to the entire tree.
+
+#ifndef SIRI_CRYPTO_SHA256_H_
+#define SIRI_CRYPTO_SHA256_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "crypto/hash.h"
+
+namespace siri {
+
+/// \brief Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(const void* data, size_t len);
+  void Update(Slice s) { Update(s.data(), s.size()); }
+
+  /// Finalizes and returns the digest. The context must be Reset() before
+  /// reuse.
+  Hash Finish();
+
+  /// One-shot convenience.
+  static Hash Digest(Slice data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t bit_count_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+}  // namespace siri
+
+#endif  // SIRI_CRYPTO_SHA256_H_

@@ -1,0 +1,160 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#include "index/diff.h"
+
+#include <algorithm>
+
+#include "crypto/sha256.h"
+
+namespace siri {
+
+void DiffSortedEntries(const std::vector<KV>& left,
+                       const std::vector<KV>& right, DiffResult* out) {
+  size_t i = 0, j = 0;
+  while (i < left.size() || j < right.size()) {
+    if (i < left.size() && j < right.size()) {
+      const int c = Slice(left[i].key).compare(Slice(right[j].key));
+      if (c == 0) {
+        if (left[i].value != right[j].value) {
+          out->push_back({left[i].key, left[i].value, right[j].value});
+        }
+        ++i;
+        ++j;
+      } else if (c < 0) {
+        out->push_back({left[i].key, left[i].value, std::nullopt});
+        ++i;
+      } else {
+        out->push_back({right[j].key, std::nullopt, right[j].value});
+        ++j;
+      }
+    } else if (i < left.size()) {
+      out->push_back({left[i].key, left[i].value, std::nullopt});
+      ++i;
+    } else {
+      out->push_back({right[j].key, std::nullopt, right[j].value});
+      ++j;
+    }
+  }
+}
+
+void SortDiff(DiffResult* out) {
+  std::sort(out->begin(), out->end(),
+            [](const DiffEntry& a, const DiffEntry& b) { return a.key < b.key; });
+}
+
+bool ImmutableIndex::VerifyProof(const Proof& proof, const Hash& root) const {
+  auto proof_store = std::make_shared<ProofNodeStore>(proof);
+  auto verifier = WithStore(proof_store);
+  auto got = verifier->Get(root, proof.key);
+  if (!got.ok()) return false;  // path broken: missing/tampered node
+  return *got == proof.value;
+}
+
+Result<Hash> ImmutableIndex::Merge(const Hash& ours, const Hash& theirs,
+                                   ConflictResolver resolver) {
+  auto diff = Diff(ours, theirs);
+  if (!diff.ok()) return diff.status();
+
+  std::vector<KV> to_put;
+  std::vector<std::string> to_delete;
+  for (const DiffEntry& e : *diff) {
+    if (e.left && e.right) {
+      if (!resolver) {
+        return Status::Conflict("key '" + e.key +
+                                "' differs and no resolver was supplied");
+      }
+      auto winner = resolver(e.key, *e.left, *e.right);
+      if (winner) {
+        to_put.push_back({e.key, std::move(*winner)});
+      } else {
+        to_delete.push_back(e.key);  // resolver dropped the key entirely
+      }
+    } else if (e.right) {
+      to_put.push_back({e.key, *e.right});
+    }
+    // e.left only: record exists only in ours; Merge keeps it.
+  }
+  auto after_put = PutBatch(ours, std::move(to_put));
+  if (!after_put.ok()) return after_put.status();
+  if (to_delete.empty()) return after_put;
+  return DeleteBatch(*after_put, std::move(to_delete));
+}
+
+Result<Hash> ImmutableIndex::Merge3(const Hash& ours, const Hash& theirs,
+                                    const Hash& base,
+                                    ConflictResolver resolver) {
+  auto ours_diff = Diff(base, ours);      // base -> ours changes
+  if (!ours_diff.ok()) return ours_diff.status();
+  auto theirs_diff = Diff(base, theirs);  // base -> theirs changes
+  if (!theirs_diff.ok()) return theirs_diff.status();
+
+  // Index ours' changes by key for conflict detection.
+  std::vector<KV> to_put;
+  std::vector<std::string> to_delete;
+  size_t i = 0;
+  for (const DiffEntry& t : *theirs_diff) {
+    // Advance over ours-changes with smaller keys (they are already in ours).
+    while (i < ours_diff->size() && (*ours_diff)[i].key < t.key) ++i;
+    const bool ours_changed_same_key =
+        i < ours_diff->size() && (*ours_diff)[i].key == t.key;
+
+    if (!ours_changed_same_key) {
+      // Only theirs changed this key: take theirs.
+      if (t.right) {
+        to_put.push_back({t.key, *t.right});
+      } else {
+        to_delete.push_back(t.key);  // theirs deleted it
+      }
+      continue;
+    }
+
+    const DiffEntry& o = (*ours_diff)[i];
+    // Both sides changed the key. Identical change: nothing to do.
+    const std::optional<std::string>& ours_new = o.right;
+    const std::optional<std::string>& theirs_new = t.right;
+    if (ours_new == theirs_new) continue;
+    if (!resolver) {
+      return Status::Conflict("key '" + t.key +
+                              "' changed on both sides and no resolver was "
+                              "supplied");
+    }
+    auto winner = resolver(t.key, ours_new.value_or(""), theirs_new.value_or(""));
+    if (winner) {
+      to_put.push_back({t.key, std::move(*winner)});
+    } else {
+      to_delete.push_back(t.key);
+    }
+  }
+
+  auto after_put = PutBatch(ours, std::move(to_put));
+  if (!after_put.ok()) return after_put.status();
+  if (to_delete.empty()) return after_put;
+  return DeleteBatch(*after_put, std::move(to_delete));
+}
+
+Status ImmutableIndex::RangeScan(
+    const Hash& root, Slice lo, Slice hi,
+    const std::function<void(Slice, Slice)>& fn) const {
+  // Default: filter a full scan. Collect-then-sort so MBT's bucket order
+  // still yields sorted range output.
+  std::vector<KV> hits;
+  Status s = Scan(root, [&](Slice k, Slice v) {
+    if (k.compare(lo) >= 0 && k.compare(hi) < 0) {
+      hits.push_back(KV{k.ToString(), v.ToString()});
+    }
+  });
+  if (!s.ok()) return s;
+  std::sort(hits.begin(), hits.end(),
+            [](const KV& a, const KV& b) { return a.key < b.key; });
+  for (const KV& kv : hits) fn(kv.key, kv.value);
+  return Status::OK();
+}
+
+Result<uint64_t> ImmutableIndex::Count(const Hash& root) const {
+  uint64_t n = 0;
+  Status s = Scan(root, [&n](Slice, Slice) { ++n; });
+  if (!s.ok()) return s;
+  return n;
+}
+
+}  // namespace siri

@@ -1,0 +1,26 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Helpers shared by the per-structure Diff implementations plus the generic
+// Merge built on top of Diff (§4.1.4).
+
+#ifndef SIRI_INDEX_DIFF_H_
+#define SIRI_INDEX_DIFF_H_
+
+#include <vector>
+
+#include "index/index.h"
+
+namespace siri {
+
+/// Merge-joins two sorted entry lists into record-level diff entries.
+/// Both inputs must be sorted by key and duplicate-free.
+void DiffSortedEntries(const std::vector<KV>& left,
+                       const std::vector<KV>& right, DiffResult* out);
+
+/// Sorts \p out by key (Diff implementations that emit out of order call
+/// this before returning).
+void SortDiff(DiffResult* out);
+
+}  // namespace siri
+
+#endif  // SIRI_INDEX_DIFF_H_

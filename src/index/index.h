@@ -1,0 +1,155 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// ImmutableIndex — the common API of the four structures the paper studies:
+// MPT, MBT, POS-Tree (SIRI instances) and MVMB+-Tree (non-SIRI baseline).
+//
+// All operations are *functional*: a version of the index is identified by
+// its root digest, and updates return the root of a new version while the
+// old version stays intact (node-level copy-on-write, §3.4). Versions are
+// just Hash values; retaining many versions costs only the pages that
+// differ.
+
+#ifndef SIRI_INDEX_INDEX_H_
+#define SIRI_INDEX_INDEX_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "crypto/hash.h"
+#include "index/proof.h"
+#include "store/node_store.h"
+
+namespace siri {
+
+/// A key/value record.
+struct KV {
+  std::string key;
+  std::string value;
+
+  bool operator==(const KV& o) const { return key == o.key && value == o.value; }
+};
+
+/// One record-level difference between two versions (§4.1.3).
+/// - left only   -> present in the first version only
+/// - right only  -> present in the second version only
+/// - both        -> present in both but with different values
+struct DiffEntry {
+  std::string key;
+  std::optional<std::string> left;
+  std::optional<std::string> right;
+};
+
+using DiffResult = std::vector<DiffEntry>;
+
+/// Resolves a merge conflict: both sides changed \p key to different values.
+/// Returns the winning value, or nullopt to drop the key.
+using ConflictResolver = std::function<std::optional<std::string>(
+    const std::string& key, const std::string& ours, const std::string& theirs)>;
+
+/// Per-lookup instrumentation (Figures 9 and 13).
+struct LookupStats {
+  int depth = 0;             ///< nodes on the traversed root-to-leaf path
+  uint64_t nodes_loaded = 0; ///< store fetches
+  uint64_t bytes_loaded = 0; ///< bytes fetched from the store
+  uint64_t entries_scanned = 0;  ///< in-node entries binary-search touched
+};
+
+/// \brief Common interface of all index structures in this library.
+class ImmutableIndex {
+ public:
+  virtual ~ImmutableIndex() = default;
+
+  /// Short structure name ("mpt", "mbt", "pos", "mvmb").
+  virtual std::string name() const = 0;
+
+  /// Root digest of the empty index. For MBT this is a real tree of empty
+  /// buckets; for the others it is Hash::Zero().
+  virtual Hash EmptyRoot() const { return Hash::Zero(); }
+
+  /// Inserts or updates all records in \p kvs, returning the new version
+  /// root. Later duplicates in the batch win over earlier ones.
+  virtual Result<Hash> PutBatch(const Hash& root, std::vector<KV> kvs) = 0;
+
+  /// Removes all of \p keys (missing keys are ignored).
+  virtual Result<Hash> DeleteBatch(const Hash& root,
+                                   std::vector<std::string> keys) = 0;
+
+  /// Point lookup; nullopt when the key is absent.
+  virtual Result<std::optional<std::string>> Get(
+      const Hash& root, Slice key, LookupStats* stats = nullptr) const = 0;
+
+  /// Merkle proof of (non-)existence for \p key under version \p root.
+  virtual Result<Proof> GetProof(const Hash& root, Slice key) const = 0;
+
+  /// Inserts every page digest reachable from \p root into \p pages.
+  virtual Status CollectPages(const Hash& root, PageSet* pages) const = 0;
+
+  /// Enumerates all records. POS/MVMB/MPT yield keys in lexicographic
+  /// order; MBT yields bucket order (sorted within each bucket).
+  virtual Status Scan(const Hash& root,
+                      const std::function<void(Slice, Slice)>& fn) const = 0;
+
+  /// Enumerates records with lo <= key < hi in key order. The ordered
+  /// trees (POS, MVMB) override this with a cursor seek costing
+  /// O(log N + results); the default filters a full Scan — which is the
+  /// honest cost on MBT, whose hash partitioning destroys key locality.
+  virtual Status RangeScan(const Hash& root, Slice lo, Slice hi,
+                           const std::function<void(Slice, Slice)>& fn) const;
+
+  /// Record-level difference between two versions (§4.1.3). Exploits node
+  /// sharing: identical subtrees are skipped without being loaded.
+  virtual Result<DiffResult> Diff(const Hash& a, const Hash& b) const = 0;
+
+  /// Clone bound to a different store; used for proof verification.
+  virtual std::unique_ptr<ImmutableIndex> WithStore(NodeStorePtr store) const = 0;
+
+  // --- Conveniences (implemented on top of the virtuals) ---
+
+  Result<Hash> Put(const Hash& root, Slice key, Slice value) {
+    return PutBatch(root, {KV{key.ToString(), value.ToString()}});
+  }
+
+  Result<Hash> Delete(const Hash& root, Slice key) {
+    return DeleteBatch(root, {key.ToString()});
+  }
+
+  /// True if the key/value pair of \p proof verifies against \p root.
+  /// Re-runs the structure's own lookup logic against a store populated
+  /// only with the proof's nodes, checking every digest on the way — the
+  /// same procedure a light client would follow.
+  bool VerifyProof(const Proof& proof, const Hash& root) const;
+
+  /// Two-way merge of \p ours and \p theirs (§4.1.4): the result contains
+  /// every record of both versions. When a key has different values on the
+  /// two sides, \p resolver decides; with no resolver the merge aborts
+  /// with Status::Conflict, mirroring the paper's "the process must be
+  /// interrupted and a selection strategy must be given".
+  Result<Hash> Merge(const Hash& ours, const Hash& theirs,
+                     ConflictResolver resolver = nullptr);
+
+  /// Three-way merge relative to common ancestor \p base: only records
+  /// changed on either side move; a conflict is a key changed differently
+  /// on both sides.
+  Result<Hash> Merge3(const Hash& ours, const Hash& theirs, const Hash& base,
+                      ConflictResolver resolver = nullptr);
+
+  /// Number of records reachable from \p root.
+  Result<uint64_t> Count(const Hash& root) const;
+
+  NodeStore* store() const { return store_.get(); }
+  const NodeStorePtr& store_ptr() const { return store_; }
+
+ protected:
+  explicit ImmutableIndex(NodeStorePtr store) : store_(std::move(store)) {}
+
+  NodeStorePtr store_;
+};
+
+}  // namespace siri
+
+#endif  // SIRI_INDEX_INDEX_H_

@@ -1,0 +1,776 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#include "index/mpt/mpt.h"
+
+#include <algorithm>
+
+#include "common/varint.h"
+#include "index/diff.h"
+
+namespace siri {
+
+namespace {
+constexpr char kLeafNodeTag = 'l';
+constexpr char kExtNodeTag = 'e';
+constexpr char kBranchNodeTag = 'n';
+}  // namespace
+
+/// Decoded MPT node. Serialized forms:
+///   leaf:      'l' | nibble path | lp(value)
+///   extension: 'e' | nibble path | 32-byte child digest
+///   branch:    'n' | 2-byte child bitmap | 1-byte has_value |
+///              [lp(value)] | one 32-byte digest per set bitmap bit
+struct Mpt::Node {
+  enum class Type { kLeaf, kExt, kBranch };
+
+  Type type = Type::kLeaf;
+  Nibbles path;           // leaf/extension compressed path
+  std::string value;      // leaf value, or branch value when has_value
+  bool has_value = false; // branch only
+  Hash child;             // extension target
+  Hash children[16];      // branch slots (zero digest = empty)
+
+  int ChildCount() const {
+    int n = 0;
+    for (const Hash& c : children) {
+      if (!c.IsZero()) ++n;
+    }
+    return n;
+  }
+
+  std::string Encode() const {
+    std::string out;
+    switch (type) {
+      case Type::kLeaf:
+        out.push_back(kLeafNodeTag);
+        EncodeNibblePath(&out, path.data(), path.size());
+        PutLengthPrefixed(&out, value);
+        break;
+      case Type::kExt:
+        out.push_back(kExtNodeTag);
+        EncodeNibblePath(&out, path.data(), path.size());
+        out.append(reinterpret_cast<const char*>(child.data()), Hash::kSize);
+        break;
+      case Type::kBranch: {
+        out.push_back(kBranchNodeTag);
+        uint16_t bitmap = 0;
+        for (int i = 0; i < 16; ++i) {
+          if (!children[i].IsZero()) bitmap |= static_cast<uint16_t>(1u << i);
+        }
+        out.push_back(static_cast<char>(bitmap & 0xff));
+        out.push_back(static_cast<char>(bitmap >> 8));
+        out.push_back(has_value ? 1 : 0);
+        if (has_value) PutLengthPrefixed(&out, value);
+        for (int i = 0; i < 16; ++i) {
+          if (!children[i].IsZero()) {
+            out.append(reinterpret_cast<const char*>(children[i].data()),
+                       Hash::kSize);
+          }
+        }
+        break;
+      }
+    }
+    return out;
+  }
+
+  static Result<Node> Decode(Slice in) {
+    Node n;
+    if (in.empty()) return Status::Corruption("empty MPT node");
+    const char tag = in[0];
+    in.remove_prefix(1);
+    switch (tag) {
+      case kLeafNodeTag: {
+        n.type = Type::kLeaf;
+        if (!DecodeNibblePath(&in, &n.path)) {
+          return Status::Corruption("bad leaf path");
+        }
+        if (!GetLengthPrefixed(&in, &n.value)) {
+          return Status::Corruption("bad leaf value");
+        }
+        break;
+      }
+      case kExtNodeTag: {
+        n.type = Type::kExt;
+        if (!DecodeNibblePath(&in, &n.path)) {
+          return Status::Corruption("bad ext path");
+        }
+        if (in.size() < Hash::kSize) {
+          return Status::Corruption("bad ext child");
+        }
+        n.child = Hash::FromBytes(in.data());
+        in.remove_prefix(Hash::kSize);
+        break;
+      }
+      case kBranchNodeTag: {
+        n.type = Type::kBranch;
+        if (in.size() < 3) return Status::Corruption("bad branch header");
+        const uint16_t bitmap =
+            static_cast<uint8_t>(in[0]) |
+            (static_cast<uint16_t>(static_cast<uint8_t>(in[1])) << 8);
+        n.has_value = in[2] != 0;
+        in.remove_prefix(3);
+        if (n.has_value && !GetLengthPrefixed(&in, &n.value)) {
+          return Status::Corruption("bad branch value");
+        }
+        for (int i = 0; i < 16; ++i) {
+          if (bitmap & (1u << i)) {
+            if (in.size() < Hash::kSize) {
+              return Status::Corruption("bad branch child");
+            }
+            n.children[i] = Hash::FromBytes(in.data());
+            in.remove_prefix(Hash::kSize);
+          }
+        }
+        break;
+      }
+      default:
+        return Status::Corruption("unknown MPT node tag");
+    }
+    if (!in.empty()) return Status::Corruption("trailing MPT bytes");
+    return n;
+  }
+};
+
+namespace mpt_internal {
+
+template <typename NodeT>
+Result<NodeT> LoadNodeImpl(NodeStore* store, const Hash& h,
+                           LookupStats* stats = nullptr) {
+  auto bytes = store->Get(h);
+  if (!bytes.ok()) return bytes.status();
+  if (stats) {
+    ++stats->depth;
+    ++stats->nodes_loaded;
+    stats->bytes_loaded += (*bytes)->size();
+  }
+  return NodeT::Decode(**bytes);
+}
+
+}  // namespace mpt_internal
+
+// Private-member-friendly alias used throughout this file.
+#define LoadNode mpt_internal::LoadNodeImpl<Mpt::Node>
+
+Mpt::Mpt(NodeStorePtr store) : ImmutableIndex(std::move(store)) {}
+
+// ---------------------------------------------------------------------------
+// Insert
+
+Result<Hash> Mpt::InsertRec(const Hash& node, const uint8_t* path, size_t len,
+                            Slice value) {
+  if (node.IsZero()) {
+    Node leaf;
+    leaf.type = Node::Type::kLeaf;
+    leaf.path.assign(path, path + len);
+    leaf.value = value.ToString();
+    return store_->Put(leaf.Encode());
+  }
+
+  auto loaded = LoadNode(store_.get(), node);
+  if (!loaded.ok()) return loaded.status();
+  Node& n = *loaded;
+
+  switch (n.type) {
+    case Node::Type::kLeaf: {
+      const size_t common =
+          CommonNibblePrefix(n.path.data(), n.path.size(), path, len);
+      if (common == n.path.size() && common == len) {
+        // Exact key: overwrite the value.
+        n.value = value.ToString();
+        return store_->Put(n.Encode());
+      }
+      // Diverge: build a branch at the split point.
+      Node branch;
+      branch.type = Node::Type::kBranch;
+      if (common == n.path.size()) {
+        branch.has_value = true;
+        branch.value = n.value;
+      } else {
+        Node old_leaf;
+        old_leaf.type = Node::Type::kLeaf;
+        old_leaf.path.assign(n.path.begin() + common + 1, n.path.end());
+        old_leaf.value = n.value;
+        branch.children[n.path[common]] = store_->Put(old_leaf.Encode());
+      }
+      if (common == len) {
+        branch.has_value = true;
+        branch.value = value.ToString();
+      } else {
+        Node new_leaf;
+        new_leaf.type = Node::Type::kLeaf;
+        new_leaf.path.assign(path + common + 1, path + len);
+        new_leaf.value = value.ToString();
+        branch.children[path[common]] = store_->Put(new_leaf.Encode());
+      }
+      Hash branch_hash = store_->Put(branch.Encode());
+      if (common == 0) return branch_hash;
+      Node ext;
+      ext.type = Node::Type::kExt;
+      ext.path.assign(path, path + common);
+      ext.child = branch_hash;
+      return store_->Put(ext.Encode());
+    }
+
+    case Node::Type::kExt: {
+      const size_t common =
+          CommonNibblePrefix(n.path.data(), n.path.size(), path, len);
+      if (common == n.path.size()) {
+        // The whole compressed path matches: descend.
+        auto child = InsertRec(n.child, path + common, len - common, value);
+        if (!child.ok()) return child.status();
+        n.child = *child;
+        return store_->Put(n.Encode());
+      }
+      // Split the extension at the divergence point.
+      Node branch;
+      branch.type = Node::Type::kBranch;
+      {
+        // Remainder of the extension path below the branch.
+        const size_t rest = n.path.size() - common - 1;
+        if (rest == 0) {
+          branch.children[n.path[common]] = n.child;
+        } else {
+          Node sub;
+          sub.type = Node::Type::kExt;
+          sub.path.assign(n.path.begin() + common + 1, n.path.end());
+          sub.child = n.child;
+          branch.children[n.path[common]] = store_->Put(sub.Encode());
+        }
+      }
+      if (common == len) {
+        branch.has_value = true;
+        branch.value = value.ToString();
+      } else {
+        Node leaf;
+        leaf.type = Node::Type::kLeaf;
+        leaf.path.assign(path + common + 1, path + len);
+        leaf.value = value.ToString();
+        branch.children[path[common]] = store_->Put(leaf.Encode());
+      }
+      Hash branch_hash = store_->Put(branch.Encode());
+      if (common == 0) return branch_hash;
+      Node ext;
+      ext.type = Node::Type::kExt;
+      ext.path.assign(path, path + common);
+      ext.child = branch_hash;
+      return store_->Put(ext.Encode());
+    }
+
+    case Node::Type::kBranch: {
+      if (len == 0) {
+        n.has_value = true;
+        n.value = value.ToString();
+        return store_->Put(n.Encode());
+      }
+      auto child = InsertRec(n.children[path[0]], path + 1, len - 1, value);
+      if (!child.ok()) return child.status();
+      n.children[path[0]] = *child;
+      return store_->Put(n.Encode());
+    }
+  }
+  return Status::Corruption("unreachable");
+}
+
+// ---------------------------------------------------------------------------
+// Delete
+
+Result<Hash> Mpt::Reattach(const Nibbles& prefix, const Hash& child) {
+  if (prefix.empty()) return child;
+  auto loaded = LoadNode(store_.get(), child);
+  if (!loaded.ok()) return loaded.status();
+  Node& c = *loaded;
+  switch (c.type) {
+    case Node::Type::kLeaf:
+    case Node::Type::kExt: {
+      // Merge the prefix into the child's own compressed path.
+      Nibbles merged = prefix;
+      merged.insert(merged.end(), c.path.begin(), c.path.end());
+      c.path = std::move(merged);
+      return store_->Put(c.Encode());
+    }
+    case Node::Type::kBranch: {
+      Node ext;
+      ext.type = Node::Type::kExt;
+      ext.path = prefix;
+      ext.child = child;
+      return store_->Put(ext.Encode());
+    }
+  }
+  return Status::Corruption("unreachable");
+}
+
+Result<Hash> Mpt::DeleteRec(const Hash& node, const uint8_t* path, size_t len,
+                            bool* changed) {
+  *changed = false;
+  if (node.IsZero()) return node;  // key absent
+
+  auto loaded = LoadNode(store_.get(), node);
+  if (!loaded.ok()) return loaded.status();
+  Node& n = *loaded;
+
+  switch (n.type) {
+    case Node::Type::kLeaf: {
+      if (n.path.size() == len &&
+          CommonNibblePrefix(n.path.data(), n.path.size(), path, len) == len) {
+        *changed = true;
+        return Hash::Zero();  // leaf removed
+      }
+      return node;
+    }
+
+    case Node::Type::kExt: {
+      if (len < n.path.size() ||
+          CommonNibblePrefix(n.path.data(), n.path.size(), path, len) !=
+              n.path.size()) {
+        return node;  // key not under this extension
+      }
+      bool child_changed = false;
+      auto child = DeleteRec(n.child, path + n.path.size(),
+                             len - n.path.size(), &child_changed);
+      if (!child.ok()) return child.status();
+      if (!child_changed) return node;
+      *changed = true;
+      if (child->IsZero()) return Hash::Zero();  // whole subtree gone
+      // The child may have collapsed to a leaf/ext: merge paths.
+      return Reattach(n.path, *child);
+    }
+
+    case Node::Type::kBranch: {
+      if (len == 0) {
+        if (!n.has_value) return node;  // nothing stored here
+        n.has_value = false;
+        n.value.clear();
+      } else {
+        const uint8_t slot = path[0];
+        bool child_changed = false;
+        auto child = DeleteRec(n.children[slot], path + 1, len - 1,
+                               &child_changed);
+        if (!child.ok()) return child.status();
+        if (!child_changed) return node;
+        n.children[slot] = *child;
+      }
+      *changed = true;
+
+      // Normalize the branch after the removal.
+      const int child_count = n.ChildCount();
+      if (child_count == 0) {
+        if (!n.has_value) return Hash::Zero();
+        Node leaf;
+        leaf.type = Node::Type::kLeaf;
+        leaf.value = std::move(n.value);
+        return store_->Put(leaf.Encode());
+      }
+      if (child_count == 1 && !n.has_value) {
+        // Collapse: merge the lone child into its selecting nibble.
+        for (uint8_t i = 0; i < 16; ++i) {
+          if (!n.children[i].IsZero()) {
+            return Reattach(Nibbles{i}, n.children[i]);
+          }
+        }
+      }
+      return store_->Put(n.Encode());
+    }
+  }
+  return Status::Corruption("unreachable");
+}
+
+// ---------------------------------------------------------------------------
+// Public write API
+
+Result<Hash> Mpt::PutBatch(const Hash& root, std::vector<KV> kvs) {
+  Hash cur = root;
+  for (const KV& kv : kvs) {
+    const Nibbles path = KeyToNibbles(kv.key);
+    auto next = InsertRec(cur, path.data(), path.size(), kv.value);
+    if (!next.ok()) return next.status();
+    cur = *next;
+  }
+  return cur;
+}
+
+Result<Hash> Mpt::DeleteBatch(const Hash& root, std::vector<std::string> keys) {
+  Hash cur = root;
+  for (const std::string& k : keys) {
+    const Nibbles path = KeyToNibbles(k);
+    bool changed = false;
+    auto next = DeleteRec(cur, path.data(), path.size(), &changed);
+    if (!next.ok()) return next.status();
+    if (changed) cur = *next;
+  }
+  return cur;
+}
+
+// ---------------------------------------------------------------------------
+// Lookup / proof
+
+Result<std::optional<std::string>> Mpt::Get(const Hash& root, Slice key,
+                                            LookupStats* stats) const {
+  const Nibbles nibbles = KeyToNibbles(key);
+  const uint8_t* path = nibbles.data();
+  size_t len = nibbles.size();
+  Hash cur = root;
+  while (true) {
+    if (cur.IsZero()) return std::optional<std::string>{};
+    auto loaded = LoadNode(store_.get(), cur, stats);
+    if (!loaded.ok()) return loaded.status();
+    Node& n = *loaded;
+    switch (n.type) {
+      case Node::Type::kLeaf: {
+        if (n.path.size() == len &&
+            CommonNibblePrefix(n.path.data(), n.path.size(), path, len) ==
+                len) {
+          return std::optional<std::string>{std::move(n.value)};
+        }
+        return std::optional<std::string>{};
+      }
+      case Node::Type::kExt: {
+        if (len < n.path.size() ||
+            CommonNibblePrefix(n.path.data(), n.path.size(), path, len) !=
+                n.path.size()) {
+          return std::optional<std::string>{};
+        }
+        path += n.path.size();
+        len -= n.path.size();
+        cur = n.child;
+        break;
+      }
+      case Node::Type::kBranch: {
+        if (len == 0) {
+          if (n.has_value) {
+            return std::optional<std::string>{std::move(n.value)};
+          }
+          return std::optional<std::string>{};
+        }
+        cur = n.children[path[0]];
+        ++path;
+        --len;
+        break;
+      }
+    }
+  }
+}
+
+Result<Proof> Mpt::GetProof(const Hash& root, Slice key) const {
+  Proof proof;
+  proof.key = key.ToString();
+  const Nibbles nibbles = KeyToNibbles(key);
+  const uint8_t* path = nibbles.data();
+  size_t len = nibbles.size();
+  Hash cur = root;
+  while (!cur.IsZero()) {
+    auto bytes = store_->Get(cur);
+    if (!bytes.ok()) return bytes.status();
+    proof.nodes.push_back(**bytes);
+    auto decoded = Node::Decode(**bytes);
+    if (!decoded.ok()) return decoded.status();
+    Node& n = *decoded;
+    if (n.type == Node::Type::kLeaf) {
+      if (n.path.size() == len &&
+          CommonNibblePrefix(n.path.data(), n.path.size(), path, len) == len) {
+        proof.value = std::move(n.value);
+      }
+      return proof;
+    }
+    if (n.type == Node::Type::kExt) {
+      if (len < n.path.size() ||
+          CommonNibblePrefix(n.path.data(), n.path.size(), path, len) !=
+              n.path.size()) {
+        return proof;
+      }
+      path += n.path.size();
+      len -= n.path.size();
+      cur = n.child;
+      continue;
+    }
+    // Branch.
+    if (len == 0) {
+      if (n.has_value) proof.value = std::move(n.value);
+      return proof;
+    }
+    cur = n.children[path[0]];
+    ++path;
+    --len;
+  }
+  return proof;
+}
+
+// ---------------------------------------------------------------------------
+// Scan / collect
+
+Status Mpt::ScanRec(const Hash& node, Nibbles* prefix,
+                    const std::function<void(Slice, Slice)>& fn) const {
+  if (node.IsZero()) return Status::OK();
+  auto loaded = LoadNode(store_.get(), node);
+  if (!loaded.ok()) return loaded.status();
+  Node& n = *loaded;
+  switch (n.type) {
+    case Node::Type::kLeaf: {
+      prefix->insert(prefix->end(), n.path.begin(), n.path.end());
+      fn(NibblesToKey(*prefix), n.value);
+      prefix->resize(prefix->size() - n.path.size());
+      return Status::OK();
+    }
+    case Node::Type::kExt: {
+      prefix->insert(prefix->end(), n.path.begin(), n.path.end());
+      Status s = ScanRec(n.child, prefix, fn);
+      prefix->resize(prefix->size() - n.path.size());
+      return s;
+    }
+    case Node::Type::kBranch: {
+      if (n.has_value) fn(NibblesToKey(*prefix), n.value);
+      for (uint8_t i = 0; i < 16; ++i) {
+        if (n.children[i].IsZero()) continue;
+        prefix->push_back(i);
+        Status s = ScanRec(n.children[i], prefix, fn);
+        prefix->pop_back();
+        if (!s.ok()) return s;
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("unreachable");
+}
+
+Status Mpt::Scan(const Hash& root,
+                 const std::function<void(Slice, Slice)>& fn) const {
+  Nibbles prefix;
+  return ScanRec(root, &prefix, fn);
+}
+
+Status Mpt::CollectRec(const Hash& node, PageSet* pages) const {
+  if (node.IsZero()) return Status::OK();
+  if (!pages->insert(node).second) return Status::OK();
+  auto loaded = LoadNode(store_.get(), node);
+  if (!loaded.ok()) return loaded.status();
+  Node& n = *loaded;
+  if (n.type == Node::Type::kExt) return CollectRec(n.child, pages);
+  if (n.type == Node::Type::kBranch) {
+    for (const Hash& c : n.children) {
+      if (c.IsZero()) continue;
+      Status s = CollectRec(c, pages);
+      if (!s.ok()) return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status Mpt::CollectPages(const Hash& root, PageSet* pages) const {
+  return CollectRec(root, pages);
+}
+
+// ---------------------------------------------------------------------------
+// Diff
+//
+// Two tries over the same key space are structurally aligned by nibble
+// position, but path compaction means the node boundaries may sit at
+// different depths. VNode views a stored node at a nibble offset inside
+// its compressed path so that both sides can be advanced one nibble at a
+// time; equal (digest, offset) pairs prune entire shared subtrees.
+
+struct Mpt::VNode {
+  Hash origin;
+  size_t offset = 0;  // nibbles of `node.path` already consumed
+  Node node;
+};
+
+Result<Mpt::VNode> Mpt::LoadVNode(const Hash& h, size_t offset) const {
+  auto loaded = LoadNode(store_.get(), h);
+  if (!loaded.ok()) return loaded.status();
+  VNode v;
+  v.origin = h;
+  v.offset = offset;
+  v.node = std::move(*loaded);
+  return v;
+}
+
+Result<std::optional<Mpt::VNode>> Mpt::DescendV(const VNode& v,
+                                                uint8_t nibble) const {
+  const Node& n = v.node;
+  switch (n.type) {
+    case Node::Type::kLeaf: {
+      if (v.offset < n.path.size() && n.path[v.offset] == nibble) {
+        VNode next = v;
+        ++next.offset;
+        return std::optional<VNode>{std::move(next)};
+      }
+      return std::optional<VNode>{};
+    }
+    case Node::Type::kExt: {
+      if (v.offset < n.path.size()) {
+        if (n.path[v.offset] != nibble) return std::optional<VNode>{};
+        if (v.offset + 1 == n.path.size()) {
+          auto child = LoadVNode(n.child, 0);
+          if (!child.ok()) return child.status();
+          return std::optional<VNode>{std::move(*child)};
+        }
+        VNode next = v;
+        ++next.offset;
+        return std::optional<VNode>{std::move(next)};
+      }
+      return Status::Corruption("extension exhausted");  // cannot happen
+    }
+    case Node::Type::kBranch: {
+      if (n.children[nibble].IsZero()) return std::optional<VNode>{};
+      auto child = LoadVNode(n.children[nibble], 0);
+      if (!child.ok()) return child.status();
+      return std::optional<VNode>{std::move(*child)};
+    }
+  }
+  return Status::Corruption("unreachable");
+}
+
+Status Mpt::DiffRec(const std::optional<VNode>& a, const std::optional<VNode>& b,
+                    Nibbles* prefix, DiffResult* out) const {
+  if (!a && !b) return Status::OK();
+  if (a && b && a->origin == b->origin && a->offset == b->offset) {
+    return Status::OK();  // shared subtree
+  }
+
+  // Value terminating exactly at this position (if any) on each side.
+  auto value_at = [](const std::optional<VNode>& v) -> const std::string* {
+    if (!v) return nullptr;
+    const Node& n = v->node;
+    if (n.type == Node::Type::kLeaf && v->offset == n.path.size()) {
+      return &n.value;
+    }
+    if (n.type == Node::Type::kBranch && n.has_value) return &n.value;
+    return nullptr;
+  };
+  const std::string* va = value_at(a);
+  const std::string* vb = value_at(b);
+  if (va || vb) {
+    if (!va || !vb || *va != *vb) {
+      DiffEntry e;
+      e.key = NibblesToKey(*prefix);
+      if (va) e.left = *va;
+      if (vb) e.right = *vb;
+      out->push_back(std::move(e));
+    }
+  }
+
+  // Fast path: leaf nodes are compared wholesale instead of nibble by
+  // nibble (keys with the same length lie at the same level, as the paper
+  // notes, so leaf-leaf encounters dominate the diff frontier).
+  auto emit_record = [&](const VNode& v, bool left_side) {
+    const Node& n = v.node;
+    Nibbles full = *prefix;
+    full.insert(full.end(), n.path.begin() + v.offset, n.path.end());
+    DiffEntry e;
+    e.key = NibblesToKey(full);
+    if (left_side) {
+      e.left = n.value;
+    } else {
+      e.right = n.value;
+    }
+    out->push_back(std::move(e));
+  };
+  const bool a_leaf = a && a->node.type == Node::Type::kLeaf;
+  const bool b_leaf = b && b->node.type == Node::Type::kLeaf;
+  if (a_leaf && b_leaf) {
+    // va/vb (values at this exact position) were handled above; what is
+    // left are the leaves' remaining paths.
+    const Nibbles pa(a->node.path.begin() + a->offset, a->node.path.end());
+    const Nibbles pb(b->node.path.begin() + b->offset, b->node.path.end());
+    if (pa == pb) {
+      if (!pa.empty() && a->node.value != b->node.value) {
+        Nibbles full = *prefix;
+        full.insert(full.end(), pa.begin(), pa.end());
+        out->push_back(
+            {NibblesToKey(full), a->node.value, b->node.value});
+      }
+      return Status::OK();
+    }
+    if (pa < pb) {
+      if (!pa.empty()) emit_record(*a, true);
+      if (!pb.empty()) emit_record(*b, false);
+    } else {
+      if (!pb.empty()) emit_record(*b, false);
+      if (!pa.empty()) emit_record(*a, true);
+    }
+    // Order note: differing-path leaves share this node position, so both
+    // keys extend *prefix and the pa/pb comparison yields key order.
+    return Status::OK();
+  }
+  if (a_leaf && !b && a->offset < a->node.path.size()) {
+    emit_record(*a, true);
+    return Status::OK();
+  }
+  if (b_leaf && !a && b->offset < b->node.path.size()) {
+    emit_record(*b, false);
+    return Status::OK();
+  }
+
+  // Fast path: two branch nodes compare their children by digest, so a
+  // shared child subtree costs zero loads — this is what keeps the MPT
+  // diff proportional to the changed paths (§4.1.3).
+  if (a && b && a->node.type == Node::Type::kBranch &&
+      b->node.type == Node::Type::kBranch) {
+    for (uint8_t nibble = 0; nibble < 16; ++nibble) {
+      const Hash& ca = a->node.children[nibble];
+      const Hash& cb = b->node.children[nibble];
+      if (ca == cb) continue;  // shared (or both empty): skip unloaded
+      std::optional<VNode> van, vbn;
+      if (!ca.IsZero()) {
+        auto r = LoadVNode(ca, 0);
+        if (!r.ok()) return r.status();
+        van = std::move(*r);
+      }
+      if (!cb.IsZero()) {
+        auto r = LoadVNode(cb, 0);
+        if (!r.ok()) return r.status();
+        vbn = std::move(*r);
+      }
+      prefix->push_back(nibble);
+      Status s = DiffRec(van, vbn, prefix, out);
+      prefix->pop_back();
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+  for (uint8_t nibble = 0; nibble < 16; ++nibble) {
+    std::optional<VNode> ca, cb;
+    if (a) {
+      auto r = DescendV(*a, nibble);
+      if (!r.ok()) return r.status();
+      ca = std::move(*r);
+    }
+    if (b) {
+      auto r = DescendV(*b, nibble);
+      if (!r.ok()) return r.status();
+      cb = std::move(*r);
+    }
+    if (!ca && !cb) continue;
+    prefix->push_back(nibble);
+    Status s = DiffRec(ca, cb, prefix, out);
+    prefix->pop_back();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Result<DiffResult> Mpt::Diff(const Hash& a, const Hash& b) const {
+  DiffResult out;
+  if (a == b) return out;
+  std::optional<VNode> va, vb;
+  if (!a.IsZero()) {
+    auto r = LoadVNode(a, 0);
+    if (!r.ok()) return r.status();
+    va = std::move(*r);
+  }
+  if (!b.IsZero()) {
+    auto r = LoadVNode(b, 0);
+    if (!r.ok()) return r.status();
+    vb = std::move(*r);
+  }
+  Nibbles prefix;
+  Status s = DiffRec(va, vb, &prefix, &out);
+  if (!s.ok()) return s;
+  return out;
+}
+
+std::unique_ptr<ImmutableIndex> Mpt::WithStore(NodeStorePtr store) const {
+  return std::make_unique<Mpt>(std::move(store));
+}
+
+}  // namespace siri

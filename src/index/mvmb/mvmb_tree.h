@@ -1,0 +1,89 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Multi-Version Merkle B+-Tree (MVMB+-Tree) — the paper's non-SIRI
+// baseline (§5.2): an immutable B+-tree with tamper evidence, obtained by
+// replacing child pointers with the cryptographic digests of the children
+// and applying node-level copy-on-write. Node boundaries follow the usual
+// B+-tree overflow/split discipline, so — unlike the SIRI structures — the
+// shape depends on the order in which records were inserted (Figure 2),
+// which caps how many pages two independently built instances can share.
+
+#ifndef SIRI_INDEX_MVMB_MVMB_TREE_H_
+#define SIRI_INDEX_MVMB_MVMB_TREE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "index/index.h"
+#include "index/ordered/node_codec.h"
+
+namespace siri {
+
+/// \brief Tuning knobs; the default targets ~1 KB nodes as in §5.
+struct MvmbTreeOptions {
+  /// Serialized node size that triggers a split.
+  size_t max_node_bytes = 1024;
+};
+
+/// \brief Immutable Merkle B+-tree baseline.
+///
+/// Deletions do not rebalance: underfull nodes persist until empty, which
+/// is the common copy-on-write B-tree trade-off (rebalancing would rewrite
+/// sibling paths in every version).
+class MvmbTree : public ImmutableIndex {
+ public:
+  explicit MvmbTree(NodeStorePtr store, MvmbTreeOptions options = {});
+
+  std::string name() const override { return "mvmb"; }
+
+  Result<Hash> PutBatch(const Hash& root, std::vector<KV> kvs) override;
+  Result<Hash> DeleteBatch(const Hash& root,
+                           std::vector<std::string> keys) override;
+  Result<std::optional<std::string>> Get(const Hash& root, Slice key,
+                                         LookupStats* stats) const override;
+  Result<Proof> GetProof(const Hash& root, Slice key) const override;
+  Status CollectPages(const Hash& root, PageSet* pages) const override;
+  Status Scan(const Hash& root,
+              const std::function<void(Slice, Slice)>& fn) const override;
+  Status RangeScan(const Hash& root, Slice lo, Slice hi,
+                   const std::function<void(Slice, Slice)>& fn) const override;
+  Result<DiffResult> Diff(const Hash& a, const Hash& b) const override;
+  std::unique_ptr<ImmutableIndex> WithStore(NodeStorePtr store) const override;
+
+  /// Bulk load from records sorted by key (bottom-up, each node written
+  /// once). The resulting shape still differs from incrementally built
+  /// trees, as expected for a non-SIRI structure.
+  Result<Hash> BuildFromSorted(const std::vector<KV>& entries);
+
+  const MvmbTreeOptions& options() const { return options_; }
+
+ private:
+  struct Edit {
+    std::string key;
+    std::optional<std::string> value;
+  };
+
+  /// Rewrites the subtree under \p node applying \p edits; returns the
+  /// replacement child entries (several if the node split, none if it
+  /// emptied).
+  Result<std::vector<ChildEntry>> UpdateRec(const Hash& node,
+                                            const std::vector<Edit>& edits);
+
+  /// Packs sorted leaf entries into one or more leaf nodes of at most
+  /// max_node_bytes each.
+  std::vector<ChildEntry> WriteLeaves(const std::vector<KV>& entries);
+
+  /// Packs child entries into internal nodes, stacking levels until a
+  /// single root remains.
+  Result<Hash> BuildRoot(std::vector<ChildEntry> children);
+
+  Result<Hash> ApplyEdits(const Hash& root, std::vector<Edit> edits);
+
+  MvmbTreeOptions options_;
+};
+
+}  // namespace siri
+
+#endif  // SIRI_INDEX_MVMB_MVMB_TREE_H_

@@ -1,0 +1,104 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Serialized node format shared by the ordered tree structures (POS-Tree,
+// MVMB+-Tree) and by MBT buckets:
+//
+//   leaf:     'L' | varint salt | varint n | n * ( lp(key) lp(value) )
+//   internal: 'I' | varint salt | varint n | n * ( lp(key) 32-byte digest )
+//
+// where lp() is a varint length prefix. Keys inside a node are strictly
+// increasing; an internal entry's key is the smallest key in its child's
+// subtree. The encoding is canonical: one entry sequence has exactly one
+// serialization, so equal content implies equal digest — the property the
+// deduplication analysis of §4.2 relies on.
+//
+// The salt is normally 0. The §5.5.2 ablation ("disable Recursively
+// Identical") stamps each version's nodes with a distinct salt, which
+// defeats content-addressed sharing exactly as the paper's forced
+// copy-all-nodes variant does.
+
+#ifndef SIRI_INDEX_ORDERED_NODE_CODEC_H_
+#define SIRI_INDEX_ORDERED_NODE_CODEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "crypto/hash.h"
+#include "index/index.h"
+
+namespace siri {
+
+constexpr char kLeafTag = 'L';
+constexpr char kInternalTag = 'I';
+
+/// Internal-node entry: smallest key of the child subtree plus its digest.
+struct ChildEntry {
+  std::string key;
+  Hash hash;
+};
+
+/// Appends one leaf entry in the canonical in-node byte layout. The same
+/// bytes are fed to the content-defined chunker, so chunk boundaries are a
+/// pure function of entry content.
+void AppendLeafEntryBytes(std::string* out, Slice key, Slice value);
+
+/// Appends one internal entry (key + child digest) in canonical layout.
+void AppendChildEntryBytes(std::string* out, Slice key, const Hash& h);
+
+/// Builds a full leaf node from concatenated entry bytes.
+std::string EncodeLeafFromPayload(uint64_t entry_count, Slice payload,
+                                  uint64_t salt = 0);
+
+/// Builds a full internal node from concatenated entry bytes.
+std::string EncodeInternalFromPayload(uint64_t entry_count, Slice payload,
+                                      uint64_t salt = 0);
+
+std::string EncodeLeaf(const std::vector<KV>& entries, uint64_t salt = 0);
+std::string EncodeInternal(const std::vector<ChildEntry>& entries,
+                           uint64_t salt = 0);
+
+/// True if \p node carries the leaf tag. Corrupt tags return Corruption via
+/// the Decode functions.
+bool IsLeafNode(Slice node);
+
+Status DecodeLeaf(Slice node, std::vector<KV>* entries);
+Status DecodeInternal(Slice node, std::vector<ChildEntry>* entries);
+
+/// Index of the child to descend into for \p key: the last entry whose key
+/// is <= \p key, clamped to 0 (keys below the first entry descend left).
+size_t ChildIndexFor(const std::vector<ChildEntry>& entries, Slice key);
+
+/// Binary search for \p key among sorted leaf entries. Returns the index of
+/// the first entry >= key ("lower bound"); *found is set if it is an exact
+/// match.
+size_t LeafLowerBound(const std::vector<KV>& entries, Slice key, bool* found);
+
+// --- Zero-copy decoding ------------------------------------------------
+// The read path visits O(log N) nodes per lookup; materializing every
+// entry as a heap string would dominate the cost. Views point into the
+// serialized node, which callers keep alive via the store's shared_ptr.
+
+struct LeafView {
+  Slice key;
+  Slice value;
+};
+
+struct ChildView {
+  Slice key;
+  Slice hash;  ///< 32 raw digest bytes inside the node
+
+  Hash ChildHash() const { return Hash::FromBytes(hash.data()); }
+};
+
+Status DecodeLeafViews(Slice node, std::vector<LeafView>* entries);
+Status DecodeInternalViews(Slice node, std::vector<ChildView>* entries);
+
+size_t ChildIndexForViews(const std::vector<ChildView>& entries, Slice key);
+size_t LeafLowerBoundViews(const std::vector<LeafView>& entries, Slice key,
+                           bool* found);
+
+}  // namespace siri
+
+#endif  // SIRI_INDEX_ORDERED_NODE_CODEC_H_

@@ -1,0 +1,300 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#include "index/ordered/tree_cursor.h"
+
+namespace siri {
+
+// ---------------------------------------------------------------------------
+// LevelCursor
+
+LevelCursor::LevelCursor(NodeStore* store, const Hash& root, int level,
+                         int known_height)
+    : store_(store), root_(root), level_(level), height_(known_height) {}
+
+Result<int> LevelCursor::TreeHeight(NodeStore* store, const Hash& root) {
+  if (root.IsZero()) return 0;
+  int height = 1;
+  Hash h = root;
+  std::vector<ChildView> children;
+  while (true) {
+    auto bytes = store->Get(h);
+    if (!bytes.ok()) return bytes.status();
+    if (IsLeafNode(**bytes)) return height;
+    Status s = DecodeInternalViews(**bytes, &children);
+    if (!s.ok()) return s;
+    if (children.empty()) return Status::Corruption("empty internal node");
+    h = children[0].ChildHash();
+    ++height;
+  }
+}
+
+Status LevelCursor::LoadFrame(const Hash& h, Frame* frame) const {
+  auto bytes = store_->Get(h);
+  if (!bytes.ok()) return bytes.status();
+  frame->bytes = *bytes;
+  frame->hash = h;
+  frame->is_leaf = IsLeafNode(**bytes);
+  frame->idx = 0;
+  if (frame->is_leaf) {
+    return DecodeLeafViews(**bytes, &frame->leaf_entries);
+  }
+  return DecodeInternalViews(**bytes, &frame->children);
+}
+
+Status LevelCursor::SeekToFirst() { return DescendFrom(0, /*leftmost=*/true, Slice()); }
+
+Status LevelCursor::SeekToChunkStart(Slice key) {
+  return DescendFrom(0, /*leftmost=*/false, key);
+}
+
+Status LevelCursor::DescendFrom(size_t, bool leftmost, Slice key) {
+  valid_ = false;
+  frames_.clear();
+  if (root_.IsZero()) return Status::OK();
+
+  if (height_ < 0) {
+    auto h = TreeHeight(store_, root_);
+    if (!h.ok()) return h.status();
+    height_ = *h;
+  }
+  if (level_ >= height_) {
+    return Status::InvalidArgument("level beyond tree height");
+  }
+
+  // The node holding level_ items sits `height_ - 1 - level_` steps below
+  // the root... items of level L live in nodes AT level L, and the root is
+  // at level height_-1. So we descend (height_ - 1 - level_) times.
+  const int steps = height_ - 1 - level_;
+  Frame f;
+  Status s = LoadFrame(root_, &f);
+  if (!s.ok()) return s;
+  frames_.push_back(std::move(f));
+  for (int d = 0; d < steps; ++d) {
+    Frame& top = frames_.back();
+    SIRI_CHECK(!top.is_leaf);
+    if (top.children.empty()) return Status::Corruption("empty internal node");
+    top.idx = leftmost ? 0 : ChildIndexForViews(top.children, key);
+    Frame child;
+    s = LoadFrame(top.children[top.idx].ChildHash(), &child);
+    if (!s.ok()) return s;
+    frames_.push_back(std::move(child));
+  }
+  Frame& target = frames_.back();
+  target.idx = 0;  // chunk start
+  if (target.size() == 0) return Status::Corruption("empty node");
+  valid_ = true;
+  RefreshItem();
+  return Status::OK();
+}
+
+void LevelCursor::RefreshItem() {
+  const Frame& target = frames_.back();
+  if (target.is_leaf) {
+    const LeafView& kv = target.leaf_entries[target.idx];
+    item_.key.assign(kv.key.data(), kv.key.size());
+    item_.payload.assign(kv.value.data(), kv.value.size());
+  } else {
+    const ChildView& ce = target.children[target.idx];
+    item_.key.assign(ce.key.data(), ce.key.size());
+    item_.payload.assign(ce.hash.data(), ce.hash.size());
+  }
+}
+
+Status LevelCursor::Next() {
+  SIRI_CHECK(valid_);
+  Frame& target = frames_.back();
+  if (target.idx + 1 < target.size()) {
+    ++target.idx;
+    RefreshItem();
+    return Status::OK();
+  }
+  // Walk up until a frame with a next child, then descend leftmost back to
+  // the target level.
+  int fi = static_cast<int>(frames_.size()) - 2;
+  while (fi >= 0 && frames_[fi].idx + 1 >= frames_[fi].size()) --fi;
+  if (fi < 0) {
+    valid_ = false;
+    return Status::OK();
+  }
+  ++frames_[fi].idx;
+  frames_.resize(fi + 1);
+  while (static_cast<int>(frames_.size()) <
+         (height_ - level_)) {
+    Frame& top = frames_.back();
+    Frame child;
+    Status s = LoadFrame(top.children[top.idx].ChildHash(), &child);
+    if (!s.ok()) return s;
+    child.idx = 0;
+    frames_.push_back(std::move(child));
+  }
+  SIRI_CHECK(frames_.back().size() > 0);
+  RefreshItem();
+  return Status::OK();
+}
+
+bool LevelCursor::AtChunkStart() const {
+  SIRI_CHECK(valid_);
+  return frames_.back().idx == 0;
+}
+
+std::string LevelCursor::CurrentChunkFirstKey() const {
+  SIRI_CHECK(valid_);
+  const Frame& target = frames_.back();
+  const Slice key =
+      target.is_leaf ? target.leaf_entries[0].key : target.children[0].key;
+  return key.ToString();
+}
+
+const Hash& LevelCursor::CurrentChunkHash() const {
+  SIRI_CHECK(valid_);
+  return frames_.back().hash;
+}
+
+// ---------------------------------------------------------------------------
+// TreeCursor
+
+TreeCursor::TreeCursor(NodeStore* store, const Hash& root)
+    : store_(store), root_(root) {}
+
+Status TreeCursor::LoadFrame(const Hash& h, Frame* frame) const {
+  auto bytes = store_->Get(h);
+  if (!bytes.ok()) return bytes.status();
+  frame->bytes = *bytes;
+  frame->hash = h;
+  frame->is_leaf = IsLeafNode(**bytes);
+  frame->idx = 0;
+  if (frame->is_leaf) {
+    return DecodeLeafViews(**bytes, &frame->leaf_entries);
+  }
+  return DecodeInternalViews(**bytes, &frame->children);
+}
+
+Status TreeCursor::DescendLeftmost(const Hash& h) {
+  Hash cur = h;
+  while (true) {
+    Frame f;
+    Status s = LoadFrame(cur, &f);
+    if (!s.ok()) return s;
+    const bool is_leaf = f.is_leaf;
+    if (!is_leaf && f.children.empty()) {
+      return Status::Corruption("empty internal node");
+    }
+    const Hash next = is_leaf ? Hash() : f.children[0].ChildHash();
+    frames_.push_back(std::move(f));
+    if (is_leaf) break;
+    cur = next;
+  }
+  Frame& leaf = frames_.back();
+  if (leaf.leaf_entries.empty()) return Status::Corruption("empty leaf");
+  valid_ = true;
+  entry_.key = leaf.leaf_entries[0].key.ToString();
+  entry_.value = leaf.leaf_entries[0].value.ToString();
+  return Status::OK();
+}
+
+Status TreeCursor::SeekToFirst() {
+  valid_ = false;
+  frames_.clear();
+  if (root_.IsZero()) return Status::OK();
+  return DescendLeftmost(root_);
+}
+
+Status TreeCursor::Seek(Slice key) {
+  valid_ = false;
+  frames_.clear();
+  if (root_.IsZero()) return Status::OK();
+
+  Hash cur = root_;
+  while (true) {
+    Frame f;
+    Status s = LoadFrame(cur, &f);
+    if (!s.ok()) return s;
+    if (f.is_leaf) {
+      bool found = false;
+      f.idx = LeafLowerBoundViews(f.leaf_entries, key, &found);
+      const bool past_end = f.idx >= f.leaf_entries.size();
+      frames_.push_back(std::move(f));
+      Frame& leaf = frames_.back();
+      if (past_end) {
+        // All entries in this leaf are < key; advance to the next leaf.
+        leaf.idx = leaf.leaf_entries.size() - 1;
+        valid_ = true;
+        entry_.key = leaf.leaf_entries[leaf.idx].key.ToString();
+        entry_.value = leaf.leaf_entries[leaf.idx].value.ToString();
+        return Next();
+      }
+      valid_ = true;
+      entry_.key = leaf.leaf_entries[leaf.idx].key.ToString();
+      entry_.value = leaf.leaf_entries[leaf.idx].value.ToString();
+      return Status::OK();
+    }
+    if (f.children.empty()) return Status::Corruption("empty internal node");
+    f.idx = ChildIndexForViews(f.children, key);
+    const Hash next = f.children[f.idx].ChildHash();
+    frames_.push_back(std::move(f));
+    cur = next;
+  }
+}
+
+Status TreeCursor::AdvanceFromFrame(size_t frame_idx) {
+  int fi = static_cast<int>(frame_idx);
+  while (fi >= 0 && frames_[fi].idx + 1 >= frames_[fi].size()) --fi;
+  if (fi < 0) {
+    valid_ = false;
+    frames_.clear();
+    return Status::OK();
+  }
+  ++frames_[fi].idx;
+  frames_.resize(fi + 1);
+  Frame& top = frames_.back();
+  if (top.is_leaf) {
+    entry_.key = top.leaf_entries[top.idx].key.ToString();
+    entry_.value = top.leaf_entries[top.idx].value.ToString();
+    valid_ = true;
+    return Status::OK();
+  }
+  return DescendLeftmost(top.children[top.idx].ChildHash());
+}
+
+Status TreeCursor::Next() {
+  SIRI_CHECK(valid_);
+  Frame& leaf = frames_.back();
+  if (leaf.idx + 1 < leaf.leaf_entries.size()) {
+    ++leaf.idx;
+    entry_.key = leaf.leaf_entries[leaf.idx].key.ToString();
+    entry_.value = leaf.leaf_entries[leaf.idx].value.ToString();
+    return Status::OK();
+  }
+  return AdvanceFromFrame(frames_.size() - 1);
+}
+
+bool TreeCursor::AtSubtreeStart(int leaf_level) const {
+  SIRI_CHECK(valid_);
+  if (leaf_level >= static_cast<int>(frames_.size())) return false;
+  const size_t fi = frames_.size() - 1 - leaf_level;
+  for (size_t j = fi; j < frames_.size(); ++j) {
+    if (frames_[j].idx != 0) return false;
+  }
+  return true;
+}
+
+const Hash& TreeCursor::SubtreeHash(int leaf_level) const {
+  SIRI_CHECK(valid_);
+  SIRI_CHECK(leaf_level < static_cast<int>(frames_.size()));
+  return frames_[frames_.size() - 1 - leaf_level].hash;
+}
+
+Status TreeCursor::SkipSubtree(int leaf_level) {
+  SIRI_CHECK(valid_);
+  SIRI_CHECK(leaf_level < static_cast<int>(frames_.size()));
+  const size_t fi = frames_.size() - 1 - leaf_level;
+  if (fi == 0) {
+    // Skipping the whole tree.
+    valid_ = false;
+    frames_.clear();
+    return Status::OK();
+  }
+  return AdvanceFromFrame(fi - 1);
+}
+
+}  // namespace siri

@@ -1,0 +1,160 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Cursors over ordered Merkle trees (POS-Tree / MVMB+-Tree node format).
+//
+// TreeCursor iterates leaf entries in key order while exposing the stack of
+// nodes above the current entry. That stack is what makes two higher-level
+// operations cheap:
+//   * Diff can skip a whole shared subtree the moment both cursors stand at
+//     the start of subtrees with equal digests (§4.1.3), and
+//   * the POS-Tree incremental rebuild walks the items of one level,
+//     detecting old chunk boundaries so re-chunking can stop as soon as the
+//     new boundaries re-synchronize with the old ones.
+//
+// LevelCursor generalizes TreeCursor to iterate the item sequence of any
+// level: level 0 items are (key, value) records; level L>0 items are
+// (key, child digest) pairs.
+
+#ifndef SIRI_INDEX_ORDERED_TREE_CURSOR_H_
+#define SIRI_INDEX_ORDERED_TREE_CURSOR_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "index/ordered/node_codec.h"
+#include "store/node_store.h"
+
+namespace siri {
+
+/// An item of one tree level during iteration/rebuild: a record (payload =
+/// value) at level 0, or a child reference (payload = 32 raw digest bytes)
+/// at higher levels.
+struct LevelItem {
+  std::string key;
+  std::string payload;
+
+  Hash PayloadHash() const { return Hash::FromBytes(payload.data()); }
+};
+
+/// \brief Iterates the item sequence of one level of an ordered tree.
+class LevelCursor {
+ public:
+  /// \param level 0 = leaf entries; tree height - 1 = the root's own items.
+  /// \param known_height pass the tree height when the caller already has
+  ///        it (saves one root-to-leaf descent per cursor).
+  LevelCursor(NodeStore* store, const Hash& root, int level,
+              int known_height = -1);
+
+  /// Height of the tree (number of node levels). 0 for an empty tree.
+  static Result<int> TreeHeight(NodeStore* store, const Hash& root);
+
+  /// Positions the cursor at the first item of the node (chunk) that a
+  /// lookup for \p key would reach at this level.
+  Status SeekToChunkStart(Slice key);
+
+  /// Positions at the very first item of the level.
+  Status SeekToFirst();
+
+  bool Valid() const { return valid_; }
+
+  const LevelItem& item() const { return item_; }
+
+  /// Advances to the next item, crossing node boundaries.
+  Status Next();
+
+  /// True when the current item is the first item of its node.
+  bool AtChunkStart() const;
+
+  /// First key of the node containing the current item.
+  std::string CurrentChunkFirstKey() const;
+
+  /// Digest of the node containing the current item.
+  const Hash& CurrentChunkHash() const;
+
+ private:
+  // Entries are zero-copy views into `bytes`, which the frame keeps alive.
+  struct Frame {
+    std::shared_ptr<const std::string> bytes;
+    Hash hash;
+    bool is_leaf = false;
+    std::vector<LeafView> leaf_entries;
+    std::vector<ChildView> children;
+    size_t idx = 0;
+
+    size_t size() const {
+      return is_leaf ? leaf_entries.size() : children.size();
+    }
+  };
+
+  Status LoadFrame(const Hash& h, Frame* frame) const;
+  Status DescendFrom(size_t frame_idx, bool leftmost, Slice key);
+  void RefreshItem();
+
+  NodeStore* store_;
+  Hash root_;
+  int level_;
+  int height_ = -1;
+  bool valid_ = false;
+  std::vector<Frame> frames_;  // frames_[0] = root ... frames_.back() = target
+  LevelItem item_;
+};
+
+/// \brief In-order cursor over leaf entries with subtree-skip support.
+class TreeCursor {
+ public:
+  TreeCursor(NodeStore* store, const Hash& root);
+
+  Status SeekToFirst();
+  Status Seek(Slice key);  ///< first entry with key >= \p key
+
+  bool Valid() const { return valid_; }
+  const std::string& key() const { return entry_.key; }
+  const std::string& value() const { return entry_.value; }
+
+  Status Next();
+
+  /// Number of node levels on the current path (== tree height).
+  int num_levels() const { return static_cast<int>(frames_.size()); }
+
+  /// True when the current entry is the leftmost entry of the subtree
+  /// rooted \p leaf_level levels above the leaf (0 = the leaf node itself).
+  bool AtSubtreeStart(int leaf_level) const;
+
+  /// Digest of the subtree root \p leaf_level levels above the leaf.
+  const Hash& SubtreeHash(int leaf_level) const;
+
+  /// Skips the whole subtree \p leaf_level levels above the leaf, moving to
+  /// the first entry after it (or past the end).
+  Status SkipSubtree(int leaf_level);
+
+ private:
+  // Entries are zero-copy views into `bytes`, which the frame keeps alive.
+  struct Frame {
+    std::shared_ptr<const std::string> bytes;
+    Hash hash;
+    bool is_leaf = false;
+    std::vector<LeafView> leaf_entries;
+    std::vector<ChildView> children;
+    size_t idx = 0;
+
+    size_t size() const {
+      return is_leaf ? leaf_entries.size() : children.size();
+    }
+  };
+
+  Status LoadFrame(const Hash& h, Frame* frame) const;
+  Status DescendLeftmost(const Hash& h);
+  Status AdvanceFromFrame(size_t frame_idx);
+
+  NodeStore* store_;
+  Hash root_;
+  bool valid_ = false;
+  std::vector<Frame> frames_;
+  KV entry_;
+};
+
+}  // namespace siri
+
+#endif  // SIRI_INDEX_ORDERED_TREE_CURSOR_H_

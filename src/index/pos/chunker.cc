@@ -1,0 +1,97 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#include "index/pos/chunker.h"
+
+#include "common/status.h"
+
+namespace siri {
+
+namespace {
+uint64_t MaskForBits(int bits) {
+  SIRI_CHECK(bits > 0 && bits < 64);
+  return (uint64_t{1} << bits) - 1;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ContentDefinedChunker
+
+ContentDefinedChunker::ContentDefinedChunker(size_t window_size,
+                                             int pattern_bits,
+                                             size_t max_chunk_bytes,
+                                             size_t min_items)
+    : window_size_(window_size),
+      pattern_bits_(pattern_bits),
+      max_chunk_bytes_(max_chunk_bytes),
+      min_items_(min_items),
+      mask_(MaskForBits(pattern_bits)),
+      rolling_(window_size) {}
+
+void ContentDefinedChunker::Reset() {
+  rolling_.Reset();
+  chunk_bytes_ = 0;
+  chunk_items_ = 0;
+}
+
+bool ContentDefinedChunker::Feed(Slice item_bytes, const Hash*) {
+  ++chunk_items_;
+  chunk_bytes_ += item_bytes.size();
+
+  bool hit = false;
+  for (size_t i = 0; i < item_bytes.size(); ++i) {
+    const uint64_t fp = rolling_.Roll(static_cast<uint8_t>(item_bytes[i]));
+    if (rolling_.Primed() && (fp & mask_) == mask_) {
+      hit = true;
+      break;  // state becomes irrelevant: the caller resets at the boundary
+    }
+  }
+  if (chunk_items_ < min_items_) return false;
+  if (hit) return true;
+  return max_chunk_bytes_ != 0 && chunk_bytes_ >= max_chunk_bytes_;
+}
+
+std::unique_ptr<Chunker> ContentDefinedChunker::Clone() const {
+  return std::make_unique<ContentDefinedChunker>(window_size_, pattern_bits_,
+                                                 max_chunk_bytes_, min_items_);
+}
+
+// ---------------------------------------------------------------------------
+// HashPatternChunker
+
+HashPatternChunker::HashPatternChunker(int pattern_bits, size_t min_items)
+    : pattern_bits_(pattern_bits),
+      min_items_(min_items),
+      mask_(MaskForBits(pattern_bits)) {}
+
+void HashPatternChunker::Reset() { chunk_items_ = 0; }
+
+bool HashPatternChunker::Feed(Slice, const Hash* child_hash) {
+  SIRI_CHECK(child_hash != nullptr);
+  ++chunk_items_;
+  if (chunk_items_ < min_items_) return false;
+  return (child_hash->Prefix64() & mask_) == mask_;
+}
+
+std::unique_ptr<Chunker> HashPatternChunker::Clone() const {
+  return std::make_unique<HashPatternChunker>(pattern_bits_, min_items_);
+}
+
+// ---------------------------------------------------------------------------
+// FixedFanoutChunker
+
+FixedFanoutChunker::FixedFanoutChunker(size_t fanout) : fanout_(fanout) {
+  SIRI_CHECK(fanout_ >= 2);
+}
+
+void FixedFanoutChunker::Reset() { chunk_items_ = 0; }
+
+bool FixedFanoutChunker::Feed(Slice, const Hash*) {
+  ++chunk_items_;
+  return chunk_items_ >= fanout_;
+}
+
+std::unique_ptr<Chunker> FixedFanoutChunker::Clone() const {
+  return std::make_unique<FixedFanoutChunker>(fanout_);
+}
+
+}  // namespace siri

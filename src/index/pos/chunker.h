@@ -1,0 +1,126 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Chunkers decide where POS-Tree places node boundaries (§3.4.3). A chunker
+// consumes the items of one tree level in order and answers, after each
+// item, whether a node boundary should be placed. Crucially, a chunker's
+// verdict depends only on the items since the previous boundary — never on
+// node identities of the previous tree version — which is exactly what
+// makes the resulting structure *Structurally Invariant*: the same data
+// always yields the same tree, no matter the order of the updates that
+// produced it.
+//
+// Three families:
+//  * ContentDefinedChunker — slides a Rabin-style rolling hash over the
+//    serialized item bytes; a boundary is declared where the fingerprint's
+//    low `pattern_bits` bits are all ones. Used for the data (leaf) layer,
+//    and for *all* layers in Prolly-tree mode (the Noms design compared in
+//    §5.6.2).
+//  * HashPatternChunker — tests the low bits of each child's cryptographic
+//    digest directly. Used for POS-Tree internal layers: "we directly use
+//    the hashes to match the boundary pattern instead of repeatedly
+//    computing the hashes within a sliding window".
+//  * FixedFanoutChunker — boundary every N items; only used by tests as a
+//    degenerate reference.
+//
+// A max_chunk_bytes cap turns the leaf chunker into (almost) fixed-size
+// chunking when combined with an unmatchable pattern — that is how the
+// §5.5.1 ablation disables the Structurally Invariant property.
+
+#ifndef SIRI_INDEX_POS_CHUNKER_H_
+#define SIRI_INDEX_POS_CHUNKER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/slice.h"
+#include "crypto/hash.h"
+#include "crypto/rolling_hash.h"
+
+namespace siri {
+
+/// \brief Boundary decision function over a stream of level items.
+class Chunker {
+ public:
+  virtual ~Chunker() = default;
+
+  /// Forgets all state; the next item starts a fresh chunk.
+  virtual void Reset() = 0;
+
+  /// Ingests one item. \p item_bytes is the item's canonical serialization;
+  /// \p child_hash is non-null for internal-level items. Returns true if a
+  /// chunk boundary belongs right after this item.
+  virtual bool Feed(Slice item_bytes, const Hash* child_hash) = 0;
+
+  /// Deep copy (each level of a rebuild owns an independent chunker).
+  virtual std::unique_ptr<Chunker> Clone() const = 0;
+};
+
+/// \brief Rolling-hash chunker for content-defined boundaries.
+class ContentDefinedChunker : public Chunker {
+ public:
+  /// \param window_size sliding-window width in bytes.
+  /// \param pattern_bits boundary when the low pattern_bits bits of the
+  ///        fingerprint are all ones; expected chunk size ~2^pattern_bits
+  ///        bytes past the window.
+  /// \param max_chunk_bytes force a boundary once the chunk reaches this
+  ///        many bytes (0 = unlimited).
+  /// \param min_items suppress boundaries until the chunk holds at least
+  ///        this many items (used to guarantee fanout >= 2 on internal
+  ///        levels so tree construction terminates).
+  ContentDefinedChunker(size_t window_size, int pattern_bits,
+                        size_t max_chunk_bytes = 0, size_t min_items = 1);
+
+  void Reset() override;
+  bool Feed(Slice item_bytes, const Hash* child_hash) override;
+  std::unique_ptr<Chunker> Clone() const override;
+
+  uint64_t mask() const { return mask_; }
+
+ private:
+  const size_t window_size_;
+  const int pattern_bits_;
+  const size_t max_chunk_bytes_;
+  const size_t min_items_;
+  const uint64_t mask_;
+  RollingHash rolling_;
+  size_t chunk_bytes_ = 0;
+  size_t chunk_items_ = 0;
+};
+
+/// \brief Child-digest pattern chunker for POS-Tree internal layers.
+class HashPatternChunker : public Chunker {
+ public:
+  /// \param pattern_bits boundary when the low bits of the child digest are
+  ///        all ones; expected fanout ~2^pattern_bits.
+  /// \param min_items minimum children per node (>= 2 guarantees that every
+  ///        level strictly shrinks, so the build terminates canonically).
+  explicit HashPatternChunker(int pattern_bits, size_t min_items = 2);
+
+  void Reset() override;
+  bool Feed(Slice item_bytes, const Hash* child_hash) override;
+  std::unique_ptr<Chunker> Clone() const override;
+
+ private:
+  const int pattern_bits_;
+  const size_t min_items_;
+  const uint64_t mask_;
+  size_t chunk_items_ = 0;
+};
+
+/// \brief Boundary every fixed number of items (test reference only).
+class FixedFanoutChunker : public Chunker {
+ public:
+  explicit FixedFanoutChunker(size_t fanout);
+
+  void Reset() override;
+  bool Feed(Slice item_bytes, const Hash* child_hash) override;
+  std::unique_ptr<Chunker> Clone() const override;
+
+ private:
+  const size_t fanout_;
+  size_t chunk_items_ = 0;
+};
+
+}  // namespace siri
+
+#endif  // SIRI_INDEX_POS_CHUNKER_H_

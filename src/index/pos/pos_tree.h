@@ -1,0 +1,137 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Pattern-Oriented-Split Tree (POS-Tree), the Forkbase index of §3.4.3: a
+// probabilistically balanced search tree whose node boundaries come from
+// content-defined chunking. The data layer is the sorted record sequence,
+// partitioned wherever a rolling hash over the serialized bytes matches a
+// bit pattern; each internal layer holds (split key, child digest) pairs
+// and is partitioned by testing the child digests against the pattern
+// directly. Because every boundary is a pure function of the data below
+// it, the tree is Structurally Invariant: the same record set produces the
+// same tree regardless of update order, so any two versions share every
+// page outside the δ region — the property the deduplication analysis of
+// §4.2.2 quantifies.
+//
+// Updates are incremental: only the chunks containing edits are re-chunked,
+// and re-chunking stops as soon as the new boundaries re-synchronize with
+// the old ones (typically within one or two chunks), giving the
+// O(m log_m N) update bound of §4.1.2.
+
+#ifndef SIRI_INDEX_POS_POS_TREE_H_
+#define SIRI_INDEX_POS_POS_TREE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "index/index.h"
+#include "index/ordered/tree_cursor.h"
+#include "index/pos/chunker.h"
+
+namespace siri {
+
+/// \brief Tuning knobs for POS-Tree; defaults target ~1 KB nodes as in §5.
+struct PosTreeOptions {
+  /// Rolling-hash window width for the data layer (bytes).
+  size_t window_size = 48;
+  /// Data-layer boundary pattern width: expected leaf ≈ 2^leaf_pattern_bits
+  /// bytes.
+  int leaf_pattern_bits = 10;
+  /// Internal-layer pattern width: expected fanout ≈ 2^internal_pattern_bits
+  /// children.
+  int internal_pattern_bits = 5;
+  /// Hard cap on leaf size in bytes (0 = unlimited, the paper's default).
+  size_t max_chunk_bytes = 0;
+
+  /// Prolly-tree mode (Noms, §5.6.2): internal layers are chunked by
+  /// sliding a rolling hash over the serialized (key, digest) entries
+  /// instead of testing the digests directly — the extra hash computations
+  /// are the write-path overhead the paper measures.
+  bool prolly_internal = false;
+
+  /// §5.5.1 ablation: chunk the data layer at a fixed size instead of by
+  /// pattern, so the structure depends on update order (not SI).
+  bool disable_structurally_invariant = false;
+
+  /// §5.5.2 ablation: stamp every version's nodes with a unique salt so no
+  /// page is ever shared between versions (not RI).
+  bool disable_recursively_identical = false;
+
+  static PosTreeOptions Default() { return {}; }
+
+  /// Noms default setup used by Figure 22: 4 KB nodes, 67-byte window.
+  static PosTreeOptions Prolly() {
+    PosTreeOptions o;
+    o.prolly_internal = true;
+    o.window_size = 67;
+    o.leaf_pattern_bits = 12;
+    o.internal_pattern_bits = 12;  // CDC over entry bytes, ~4 KB nodes
+    return o;
+  }
+
+  static PosTreeOptions NonStructurallyInvariant() {
+    PosTreeOptions o;
+    o.disable_structurally_invariant = true;
+    return o;
+  }
+
+  static PosTreeOptions NonRecursivelyIdentical() {
+    PosTreeOptions o;
+    o.disable_recursively_identical = true;
+    return o;
+  }
+};
+
+/// \brief POS-Tree index (SIRI instance).
+class PosTree : public ImmutableIndex {
+ public:
+  explicit PosTree(NodeStorePtr store, PosTreeOptions options = {});
+
+  std::string name() const override {
+    return options_.prolly_internal ? "prolly" : "pos";
+  }
+
+  Result<Hash> PutBatch(const Hash& root, std::vector<KV> kvs) override;
+  Result<Hash> DeleteBatch(const Hash& root,
+                           std::vector<std::string> keys) override;
+  Result<std::optional<std::string>> Get(const Hash& root, Slice key,
+                                         LookupStats* stats) const override;
+  Result<Proof> GetProof(const Hash& root, Slice key) const override;
+  Status CollectPages(const Hash& root, PageSet* pages) const override;
+  Status Scan(const Hash& root,
+              const std::function<void(Slice, Slice)>& fn) const override;
+  Status RangeScan(const Hash& root, Slice lo, Slice hi,
+                   const std::function<void(Slice, Slice)>& fn) const override;
+  Result<DiffResult> Diff(const Hash& a, const Hash& b) const override;
+  std::unique_ptr<ImmutableIndex> WithStore(NodeStorePtr store) const override;
+
+  /// Bottom-up batched build from records sorted by key — the paper's
+  /// batching technique that makes block loading (Figure 7b) fast: every
+  /// node is created and hashed exactly once.
+  Result<Hash> BuildFromSorted(const std::vector<KV>& entries);
+
+  const PosTreeOptions& options() const { return options_; }
+
+ private:
+  /// One record edit: value set = upsert, unset = delete.
+  struct Edit {
+    std::string key;
+    std::optional<std::string> value;
+  };
+
+  std::unique_ptr<Chunker> MakeLeafChunker() const;
+  std::unique_ptr<Chunker> MakeInternalChunker() const;
+  uint64_t NodeSalt() const;
+
+  Result<Hash> ApplyEdits(const Hash& root, std::vector<Edit> edits);
+  Result<Hash> FullRebuild(const Hash& root, const std::vector<Edit>& edits);
+  Result<Hash> BuildFromItems(std::vector<LevelItem> items, bool leaf_items);
+
+  PosTreeOptions options_;
+  uint64_t version_counter_ = 0;  // salt source for the non-RI ablation
+};
+
+}  // namespace siri
+
+#endif  // SIRI_INDEX_POS_POS_TREE_H_

@@ -1,0 +1,56 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#include "index/proof.h"
+
+#include "crypto/sha256.h"
+
+namespace siri {
+
+uint64_t Proof::ByteSize() const {
+  uint64_t total = key.size();
+  if (value) total += value->size();
+  for (const auto& n : nodes) total += n.size();
+  return total;
+}
+
+ProofNodeStore::ProofNodeStore(const Proof& proof) {
+  for (const auto& bytes : proof.nodes) {
+    const Hash h = Sha256::Digest(bytes);
+    nodes_.emplace(h, std::make_shared<const std::string>(bytes));
+    ++stats_.unique_nodes;
+    stats_.unique_bytes += bytes.size();
+  }
+}
+
+Hash ProofNodeStore::Put(Slice bytes) {
+  const Hash h = Sha256::Digest(bytes);
+  auto it = nodes_.find(h);
+  if (it == nodes_.end()) {
+    nodes_.emplace(h, std::make_shared<const std::string>(bytes.ToString()));
+    ++stats_.unique_nodes;
+    stats_.unique_bytes += bytes.size();
+  }
+  return h;
+}
+
+Result<std::shared_ptr<const std::string>> ProofNodeStore::Get(const Hash& h) {
+  ++stats_.gets;
+  auto it = nodes_.find(h);
+  if (it == nodes_.end()) {
+    return Status::NotFound("proof does not cover node " + h.ToHex());
+  }
+  stats_.get_bytes += it->second->size();
+  return it->second;
+}
+
+bool ProofNodeStore::Contains(const Hash& h) const {
+  return nodes_.count(h) > 0;
+}
+
+Result<uint64_t> ProofNodeStore::SizeOf(const Hash& h) const {
+  auto it = nodes_.find(h);
+  if (it == nodes_.end()) return Status::NotFound();
+  return static_cast<uint64_t>(it->second->size());
+}
+
+}  // namespace siri

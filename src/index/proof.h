@@ -1,0 +1,59 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Merkle proofs. A proof for key k under version root r is the sequence of
+// serialized nodes on the lookup path from r to the node answering the
+// query. A verifier that trusts only the 32-byte digest r can re-execute
+// the lookup over these nodes, checking that each fetched node hashes to
+// the digest that referenced it (§2.3).
+
+#ifndef SIRI_INDEX_PROOF_H_
+#define SIRI_INDEX_PROOF_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/hash.h"
+#include "store/node_store.h"
+
+namespace siri {
+
+/// \brief Self-contained (non-)existence proof for one key.
+struct Proof {
+  std::string key;
+  /// Claimed value; nullopt claims the key is absent.
+  std::optional<std::string> value;
+  /// Serialized nodes on the lookup path, root first.
+  std::vector<std::string> nodes;
+
+  /// Total serialized size — the paper's "proof of data" footprint.
+  uint64_t ByteSize() const;
+};
+
+/// \brief Read-only store view backed solely by a proof's nodes.
+///
+/// Get(h) succeeds only if some proof node hashes to exactly h, so any
+/// tampering with a node makes it unreachable and verification fails.
+class ProofNodeStore : public NodeStore {
+ public:
+  explicit ProofNodeStore(const Proof& proof);
+
+  /// Accepts writes so that verifiers with constructor-built skeletons
+  /// (MBT's empty tree) can operate; a tampered proof node still fails
+  /// verification because lookups address nodes by digest.
+  Hash Put(Slice bytes) override;
+  Result<std::shared_ptr<const std::string>> Get(const Hash& h) override;
+  bool Contains(const Hash& h) const override;
+  Result<uint64_t> SizeOf(const Hash& h) const override;
+  Stats stats() const override { return stats_; }
+  void ResetOpCounters() override {}
+
+ private:
+  std::unordered_map<Hash, std::shared_ptr<const std::string>, HashHasher>
+      nodes_;
+  Stats stats_;
+};
+
+}  // namespace siri
+
+#endif  // SIRI_INDEX_PROOF_H_

@@ -1,0 +1,71 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#include "metrics/dedup.h"
+
+#include <cstdio>
+
+namespace siri {
+
+std::string DedupStats::ToString() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "dedup=%.4f sharing=%.4f union=%llu nodes (%llu B) "
+                "total=%llu nodes (%llu B)",
+                DeduplicationRatio(), NodeSharingRatio(),
+                static_cast<unsigned long long>(union_nodes),
+                static_cast<unsigned long long>(union_bytes),
+                static_cast<unsigned long long>(total_nodes),
+                static_cast<unsigned long long>(total_bytes));
+  return buf;
+}
+
+Result<DedupStats> ComputeDedupStats(NodeStore* store,
+                                     const std::vector<PageSet>& page_sets) {
+  DedupStats stats;
+  PageSet all;
+  for (const PageSet& pages : page_sets) {
+    stats.total_nodes += pages.size();
+    for (const Hash& h : pages) {
+      auto size = store->SizeOf(h);
+      if (!size.ok()) return size.status();
+      stats.total_bytes += *size;
+      if (all.insert(h).second) {
+        stats.union_bytes += *size;
+      }
+    }
+  }
+  stats.union_nodes = all.size();
+  return stats;
+}
+
+Result<DedupStats> ComputeDedupStatsForRoots(const ImmutableIndex& index,
+                                             const std::vector<Hash>& roots) {
+  std::vector<PageSet> sets;
+  sets.reserve(roots.size());
+  for (const Hash& root : roots) {
+    PageSet pages;
+    Status s = index.CollectPages(root, &pages);
+    if (!s.ok()) return s;
+    sets.push_back(std::move(pages));
+  }
+  return ComputeDedupStats(index.store(), sets);
+}
+
+Result<StorageFootprint> ComputeFootprint(const ImmutableIndex& index,
+                                          const std::vector<Hash>& roots) {
+  PageSet all;
+  for (const Hash& root : roots) {
+    Status s = index.CollectPages(root, &all);
+    if (!s.ok()) return s;
+  }
+  StorageFootprint fp;
+  fp.nodes = all.size();
+  for (const Hash& h : all) {
+    auto size = index.store()->SizeOf(h);
+    if (!size.ok()) return size.status();
+    fp.bytes += *size;
+  }
+  return fp;
+}
+
+}  // namespace siri

@@ -1,0 +1,67 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Space-efficiency metrics of §4.2 and §5.4:
+//
+//   deduplication ratio  η(S) = 1 - byte(∪ P_i) / Σ byte(P_i)
+//   node sharing ratio         = 1 - |∪ P_i| / Σ |P_i|
+//
+// where P_i is the page (node) set of instance/version i and byte() is the
+// serialized size. Page sets are collected from index roots via
+// ImmutableIndex::CollectPages, so the ratios are exact, not sampled.
+
+#ifndef SIRI_METRICS_DEDUP_H_
+#define SIRI_METRICS_DEDUP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/index.h"
+#include "store/node_store.h"
+
+namespace siri {
+
+/// \brief Exact page-sharing statistics across a set of index versions.
+struct DedupStats {
+  uint64_t union_nodes = 0;   ///< |P_1 ∪ ... ∪ P_k|
+  uint64_t union_bytes = 0;   ///< byte(P_1 ∪ ... ∪ P_k)
+  uint64_t total_nodes = 0;   ///< Σ |P_i|
+  uint64_t total_bytes = 0;   ///< Σ byte(P_i)
+
+  double DeduplicationRatio() const {
+    return total_bytes == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(union_bytes) / total_bytes;
+  }
+  double NodeSharingRatio() const {
+    return total_nodes == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(union_nodes) / total_nodes;
+  }
+
+  std::string ToString() const;
+};
+
+/// Computes the exact stats for the given page sets, using \p store for
+/// page sizes.
+Result<DedupStats> ComputeDedupStats(NodeStore* store,
+                                     const std::vector<PageSet>& page_sets);
+
+/// Collects the page set of every root through \p index and computes the
+/// stats in one call.
+Result<DedupStats> ComputeDedupStatsForRoots(const ImmutableIndex& index,
+                                             const std::vector<Hash>& roots);
+
+/// Storage footprint of a set of versions: the union page set's bytes and
+/// node count (what a store retaining exactly those versions must keep).
+struct StorageFootprint {
+  uint64_t nodes = 0;
+  uint64_t bytes = 0;
+};
+
+Result<StorageFootprint> ComputeFootprint(const ImmutableIndex& index,
+                                          const std::vector<Hash>& roots);
+
+}  // namespace siri
+
+#endif  // SIRI_METRICS_DEDUP_H_

@@ -1,0 +1,149 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#include "store/file_store.h"
+
+#include <cstring>
+
+#include "common/varint.h"
+#include "crypto/sha256.h"
+
+namespace siri {
+
+// Log record layout: varint length | page bytes. The page digest is not
+// stored — it is recomputed on replay, which both rebuilds the index and
+// verifies integrity.
+
+FileNodeStore::FileNodeStore(std::string path, FILE* file)
+    : path_(std::move(path)), file_(file) {}
+
+FileNodeStore::~FileNodeStore() {
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    std::fclose(file_);
+  }
+}
+
+Status FileNodeStore::Open(const std::string& path,
+                           std::shared_ptr<FileNodeStore>* out) {
+  FILE* f = std::fopen(path.c_str(), "a+b");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + ": " + strerror(errno));
+  }
+  std::shared_ptr<FileNodeStore> store(new FileNodeStore(path, f));
+  Status s = store->Replay();
+  if (!s.ok()) return s;
+  *out = std::move(store);
+  return Status::OK();
+}
+
+Status FileNodeStore::Replay() {
+  std::fseek(file_, 0, SEEK_END);
+  const long end = std::ftell(file_);
+  if (end < 0) return Status::IOError("ftell failed");
+  std::rewind(file_);
+
+  std::string contents;
+  contents.resize(static_cast<size_t>(end));
+  if (end > 0 &&
+      std::fread(contents.data(), 1, contents.size(), file_) !=
+          contents.size()) {
+    return Status::IOError("short read replaying " + path_);
+  }
+
+  Slice in(contents);
+  size_t valid_bytes = 0;
+  while (!in.empty()) {
+    Slice mark = in;
+    std::string page;
+    if (!GetLengthPrefixed(&in, &page)) {
+      // Truncated tail (e.g. crash mid-append): cut it off.
+      ++truncations_;
+      break;
+    }
+    const Hash h = Sha256::Digest(page);
+    auto [it, inserted] = nodes_.emplace(
+        h, std::make_shared<const std::string>(std::move(page)));
+    if (inserted) {
+      ++stats_.unique_nodes;
+      stats_.unique_bytes += it->second->size();
+    }
+    valid_bytes += static_cast<size_t>(in.data() - mark.data());
+  }
+
+  if (truncations_ > 0) {
+    // Rewrite the file to the valid prefix so future appends are clean.
+    FILE* fresh = std::fopen(path_.c_str(), "wb");
+    if (fresh == nullptr) return Status::IOError("cannot truncate " + path_);
+    if (valid_bytes > 0 &&
+        std::fwrite(contents.data(), 1, valid_bytes, fresh) != valid_bytes) {
+      std::fclose(fresh);
+      return Status::IOError("failed rewriting " + path_);
+    }
+    std::fclose(file_);
+    file_ = fresh;
+  }
+  std::fseek(file_, 0, SEEK_END);
+  return Status::OK();
+}
+
+Hash FileNodeStore::Put(Slice bytes) {
+  const Hash h = Sha256::Digest(bytes);
+  std::lock_guard lock(mu_);
+  ++stats_.puts;
+  stats_.put_bytes += bytes.size();
+  if (nodes_.count(h) > 0) {
+    ++stats_.dup_puts;
+    return h;
+  }
+  std::string record;
+  PutLengthPrefixed(&record, bytes);
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    // Treat append failure as fatal for this page: report via CHECK since
+    // Put has no Status channel (matching the in-memory contract).
+    SIRI_CHECK(false && "FileNodeStore append failed");
+  }
+  nodes_.emplace(h, std::make_shared<const std::string>(bytes.ToString()));
+  ++stats_.unique_nodes;
+  stats_.unique_bytes += bytes.size();
+  return h;
+}
+
+Result<std::shared_ptr<const std::string>> FileNodeStore::Get(const Hash& h) {
+  std::lock_guard lock(mu_);
+  ++stats_.gets;
+  auto it = nodes_.find(h);
+  if (it == nodes_.end()) return Status::NotFound("node " + h.ToHex());
+  stats_.get_bytes += it->second->size();
+  return it->second;
+}
+
+bool FileNodeStore::Contains(const Hash& h) const {
+  std::lock_guard lock(mu_);
+  return nodes_.count(h) > 0;
+}
+
+Result<uint64_t> FileNodeStore::SizeOf(const Hash& h) const {
+  std::lock_guard lock(mu_);
+  auto it = nodes_.find(h);
+  if (it == nodes_.end()) return Status::NotFound("node " + h.ToHex());
+  return static_cast<uint64_t>(it->second->size());
+}
+
+NodeStore::Stats FileNodeStore::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void FileNodeStore::ResetOpCounters() {
+  std::lock_guard lock(mu_);
+  stats_.puts = stats_.put_bytes = stats_.dup_puts = 0;
+  stats_.gets = stats_.get_bytes = 0;
+}
+
+Status FileNodeStore::Flush() {
+  std::lock_guard lock(mu_);
+  if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
+  return Status::OK();
+}
+
+}  // namespace siri

@@ -1,0 +1,63 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// FileNodeStore — a durable content-addressed store: an append-only log of
+// pages on disk with an in-memory digest index. Restarting a process and
+// reopening the log recovers every version ever committed (roots are just
+// digests, so persisting the pages persists the versions). Corrupt or
+// truncated tails are detected by the per-page digest check and cut off,
+// recovering the longest valid prefix.
+
+#ifndef SIRI_STORE_FILE_STORE_H_
+#define SIRI_STORE_FILE_STORE_H_
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "store/node_store.h"
+
+namespace siri {
+
+/// \brief Append-only-log backed NodeStore.
+class FileNodeStore : public NodeStore {
+ public:
+  /// Opens (or creates) the log at \p path, replaying existing pages.
+  /// \param out receives the opened store.
+  static Status Open(const std::string& path,
+                     std::shared_ptr<FileNodeStore>* out);
+
+  ~FileNodeStore() override;
+
+  Hash Put(Slice bytes) override;
+  Result<std::shared_ptr<const std::string>> Get(const Hash& h) override;
+  bool Contains(const Hash& h) const override;
+  Result<uint64_t> SizeOf(const Hash& h) const override;
+  Stats stats() const override;
+  void ResetOpCounters() override;
+
+  /// Flushes buffered appends to the OS.
+  Status Flush();
+
+  /// Number of pages dropped from the recovered log because the tail was
+  /// truncated or corrupt.
+  uint64_t recovered_truncations() const { return truncations_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  FileNodeStore(std::string path, FILE* file);
+  Status Replay();
+
+  std::string path_;
+  FILE* file_;
+  mutable std::mutex mu_;
+  std::unordered_map<Hash, std::shared_ptr<const std::string>, HashHasher>
+      nodes_;
+  Stats stats_;
+  uint64_t truncations_ = 0;
+};
+
+}  // namespace siri
+
+#endif  // SIRI_STORE_FILE_STORE_H_

@@ -1,0 +1,135 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#include "store/node_store.h"
+
+#include <mutex>
+
+#include "crypto/sha256.h"
+
+namespace siri {
+
+Hash InMemoryNodeStore::Put(Slice bytes) {
+  const Hash h = Sha256::Digest(bytes);
+  std::unique_lock lock(mu_);
+  ++stats_.puts;
+  stats_.put_bytes += bytes.size();
+  auto it = nodes_.find(h);
+  if (it != nodes_.end()) {
+    ++stats_.dup_puts;
+    return h;
+  }
+  nodes_.emplace(h, std::make_shared<const std::string>(bytes.ToString()));
+  ++stats_.unique_nodes;
+  stats_.unique_bytes += bytes.size();
+  return h;
+}
+
+Result<std::shared_ptr<const std::string>> InMemoryNodeStore::Get(
+    const Hash& h) {
+  std::shared_lock lock(mu_);
+  ++stats_.gets;
+  auto it = nodes_.find(h);
+  if (it == nodes_.end()) {
+    return Status::NotFound("node " + h.ToHex());
+  }
+  stats_.get_bytes += it->second->size();
+  return it->second;
+}
+
+bool InMemoryNodeStore::Contains(const Hash& h) const {
+  std::shared_lock lock(mu_);
+  return nodes_.count(h) > 0;
+}
+
+Result<uint64_t> InMemoryNodeStore::SizeOf(const Hash& h) const {
+  std::shared_lock lock(mu_);
+  auto it = nodes_.find(h);
+  if (it == nodes_.end()) {
+    return Status::NotFound("node " + h.ToHex());
+  }
+  return static_cast<uint64_t>(it->second->size());
+}
+
+NodeStore::Stats InMemoryNodeStore::stats() const {
+  std::shared_lock lock(mu_);
+  return stats_;
+}
+
+void InMemoryNodeStore::ResetOpCounters() {
+  std::unique_lock lock(mu_);
+  stats_.puts = 0;
+  stats_.put_bytes = 0;
+  stats_.dup_puts = 0;
+  stats_.gets = 0;
+  stats_.get_bytes = 0;
+}
+
+uint64_t InMemoryNodeStore::BytesOf(const PageSet& pages) const {
+  std::shared_lock lock(mu_);
+  uint64_t total = 0;
+  for (const Hash& h : pages) {
+    auto it = nodes_.find(h);
+    if (it != nodes_.end()) total += it->second->size();
+  }
+  return total;
+}
+
+uint64_t InMemoryNodeStore::PruneExcept(const PageSet& retain) {
+  std::unique_lock lock(mu_);
+  uint64_t dropped = 0;
+  for (auto it = nodes_.begin(); it != nodes_.end();) {
+    if (retain.count(it->first) == 0) {
+      stats_.unique_bytes -= it->second->size();
+      --stats_.unique_nodes;
+      it = nodes_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+std::shared_ptr<InMemoryNodeStore> NewInMemoryNodeStore() {
+  return std::make_shared<InMemoryNodeStore>();
+}
+
+void FaultyNodeStore::CorruptNode(const Hash& h) {
+  std::unique_lock lock(mu_);
+  corrupted_.insert(h);
+}
+
+void FaultyNodeStore::DropNode(const Hash& h) {
+  std::unique_lock lock(mu_);
+  dropped_.insert(h);
+}
+
+void FaultyNodeStore::ClearFaults() {
+  std::unique_lock lock(mu_);
+  corrupted_.clear();
+  dropped_.clear();
+}
+
+Result<std::shared_ptr<const std::string>> FaultyNodeStore::Get(
+    const Hash& h) {
+  {
+    std::shared_lock lock(mu_);
+    if (corrupted_.count(h) > 0) {
+      return Status::Corruption("injected corruption for " + h.ToHex());
+    }
+    if (dropped_.count(h) > 0) {
+      return Status::NotFound("injected drop for " + h.ToHex());
+    }
+  }
+  return base_->Get(h);
+}
+
+bool FaultyNodeStore::Contains(const Hash& h) const {
+  {
+    std::shared_lock lock(mu_);
+    if (dropped_.count(h) > 0) return false;
+  }
+  return base_->Contains(h);
+}
+
+}  // namespace siri

@@ -1,0 +1,128 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Content-addressed node (page) storage. Every index node is serialized to
+// bytes, digested with SHA-256, and stored under its digest. Storing the
+// same bytes twice is free — this is the mechanism behind page-level
+// deduplication across versions, branches, and even different datasets
+// (§3.3 of the paper). All four index structures share one NodeStore, so
+// space metrics (deduplication ratio η, node sharing ratio) can be computed
+// directly from store statistics and reachable page sets.
+
+#ifndef SIRI_STORE_NODE_STORE_H_
+#define SIRI_STORE_NODE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "crypto/hash.h"
+
+namespace siri {
+
+/// A set of page digests, e.g. all pages reachable from one version root.
+using PageSet = std::unordered_set<Hash, HashHasher>;
+
+/// \brief Abstract content-addressed store mapping SHA-256(bytes) -> bytes.
+///
+/// Implementations must be thread-safe. Nodes are immutable once stored.
+class NodeStore {
+ public:
+  struct Stats {
+    uint64_t puts = 0;         ///< total Put calls
+    uint64_t put_bytes = 0;    ///< bytes offered across all Put calls
+    uint64_t dup_puts = 0;     ///< Put calls that hit an existing node
+    uint64_t gets = 0;         ///< total Get calls
+    uint64_t get_bytes = 0;    ///< bytes returned across all Get calls
+    uint64_t unique_nodes = 0; ///< distinct nodes resident
+    uint64_t unique_bytes = 0; ///< total bytes of distinct nodes
+  };
+
+  virtual ~NodeStore() = default;
+
+  /// Stores \p bytes (idempotent) and returns its SHA-256 digest.
+  virtual Hash Put(Slice bytes) = 0;
+
+  /// Fetches the node with digest \p h. NotFound if absent.
+  virtual Result<std::shared_ptr<const std::string>> Get(const Hash& h) = 0;
+
+  virtual bool Contains(const Hash& h) const = 0;
+
+  /// Serialized size of the node, or NotFound.
+  virtual Result<uint64_t> SizeOf(const Hash& h) const = 0;
+
+  virtual Stats stats() const = 0;
+
+  /// Zeroes the operation counters (puts/gets); resident-node counters keep
+  /// their values. Benches call this between phases.
+  virtual void ResetOpCounters() = 0;
+};
+
+using NodeStorePtr = std::shared_ptr<NodeStore>;
+
+/// \brief Hash-map backed store; the default for every test and bench.
+class InMemoryNodeStore : public NodeStore {
+ public:
+  Hash Put(Slice bytes) override;
+  Result<std::shared_ptr<const std::string>> Get(const Hash& h) override;
+  bool Contains(const Hash& h) const override;
+  Result<uint64_t> SizeOf(const Hash& h) const override;
+  Stats stats() const override;
+  void ResetOpCounters() override;
+
+  /// Total serialized bytes of the pages in \p pages that exist in this
+  /// store (the byte() function of §4.2.1 applied to a page set).
+  uint64_t BytesOf(const PageSet& pages) const;
+
+  /// Garbage collection: drops every page NOT in \p retain (the union of
+  /// CollectPages over all roots the application still needs). Returns the
+  /// number of pages dropped. Digest addressing makes this safe: a page in
+  /// the retain set can never be a dangling reference.
+  uint64_t PruneExcept(const PageSet& retain);
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<Hash, std::shared_ptr<const std::string>, HashHasher>
+      nodes_;
+  Stats stats_;
+};
+
+std::shared_ptr<InMemoryNodeStore> NewInMemoryNodeStore();
+
+/// \brief Store decorator that fails a configurable fraction of operations.
+///
+/// Used by failure-injection tests to verify that index code surfaces
+/// corruption/missing-node errors instead of crashing or mis-answering.
+class FaultyNodeStore : public NodeStore {
+ public:
+  explicit FaultyNodeStore(NodeStorePtr base) : base_(std::move(base)) {}
+
+  /// Every call to Get for \p h fails with Corruption until cleared.
+  void CorruptNode(const Hash& h);
+  /// Makes \p h invisible (NotFound) until cleared.
+  void DropNode(const Hash& h);
+  void ClearFaults();
+
+  Hash Put(Slice bytes) override { return base_->Put(bytes); }
+  Result<std::shared_ptr<const std::string>> Get(const Hash& h) override;
+  bool Contains(const Hash& h) const override;
+  Result<uint64_t> SizeOf(const Hash& h) const override {
+    return base_->SizeOf(h);
+  }
+  Stats stats() const override { return base_->stats(); }
+  void ResetOpCounters() override { base_->ResetOpCounters(); }
+
+ private:
+  NodeStorePtr base_;
+  mutable std::shared_mutex mu_;
+  PageSet corrupted_;
+  PageSet dropped_;
+};
+
+}  // namespace siri
+
+#endif  // SIRI_STORE_NODE_STORE_H_

@@ -1,0 +1,86 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#include "system/forkbase.h"
+
+#include "common/timer.h"
+
+namespace siri {
+
+NodeCache::NodeCache(uint64_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {}
+
+std::shared_ptr<const std::string> NodeCache::Lookup(const Hash& h) {
+  auto it = map_.find(h);
+  if (it == map_.end()) return nullptr;
+  // Move to front (most recently used).
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->bytes;
+}
+
+void NodeCache::Insert(const Hash& h, std::shared_ptr<const std::string> bytes) {
+  if (map_.count(h) > 0) return;
+  size_bytes_ += bytes->size();
+  lru_.push_front(Entry{h, std::move(bytes)});
+  map_[h] = lru_.begin();
+  EvictIfNeeded();
+}
+
+void NodeCache::EvictIfNeeded() {
+  while (size_bytes_ > capacity_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    size_bytes_ -= victim.bytes->size();
+    map_.erase(victim.hash);
+    lru_.pop_back();
+  }
+}
+
+void NodeCache::Clear() {
+  lru_.clear();
+  map_.clear();
+  size_bytes_ = 0;
+}
+
+ForkbaseClientStore::ForkbaseClientStore(ForkbaseServlet* servlet,
+                                         uint64_t cache_bytes,
+                                         uint64_t rtt_nanos)
+    : servlet_(servlet), cache_(cache_bytes), rtt_nanos_(rtt_nanos) {}
+
+Hash ForkbaseClientStore::Put(Slice bytes) {
+  // Writes run server-side in the paper's setup; forward directly.
+  return servlet_->store()->Put(bytes);
+}
+
+Result<std::shared_ptr<const std::string>> ForkbaseClientStore::Get(
+    const Hash& h) {
+  if (auto cached = cache_.Lookup(h)) {
+    ++remote_stats_.cache_hits;
+    return cached;
+  }
+  if (rtt_nanos_ > 0) {
+    Timer t;
+    while (t.ElapsedNanos() < rtt_nanos_) {
+      // Busy-wait to model the round trip inside throughput measurements.
+    }
+  }
+  auto bytes = servlet_->store()->Get(h);
+  if (!bytes.ok()) return bytes;
+  ++remote_stats_.remote_gets;
+  remote_stats_.remote_bytes += (*bytes)->size();
+  cache_.Insert(h, *bytes);
+  return bytes;
+}
+
+bool ForkbaseClientStore::Contains(const Hash& h) const {
+  return servlet_->store()->Contains(h);
+}
+
+Result<uint64_t> ForkbaseClientStore::SizeOf(const Hash& h) const {
+  return servlet_->store()->SizeOf(h);
+}
+
+void ForkbaseClientStore::ResetOpCounters() {
+  servlet_->store()->ResetOpCounters();
+  remote_stats_ = RemoteStats{};
+}
+
+}  // namespace siri

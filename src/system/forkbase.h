@@ -1,0 +1,104 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Forkbase-style system layer (§5.6): a storage servlet owning the node
+// store, and clients that fetch nodes over an accounted remote boundary
+// with a client-side node cache. The paper's system experiment runs one
+// servlet and one client over TCP; here the boundary is in-process but
+// every remote fetch is counted and can be charged a simulated round-trip
+// cost, which reproduces the phenomenon the experiment studies — read
+// throughput dominated by remote access, mitigated by caching, with cache
+// hit ratios that differ per index structure (large shared nodes are
+// re-read more often, fixed-entry MBT nodes less).
+
+#ifndef SIRI_SYSTEM_FORKBASE_H_
+#define SIRI_SYSTEM_FORKBASE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "store/node_store.h"
+
+namespace siri {
+
+/// \brief LRU cache of nodes, keyed by digest (a client's local node cache).
+class NodeCache {
+ public:
+  explicit NodeCache(uint64_t capacity_bytes);
+
+  std::shared_ptr<const std::string> Lookup(const Hash& h);
+  void Insert(const Hash& h, std::shared_ptr<const std::string> bytes);
+  void Clear();
+
+  uint64_t size_bytes() const { return size_bytes_; }
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  struct Entry {
+    Hash hash;
+    std::shared_ptr<const std::string> bytes;
+  };
+
+  void EvictIfNeeded();
+
+  uint64_t capacity_bytes_;
+  uint64_t size_bytes_ = 0;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<Hash, std::list<Entry>::iterator, HashHasher> map_;
+};
+
+/// \brief The server side: owns the authoritative store.
+class ForkbaseServlet {
+ public:
+  explicit ForkbaseServlet(NodeStorePtr store) : store_(std::move(store)) {}
+
+  NodeStore* store() { return store_.get(); }
+  const NodeStorePtr& store_ptr() const { return store_; }
+
+ private:
+  NodeStorePtr store_;
+};
+
+/// \brief Client-side NodeStore view: cache first, then "remote" fetch.
+///
+/// Reads executed through this store see the client-server boundary;
+/// writes are forwarded (the paper executes writes entirely server-side).
+class ForkbaseClientStore : public NodeStore {
+ public:
+  struct RemoteStats {
+    uint64_t remote_gets = 0;   ///< fetches that had to go to the servlet
+    uint64_t cache_hits = 0;    ///< fetches served locally
+    uint64_t remote_bytes = 0;  ///< bytes shipped from the servlet
+
+    double HitRatio() const {
+      const uint64_t total = remote_gets + cache_hits;
+      return total == 0 ? 0.0 : static_cast<double>(cache_hits) / total;
+    }
+  };
+
+  /// \param rtt_nanos simulated per-fetch round-trip cost, busy-waited so
+  ///        throughput numbers include it (0 = count only).
+  ForkbaseClientStore(ForkbaseServlet* servlet, uint64_t cache_bytes,
+                      uint64_t rtt_nanos = 0);
+
+  Hash Put(Slice bytes) override;
+  Result<std::shared_ptr<const std::string>> Get(const Hash& h) override;
+  bool Contains(const Hash& h) const override;
+  Result<uint64_t> SizeOf(const Hash& h) const override;
+  Stats stats() const override { return servlet_->store()->stats(); }
+  void ResetOpCounters() override;
+
+  const RemoteStats& remote_stats() const { return remote_stats_; }
+  void ClearCache() { cache_.Clear(); }
+
+ private:
+  ForkbaseServlet* servlet_;
+  NodeCache cache_;
+  uint64_t rtt_nanos_;
+  RemoteStats remote_stats_;
+};
+
+}  // namespace siri
+
+#endif  // SIRI_SYSTEM_FORKBASE_H_

@@ -1,0 +1,44 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#include "system/ledger.h"
+
+namespace siri {
+
+Result<Hash> Ledger::AppendBlock(const std::vector<KV>& txs) {
+  // Blocks are loaded from scratch. Batch mode hands the whole block to
+  // the structure (bottom-up for POS-Tree); per-op mode applies one
+  // transaction at a time (the top-down build of the paper's MPT port and
+  // B+-tree baseline) — the asymmetry Figure 7(b) measures.
+  Hash root = index_->EmptyRoot();
+  if (batch_build_) {
+    auto r = index_->PutBatch(root, txs);
+    if (!r.ok()) return r.status();
+    root = *r;
+  } else {
+    for (const KV& tx : txs) {
+      auto r = index_->Put(root, tx.key, tx.value);
+      if (!r.ok()) return r.status();
+      root = *r;
+    }
+  }
+  block_roots_.push_back(root);
+  return root;
+}
+
+Result<std::optional<std::string>> Ledger::Lookup(
+    Slice tx_hash, uint64_t* blocks_scanned) const {
+  uint64_t scanned = 0;
+  for (auto it = block_roots_.rbegin(); it != block_roots_.rend(); ++it) {
+    ++scanned;
+    auto value = index_->Get(*it, tx_hash, nullptr);
+    if (!value.ok()) return value.status();
+    if (value->has_value()) {
+      if (blocks_scanned) *blocks_scanned = scanned;
+      return *value;
+    }
+  }
+  if (blocks_scanned) *blocks_scanned = scanned;
+  return std::optional<std::string>{};
+}
+
+}  // namespace siri

@@ -1,0 +1,58 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Blockchain-ledger simulation for the Ethereum experiments (§5.1.3,
+// Figures 7b/12/16): "for each block, we build an index on transaction
+// hash for all transactions within that block and store the root hash of
+// the tree in a global linked list. ... for lookup operations, it scans
+// the linked list for the block containing the transaction, and traverses
+// the index to obtain the value."
+
+#ifndef SIRI_SYSTEM_LEDGER_H_
+#define SIRI_SYSTEM_LEDGER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "index/index.h"
+
+namespace siri {
+
+/// \brief Chain of per-block transaction indexes over one index structure.
+class Ledger {
+ public:
+  /// \param index the structure used for every per-block index. The ledger
+  ///        borrows it; it must outlive the ledger.
+  /// \param batch_build build each block's index in one batch (bottom-up
+  ///        for POS-Tree). Pass false to apply transactions one by one —
+  ///        the top-down build path of the paper's MPT port and
+  ///        MVMB+-Tree baseline (§5.3.1's Figure 7b asymmetry).
+  explicit Ledger(ImmutableIndex* index, bool batch_build = true)
+      : index_(index), batch_build_(batch_build) {}
+
+  /// Builds the per-block index for \p txs and appends its root to the
+  /// chain. Returns the block's index root.
+  Result<Hash> AppendBlock(const std::vector<KV>& txs);
+
+  /// Looks up a transaction by hash, scanning blocks from the newest to
+  /// the oldest (the dominant cost the paper observes for reads).
+  /// \p blocks_scanned (optional) reports how many block indexes were
+  /// probed.
+  Result<std::optional<std::string>> Lookup(Slice tx_hash,
+                                            uint64_t* blocks_scanned = nullptr) const;
+
+  const std::vector<Hash>& block_roots() const { return block_roots_; }
+  uint64_t num_blocks() const { return block_roots_.size(); }
+
+  ImmutableIndex* index() const { return index_; }
+
+ private:
+  ImmutableIndex* index_;
+  bool batch_build_;
+  std::vector<Hash> block_roots_;
+};
+
+}  // namespace siri
+
+#endif  // SIRI_SYSTEM_LEDGER_H_

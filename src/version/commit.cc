@@ -1,0 +1,203 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#include "version/commit.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "common/varint.h"
+
+namespace siri {
+
+namespace {
+constexpr char kCommitTag = 'C';
+}  // namespace
+
+std::string Commit::Encode() const {
+  std::string out;
+  out.push_back(kCommitTag);
+  out.append(reinterpret_cast<const char*>(root.data()), Hash::kSize);
+  PutVarint64(&out, parents.size());
+  for (const Hash& p : parents) {
+    out.append(reinterpret_cast<const char*>(p.data()), Hash::kSize);
+  }
+  PutLengthPrefixed(&out, author);
+  PutLengthPrefixed(&out, message);
+  PutVarint64(&out, sequence);
+  return out;
+}
+
+Result<Commit> Commit::Decode(Slice bytes) {
+  Commit c;
+  if (bytes.empty() || bytes[0] != kCommitTag) {
+    return Status::Corruption("not a commit object");
+  }
+  bytes.remove_prefix(1);
+  if (bytes.size() < Hash::kSize) return Status::Corruption("short commit");
+  c.root = Hash::FromBytes(bytes.data());
+  bytes.remove_prefix(Hash::kSize);
+  uint64_t n = 0;
+  if (!GetVarint64(&bytes, &n) || n > 16) {
+    return Status::Corruption("bad parent count");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    if (bytes.size() < Hash::kSize) return Status::Corruption("short parent");
+    c.parents.push_back(Hash::FromBytes(bytes.data()));
+    bytes.remove_prefix(Hash::kSize);
+  }
+  if (!GetLengthPrefixed(&bytes, &c.author) ||
+      !GetLengthPrefixed(&bytes, &c.message) ||
+      !GetVarint64(&bytes, &c.sequence)) {
+    return Status::Corruption("truncated commit");
+  }
+  if (!bytes.empty()) return Status::Corruption("trailing commit bytes");
+  return c;
+}
+
+Result<Hash> BranchManager::WriteCommit(const Commit& commit) {
+  return store_->Put(commit.Encode());
+}
+
+Result<Commit> BranchManager::ReadCommit(const Hash& commit_hash) const {
+  auto bytes = store_->Get(commit_hash);
+  if (!bytes.ok()) return bytes.status();
+  return Commit::Decode(**bytes);
+}
+
+Status BranchManager::CreateBranch(const std::string& name,
+                                   const Hash& commit_hash) {
+  if (branches_.count(name) > 0) {
+    return Status::InvalidArgument("branch exists: " + name);
+  }
+  branches_[name] = commit_hash;
+  return Status::OK();
+}
+
+Status BranchManager::MoveBranch(const std::string& name,
+                                 const Hash& commit_hash) {
+  auto it = branches_.find(name);
+  if (it == branches_.end()) return Status::NotFound("branch " + name);
+  it->second = commit_hash;
+  return Status::OK();
+}
+
+Status BranchManager::DeleteBranch(const std::string& name) {
+  if (branches_.erase(name) == 0) return Status::NotFound("branch " + name);
+  return Status::OK();
+}
+
+Result<Hash> BranchManager::Head(const std::string& name) const {
+  auto it = branches_.find(name);
+  if (it == branches_.end()) return Status::NotFound("branch " + name);
+  return it->second;
+}
+
+std::vector<std::string> BranchManager::ListBranches() const {
+  std::vector<std::string> out;
+  out.reserve(branches_.size());
+  for (const auto& [name, head] : branches_) out.push_back(name);
+  return out;
+}
+
+Result<Hash> BranchManager::CommitOnBranch(const std::string& name,
+                                           const Hash& new_root,
+                                           const std::string& author,
+                                           const std::string& message) {
+  Commit c;
+  c.root = new_root;
+  c.author = author;
+  c.message = message;
+  auto head = Head(name);
+  if (head.ok()) {
+    c.parents.push_back(*head);
+    auto parent = ReadCommit(*head);
+    if (!parent.ok()) return parent.status();
+    c.sequence = parent->sequence + 1;
+  }
+  auto hash = WriteCommit(c);
+  if (!hash.ok()) return hash;
+  if (head.ok()) {
+    Status s = MoveBranch(name, *hash);
+    if (!s.ok()) return s;
+  } else {
+    Status s = CreateBranch(name, *hash);
+    if (!s.ok()) return s;
+  }
+  return hash;
+}
+
+Result<std::vector<std::pair<Hash, Commit>>> BranchManager::Log(
+    const Hash& from, size_t limit) const {
+  // Newest-first walk by sequence number (handles merge commits).
+  auto cmp = [](const std::pair<Hash, Commit>& a,
+                const std::pair<Hash, Commit>& b) {
+    return a.second.sequence < b.second.sequence;
+  };
+  std::priority_queue<std::pair<Hash, Commit>,
+                      std::vector<std::pair<Hash, Commit>>, decltype(cmp)>
+      frontier(cmp);
+  PageSet seen;
+  auto push = [&](const Hash& h) -> Status {
+    if (!seen.insert(h).second) return Status::OK();
+    auto c = ReadCommit(h);
+    if (!c.ok()) return c.status();
+    frontier.push({h, std::move(*c)});
+    return Status::OK();
+  };
+  Status s = push(from);
+  if (!s.ok()) return s;
+
+  std::vector<std::pair<Hash, Commit>> out;
+  while (!frontier.empty() && out.size() < limit) {
+    auto [h, c] = frontier.top();
+    frontier.pop();
+    for (const Hash& p : c.parents) {
+      s = push(p);
+      if (!s.ok()) return s;
+    }
+    out.emplace_back(h, std::move(c));
+  }
+  return out;
+}
+
+Result<bool> BranchManager::IsAncestor(const Hash& ancestor,
+                                       const Hash& descendant) const {
+  PageSet seen;
+  std::vector<Hash> stack = {descendant};
+  while (!stack.empty()) {
+    const Hash h = stack.back();
+    stack.pop_back();
+    if (h == ancestor) return true;
+    if (!seen.insert(h).second) continue;
+    auto c = ReadCommit(h);
+    if (!c.ok()) return c.status();
+    for (const Hash& p : c->parents) stack.push_back(p);
+  }
+  return false;
+}
+
+Result<Hash> BranchManager::MergeBase(const Hash& a, const Hash& b) const {
+  // Collect a's ancestry, then walk b newest-first until a hit.
+  PageSet a_ancestry;
+  {
+    std::vector<Hash> stack = {a};
+    while (!stack.empty()) {
+      const Hash h = stack.back();
+      stack.pop_back();
+      if (!a_ancestry.insert(h).second) continue;
+      auto c = ReadCommit(h);
+      if (!c.ok()) return c.status();
+      for (const Hash& p : c->parents) stack.push_back(p);
+    }
+  }
+  // Newest-first on b's side so we return the *lowest* common ancestor.
+  auto log = Log(b, std::numeric_limits<size_t>::max());
+  if (!log.ok()) return log.status();
+  for (const auto& [h, c] : *log) {
+    if (a_ancestry.count(h) > 0) return h;
+  }
+  return Status::NotFound("no common ancestor");
+}
+
+}  // namespace siri

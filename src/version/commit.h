@@ -1,0 +1,93 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Commit objects and branch management — the "forkable application"
+// surface of Forkbase (§2.1, §5.6): named branches over index versions,
+// with a tamper-evident commit history. A commit is itself a node in the
+// content-addressed store, so history is deduplicated, shareable, and
+// verifiable exactly like index pages:
+//
+//   commit = { index root digest, parent commit digests, author, message,
+//              logical timestamp }
+//
+// The commit digest commits to the entire reachable history (a Merkle
+// DAG, as in git).
+
+#ifndef SIRI_VERSION_COMMIT_H_
+#define SIRI_VERSION_COMMIT_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/hash.h"
+#include "store/node_store.h"
+
+namespace siri {
+
+/// \brief One node of the version DAG.
+struct Commit {
+  Hash root;                  ///< index version this commit points at
+  std::vector<Hash> parents;  ///< zero (initial), one (linear), two (merge)
+  std::string author;
+  std::string message;
+  uint64_t sequence = 0;      ///< logical clock (max(parents)+1)
+
+  /// Canonical serialization (stable across processes).
+  std::string Encode() const;
+  static Result<Commit> Decode(Slice bytes);
+};
+
+/// \brief Branch heads + commit storage over a NodeStore.
+///
+/// Not thread-safe; guard externally if shared.
+class BranchManager {
+ public:
+  explicit BranchManager(NodeStorePtr store) : store_(std::move(store)) {}
+
+  /// Writes a commit object; returns its digest.
+  Result<Hash> WriteCommit(const Commit& commit);
+
+  /// Loads a commit by digest.
+  Result<Commit> ReadCommit(const Hash& commit_hash) const;
+
+  /// Creates a branch pointing at \p commit_hash. Fails if it exists.
+  Status CreateBranch(const std::string& name, const Hash& commit_hash);
+
+  /// Moves an existing branch head.
+  Status MoveBranch(const std::string& name, const Hash& commit_hash);
+
+  Status DeleteBranch(const std::string& name);
+
+  /// Head commit digest of \p name, or NotFound.
+  Result<Hash> Head(const std::string& name) const;
+
+  std::vector<std::string> ListBranches() const;
+
+  /// Convenience: commit \p new_root on top of branch \p name (creating
+  /// the branch at an initial commit if absent) and advance the head.
+  Result<Hash> CommitOnBranch(const std::string& name, const Hash& new_root,
+                              const std::string& author,
+                              const std::string& message);
+
+  /// Walks history from \p from (newest first), up to \p limit commits.
+  Result<std::vector<std::pair<Hash, Commit>>> Log(const Hash& from,
+                                                   size_t limit = 64) const;
+
+  /// Lowest common ancestor of two commits — the natural base for
+  /// ImmutableIndex::Merge3. NotFound when histories are unrelated.
+  Result<Hash> MergeBase(const Hash& a, const Hash& b) const;
+
+  /// True if \p ancestor is reachable from \p descendant.
+  Result<bool> IsAncestor(const Hash& ancestor, const Hash& descendant) const;
+
+ private:
+  NodeStorePtr store_;
+  std::map<std::string, Hash> branches_;
+};
+
+}  // namespace siri
+
+#endif  // SIRI_VERSION_COMMIT_H_

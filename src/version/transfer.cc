@@ -1,0 +1,66 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#include "version/transfer.h"
+
+#include "common/varint.h"
+#include "crypto/sha256.h"
+
+namespace siri {
+
+namespace {
+constexpr char kPackMagic[] = "SIRIPACK1";
+}  // namespace
+
+Result<VersionPack> PackVersions(const ImmutableIndex& index,
+                                 const std::vector<Hash>& roots,
+                                 const std::vector<Hash>& have) {
+  PageSet wanted;
+  for (const Hash& r : roots) {
+    Status s = index.CollectPages(r, &wanted);
+    if (!s.ok()) return s;
+  }
+  PageSet known;
+  for (const Hash& r : have) {
+    Status s = index.CollectPages(r, &known);
+    if (!s.ok()) return s;
+  }
+
+  VersionPack pack;
+  pack.roots = roots;
+  pack.bytes.append(kPackMagic);
+  uint64_t count = 0;
+  std::string body;
+  for (const Hash& page : wanted) {
+    if (known.count(page) > 0) continue;  // receiver already has it
+    auto bytes = index.store()->Get(page);
+    if (!bytes.ok()) return bytes.status();
+    PutLengthPrefixed(&body, **bytes);
+    ++count;
+  }
+  PutVarint64(&pack.bytes, count);
+  pack.bytes.append(body);
+  return pack;
+}
+
+Status UnpackVersions(const VersionPack& pack, NodeStore* store) {
+  Slice in(pack.bytes);
+  const size_t magic_len = sizeof(kPackMagic) - 1;
+  if (in.size() < magic_len ||
+      Slice(in.data(), magic_len) != Slice(kPackMagic)) {
+    return Status::Corruption("bad pack magic");
+  }
+  in.remove_prefix(magic_len);
+  uint64_t count = 0;
+  if (!GetVarint64(&in, &count)) return Status::Corruption("bad pack count");
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string page;
+    if (!GetLengthPrefixed(&in, &page)) {
+      return Status::Corruption("truncated pack page");
+    }
+    store->Put(page);  // content-addressed: digest is implied and verified
+  }
+  if (!in.empty()) return Status::Corruption("trailing pack bytes");
+  return Status::OK();
+}
+
+}  // namespace siri

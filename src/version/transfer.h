@@ -1,0 +1,42 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Version transfer: pack the pages of one or more versions into a
+// self-verifying byte stream and unpack them into another store. This is
+// the mechanism behind Figure 1's "transmission time" — shipping a new
+// version to a replica costs only the pages the receiver doesn't already
+// have (the sender can subtract a base version's page set).
+
+#ifndef SIRI_VERSION_TRANSFER_H_
+#define SIRI_VERSION_TRANSFER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/hash.h"
+#include "index/index.h"
+#include "store/node_store.h"
+
+namespace siri {
+
+/// \brief A packed set of pages plus the version roots they support.
+struct VersionPack {
+  std::vector<Hash> roots;
+  std::string bytes;  ///< serialized pages
+
+  uint64_t ByteSize() const { return bytes.size(); }
+};
+
+/// Packs every page reachable from \p roots through \p index, minus the
+/// pages reachable from \p have (the receiver's known versions).
+Result<VersionPack> PackVersions(const ImmutableIndex& index,
+                                 const std::vector<Hash>& roots,
+                                 const std::vector<Hash>& have = {});
+
+/// Unpacks into \p store, verifying every page digest. After a successful
+/// unpack (plus the pages of `have`), each packed root is fully readable.
+Status UnpackVersions(const VersionPack& pack, NodeStore* store);
+
+}  // namespace siri
+
+#endif  // SIRI_VERSION_TRANSFER_H_

@@ -1,0 +1,159 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#include "workload/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hex.h"
+#include "common/random.h"
+#include "crypto/sha256.h"
+#include "workload/rlp.h"
+
+namespace siri {
+
+namespace {
+
+uint64_t Derive(uint64_t seed, uint64_t a, uint64_t b) {
+  uint64_t s = seed ^ (a * 0x9e3779b97f4a7c15ULL) ^ (b * 0xc2b2ae3d27d4eb4fULL);
+  SplitMix64(&s);
+  return SplitMix64(&s);
+}
+
+// Words used to synthesize URL-ish titles and abstract-ish prose.
+constexpr const char* kWords[] = {
+    "history",  "science",   "river",    "empire",   "battle",  "novel",
+    "physics",  "music",     "island",   "football", "election","museum",
+    "language", "railway",   "painting", "computer", "theory",  "bridge",
+    "festival", "university","mountain", "dynasty",  "protocol","species",
+    "district", "cathedral", "harbor",   "galaxy",   "treaty",  "algebra"};
+constexpr size_t kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WikiDataset
+
+WikiDataset::WikiDataset(uint64_t num_pages, uint64_t seed)
+    : num_pages_(num_pages), seed_(seed) {}
+
+std::string WikiDataset::KeyOf(uint64_t page) const {
+  Rng rng(Derive(seed_, page, 0xa11ce));
+  std::string key = "https://en.wikipedia.org/wiki/";
+  // Draw a title whose length yields total key lengths of 31–298 bytes with
+  // an average around 50, as the paper reports.
+  const size_t target =
+      1 + std::min<size_t>(268, static_cast<size_t>(
+                                    -20.0 * std::log(1.0 - rng.NextDouble())));
+  while (key.size() - 30 < target) {
+    key += kWords[rng.Uniform(kNumWords)];
+    key.push_back('_');
+  }
+  key += std::to_string(page);  // uniqueness
+  if (key.size() > 298) key.resize(298);
+  return key;
+}
+
+std::string WikiDataset::ValueOf(uint64_t page, uint64_t version) const {
+  Rng rng(Derive(seed_, page, 0xbee + version));
+  // Abstract lengths 1–1036 bytes, average ≈ 96 (exponential, clipped).
+  const size_t target = 1 + std::min<size_t>(
+      1035,
+      static_cast<size_t>(-95.0 * std::log(1.0 - rng.NextDouble())));
+  std::string value;
+  value.reserve(target + 12);
+  while (value.size() < target) {
+    value += kWords[rng.Uniform(kNumWords)];
+    value.push_back(' ');
+  }
+  value.resize(target);
+  return value;
+}
+
+std::vector<KV> WikiDataset::InitialRecords() const {
+  std::vector<KV> out;
+  out.reserve(num_pages_);
+  for (uint64_t p = 0; p < num_pages_; ++p) {
+    out.push_back(KV{KeyOf(p), ValueOf(p, 0)});
+  }
+  return out;
+}
+
+std::vector<KV> WikiDataset::VersionEdits(uint64_t version,
+                                          double update_ratio) const {
+  SIRI_CHECK(version >= 1);
+  Rng rng(Derive(seed_, 0xed17, version));
+  const uint64_t num_edits =
+      std::max<uint64_t>(1, static_cast<uint64_t>(num_pages_ * update_ratio));
+  std::vector<KV> out;
+  out.reserve(num_edits);
+  for (uint64_t i = 0; i < num_edits; ++i) {
+    const uint64_t page = rng.Uniform(num_pages_);
+    out.push_back(KV{KeyOf(page), ValueOf(page, version)});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// EthDataset
+
+EthDataset::EthDataset(uint64_t seed) : seed_(seed) {}
+
+std::vector<EthTransaction> EthDataset::Block(uint64_t number,
+                                              uint64_t txs_per_block) const {
+  std::vector<EthTransaction> out;
+  out.reserve(txs_per_block);
+  for (uint64_t t = 0; t < txs_per_block; ++t) {
+    Rng rng(Derive(seed_, number, t));
+
+    // Long-tailed data-field size: mostly plain transfers (no payload),
+    // some contract calls, rare huge deployments — yielding value sizes in
+    // [100, 57738] with an average around 532 bytes, as in the paper.
+    size_t data_len = 0;
+    const double roll = rng.NextDouble();
+    if (roll > 0.999) {
+      data_len = 20000 + rng.Uniform(37000);
+    } else if (roll > 0.7) {
+      data_len = static_cast<size_t>(
+          -800.0 * std::log(1.0 - rng.NextDouble()));
+      data_len = std::min<size_t>(data_len, 16384);
+    }
+
+    std::vector<std::string> fields;
+    fields.push_back(RlpEncodeUint(rng.Uniform(1000000)));         // nonce
+    fields.push_back(
+        RlpEncodeUint((1 + rng.Uniform(500)) * 1000000000ULL));    // gas price
+    fields.push_back(RlpEncodeUint(21000 + rng.Uniform(700000)));  // gas limit
+    fields.push_back(RlpEncodeString(rng.Bytes(20)));              // to
+    fields.push_back(RlpEncodeUint(rng.Next()));                   // value
+    fields.push_back(RlpEncodeString(rng.Bytes(data_len)));        // data
+    fields.push_back(RlpEncodeUint(27 + rng.Uniform(2)));          // v
+    fields.push_back(RlpEncodeString(rng.Bytes(32)));              // r
+    fields.push_back(RlpEncodeString(rng.Bytes(32)));              // s
+    std::string rlp = RlpEncodeList(fields);
+    // Pad tiny transactions up to the paper's 100-byte minimum.
+    if (rlp.size() < 100) {
+      fields[5] = RlpEncodeString(rng.Bytes(data_len + (100 - rlp.size())));
+      rlp = RlpEncodeList(fields);
+    }
+
+    EthTransaction tx;
+    tx.hash = Sha256::Digest(rlp).ToHex();  // 64-char hex key
+    tx.rlp = std::move(rlp);
+    out.push_back(std::move(tx));
+  }
+  return out;
+}
+
+std::vector<KV> EthDataset::BlockRecords(uint64_t number,
+                                         uint64_t txs_per_block) const {
+  std::vector<KV> out;
+  auto txs = Block(number, txs_per_block);
+  out.reserve(txs.size());
+  for (EthTransaction& tx : txs) {
+    out.push_back(KV{std::move(tx.hash), std::move(tx.rlp)});
+  }
+  return out;
+}
+
+}  // namespace siri

@@ -1,0 +1,75 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Synthetic stand-ins for the paper's two real-world datasets (§5.1.2,
+// §5.1.3). The experiments exercise only the datasets' key/value length
+// distributions and their version-to-version change rates, so generators
+// that reproduce that geometry preserve every benchmark's shape (see
+// DESIGN.md §4 for the substitution rationale):
+//
+//  * WIKI — page-abstract dumps: URL keys 31–298 bytes (avg ≈ 50), plain
+//    text values 1–1036 bytes (avg ≈ 96), evolved over many versions.
+//  * ETH — raw transactions: 64-byte (hex) transaction-hash keys, RLP
+//    encoded values of 100–57738 bytes (avg ≈ 532, long tailed), grouped
+//    into blocks; each block is a version.
+
+#ifndef SIRI_WORKLOAD_DATASETS_H_
+#define SIRI_WORKLOAD_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/index.h"
+
+namespace siri {
+
+/// \brief Wikipedia-abstract-shaped dataset with versioned edits.
+class WikiDataset {
+ public:
+  explicit WikiDataset(uint64_t num_pages, uint64_t seed = 7);
+
+  /// All records of the initial version.
+  std::vector<KV> InitialRecords() const;
+
+  /// Record-level edits from version v-1 to version v: a deterministic
+  /// fraction of pages get rewritten abstracts, a few new pages appear.
+  std::vector<KV> VersionEdits(uint64_t version, double update_ratio) const;
+
+  std::string KeyOf(uint64_t page) const;
+  std::string ValueOf(uint64_t page, uint64_t version) const;
+
+  uint64_t num_pages() const { return num_pages_; }
+
+ private:
+  uint64_t num_pages_;
+  uint64_t seed_;
+};
+
+/// One synthetic Ethereum transaction.
+struct EthTransaction {
+  std::string hash;  ///< 64-char hex transaction hash (the index key)
+  std::string rlp;   ///< RLP-encoded raw transaction (the value)
+};
+
+/// \brief Ethereum-transaction-shaped dataset grouped into blocks.
+class EthDataset {
+ public:
+  explicit EthDataset(uint64_t seed = 11);
+
+  /// Transactions of block \p number; \p txs_per_block per block. Values
+  /// follow the paper's long-tailed size distribution (100 B – 57.7 KB,
+  /// average ≈ 532 B).
+  std::vector<EthTransaction> Block(uint64_t number,
+                                    uint64_t txs_per_block = 200) const;
+
+  /// As key/value records for index ingestion.
+  std::vector<KV> BlockRecords(uint64_t number,
+                               uint64_t txs_per_block = 200) const;
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace siri
+
+#endif  // SIRI_WORKLOAD_DATASETS_H_

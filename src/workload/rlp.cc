@@ -1,0 +1,86 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#include "workload/rlp.h"
+
+namespace siri {
+
+namespace {
+
+std::string BigEndianLength(uint64_t len) {
+  std::string out;
+  while (len > 0) {
+    out.insert(out.begin(), static_cast<char>(len & 0xff));
+    len >>= 8;
+  }
+  return out;
+}
+
+std::string EncodeWithPrefix(uint8_t short_base, uint8_t long_base, Slice payload) {
+  std::string out;
+  if (payload.size() <= 55) {
+    out.push_back(static_cast<char>(short_base + payload.size()));
+  } else {
+    const std::string len_bytes = BigEndianLength(payload.size());
+    out.push_back(static_cast<char>(long_base + len_bytes.size()));
+    out.append(len_bytes);
+  }
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+}  // namespace
+
+std::string RlpEncodeString(Slice s) {
+  if (s.size() == 1 && static_cast<uint8_t>(s[0]) < 0x80) {
+    return std::string(1, s[0]);
+  }
+  return EncodeWithPrefix(0x80, 0xb7, s);
+}
+
+std::string RlpEncodeUint(uint64_t v) {
+  std::string bytes = BigEndianLength(v);  // minimal big-endian; 0 -> ""
+  return RlpEncodeString(bytes);
+}
+
+std::string RlpEncodeList(const std::vector<std::string>& encoded_items) {
+  std::string payload;
+  for (const auto& item : encoded_items) payload.append(item);
+  return EncodeWithPrefix(0xc0, 0xf7, payload);
+}
+
+bool RlpDecode(Slice in, bool* is_list, std::string* payload) {
+  if (in.empty()) return false;
+  const uint8_t b = static_cast<uint8_t>(in[0]);
+  if (b < 0x80) {
+    *is_list = false;
+    *payload = std::string(1, in[0]);
+    return in.size() == 1;
+  }
+  auto decode_span = [&](uint8_t short_base, uint8_t long_base) -> bool {
+    uint64_t len = 0;
+    size_t header = 1;
+    if (b <= short_base + 55) {
+      len = b - short_base;
+    } else {
+      const size_t len_of_len = b - long_base;
+      if (len_of_len == 0 || len_of_len > 8 || in.size() < 1 + len_of_len) {
+        return false;
+      }
+      for (size_t i = 0; i < len_of_len; ++i) {
+        len = (len << 8) | static_cast<uint8_t>(in[1 + i]);
+      }
+      header = 1 + len_of_len;
+    }
+    if (in.size() != header + len) return false;
+    payload->assign(in.data() + header, len);
+    return true;
+  };
+  if (b < 0xc0) {
+    *is_list = false;
+    return decode_span(0x80, 0xb7);
+  }
+  *is_list = true;
+  return decode_span(0xc0, 0xf7);
+}
+
+}  // namespace siri

@@ -1,0 +1,39 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Recursive Length Prefix (RLP) encoding — Ethereum's canonical object
+// serialization, used here to synthesize realistic raw-transaction values
+// for the Ethereum experiments (§5.1.3). Implements the full encoding
+// rules for byte strings and (nested) lists.
+
+#ifndef SIRI_WORKLOAD_RLP_H_
+#define SIRI_WORKLOAD_RLP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace siri {
+
+/// Encodes a byte string per RLP:
+///  - single byte < 0x80 encodes as itself;
+///  - strings up to 55 bytes get a 0x80+len prefix;
+///  - longer strings get 0xb7+len-of-len then the big-endian length.
+std::string RlpEncodeString(Slice s);
+
+/// Encodes an unsigned integer as its minimal big-endian byte string
+/// (0 encodes as the empty string), then as an RLP string.
+std::string RlpEncodeUint(uint64_t v);
+
+/// Wraps already-encoded items into an RLP list (0xc0 / 0xf7 prefixes).
+std::string RlpEncodeList(const std::vector<std::string>& encoded_items);
+
+/// Decodes the top-level RLP item in \p in. Returns false on malformed
+/// input. For strings, \p payload receives the bytes and \p is_list is
+/// false; for lists, \p payload receives the concatenated encoded items.
+bool RlpDecode(Slice in, bool* is_list, std::string* payload);
+
+}  // namespace siri
+
+#endif  // SIRI_WORKLOAD_RLP_H_

@@ -1,0 +1,122 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#include "workload/ycsb.h"
+
+#include <algorithm>
+
+#include "common/hex.h"
+#include "crypto/sha256.h"
+#include "workload/zipfian.h"
+
+namespace siri {
+
+namespace {
+
+// Derives an independent 64-bit stream from (seed, tag, i).
+uint64_t DeriveSeed(uint64_t seed, const std::string& tag, uint64_t i) {
+  uint64_t s = seed;
+  for (char c : tag) s = s * 0x100000001b3ULL + static_cast<uint8_t>(c);
+  s ^= i * 0x9e3779b97f4a7c15ULL;
+  SplitMix64(&s);
+  return SplitMix64(&s);
+}
+
+}  // namespace
+
+YcsbGenerator::YcsbGenerator(uint64_t seed) : seed_(seed) {}
+
+std::string YcsbGenerator::KeyOf(uint64_t i, const std::string& ns) const {
+  Rng rng(DeriveSeed(seed_, "key:" + ns, i));
+  const size_t len = options_.key_len_min +
+                     rng.Uniform(options_.key_len_max - options_.key_len_min + 1);
+  // "user"-style prefix-free keys: hex of a per-record hash, truncated to
+  // the drawn length; collisions across the 64-bit space are negligible
+  // but we suffix the index to guarantee uniqueness.
+  std::string base = rng.AlphaNum(len);
+  // Guarantee uniqueness by folding the record index into the tail.
+  std::string idx;
+  uint64_t v = i;
+  do {
+    idx.push_back("0123456789abcdefghijklmnopqrstuv"[v % 32]);
+    v /= 32;
+  } while (v > 0);
+  if (idx.size() >= base.size()) return idx;
+  base.replace(base.size() - idx.size(), idx.size(), idx);
+  return base;
+}
+
+std::string YcsbGenerator::ValueOf(uint64_t i, uint64_t version,
+                                   const std::string& ns) const {
+  Rng rng(DeriveSeed(seed_, "val:" + ns, i * 1000003 + version));
+  // Lengths uniform in [avg/2, 3*avg/2] — mean = value_len_avg.
+  const size_t avg = options_.value_len_avg;
+  const size_t len = avg / 2 + rng.Uniform(avg + 1);
+  return rng.AlphaNum(len);
+}
+
+std::vector<KV> YcsbGenerator::GenerateRecords(uint64_t n,
+                                               const std::string& ns) {
+  std::vector<KV> out;
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    out.push_back(KV{KeyOf(i, ns), ValueOf(i, 0, ns)});
+  }
+  return out;
+}
+
+std::vector<YcsbOp> YcsbGenerator::GenerateOps(uint64_t num_ops, uint64_t n,
+                                               double write_ratio, double theta,
+                                               const std::string& ns) {
+  std::vector<YcsbOp> ops;
+  ops.reserve(num_ops);
+  ZipfianGenerator zipf(n, theta, DeriveSeed(seed_, "zipf:" + ns, num_ops));
+  Rng rng(DeriveSeed(seed_, "ops:" + ns, num_ops));
+  for (uint64_t op = 0; op < num_ops; ++op) {
+    const uint64_t record = zipf.Next();
+    YcsbOp o;
+    if (rng.Bernoulli(write_ratio)) {
+      o.type = YcsbOp::Type::kWrite;
+      o.key = KeyOf(record, ns);
+      o.value = ValueOf(record, 1 + op, ns);  // fresh version per write
+    } else {
+      o.type = YcsbOp::Type::kRead;
+      o.key = KeyOf(record, ns);
+    }
+    ops.push_back(std::move(o));
+  }
+  return ops;
+}
+
+std::vector<std::vector<KV>> YcsbGenerator::GenerateOverlapSets(
+    int parties, uint64_t n, double overlap_ratio) {
+  std::vector<std::vector<KV>> out;
+  out.reserve(parties);
+  const uint64_t shared = static_cast<uint64_t>(n * overlap_ratio);
+  for (int p = 0; p < parties; ++p) {
+    std::vector<KV> records;
+    records.reserve(n);
+    for (uint64_t i = 0; i < shared; ++i) {
+      records.push_back(KV{KeyOf(i, "shared"), ValueOf(i, 0, "shared")});
+    }
+    const std::string ns = "party" + std::to_string(p);
+    for (uint64_t i = shared; i < n; ++i) {
+      records.push_back(KV{KeyOf(i, ns), ValueOf(i, 0, ns)});
+    }
+    out.push_back(std::move(records));
+  }
+  return out;
+}
+
+std::vector<std::vector<KV>> SplitIntoBatches(std::vector<KV> kvs,
+                                              size_t batch_size) {
+  std::vector<std::vector<KV>> out;
+  if (batch_size == 0) batch_size = kvs.size();
+  for (size_t i = 0; i < kvs.size(); i += batch_size) {
+    const size_t end = std::min(kvs.size(), i + batch_size);
+    out.emplace_back(std::make_move_iterator(kvs.begin() + i),
+                     std::make_move_iterator(kvs.begin() + end));
+  }
+  return out;
+}
+
+}  // namespace siri

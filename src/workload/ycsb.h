@@ -1,0 +1,77 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// YCSB-style key/value dataset and operation-stream generation matching the
+// paper's Table 2: keys of 5–15 bytes, values averaging 256 bytes, read /
+// write / mixed workloads under Zipfian skew θ ∈ {0, 0.5, 0.9}, multi-party
+// overlap workloads, and batched execution.
+
+#ifndef SIRI_WORKLOAD_YCSB_H_
+#define SIRI_WORKLOAD_YCSB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "index/index.h"
+
+namespace siri {
+
+/// \brief Dataset-shape parameters (Table 2 defaults).
+struct YcsbOptions {
+  uint64_t num_records = 100000;
+  size_t key_len_min = 5;
+  size_t key_len_max = 15;
+  size_t value_len_avg = 256;
+};
+
+/// One operation of a generated workload.
+struct YcsbOp {
+  enum class Type { kRead, kWrite };
+  Type type;
+  std::string key;
+  std::string value;  // writes only
+};
+
+/// \brief Deterministic YCSB-style generator.
+class YcsbGenerator {
+ public:
+  explicit YcsbGenerator(uint64_t seed = 42);
+
+  /// Generates \p n unique records with Table 2 key/value geometry. Keys
+  /// are unique, unsorted (hash-ordered); the same (seed, n, namespace)
+  /// always yields the same records.
+  std::vector<KV> GenerateRecords(uint64_t n, const std::string& ns = "");
+
+  /// Key of record \p i in namespace \p ns (matches GenerateRecords).
+  std::string KeyOf(uint64_t i, const std::string& ns = "") const;
+  /// Value of record \p i (fresh version \p version of that record).
+  std::string ValueOf(uint64_t i, uint64_t version,
+                      const std::string& ns = "") const;
+
+  /// Operation stream of \p num_ops over records [0, n): read/write mix
+  /// \p write_ratio, Zipfian skew \p theta.
+  std::vector<YcsbOp> GenerateOps(uint64_t num_ops, uint64_t n,
+                                  double write_ratio, double theta,
+                                  const std::string& ns = "");
+
+  /// Multi-party overlap workloads (§5.4.2): \p parties record sets of
+  /// size \p n where an \p overlap_ratio fraction of records (keys AND
+  /// values) is common to all parties and the rest is party-private.
+  std::vector<std::vector<KV>> GenerateOverlapSets(int parties, uint64_t n,
+                                                   double overlap_ratio);
+
+  YcsbOptions& options() { return options_; }
+
+ private:
+  YcsbOptions options_;
+  uint64_t seed_;
+};
+
+/// Splits \p kvs into batches of \p batch_size (last batch may be short).
+std::vector<std::vector<KV>> SplitIntoBatches(std::vector<KV> kvs,
+                                              size_t batch_size);
+
+}  // namespace siri
+
+#endif  // SIRI_WORKLOAD_YCSB_H_

@@ -1,0 +1,61 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#include "workload/zipfian.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace siri {
+
+namespace {
+// 64-bit FNV-1a over the integer's bytes, used to scramble hot items.
+uint64_t Fnv64(uint64_t v) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+}  // namespace
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  SIRI_CHECK(n_ > 0);
+  SIRI_CHECK(theta_ >= 0 && theta_ < 1);
+  if (theta_ == 0) {
+    zetan_ = zeta2_ = alpha_ = eta_ = 0;
+    return;
+  }
+  zetan_ = Zeta(n_, theta_);
+  zeta2_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+uint64_t ZipfianGenerator::NextRank() {
+  if (theta_ == 0) return rng_.Uniform(n_);
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  return static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+}
+
+uint64_t ZipfianGenerator::Next() {
+  uint64_t rank = NextRank();
+  if (rank >= n_) rank = n_ - 1;
+  if (theta_ == 0) return rank;
+  return Fnv64(rank) % n_;
+}
+
+}  // namespace siri

@@ -1,0 +1,48 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Zipfian item-selection generator, following the standard YCSB
+// construction (Gray et al.'s rejection-free method). θ = 0 degenerates to
+// the uniform distribution; θ → 1 concentrates the mass on a small hot
+// set, the skew axis of Figure 6/10 of the paper.
+
+#ifndef SIRI_WORKLOAD_ZIPFIAN_H_
+#define SIRI_WORKLOAD_ZIPFIAN_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace siri {
+
+/// \brief Draws items in [0, n) with Zipfian skew θ.
+class ZipfianGenerator {
+ public:
+  /// \param n number of items.
+  /// \param theta skew in [0, 1); 0 = uniform.
+  ZipfianGenerator(uint64_t n, double theta, uint64_t seed = 12345);
+
+  /// Next item index; the most popular item is scattered via FNV hashing so
+  /// hot keys are spread over the key space (YCSB's "scrambled" variant).
+  uint64_t Next();
+
+  /// Next item without scrambling (item 0 is the hottest).
+  uint64_t NextRank();
+
+  double theta() const { return theta_; }
+  uint64_t n() const { return n_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+  Rng rng_;
+};
+
+}  // namespace siri
+
+#endif  // SIRI_WORKLOAD_ZIPFIAN_H_

@@ -1,0 +1,177 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Node codec: canonical serialization round trips, corruption detection,
+// in-node search helpers, and nibble-path encoding for MPT.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "crypto/sha256.h"
+#include "index/mpt/nibbles.h"
+#include "index/ordered/node_codec.h"
+
+namespace siri {
+namespace {
+
+TEST(NodeCodecTest, LeafRoundTrip) {
+  std::vector<KV> entries = {{"a", "1"}, {"b", ""}, {"cc", std::string(500, 'x')}};
+  const std::string node = EncodeLeaf(entries);
+  EXPECT_TRUE(IsLeafNode(node));
+  std::vector<KV> back;
+  ASSERT_TRUE(DecodeLeaf(node, &back).ok());
+  EXPECT_EQ(back, entries);
+}
+
+TEST(NodeCodecTest, InternalRoundTrip) {
+  std::vector<ChildEntry> entries;
+  for (int i = 0; i < 5; ++i) {
+    entries.push_back({"key" + std::to_string(i),
+                       Sha256::Digest("child" + std::to_string(i))});
+  }
+  const std::string node = EncodeInternal(entries);
+  EXPECT_FALSE(IsLeafNode(node));
+  std::vector<ChildEntry> back;
+  ASSERT_TRUE(DecodeInternal(node, &back).ok());
+  ASSERT_EQ(back.size(), entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(back[i].key, entries[i].key);
+    EXPECT_EQ(back[i].hash, entries[i].hash);
+  }
+}
+
+TEST(NodeCodecTest, EmptyLeafRoundTrip) {
+  const std::string node = EncodeLeaf({});
+  std::vector<KV> back;
+  ASSERT_TRUE(DecodeLeaf(node, &back).ok());
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(NodeCodecTest, EncodingIsCanonical) {
+  // Equal content => equal bytes => equal digest (dedup substrate).
+  std::vector<KV> entries = {{"k1", "v1"}, {"k2", "v2"}};
+  EXPECT_EQ(EncodeLeaf(entries), EncodeLeaf(entries));
+  EXPECT_EQ(Sha256::Digest(EncodeLeaf(entries)),
+            Sha256::Digest(EncodeLeaf(entries)));
+}
+
+TEST(NodeCodecTest, SaltChangesBytes) {
+  std::vector<KV> entries = {{"k", "v"}};
+  EXPECT_NE(EncodeLeaf(entries, 0), EncodeLeaf(entries, 1));
+  std::vector<KV> back;
+  ASSERT_TRUE(DecodeLeaf(EncodeLeaf(entries, 7), &back).ok());
+  EXPECT_EQ(back, entries);  // salt is ignored on decode
+}
+
+TEST(NodeCodecTest, DecodeRejectsWrongTag) {
+  std::vector<KV> leaf_back;
+  EXPECT_TRUE(DecodeLeaf(EncodeInternal({}), &leaf_back).IsCorruption());
+  std::vector<ChildEntry> int_back;
+  EXPECT_TRUE(DecodeInternal(EncodeLeaf({}), &int_back).IsCorruption());
+}
+
+TEST(NodeCodecTest, DecodeRejectsTruncation) {
+  std::vector<KV> entries = {{"key", "value"}};
+  std::string node = EncodeLeaf(entries);
+  node.resize(node.size() - 2);
+  std::vector<KV> back;
+  EXPECT_TRUE(DecodeLeaf(node, &back).IsCorruption());
+}
+
+TEST(NodeCodecTest, DecodeRejectsTrailingGarbage) {
+  std::string node = EncodeLeaf({{"k", "v"}});
+  node += "garbage";
+  std::vector<KV> back;
+  EXPECT_TRUE(DecodeLeaf(node, &back).IsCorruption());
+}
+
+TEST(NodeCodecTest, PayloadStreamingMatchesWholeEncode) {
+  // Chunk builders accumulate entry bytes incrementally; the result must be
+  // identical to encoding the vector at once.
+  std::vector<KV> entries = {{"a", "1"}, {"bb", "22"}, {"ccc", "333"}};
+  std::string payload;
+  for (const KV& e : entries) AppendLeafEntryBytes(&payload, e.key, e.value);
+  EXPECT_EQ(EncodeLeafFromPayload(entries.size(), payload), EncodeLeaf(entries));
+}
+
+TEST(NodeCodecTest, ChildIndexForPicksCoveringChild) {
+  std::vector<ChildEntry> entries = {
+      {"b", Hash()}, {"f", Hash()}, {"m", Hash()}};
+  EXPECT_EQ(ChildIndexFor(entries, "a"), 0u);  // below first: clamp left
+  EXPECT_EQ(ChildIndexFor(entries, "b"), 0u);
+  EXPECT_EQ(ChildIndexFor(entries, "c"), 0u);
+  EXPECT_EQ(ChildIndexFor(entries, "f"), 1u);
+  EXPECT_EQ(ChildIndexFor(entries, "k"), 1u);
+  EXPECT_EQ(ChildIndexFor(entries, "m"), 2u);
+  EXPECT_EQ(ChildIndexFor(entries, "zzz"), 2u);
+}
+
+TEST(NodeCodecTest, LeafLowerBoundFindsExactAndInsertPoint) {
+  std::vector<KV> entries = {{"b", "1"}, {"d", "2"}, {"f", "3"}};
+  bool found = false;
+  EXPECT_EQ(LeafLowerBound(entries, "d", &found), 1u);
+  EXPECT_TRUE(found);
+  EXPECT_EQ(LeafLowerBound(entries, "c", &found), 1u);
+  EXPECT_FALSE(found);
+  EXPECT_EQ(LeafLowerBound(entries, "a", &found), 0u);
+  EXPECT_FALSE(found);
+  EXPECT_EQ(LeafLowerBound(entries, "z", &found), 3u);
+  EXPECT_FALSE(found);
+}
+
+TEST(NibblesTest, KeyToNibblesExpandsBytes) {
+  const Nibbles n = KeyToNibbles(std::string("\x4f\xa0", 2));
+  ASSERT_EQ(n.size(), 4u);
+  EXPECT_EQ(n[0], 0x4);
+  EXPECT_EQ(n[1], 0xf);
+  EXPECT_EQ(n[2], 0xa);
+  EXPECT_EQ(n[3], 0x0);
+}
+
+TEST(NibblesTest, RoundTrip) {
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = rng.Bytes(rng.Uniform(64));
+    EXPECT_EQ(NibblesToKey(KeyToNibbles(key)), key);
+  }
+}
+
+TEST(NibblesTest, NibbleOrderMatchesByteOrder) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const std::string a = rng.Bytes(1 + rng.Uniform(10));
+    const std::string b = rng.Bytes(1 + rng.Uniform(10));
+    const Nibbles na = KeyToNibbles(a), nb = KeyToNibbles(b);
+    const bool byte_lt = a < b;
+    const bool nib_lt = std::lexicographical_compare(na.begin(), na.end(),
+                                                     nb.begin(), nb.end());
+    EXPECT_EQ(byte_lt, nib_lt) << i;
+  }
+}
+
+TEST(NibblesTest, PathEncodingRoundTrip) {
+  Rng rng(8);
+  for (size_t len : {0u, 1u, 2u, 7u, 8u, 33u}) {
+    Nibbles path;
+    for (size_t i = 0; i < len; ++i) {
+      path.push_back(static_cast<uint8_t>(rng.Uniform(16)));
+    }
+    std::string buf;
+    EncodeNibblePath(&buf, path.data(), path.size());
+    Slice in(buf);
+    Nibbles back;
+    ASSERT_TRUE(DecodeNibblePath(&in, &back));
+    EXPECT_EQ(back, path);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(NibblesTest, CommonPrefixLength) {
+  const Nibbles a = {1, 2, 3, 4};
+  const Nibbles b = {1, 2, 9};
+  EXPECT_EQ(CommonNibblePrefix(a.data(), a.size(), b.data(), b.size()), 2u);
+  EXPECT_EQ(CommonNibblePrefix(a.data(), a.size(), a.data(), a.size()), 4u);
+  EXPECT_EQ(CommonNibblePrefix(a.data(), 0, b.data(), b.size()), 0u);
+}
+
+}  // namespace
+}  // namespace siri

@@ -1,0 +1,266 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Unit tests for src/common: Slice, Status/Result, hex, varint, Rng,
+// Histogram.
+
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/varint.h"
+
+namespace siri {
+namespace {
+
+TEST(SliceTest, BasicAccessors) {
+  Slice s("hello");
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s[0], 'h');
+  EXPECT_EQ(s.ToString(), "hello");
+}
+
+TEST(SliceTest, EmptySlice) {
+  Slice s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.ToString(), "");
+}
+
+TEST(SliceTest, CompareOrdersLexicographically) {
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abd").compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);  // prefix sorts first
+}
+
+TEST(SliceTest, CompareUsesUnsignedBytes) {
+  const std::string high("\xff", 1);
+  const std::string low("\x01", 1);
+  EXPECT_GT(Slice(high).compare(Slice(low)), 0);
+}
+
+TEST(SliceTest, RemovePrefix) {
+  Slice s("abcdef");
+  s.remove_prefix(2);
+  EXPECT_EQ(s.ToString(), "cdef");
+}
+
+TEST(SliceTest, StartsWith) {
+  EXPECT_TRUE(Slice("abcdef").starts_with(Slice("abc")));
+  EXPECT_FALSE(Slice("abcdef").starts_with(Slice("abd")));
+  EXPECT_TRUE(Slice("abc").starts_with(Slice()));
+}
+
+TEST(SliceTest, EqualityOperators) {
+  EXPECT_EQ(Slice("x"), Slice("x"));
+  EXPECT_NE(Slice("x"), Slice("y"));
+  EXPECT_TRUE(Slice("a") < Slice("b"));
+}
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.ToString(), "NotFound: missing key");
+}
+
+TEST(StatusTest, AllCodesRoundTrip) {
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Conflict("x").IsConflict());
+  EXPECT_FALSE(Status::IOError("x").ok());
+  EXPECT_FALSE(Status::NotSupported("x").ok());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(HexTest, EncodeDecodeRoundTrip) {
+  const std::string raw("\x00\x01\xab\xff\x7f", 5);
+  const std::string hex = HexEncode(raw);
+  EXPECT_EQ(hex, "0001abff7f");
+  std::string back;
+  ASSERT_TRUE(HexDecode(hex, &back));
+  EXPECT_EQ(back, raw);
+}
+
+TEST(HexTest, DecodeRejectsOddLength) {
+  std::string out;
+  EXPECT_FALSE(HexDecode("abc", &out));
+}
+
+TEST(HexTest, DecodeRejectsNonHex) {
+  std::string out;
+  EXPECT_FALSE(HexDecode("zz", &out));
+}
+
+TEST(HexTest, DecodeAcceptsUppercase) {
+  std::string out;
+  ASSERT_TRUE(HexDecode("AB", &out));
+  EXPECT_EQ(out, "\xab");
+}
+
+TEST(VarintTest, RoundTripSmallAndLarge) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{127}, uint64_t{128},
+                     uint64_t{300}, uint64_t{1} << 32, ~uint64_t{0}}) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    Slice in(buf);
+    uint64_t back = 0;
+    ASSERT_TRUE(GetVarint64(&in, &back)) << v;
+    EXPECT_EQ(back, v);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(VarintTest, TruncatedInputFails) {
+  std::string buf;
+  PutVarint64(&buf, 1u << 20);
+  buf.pop_back();
+  Slice in(buf);
+  uint64_t v = 0;
+  EXPECT_FALSE(GetVarint64(&in, &v));
+}
+
+TEST(VarintTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  Slice in(buf);
+  std::string a, b, c;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &a));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &b));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &c));
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c, std::string(1000, 'x'));
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(VarintTest, LengthPrefixedTruncatedPayloadFails) {
+  std::string buf;
+  PutVarint64(&buf, 10);
+  buf += "abc";  // only 3 of 10 bytes
+  Slice in(buf);
+  std::string out;
+  EXPECT_FALSE(GetLengthPrefixed(&in, &out));
+}
+
+TEST(VarintTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xdeadbeef);
+  Slice in(buf);
+  uint32_t v = 0;
+  ASSERT_TRUE(GetFixed32(&in, &v));
+  EXPECT_EQ(v, 0xdeadbeefu);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(7), b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    const uint64_t v = rng.UniformRange(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BytesAndAlphaNumLengths) {
+  Rng rng(3);
+  EXPECT_EQ(rng.Bytes(37).size(), 37u);
+  const std::string s = rng.AlphaNum(50);
+  EXPECT_EQ(s.size(), 50u);
+  for (char c : s) EXPECT_TRUE(isalnum(static_cast<unsigned char>(c)));
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) h.Record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 3.0);
+}
+
+TEST(HistogramTest, PercentileInterpolates) {
+  Histogram h;
+  h.Record(0.0);
+  h.Record(10.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.25), 2.5);
+}
+
+TEST(HistogramTest, FixedBucketsCoverAllValues) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(i);
+  auto buckets = h.FixedBuckets(10);
+  ASSERT_EQ(buckets.size(), 10u);
+  uint64_t total = 0;
+  for (const auto& b : buckets) total += b.count;
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Record(1.0);
+  b.Record(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(CountHistogramTest, CountsPerValue) {
+  CountHistogram h;
+  h.Record(3);
+  h.Record(3);
+  h.Record(5);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.counts().at(3), 2u);
+  EXPECT_EQ(h.counts().at(5), 1u);
+}
+
+}  // namespace
+}  // namespace siri

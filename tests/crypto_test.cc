@@ -1,0 +1,172 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// SHA-256 against FIPS 180-4 / NIST test vectors, Hash semantics, and
+// rolling-hash (buzhash) behavior including the content-defined-chunking
+// locality property POS-Tree depends on.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "crypto/rolling_hash.h"
+#include "crypto/sha256.h"
+
+namespace siri {
+namespace {
+
+TEST(Sha256Test, EmptyStringVector) {
+  EXPECT_EQ(Sha256::Digest("").ToHex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, AbcVector) {
+  EXPECT_EQ(Sha256::Digest("abc").ToHex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockVector) {
+  EXPECT_EQ(Sha256::Digest(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+                .ToHex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAVector) {
+  Sha256 ctx;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.Update(chunk);
+  EXPECT_EQ(ctx.Finish().ToHex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  Rng rng(1);
+  const std::string data = rng.Bytes(10000);
+  for (size_t chunk : {1u, 7u, 63u, 64u, 65u, 1000u}) {
+    Sha256 ctx;
+    for (size_t i = 0; i < data.size(); i += chunk) {
+      ctx.Update(data.data() + i, std::min(chunk, data.size() - i));
+    }
+    EXPECT_EQ(ctx.Finish(), Sha256::Digest(data)) << "chunk=" << chunk;
+  }
+}
+
+TEST(Sha256Test, ExactBlockBoundaries) {
+  // 55/56/63/64/65 bytes cross the padding edge cases.
+  for (size_t n : {55u, 56u, 63u, 64u, 65u, 119u, 120u}) {
+    const std::string data(n, 'x');
+    Sha256 a;
+    a.Update(data);
+    Sha256 b;
+    for (char c : data) b.Update(&c, 1);
+    EXPECT_EQ(a.Finish(), b.Finish()) << n;
+  }
+}
+
+TEST(Sha256Test, ContextReusableAfterReset) {
+  Sha256 ctx;
+  ctx.Update("garbage");
+  (void)ctx.Finish();
+  ctx.Reset();
+  ctx.Update("abc");
+  EXPECT_EQ(ctx.Finish().ToHex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(HashTest, ZeroIsZero) {
+  EXPECT_TRUE(Hash::Zero().IsZero());
+  EXPECT_FALSE(Sha256::Digest("x").IsZero());
+}
+
+TEST(HashTest, OrderingAndEquality) {
+  const Hash a = Sha256::Digest("a");
+  const Hash b = Sha256::Digest("b");
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_EQ(a, Sha256::Digest("a"));
+}
+
+TEST(HashTest, Prefix64Stable) {
+  const Hash a = Sha256::Digest("stable");
+  EXPECT_EQ(a.Prefix64(), Sha256::Digest("stable").Prefix64());
+}
+
+TEST(RollingHashTest, PrimedAfterWindowFull) {
+  RollingHash rh(8);
+  for (int i = 0; i < 7; ++i) {
+    rh.Roll(static_cast<uint8_t>(i));
+    EXPECT_FALSE(rh.Primed());
+  }
+  rh.Roll(7);
+  EXPECT_TRUE(rh.Primed());
+}
+
+TEST(RollingHashTest, WindowLocality) {
+  // The fingerprint at position i depends only on the last W bytes, so two
+  // streams sharing a W-byte suffix have equal fingerprints — the property
+  // that re-synchronizes chunk boundaries after an edit.
+  const size_t w = 16;
+  Rng rng(3);
+  const std::string shared = rng.Bytes(64);
+  RollingHash a(w), b(w);
+  const std::string prefix_a = rng.Bytes(33);
+  const std::string prefix_b = rng.Bytes(71);
+  for (char c : prefix_a) a.Roll(static_cast<uint8_t>(c));
+  for (char c : prefix_b) b.Roll(static_cast<uint8_t>(c));
+  uint64_t last_a = 0, last_b = 0;
+  for (char c : shared) {
+    last_a = a.Roll(static_cast<uint8_t>(c));
+    last_b = b.Roll(static_cast<uint8_t>(c));
+  }
+  EXPECT_EQ(last_a, last_b);
+}
+
+TEST(RollingHashTest, ResetClearsState) {
+  RollingHash rh(8);
+  for (int i = 0; i < 20; ++i) rh.Roll(static_cast<uint8_t>(i));
+  rh.Reset();
+  EXPECT_FALSE(rh.Primed());
+  EXPECT_EQ(rh.value(), 0u);
+}
+
+TEST(RollingHashTest, DeterministicAcrossInstances) {
+  RollingHash a(32), b(32);
+  Rng rng(4);
+  const std::string data = rng.Bytes(500);
+  for (char c : data) {
+    EXPECT_EQ(a.Roll(static_cast<uint8_t>(c)), b.Roll(static_cast<uint8_t>(c)));
+  }
+}
+
+TEST(RollingHashTest, BoundaryRateMatchesPattern) {
+  // With a q-bit pattern the boundary probability per byte is 2^-q; check
+  // the empirical rate is in the right ballpark.
+  const int q = 8;
+  const uint64_t mask = (1u << q) - 1;
+  RollingHash rh(48);
+  Rng rng(5);
+  uint64_t hits = 0;
+  const uint64_t n = 1 << 20;
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t fp = rh.Roll(static_cast<uint8_t>(rng.Next() & 0xff));
+    if (rh.Primed() && (fp & mask) == mask) ++hits;
+  }
+  const double rate = static_cast<double>(hits) / n;
+  EXPECT_GT(rate, 1.0 / (1 << q) / 2);
+  EXPECT_LT(rate, 2.0 / (1 << q));
+}
+
+TEST(BuzhashTableTest, TableLooksRandom) {
+  const uint64_t* t = BuzhashTable();
+  // All entries distinct and bit-balanced in aggregate.
+  int ones = 0;
+  for (int i = 0; i < 256; ++i) {
+    for (int j = i + 1; j < 256; ++j) EXPECT_NE(t[i], t[j]);
+    ones += __builtin_popcountll(t[i]);
+  }
+  // Expect ~8192 set bits (256 * 32); allow wide slack.
+  EXPECT_GT(ones, 7500);
+  EXPECT_LT(ones, 8900);
+}
+
+}  // namespace
+}  // namespace siri

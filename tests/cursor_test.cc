@@ -1,0 +1,202 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// TreeCursor / LevelCursor over real POS trees: in-order iteration, seeks,
+// chunk-boundary detection, and subtree skipping — the machinery both the
+// pruned diff and the incremental rebuild stand on.
+
+#include <gtest/gtest.h>
+
+#include "index/ordered/tree_cursor.h"
+#include "index/pos/pos_tree.h"
+#include "tests/test_util.h"
+
+namespace siri {
+namespace {
+
+using testing_util::MakeKvs;
+using testing_util::TKey;
+using testing_util::TVal;
+
+class CursorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = NewInMemoryNodeStore();
+    tree_ = std::make_unique<PosTree>(store_);
+    auto root = tree_->BuildFromSorted(MakeKvs(kN));
+    ASSERT_TRUE(root.ok());
+    root_ = *root;
+  }
+
+  static constexpr int kN = 1000;
+  std::shared_ptr<InMemoryNodeStore> store_;
+  std::unique_ptr<PosTree> tree_;
+  Hash root_;
+};
+
+TEST_F(CursorTest, IteratesAllEntriesInOrder) {
+  TreeCursor cur(store_.get(), root_);
+  ASSERT_TRUE(cur.SeekToFirst().ok());
+  int i = 0;
+  while (cur.Valid()) {
+    EXPECT_EQ(cur.key(), TKey(i));
+    EXPECT_EQ(cur.value(), TVal(i));
+    ASSERT_TRUE(cur.Next().ok());
+    ++i;
+  }
+  EXPECT_EQ(i, kN);
+}
+
+TEST_F(CursorTest, SeekLandsOnLowerBound) {
+  TreeCursor cur(store_.get(), root_);
+  ASSERT_TRUE(cur.Seek(TKey(123)).ok());
+  ASSERT_TRUE(cur.Valid());
+  EXPECT_EQ(cur.key(), TKey(123));
+
+  // Seek between keys: key000123x sorts after key000123, before key000124.
+  ASSERT_TRUE(cur.Seek(TKey(123) + "x").ok());
+  ASSERT_TRUE(cur.Valid());
+  EXPECT_EQ(cur.key(), TKey(124));
+}
+
+TEST_F(CursorTest, SeekPastEndInvalidates) {
+  TreeCursor cur(store_.get(), root_);
+  ASSERT_TRUE(cur.Seek("zzzzzz").ok());
+  EXPECT_FALSE(cur.Valid());
+}
+
+TEST_F(CursorTest, SeekBeforeFirstLandsOnFirst) {
+  TreeCursor cur(store_.get(), root_);
+  ASSERT_TRUE(cur.Seek("aaa").ok());
+  ASSERT_TRUE(cur.Valid());
+  EXPECT_EQ(cur.key(), TKey(0));
+}
+
+TEST_F(CursorTest, EmptyTreeCursorInvalid) {
+  TreeCursor cur(store_.get(), Hash::Zero());
+  ASSERT_TRUE(cur.SeekToFirst().ok());
+  EXPECT_FALSE(cur.Valid());
+}
+
+TEST_F(CursorTest, SubtreeStartAtOrigin) {
+  TreeCursor cur(store_.get(), root_);
+  ASSERT_TRUE(cur.SeekToFirst().ok());
+  // At the very first entry, every level is at its subtree start.
+  for (int level = 0; level < cur.num_levels(); ++level) {
+    EXPECT_TRUE(cur.AtSubtreeStart(level)) << level;
+  }
+}
+
+TEST_F(CursorTest, SkipSubtreeAdvancesPastLeaf) {
+  TreeCursor a(store_.get(), root_);
+  TreeCursor b(store_.get(), root_);
+  ASSERT_TRUE(a.SeekToFirst().ok());
+  ASSERT_TRUE(b.SeekToFirst().ok());
+
+  // Skip the first leaf on cursor a; advance b entry by entry until it
+  // reaches a leaf boundary: they must agree.
+  ASSERT_TRUE(a.SkipSubtree(0).ok());
+  do {
+    ASSERT_TRUE(b.Next().ok());
+  } while (b.Valid() && !b.AtSubtreeStart(0));
+  ASSERT_EQ(a.Valid(), b.Valid());
+  if (a.Valid()) EXPECT_EQ(a.key(), b.key());
+}
+
+TEST_F(CursorTest, SkipWholeTreeInvalidates) {
+  TreeCursor cur(store_.get(), root_);
+  ASSERT_TRUE(cur.SeekToFirst().ok());
+  const int top = cur.num_levels() - 1;
+  ASSERT_TRUE(cur.SkipSubtree(top).ok());
+  EXPECT_FALSE(cur.Valid());
+}
+
+TEST_F(CursorTest, SubtreeHashMatchesStoreContent) {
+  TreeCursor cur(store_.get(), root_);
+  ASSERT_TRUE(cur.SeekToFirst().ok());
+  const Hash leaf_hash = cur.SubtreeHash(0);
+  auto bytes = store_->Get(leaf_hash);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_TRUE(IsLeafNode(**bytes));
+  // The root-level subtree digest is the root itself.
+  EXPECT_EQ(cur.SubtreeHash(cur.num_levels() - 1), root_);
+}
+
+TEST_F(CursorTest, LevelCursorLeafLevelSeesAllItems) {
+  LevelCursor cur(store_.get(), root_, /*level=*/0);
+  ASSERT_TRUE(cur.SeekToFirst().ok());
+  int count = 0;
+  std::string prev;
+  while (cur.Valid()) {
+    if (count > 0) EXPECT_LT(prev, cur.item().key);
+    prev = cur.item().key;
+    ASSERT_TRUE(cur.Next().ok());
+    ++count;
+  }
+  EXPECT_EQ(count, kN);
+}
+
+TEST_F(CursorTest, LevelCursorUpperLevelItemsAreChildDigests) {
+  auto height = LevelCursor::TreeHeight(store_.get(), root_);
+  ASSERT_TRUE(height.ok());
+  ASSERT_GE(*height, 2);
+  LevelCursor cur(store_.get(), root_, /*level=*/1);
+  ASSERT_TRUE(cur.SeekToFirst().ok());
+  int count = 0;
+  while (cur.Valid()) {
+    EXPECT_EQ(cur.item().payload.size(), Hash::kSize);
+    // Each payload digest must resolve to a stored node.
+    EXPECT_TRUE(store_->Contains(cur.item().PayloadHash()));
+    ASSERT_TRUE(cur.Next().ok());
+    ++count;
+  }
+  EXPECT_GT(count, 1);
+}
+
+TEST_F(CursorTest, LevelCursorChunkStartTracksNodeBoundaries) {
+  LevelCursor cur(store_.get(), root_, 0);
+  ASSERT_TRUE(cur.SeekToFirst().ok());
+  int boundaries = 0;
+  while (cur.Valid()) {
+    if (cur.AtChunkStart()) {
+      ++boundaries;
+      EXPECT_EQ(cur.CurrentChunkFirstKey(), cur.item().key);
+    }
+    ASSERT_TRUE(cur.Next().ok());
+  }
+  // One boundary per leaf; a 1000-record tree has many leaves.
+  EXPECT_GT(boundaries, 5);
+}
+
+TEST_F(CursorTest, SeekToChunkStartCoversKey) {
+  LevelCursor cur(store_.get(), root_, 0);
+  ASSERT_TRUE(cur.SeekToChunkStart(TKey(500)).ok());
+  ASSERT_TRUE(cur.Valid());
+  EXPECT_TRUE(cur.AtChunkStart());
+  EXPECT_LE(cur.CurrentChunkFirstKey(), TKey(500));
+  // Walking forward within the chunk must reach the key.
+  bool found = false;
+  while (cur.Valid()) {
+    if (cur.item().key == TKey(500)) {
+      found = true;
+      break;
+    }
+    ASSERT_TRUE(cur.Next().ok());
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(CursorTest, TreeHeightOfEmptyAndLeafTrees) {
+  auto empty = LevelCursor::TreeHeight(store_.get(), Hash::Zero());
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(*empty, 0);
+
+  PosTree small_tree(store_);
+  auto small_root = small_tree.Put(Hash::Zero(), "k", "v");
+  ASSERT_TRUE(small_root.ok());
+  auto h = LevelCursor::TreeHeight(store_.get(), *small_root);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(*h, 1);
+}
+
+}  // namespace
+}  // namespace siri

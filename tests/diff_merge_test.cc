@@ -1,0 +1,272 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Diff (§4.1.3) and Merge (§4.1.4) across every index structure:
+// correctness of record-level output, shared-subtree pruning, two-way and
+// three-way merges, and conflict surfacing.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "index/diff.h"
+#include "tests/test_util.h"
+
+namespace siri {
+namespace {
+
+using testing_util::AllKinds;
+using testing_util::Dump;
+using testing_util::IndexKind;
+using testing_util::KindName;
+using testing_util::MakeIndex;
+using testing_util::MakeKvs;
+using testing_util::TKey;
+using testing_util::TVal;
+
+class DiffMergeTest : public ::testing::TestWithParam<IndexKind> {
+ protected:
+  void SetUp() override {
+    store_ = NewInMemoryNodeStore();
+    index_ = MakeIndex(GetParam(), store_);
+  }
+
+  std::shared_ptr<InMemoryNodeStore> store_;
+  std::unique_ptr<ImmutableIndex> index_;
+};
+
+TEST_P(DiffMergeTest, DiffOfIdenticalVersionsIsEmpty) {
+  auto root = index_->PutBatch(index_->EmptyRoot(), MakeKvs(200));
+  ASSERT_TRUE(root.ok());
+  auto diff = index_->Diff(*root, *root);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_TRUE(diff->empty());
+}
+
+TEST_P(DiffMergeTest, DiffDetectsAddsModsAndDeletes) {
+  auto base = index_->PutBatch(index_->EmptyRoot(), MakeKvs(400));
+  ASSERT_TRUE(base.ok());
+  auto r1 = index_->PutBatch(*base, {{TKey(10), "mod10"}, {"newkey", "nv"}});
+  ASSERT_TRUE(r1.ok());
+  auto r2 = index_->Delete(*r1, TKey(20));
+  ASSERT_TRUE(r2.ok());
+
+  auto diff = index_->Diff(*base, *r2);
+  ASSERT_TRUE(diff.ok());
+  ASSERT_EQ(diff->size(), 3u);
+
+  std::map<std::string, DiffEntry> by_key;
+  for (const auto& e : *diff) by_key[e.key] = e;
+  EXPECT_EQ(*by_key.at(TKey(10)).left, TVal(10));
+  EXPECT_EQ(*by_key.at(TKey(10)).right, "mod10");
+  EXPECT_FALSE(by_key.at("newkey").left.has_value());
+  EXPECT_EQ(*by_key.at("newkey").right, "nv");
+  EXPECT_TRUE(by_key.at(TKey(20)).left.has_value());
+  EXPECT_FALSE(by_key.at(TKey(20)).right.has_value());
+}
+
+TEST_P(DiffMergeTest, DiffIsAntisymmetric) {
+  auto a = index_->PutBatch(index_->EmptyRoot(), MakeKvs(100));
+  ASSERT_TRUE(a.ok());
+  auto b = index_->PutBatch(*a, {{TKey(5), "x"}, {"extra", "y"}});
+  ASSERT_TRUE(b.ok());
+  auto ab = index_->Diff(*a, *b);
+  auto ba = index_->Diff(*b, *a);
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(ba.ok());
+  ASSERT_EQ(ab->size(), ba->size());
+  for (size_t i = 0; i < ab->size(); ++i) {
+    EXPECT_EQ((*ab)[i].key, (*ba)[i].key);
+    EXPECT_EQ((*ab)[i].left, (*ba)[i].right);
+    EXPECT_EQ((*ab)[i].right, (*ba)[i].left);
+  }
+}
+
+TEST_P(DiffMergeTest, DiffOutputSortedByKey) {
+  auto a = index_->PutBatch(index_->EmptyRoot(), MakeKvs(300));
+  ASSERT_TRUE(a.ok());
+  std::vector<KV> scattered = {{TKey(250), "x"}, {TKey(3), "y"}, {TKey(99), "z"}};
+  auto b = index_->PutBatch(*a, scattered);
+  ASSERT_TRUE(b.ok());
+  auto diff = index_->Diff(*a, *b);
+  ASSERT_TRUE(diff.ok());
+  ASSERT_EQ(diff->size(), 3u);
+  for (size_t i = 1; i < diff->size(); ++i) {
+    EXPECT_LT((*diff)[i - 1].key, (*diff)[i].key);
+  }
+}
+
+TEST_P(DiffMergeTest, DiffSkipsSharedRegions) {
+  // δ = 1 out of 5000: a pruned diff touches a small number of nodes.
+  auto a = index_->PutBatch(index_->EmptyRoot(), MakeKvs(5000));
+  ASSERT_TRUE(a.ok());
+  auto b = index_->Put(*a, TKey(2500), "changed");
+  ASSERT_TRUE(b.ok());
+  store_->ResetOpCounters();
+  auto diff = index_->Diff(*a, *b);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff->size(), 1u);
+  const uint64_t diff_gets = store_->stats().gets;
+  PageSet pages;
+  ASSERT_TRUE(index_->CollectPages(*a, &pages).ok());
+  // Far fewer loads than visiting the two full trees.
+  EXPECT_LT(diff_gets, 2 * pages.size());
+  EXPECT_LT(diff_gets, 500u);
+}
+
+TEST_P(DiffMergeTest, TwoWayMergeOfDisjointKeySets) {
+  // Two-way merge has no base: it can only union. With disjoint key sets
+  // there is nothing to conflict on.
+  auto base = index_->PutBatch(index_->EmptyRoot(), MakeKvs(200));
+  ASSERT_TRUE(base.ok());
+  auto ours = index_->PutBatch(*base, {{"only-ours", "o"}});
+  ASSERT_TRUE(ours.ok());
+  auto theirs = index_->PutBatch(*base, {{"only-theirs", "t"}});
+  ASSERT_TRUE(theirs.ok());
+
+  auto merged = index_->Merge(*ours, *theirs);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  auto content = Dump(*index_, *merged);
+  EXPECT_EQ(content.at("only-ours"), "o");
+  EXPECT_EQ(content.at("only-theirs"), "t");
+  EXPECT_EQ(content.size(), 202u);
+}
+
+TEST_P(DiffMergeTest, ThreeWayMergeOfDisjointUpdates) {
+  // With a base, updates to different keys merge without conflicts even
+  // though each side still carries the base value of the other's key.
+  auto base = index_->PutBatch(index_->EmptyRoot(), MakeKvs(200));
+  ASSERT_TRUE(base.ok());
+  auto ours = index_->PutBatch(*base, {{TKey(1), "ours1"}, {"only-ours", "o"}});
+  ASSERT_TRUE(ours.ok());
+  auto theirs =
+      index_->PutBatch(*base, {{TKey(2), "theirs2"}, {"only-theirs", "t"}});
+  ASSERT_TRUE(theirs.ok());
+
+  auto merged = index_->Merge3(*ours, *theirs, *base);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  auto content = Dump(*index_, *merged);
+  EXPECT_EQ(content.at(TKey(1)), "ours1");
+  EXPECT_EQ(content.at(TKey(2)), "theirs2");
+  EXPECT_EQ(content.at("only-ours"), "o");
+  EXPECT_EQ(content.at("only-theirs"), "t");
+  EXPECT_EQ(content.size(), 202u);
+}
+
+TEST_P(DiffMergeTest, MergeWithoutResolverConflictsOnDivergentValue) {
+  auto base = index_->PutBatch(index_->EmptyRoot(), MakeKvs(50));
+  ASSERT_TRUE(base.ok());
+  auto ours = index_->Put(*base, TKey(7), "ours");
+  ASSERT_TRUE(ours.ok());
+  auto theirs = index_->Put(*base, TKey(7), "theirs");
+  ASSERT_TRUE(theirs.ok());
+  auto merged = index_->Merge(*ours, *theirs);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_TRUE(merged.status().IsConflict());
+}
+
+TEST_P(DiffMergeTest, MergeResolverPicksWinner) {
+  auto base = index_->PutBatch(index_->EmptyRoot(), MakeKvs(50));
+  ASSERT_TRUE(base.ok());
+  auto ours = index_->Put(*base, TKey(7), "ours");
+  ASSERT_TRUE(ours.ok());
+  auto theirs = index_->Put(*base, TKey(7), "theirs");
+  ASSERT_TRUE(theirs.ok());
+  auto merged = index_->Merge(
+      *ours, *theirs,
+      [](const std::string&, const std::string& o, const std::string& t) {
+        return std::optional<std::string>(o + "+" + t);
+      });
+  ASSERT_TRUE(merged.ok());
+  auto got = index_->Get(*merged, TKey(7), nullptr);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(**got, "ours+theirs");
+}
+
+TEST_P(DiffMergeTest, MergeResolverCanDropKey) {
+  auto base = index_->PutBatch(index_->EmptyRoot(), MakeKvs(20));
+  ASSERT_TRUE(base.ok());
+  auto ours = index_->Put(*base, TKey(3), "ours");
+  ASSERT_TRUE(ours.ok());
+  auto theirs = index_->Put(*base, TKey(3), "theirs");
+  ASSERT_TRUE(theirs.ok());
+  auto merged = index_->Merge(
+      *ours, *theirs,
+      [](const std::string&, const std::string&, const std::string&) {
+        return std::optional<std::string>{};
+      });
+  ASSERT_TRUE(merged.ok());
+  EXPECT_FALSE(index_->Get(*merged, TKey(3), nullptr)->has_value());
+}
+
+TEST_P(DiffMergeTest, ThreeWayMergeTakesBothSides) {
+  auto base = index_->PutBatch(index_->EmptyRoot(), MakeKvs(100));
+  ASSERT_TRUE(base.ok());
+  auto ours = index_->PutBatch(*base, {{TKey(1), "ours1"}});
+  ASSERT_TRUE(ours.ok());
+  auto theirs_mid = index_->PutBatch(*base, {{TKey(2), "theirs2"}});
+  ASSERT_TRUE(theirs_mid.ok());
+  auto theirs = index_->Delete(*theirs_mid, TKey(3));
+  ASSERT_TRUE(theirs.ok());
+
+  auto merged = index_->Merge3(*ours, *theirs, *base);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  auto content = Dump(*index_, *merged);
+  EXPECT_EQ(content.at(TKey(1)), "ours1");      // our change kept
+  EXPECT_EQ(content.at(TKey(2)), "theirs2");    // their change applied
+  EXPECT_EQ(content.count(TKey(3)), 0u);        // their delete applied
+  EXPECT_EQ(content.size(), 99u);
+}
+
+TEST_P(DiffMergeTest, ThreeWayMergeIdenticalChangesDoNotConflict) {
+  auto base = index_->PutBatch(index_->EmptyRoot(), MakeKvs(50));
+  ASSERT_TRUE(base.ok());
+  auto ours = index_->Put(*base, TKey(5), "same");
+  ASSERT_TRUE(ours.ok());
+  auto theirs = index_->Put(*base, TKey(5), "same");
+  ASSERT_TRUE(theirs.ok());
+  auto merged = index_->Merge3(*ours, *theirs, *base);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(*index_->Get(*merged, TKey(5), nullptr)->value().c_str(), *"same");
+}
+
+TEST_P(DiffMergeTest, ThreeWayMergeConflictsOnDivergence) {
+  auto base = index_->PutBatch(index_->EmptyRoot(), MakeKvs(50));
+  ASSERT_TRUE(base.ok());
+  auto ours = index_->Put(*base, TKey(5), "mine");
+  ASSERT_TRUE(ours.ok());
+  auto theirs = index_->Put(*base, TKey(5), "yours");
+  ASSERT_TRUE(theirs.ok());
+  auto merged = index_->Merge3(*ours, *theirs, *base);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_TRUE(merged.status().IsConflict());
+}
+
+TEST_P(DiffMergeTest, CountMatchesContent) {
+  auto root = index_->PutBatch(index_->EmptyRoot(), MakeKvs(137));
+  ASSERT_TRUE(root.ok());
+  auto count = index_->Count(*root);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 137u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexes, DiffMergeTest, ::testing::ValuesIn(AllKinds()),
+    [](const ::testing::TestParamInfo<IndexKind>& info) {
+      return KindName(info.param);
+    });
+
+TEST(DiffHelperTest, DiffSortedEntriesMergeJoins) {
+  std::vector<KV> left = {{"a", "1"}, {"b", "2"}, {"d", "4"}};
+  std::vector<KV> right = {{"b", "2"}, {"c", "3"}, {"d", "5"}};
+  DiffResult out;
+  DiffSortedEntries(left, right, &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].key, "a");  // left only
+  EXPECT_EQ(out[1].key, "c");  // right only
+  EXPECT_EQ(out[2].key, "d");  // modified
+  EXPECT_EQ(*out[2].left, "4");
+  EXPECT_EQ(*out[2].right, "5");
+}
+
+}  // namespace
+}  // namespace siri

@@ -1,0 +1,206 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Targeted edge cases for paths the broad suites exercise only lightly:
+// deep MPT collapse chains, transfer packs with flipped page bytes, the
+// simulated-RTT client store, large-batch boundary conditions, and the
+// empty/singleton extremes of every operation.
+
+#include <gtest/gtest.h>
+
+#include "common/timer.h"
+#include "index/mpt/mpt.h"
+#include "index/pos/pos_tree.h"
+#include "system/forkbase.h"
+#include "tests/test_util.h"
+#include "version/transfer.h"
+
+namespace siri {
+namespace {
+
+using testing_util::Dump;
+using testing_util::MakeKvs;
+using testing_util::TKey;
+
+TEST(MptEdgeTest, DeleteCollapsesMultiLevelChain) {
+  // Build a trie where removal must cascade: branch -> lone child is a
+  // branch -> becomes extension -> merges with parent extension.
+  auto store = NewInMemoryNodeStore();
+  Mpt mpt(store);
+  auto base = mpt.PutBatch(Hash::Zero(), {{"aaaa0000", "1"},
+                                          {"aaaa1111", "2"}});
+  ASSERT_TRUE(base.ok());
+  // Adding and removing a deep fork must restore the exact digest.
+  auto forked = mpt.PutBatch(*base, {{"aaaa1122", "3"}, {"aaaa1133", "4"}});
+  ASSERT_TRUE(forked.ok());
+  auto back1 = mpt.Delete(*forked, "aaaa1122");
+  ASSERT_TRUE(back1.ok());
+  auto back2 = mpt.Delete(*back1, "aaaa1133");
+  ASSERT_TRUE(back2.ok());
+  EXPECT_EQ(*back2, *base);
+}
+
+TEST(MptEdgeTest, SingleCharAndNearMissKeys) {
+  auto store = NewInMemoryNodeStore();
+  Mpt mpt(store);
+  auto r = mpt.PutBatch(Hash::Zero(), {{"a", "1"}, {"b", "2"}, {"A", "3"}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*mpt.Get(*r, "a", nullptr)->value().c_str(), *"1");
+  EXPECT_FALSE(mpt.Get(*r, "c", nullptr)->has_value());
+  EXPECT_FALSE(mpt.Get(*r, "aa", nullptr)->has_value());
+  // Nibble-level near miss: 'a' = 0x61, 'q' = 0x71 share the low nibble.
+  EXPECT_FALSE(mpt.Get(*r, "q", nullptr)->has_value());
+}
+
+TEST(MptEdgeTest, ValueAtEveryPrefixDepth) {
+  // A chain where every prefix of the deepest key is itself a key: every
+  // branch on the path carries a value.
+  auto store = NewInMemoryNodeStore();
+  Mpt mpt(store);
+  Hash root = Hash::Zero();
+  std::string key;
+  for (int i = 0; i < 8; ++i) {
+    key.push_back('k');
+    auto r = mpt.Put(root, key, "depth" + std::to_string(i));
+    ASSERT_TRUE(r.ok());
+    root = *r;
+  }
+  key.clear();
+  for (int i = 0; i < 8; ++i) {
+    key.push_back('k');
+    auto got = mpt.Get(root, key, nullptr);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(got->has_value());
+    EXPECT_EQ(**got, "depth" + std::to_string(i));
+  }
+  // Deleting the middle of the chain keeps both ends.
+  auto r = mpt.Delete(root, "kkkk");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(mpt.Get(*r, "kkk", nullptr)->has_value());
+  EXPECT_TRUE(mpt.Get(*r, "kkkkk", nullptr)->has_value());
+  EXPECT_FALSE(mpt.Get(*r, "kkkk", nullptr)->has_value());
+}
+
+TEST(TransferEdgeTest, FlippedPageYieldsUnreadableRootsNotWrongData) {
+  // Content addressing turns corruption into absence: a flipped page gets
+  // a different digest, so the packed root becomes unreadable — the store
+  // can never serve wrong bytes under the right digest.
+  auto src_store = NewInMemoryNodeStore();
+  PosTree src(src_store);
+  auto root = src.PutBatch(Hash::Zero(), MakeKvs(300));
+  ASSERT_TRUE(root.ok());
+  auto pack = PackVersions(src, {*root});
+  ASSERT_TRUE(pack.ok());
+  // Flip one byte deep inside the page payload area.
+  pack->bytes[pack->bytes.size() / 2] ^= 0x40;
+
+  auto dst_store = NewInMemoryNodeStore();
+  Status s = UnpackVersions(*pack, dst_store.get());
+  PosTree dst(dst_store);
+  bool some_failure = !s.ok();
+  if (s.ok()) {
+    // Unpack may parse (lengths intact); then some lookups must fail with
+    // NotFound instead of returning corrupt values.
+    for (int i = 0; i < 300 && !some_failure; ++i) {
+      auto got = dst.Get(*root, TKey(i), nullptr);
+      if (!got.ok()) {
+        some_failure = true;
+      } else if (got->has_value()) {
+        EXPECT_EQ(**got, testing_util::TVal(i));  // never wrong data
+      }
+    }
+  }
+  EXPECT_TRUE(some_failure);
+}
+
+TEST(TransferEdgeTest, EmptyRootsPackIsValid) {
+  auto store = NewInMemoryNodeStore();
+  PosTree tree(store);
+  auto pack = PackVersions(tree, {Hash::Zero()});
+  ASSERT_TRUE(pack.ok());
+  auto dst = NewInMemoryNodeStore();
+  EXPECT_TRUE(UnpackVersions(*pack, dst.get()).ok());
+}
+
+TEST(ForkbaseEdgeTest, SimulatedRttSlowsRemoteFetches) {
+  auto server_store = NewInMemoryNodeStore();
+  ForkbaseServlet servlet(server_store);
+  PosTree server_tree(server_store);
+  auto root = server_tree.PutBatch(Hash::Zero(), MakeKvs(500));
+  ASSERT_TRUE(root.ok());
+
+  auto timed = [&](uint64_t rtt_ns) {
+    auto client_store =
+        std::make_shared<ForkbaseClientStore>(&servlet, 8 << 20, rtt_ns);
+    PosTree client(client_store);
+    Timer t;
+    for (int i = 0; i < 50; ++i) {
+      SIRI_CHECK(client.Get(*root, TKey(i * 7), nullptr).ok());
+    }
+    return t.ElapsedMicros();
+  };
+  const double fast = timed(0);
+  const double slow = timed(200000);  // 200us per remote fetch
+  EXPECT_GT(slow, fast + 1000);  // at least several simulated round trips
+}
+
+TEST(PosEdgeTest, BatchLargerThanTree) {
+  auto store = NewInMemoryNodeStore();
+  PosTree tree(store);
+  auto small = tree.PutBatch(Hash::Zero(), MakeKvs(10));
+  ASSERT_TRUE(small.ok());
+  // A batch 100x the tree size: exercises splices spanning everything.
+  auto big = tree.PutBatch(*small, MakeKvs(1000, /*version=*/1));
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(Dump(tree, *big).size(), 1000u);
+  // Equal to the canonical build of the final content (SI).
+  std::vector<KV> all = MakeKvs(1000, 1);
+  std::sort(all.begin(), all.end(),
+            [](const KV& a, const KV& b) { return a.key < b.key; });
+  auto direct = tree.BuildFromSorted(all);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(*big, *direct);
+}
+
+TEST(PosEdgeTest, InterleavedDeleteAndInsertAtSameBoundary) {
+  // Delete a chunk's first key while inserting its immediate predecessor:
+  // stresses splice ordering at chunk starts.
+  auto store = NewInMemoryNodeStore();
+  PosTree tree(store);
+  auto root = tree.BuildFromSorted(MakeKvs(2000));
+  ASSERT_TRUE(root.ok());
+  // Find some chunk-start key via the cursor machinery indirectly: delete
+  // and reinsert around a fixed key; invariance must hold regardless.
+  std::vector<KV> puts;
+  std::vector<std::string> dels;
+  for (int i = 500; i < 520; ++i) dels.push_back(TKey(i));
+  for (int i = 500; i < 520; ++i) {
+    puts.push_back(KV{TKey(i) + "~", "shifted"});
+  }
+  auto r1 = tree.DeleteBatch(*root, dels);
+  ASSERT_TRUE(r1.ok());
+  auto r2 = tree.PutBatch(*r1, puts);
+  ASSERT_TRUE(r2.ok());
+  // Reverse order reaches the same digest.
+  auto r3 = tree.PutBatch(*root, puts);
+  ASSERT_TRUE(r3.ok());
+  auto r4 = tree.DeleteBatch(*r3, dels);
+  ASSERT_TRUE(r4.ok());
+  EXPECT_EQ(*r2, *r4);
+}
+
+TEST(StoreEdgeTest, PruneEverythingThenRebuild) {
+  auto store = NewInMemoryNodeStore();
+  PosTree tree(store);
+  auto root = tree.PutBatch(Hash::Zero(), MakeKvs(200));
+  ASSERT_TRUE(root.ok());
+  store->PruneExcept({});  // drop all
+  EXPECT_EQ(store->stats().unique_nodes, 0u);
+  // The store remains usable.
+  auto fresh = tree.PutBatch(Hash::Zero(), MakeKvs(200));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(*fresh, *root);  // same content, same digest, fresh pages
+  EXPECT_EQ(Dump(tree, *fresh).size(), 200u);
+}
+
+}  // namespace
+}  // namespace siri

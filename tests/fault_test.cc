@@ -1,0 +1,132 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Failure injection: indexes must surface missing/corrupt pages as Status
+// errors — never crash, hang, or silently mis-answer. This is the error
+// model a store-backed tamper-evident index has to get right: a flipped
+// node is indistinguishable from an attack.
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.h"
+#include "tests/test_util.h"
+
+namespace siri {
+namespace {
+
+using testing_util::AllKinds;
+using testing_util::IndexKind;
+using testing_util::KindName;
+using testing_util::MakeIndex;
+using testing_util::MakeKvs;
+using testing_util::TKey;
+
+class FaultTest : public ::testing::TestWithParam<IndexKind> {
+ protected:
+  void SetUp() override {
+    base_store_ = NewInMemoryNodeStore();
+    faulty_store_ = std::make_shared<FaultyNodeStore>(base_store_);
+    index_ = MakeIndex(GetParam(), faulty_store_);
+    auto root = index_->PutBatch(index_->EmptyRoot(), MakeKvs(2000));
+    ASSERT_TRUE(root.ok());
+    root_ = *root;
+  }
+
+  /// Digest of some node on the lookup path of \p key (the deepest one).
+  Hash PathNodeFor(const std::string& key) {
+    auto proof = index_->GetProof(root_, key);
+    EXPECT_TRUE(proof.ok());
+    EXPECT_FALSE(proof->nodes.empty());
+    return Sha256::Digest(proof->nodes.back());
+  }
+
+  std::shared_ptr<InMemoryNodeStore> base_store_;
+  std::shared_ptr<FaultyNodeStore> faulty_store_;
+  std::unique_ptr<ImmutableIndex> index_;
+  Hash root_;
+};
+
+TEST_P(FaultTest, DroppedLeafSurfacesNotFound) {
+  const Hash victim = PathNodeFor(TKey(77));
+  faulty_store_->DropNode(victim);
+  auto got = index_->Get(root_, TKey(77), nullptr);
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsNotFound());
+}
+
+TEST_P(FaultTest, CorruptLeafSurfacesCorruption) {
+  const Hash victim = PathNodeFor(TKey(123));
+  faulty_store_->CorruptNode(victim);
+  auto got = index_->Get(root_, TKey(123), nullptr);
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsCorruption());
+}
+
+TEST_P(FaultTest, DroppedRootFailsEveryLookup) {
+  faulty_store_->DropNode(root_);
+  auto got = index_->Get(root_, TKey(1), nullptr);
+  EXPECT_FALSE(got.ok());
+}
+
+TEST_P(FaultTest, OtherPathsKeepWorking) {
+  const Hash victim = PathNodeFor(TKey(77));
+  faulty_store_->DropNode(victim);
+  // A key in a different subtree is unaffected. Scan for one that works:
+  // at least half the keys live under other leaves.
+  int successes = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto got = index_->Get(root_, TKey(i * 17 % 2000), nullptr);
+    if (got.ok() && got->has_value()) ++successes;
+  }
+  EXPECT_GT(successes, 50);
+}
+
+TEST_P(FaultTest, ScanReportsErrorInsteadOfPartialSilence) {
+  const Hash victim = PathNodeFor(TKey(500));
+  faulty_store_->DropNode(victim);
+  Status s = index_->Scan(root_, [](Slice, Slice) {});
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_P(FaultTest, DiffReportsErrorOnBrokenTree) {
+  auto changed = index_->Put(root_, TKey(1), "x");
+  ASSERT_TRUE(changed.ok());
+  const Hash victim = PathNodeFor(TKey(500));
+  faulty_store_->DropNode(victim);
+  // The broken node sits on both sides; the shared-subtree fast path may
+  // skip it, so force divergence near the victim too.
+  auto diff = index_->Diff(root_, *changed);
+  // Either the diff succeeded by skipping the shared broken region (legal:
+  // pruning means it never loads it) or it must surface the error. What it
+  // must never do is crash or return a wrong record set silently — check
+  // that a success result is exactly the single change.
+  if (diff.ok()) {
+    ASSERT_EQ(diff->size(), 1u);
+    EXPECT_EQ((*diff)[0].key, TKey(1));
+  }
+}
+
+TEST_P(FaultTest, UpdateThroughBrokenPathFails) {
+  const Hash victim = PathNodeFor(TKey(300));
+  faulty_store_->DropNode(victim);
+  auto updated = index_->Put(root_, TKey(300), "new-value");
+  EXPECT_FALSE(updated.ok());
+}
+
+TEST_P(FaultTest, RecoveryAfterClearFaults) {
+  const Hash victim = PathNodeFor(TKey(42));
+  faulty_store_->CorruptNode(victim);
+  EXPECT_FALSE(index_->Get(root_, TKey(42), nullptr).ok());
+  faulty_store_->ClearFaults();
+  auto got = index_->Get(root_, TKey(42), nullptr);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexes, FaultTest, ::testing::ValuesIn(AllKinds()),
+    [](const ::testing::TestParamInfo<IndexKind>& info) {
+      return KindName(info.param);
+    });
+
+}  // namespace
+}  // namespace siri

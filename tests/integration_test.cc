@@ -1,0 +1,221 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Cross-module integration: the pieces composed the way an application
+// would compose them — ledger + proofs over a durable store, branches +
+// diff/merge + transfer, several structures cohabiting one store, clients
+// verifying against servers.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "index/mbt/mbt.h"
+#include "index/mpt/mpt.h"
+#include "index/mvmb/mvmb_tree.h"
+#include "index/pos/pos_tree.h"
+#include "metrics/dedup.h"
+#include "store/file_store.h"
+#include "system/forkbase.h"
+#include "system/ledger.h"
+#include "tests/test_util.h"
+#include "version/commit.h"
+#include "version/transfer.h"
+#include "workload/datasets.h"
+
+namespace siri {
+namespace {
+
+using testing_util::Dump;
+using testing_util::MakeKvs;
+using testing_util::TKey;
+using testing_util::TVal;
+
+TEST(IntegrationTest, AllStructuresShareOneStoreWithoutCollision) {
+  // Four different structures index the same records in the same store;
+  // each keeps its own shape, all stay correct, and identical leaf pages
+  // (MBT buckets vs ordered-tree leaves share the leaf codec) may dedup.
+  auto store = NewInMemoryNodeStore();
+  PosTree pos(store);
+  Mpt mpt(store);
+  Mbt mbt(store, MbtOptions{64, 4});
+  MvmbTree mvmb(store);
+
+  auto kvs = MakeKvs(500);
+  auto r_pos = pos.PutBatch(Hash::Zero(), kvs);
+  auto r_mpt = mpt.PutBatch(Hash::Zero(), kvs);
+  auto r_mbt = mbt.PutBatch(mbt.EmptyRoot(), kvs);
+  auto r_mvmb = mvmb.PutBatch(Hash::Zero(), kvs);
+  ASSERT_TRUE(r_pos.ok() && r_mpt.ok() && r_mbt.ok() && r_mvmb.ok());
+
+  std::map<std::string, std::string> expected;
+  for (const auto& kv : kvs) expected[kv.key] = kv.value;
+  EXPECT_EQ(Dump(pos, *r_pos), expected);
+  EXPECT_EQ(Dump(mpt, *r_mpt), expected);
+  EXPECT_EQ(Dump(mbt, *r_mbt), expected);
+  EXPECT_EQ(Dump(mvmb, *r_mvmb), expected);
+}
+
+TEST(IntegrationTest, LightClientVerifiesLedgerOverTransfer) {
+  // A full node maintains a ledger; a light client holds only block roots.
+  // The full node answers queries with proofs; verification needs nothing
+  // but the 32-byte root.
+  auto full_node_store = NewInMemoryNodeStore();
+  Mpt full_mpt(full_node_store);
+  Ledger ledger(&full_mpt);
+  EthDataset eth;
+  for (uint64_t b = 0; b < 6; ++b) {
+    ASSERT_TRUE(ledger.AppendBlock(eth.BlockRecords(b, 80)).ok());
+  }
+
+  // Light client state: just the roots.
+  const std::vector<Hash> trusted_roots = ledger.block_roots();
+
+  // Query a tx; the server builds a proof; the client verifies with an
+  // index instance bound to NO data at all (proof-only store).
+  auto txs = eth.BlockRecords(3, 80);
+  auto proof = full_mpt.GetProof(trusted_roots[3], txs[17].key);
+  ASSERT_TRUE(proof.ok());
+  ASSERT_TRUE(proof->value.has_value());
+
+  auto client_store = NewInMemoryNodeStore();  // empty!
+  Mpt client_mpt(client_store);
+  EXPECT_TRUE(client_mpt.VerifyProof(*proof, trusted_roots[3]));
+  EXPECT_FALSE(client_mpt.VerifyProof(*proof, trusted_roots[2]));
+}
+
+TEST(IntegrationTest, BranchedWorkflowWithTransferAndGc) {
+  auto store = NewInMemoryNodeStore();
+  PosTree index(store);
+  BranchManager branches(store);
+
+  // main: base data.
+  auto base_root = index.PutBatch(Hash::Zero(), MakeKvs(800));
+  ASSERT_TRUE(base_root.ok());
+  auto c_base = branches.CommitOnBranch("main", *base_root, "a", "base");
+  ASSERT_TRUE(c_base.ok());
+
+  // Two forks diverge.
+  ASSERT_TRUE(branches.CreateBranch("clean", *c_base).ok());
+  ASSERT_TRUE(branches.CreateBranch("enrich", *c_base).ok());
+  auto clean_root = index.PutBatch(*base_root, {{TKey(3), "cleaned"}});
+  auto enrich_root = index.PutBatch(*base_root, {{"extra/1", "e1"}});
+  ASSERT_TRUE(clean_root.ok() && enrich_root.ok());
+  auto c_clean = branches.CommitOnBranch("clean", *clean_root, "b", "fix");
+  auto c_enrich = branches.CommitOnBranch("enrich", *enrich_root, "c", "add");
+  ASSERT_TRUE(c_clean.ok() && c_enrich.ok());
+
+  // Merge via the DAG's merge base.
+  auto mb = branches.MergeBase(*c_clean, *c_enrich);
+  ASSERT_TRUE(mb.ok());
+  auto base_commit = branches.ReadCommit(*mb);
+  ASSERT_TRUE(base_commit.ok());
+  auto merged = index.Merge3(*clean_root, *enrich_root, base_commit->root);
+  ASSERT_TRUE(merged.ok());
+  auto c_merged = branches.CommitOnBranch("main", *merged, "a", "merge all");
+  ASSERT_TRUE(c_merged.ok());
+
+  // Ship main's head to a replica.
+  auto pack = PackVersions(index, {*merged});
+  ASSERT_TRUE(pack.ok());
+  auto replica_store = NewInMemoryNodeStore();
+  ASSERT_TRUE(UnpackVersions(*pack, replica_store.get()).ok());
+  PosTree replica(replica_store);
+  EXPECT_EQ(Dump(replica, *merged).size(), 801u);
+
+  // GC the source down to main's head (plus its commit objects).
+  PageSet retain;
+  ASSERT_TRUE(index.CollectPages(*merged, &retain).ok());
+  auto log = branches.Log(*branches.Head("main"));
+  ASSERT_TRUE(log.ok());
+  for (const auto& [h, c] : *log) retain.insert(h);
+  const uint64_t dropped = store->PruneExcept(retain);
+  EXPECT_GT(dropped, 0u);
+  // Head still fully readable, history still walkable.
+  EXPECT_EQ(Dump(index, *merged).size(), 801u);
+  EXPECT_TRUE(branches.Log(*branches.Head("main")).ok());
+}
+
+TEST(IntegrationTest, DurableLedgerSurvivesRestart) {
+  const std::string path = ::testing::TempDir() + "/siri_ledger_it.log";
+  std::remove(path.c_str());
+  std::vector<Hash> roots;
+  EthDataset eth;
+  {
+    std::shared_ptr<FileNodeStore> disk;
+    ASSERT_TRUE(FileNodeStore::Open(path, &disk).ok());
+    PosTree tree(disk);
+    Ledger ledger(&tree);
+    for (uint64_t b = 0; b < 4; ++b) {
+      ASSERT_TRUE(ledger.AppendBlock(eth.BlockRecords(b, 50)).ok());
+    }
+    roots = ledger.block_roots();
+    ASSERT_TRUE(disk->Flush().ok());
+  }
+  {
+    std::shared_ptr<FileNodeStore> disk;
+    ASSERT_TRUE(FileNodeStore::Open(path, &disk).ok());
+    PosTree tree(disk);
+    // Every block root remains queryable and provable after restart.
+    auto txs = eth.BlockRecords(2, 50);
+    auto got = tree.Get(roots[2], txs[7].key, nullptr);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(got->has_value());
+    auto proof = tree.GetProof(roots[2], txs[7].key);
+    ASSERT_TRUE(proof.ok());
+    EXPECT_TRUE(tree.VerifyProof(*proof, roots[2]));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, ClientCacheServesProofsAfterWarmup) {
+  auto server_store = NewInMemoryNodeStore();
+  ForkbaseServlet servlet(server_store);
+  PosTree server_tree(server_store);
+  auto root = server_tree.PutBatch(Hash::Zero(), MakeKvs(1000));
+  ASSERT_TRUE(root.ok());
+
+  auto client_store =
+      std::make_shared<ForkbaseClientStore>(&servlet, 8 << 20, 0);
+  PosTree client_tree(client_store);
+  // Warm the cache, then build a proof fully from cached nodes.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(client_tree.Get(*root, TKey(i), nullptr).ok());
+  }
+  const uint64_t remote_before = client_store->remote_stats().remote_gets;
+  auto proof = client_tree.GetProof(*root, TKey(25));
+  ASSERT_TRUE(proof.ok());
+  EXPECT_EQ(client_store->remote_stats().remote_gets, remote_before);
+  EXPECT_TRUE(client_tree.VerifyProof(*proof, *root));
+}
+
+TEST(IntegrationTest, WikiVersionHistoryDiffsAndFootprints) {
+  auto store = NewInMemoryNodeStore();
+  PosTree tree(store);
+  WikiDataset wiki(2000);
+  Hash head = Hash::Zero();
+  auto initial = wiki.InitialRecords();
+  auto r = tree.PutBatch(head, initial);
+  ASSERT_TRUE(r.ok());
+  head = *r;
+  std::vector<Hash> revs{head};
+  for (int v = 1; v <= 5; ++v) {
+    auto next = tree.PutBatch(head, wiki.VersionEdits(v, 0.02));
+    ASSERT_TRUE(next.ok());
+    head = *next;
+    revs.push_back(head);
+  }
+  // Diff between first and last: at most the sum of all edits, at least
+  // one per distinct edited page.
+  auto diff = tree.Diff(revs.front(), revs.back());
+  ASSERT_TRUE(diff.ok());
+  EXPECT_GT(diff->size(), 0u);
+  EXPECT_LE(diff->size(), 5u * std::max<uint64_t>(1, 2000 / 50));
+  // All revisions cost far less than 6 standalone copies.
+  auto fp_all = ComputeFootprint(tree, revs);
+  auto fp_one = ComputeFootprint(tree, {revs.front()});
+  ASSERT_TRUE(fp_all.ok() && fp_one.ok());
+  EXPECT_LT(fp_all->bytes, 3 * fp_one->bytes);
+}
+
+}  // namespace
+}  // namespace siri

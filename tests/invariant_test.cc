@@ -1,0 +1,273 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Deeper invariants, mostly statistical or algebraic: diff/patch
+// round-trips, merge symmetry, digest injectivity in practice, chunk-size
+// and bucket-balance distributions, proof-size growth.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "common/random.h"
+#include "index/ordered/tree_cursor.h"
+#include "index/pos/pos_tree.h"
+#include "tests/test_util.h"
+#include "workload/ycsb.h"
+
+namespace siri {
+namespace {
+
+using testing_util::AllKinds;
+using testing_util::Dump;
+using testing_util::IndexKind;
+using testing_util::KindName;
+using testing_util::MakeIndex;
+using testing_util::MakeKvs;
+using testing_util::TKey;
+using testing_util::TVal;
+
+class InvariantTest : public ::testing::TestWithParam<IndexKind> {
+ protected:
+  void SetUp() override {
+    store_ = NewInMemoryNodeStore();
+    index_ = MakeIndex(GetParam(), store_);
+  }
+
+  std::shared_ptr<InMemoryNodeStore> store_;
+  std::unique_ptr<ImmutableIndex> index_;
+};
+
+TEST_P(InvariantTest, DiffThenPatchReproducesTarget) {
+  // Applying Diff(a, b) onto a must yield exactly b's content.
+  auto a = index_->PutBatch(index_->EmptyRoot(), MakeKvs(400));
+  ASSERT_TRUE(a.ok());
+  Rng rng(21);
+  std::vector<KV> puts;
+  std::vector<std::string> dels;
+  for (int i = 0; i < 80; ++i) {
+    const int k = static_cast<int>(rng.Uniform(600));
+    if (rng.Bernoulli(0.3)) {
+      dels.push_back(TKey(k));
+    } else {
+      puts.push_back(KV{TKey(k), TVal(k, 9)});
+    }
+  }
+  auto b1 = index_->PutBatch(*a, puts);
+  ASSERT_TRUE(b1.ok());
+  auto b = index_->DeleteBatch(*b1, dels);
+  ASSERT_TRUE(b.ok());
+
+  auto diff = index_->Diff(*a, *b);
+  ASSERT_TRUE(diff.ok());
+  std::vector<KV> patch_puts;
+  std::vector<std::string> patch_dels;
+  for (const DiffEntry& e : *diff) {
+    if (e.right) {
+      patch_puts.push_back(KV{e.key, *e.right});
+    } else {
+      patch_dels.push_back(e.key);
+    }
+  }
+  auto patched1 = index_->PutBatch(*a, patch_puts);
+  ASSERT_TRUE(patched1.ok());
+  auto patched = index_->DeleteBatch(*patched1, patch_dels);
+  ASSERT_TRUE(patched.ok());
+  EXPECT_EQ(Dump(*index_, *patched), Dump(*index_, *b));
+}
+
+TEST_P(InvariantTest, MergeContentIsSymmetric) {
+  auto base = index_->PutBatch(index_->EmptyRoot(), MakeKvs(200));
+  ASSERT_TRUE(base.ok());
+  auto ours = index_->PutBatch(*base, {{"o1", "x"}, {TKey(5), "ov"}});
+  auto theirs = index_->PutBatch(*base, {{"t1", "y"}, {TKey(5), "tv"}});
+  ASSERT_TRUE(ours.ok() && theirs.ok());
+  // Symmetric resolver: order of operands must not change the content.
+  auto resolver = [](const std::string&, const std::string& a,
+                     const std::string& b) {
+    return std::optional<std::string>(a < b ? a + b : b + a);
+  };
+  auto m1 = index_->Merge(*ours, *theirs, resolver);
+  auto m2 = index_->Merge(*theirs, *ours, resolver);
+  ASSERT_TRUE(m1.ok() && m2.ok());
+  EXPECT_EQ(Dump(*index_, *m1), Dump(*index_, *m2));
+}
+
+TEST_P(InvariantTest, DistinctContentDistinctDigest) {
+  // Sampled injectivity: N single-record trees, all digests distinct, and
+  // rebuilding any of them reproduces its digest.
+  std::set<Hash> digests;
+  for (int i = 0; i < 200; ++i) {
+    auto r = index_->Put(index_->EmptyRoot(), TKey(i), TVal(i));
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(digests.insert(*r).second) << i;
+  }
+  auto again = index_->Put(index_->EmptyRoot(), TKey(77), TVal(77));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(digests.count(*again), 1u);
+}
+
+TEST_P(InvariantTest, ProofSizeGrowsSublinearly) {
+  auto small = index_->PutBatch(index_->EmptyRoot(), MakeKvs(500));
+  auto large = index_->PutBatch(index_->EmptyRoot(), MakeKvs(8000));
+  ASSERT_TRUE(small.ok() && large.ok());
+  auto p_small = index_->GetProof(*small, TKey(123));
+  auto p_large = index_->GetProof(*large, TKey(123));
+  ASSERT_TRUE(p_small.ok() && p_large.ok());
+  // 16x the data must cost far less than 16x the proof (log growth, or
+  // +N/B for MBT buckets).
+  EXPECT_LT(p_large->ByteSize(), 8 * std::max<uint64_t>(p_small->ByteSize(), 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexes, InvariantTest, ::testing::ValuesIn(AllKinds()),
+    [](const ::testing::TestParamInfo<IndexKind>& info) {
+      return KindName(info.param);
+    });
+
+TEST(PosDistributionTest, LeafSizesMatchPatternExpectation) {
+  // With q pattern bits, leaf sizes are ~geometric with mean ≈ 2^q bytes;
+  // check mean within a factor of two and nontrivial spread.
+  auto store = NewInMemoryNodeStore();
+  PosTreeOptions opt;
+  opt.leaf_pattern_bits = 9;  // target 512 B
+  PosTree tree(store, opt);
+  auto root = tree.BuildFromSorted(MakeKvs(20000));
+  ASSERT_TRUE(root.ok());
+
+  std::vector<uint64_t> leaf_sizes;
+  LevelCursor cur(store.get(), *root, 0);
+  ASSERT_TRUE(cur.SeekToFirst().ok());
+  while (cur.Valid()) {
+    if (cur.AtChunkStart()) {
+      auto size = store->SizeOf(cur.CurrentChunkHash());
+      ASSERT_TRUE(size.ok());
+      leaf_sizes.push_back(*size);
+    }
+    ASSERT_TRUE(cur.Next().ok());
+  }
+  ASSERT_GT(leaf_sizes.size(), 100u);
+  double mean = 0;
+  for (uint64_t s : leaf_sizes) mean += s;
+  mean /= leaf_sizes.size();
+  EXPECT_GT(mean, 256);
+  EXPECT_LT(mean, 1024 + 256);
+  const auto [mn, mx] = std::minmax_element(leaf_sizes.begin(), leaf_sizes.end());
+  EXPECT_LT(*mn, mean);  // content-defined: sizes vary
+  EXPECT_GT(*mx, mean);
+}
+
+TEST(MbtDistributionTest, BucketsAreRoughlyBalanced) {
+  auto store = NewInMemoryNodeStore();
+  MbtOptions opt;
+  opt.num_buckets = 64;
+  opt.fanout = 4;
+  Mbt mbt(store, opt);
+  YcsbGenerator gen(3);
+  auto records = gen.GenerateRecords(6400);  // 100 expected per bucket
+  std::vector<int> counts(64, 0);
+  for (const auto& kv : records) ++counts[mbt.BucketIndexOf(kv.key)];
+  for (int c : counts) {
+    EXPECT_GT(c, 50);   // < half the mean would signal a broken hash
+    EXPECT_LT(c, 200);  // > twice the mean likewise
+  }
+}
+
+TEST(PosDistributionTest, InternalFanoutMatchesPattern) {
+  // internal_pattern_bits = 5 -> mean fanout ≈ 32 (min 2 enforced).
+  auto store = NewInMemoryNodeStore();
+  PosTree tree(store);
+  auto root = tree.BuildFromSorted(MakeKvs(30000));
+  ASSERT_TRUE(root.ok());
+  auto height = LevelCursor::TreeHeight(store.get(), *root);
+  ASSERT_TRUE(height.ok());
+  ASSERT_GE(*height, 3);
+  // Count level-1 nodes and level-0 nodes: ratio ≈ fanout.
+  uint64_t leaves = 0, internals = 0;
+  for (int level : {0, 1}) {
+    LevelCursor cur(store.get(), *root, level);
+    ASSERT_TRUE(cur.SeekToFirst().ok());
+    while (cur.Valid()) {
+      if (cur.AtChunkStart()) ++(level == 0 ? leaves : internals);
+      ASSERT_TRUE(cur.Next().ok());
+    }
+  }
+  // level-1 item count == leaves; level-1 node count == internals.
+  const double fanout = static_cast<double>(leaves) / internals;
+  EXPECT_GT(fanout, 8);
+  EXPECT_LT(fanout, 128);
+}
+
+TEST(ScanOrderTest, OrderedStructuresScanSorted) {
+  for (IndexKind kind : {IndexKind::kPos, IndexKind::kMvmb, IndexKind::kMpt,
+                         IndexKind::kProlly}) {
+    auto store = NewInMemoryNodeStore();
+    auto index = MakeIndex(kind, store);
+    Rng rng(31);
+    std::vector<KV> kvs;
+    for (int i = 0; i < 300; ++i) {
+      kvs.push_back(KV{rng.Bytes(1 + rng.Uniform(20)), "v"});
+    }
+    auto root = index->PutBatch(index->EmptyRoot(), kvs);
+    ASSERT_TRUE(root.ok());
+    std::string prev;
+    bool first = true;
+    ASSERT_TRUE(index->Scan(*root, [&](Slice k, Slice) {
+      if (!first) EXPECT_LT(Slice(prev).compare(k), 0) << KindName(kind);
+      prev = k.ToString();
+      first = false;
+    }).ok());
+  }
+}
+
+
+TEST(ConcurrencyTest, ConcurrentReadersAcrossVersionsWhileWriting) {
+  // Immutability means readers need no coordination: many threads read
+  // different versions while a writer produces new ones.
+  auto store = NewInMemoryNodeStore();
+  PosTree tree(store);
+  auto r0 = tree.PutBatch(Hash::Zero(), MakeKvs(2000));
+  ASSERT_TRUE(r0.ok());
+  std::vector<Hash> versions{*r0};
+  std::atomic<bool> stop{false};
+  std::atomic<int> read_failures{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Snapshot a version; reads against it are wait-free w.r.t. the
+        // writer because versions are never mutated in place.
+        const Hash v = versions[rng.Uniform(versions.size())];
+        const int k = static_cast<int>(rng.Uniform(2000));
+        auto got = tree.Get(v, TKey(k), nullptr);
+        if (!got.ok() || !got->has_value()) {
+          read_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  Hash head = *r0;
+  for (int round = 0; round < 30; ++round) {
+    std::vector<KV> batch;
+    for (int i = 0; i < 50; ++i) {
+      const int k = (round * 53 + i * 7) % 2000;
+      batch.push_back(KV{TKey(k), TVal(k, round + 1)});
+    }
+    auto next = tree.PutBatch(head, batch);
+    ASSERT_TRUE(next.ok());
+    head = *next;
+    // Note: readers only index into the stable prefix of `versions`; we
+    // never resize while they read (capacity reserved up front).
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(read_failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace siri

@@ -1,0 +1,149 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Deduplication-ratio / node-sharing metrics (§4.2) including the
+// theoretical predictions of §4.2.2: for sequentially evolved versions the
+// dedup ratio of the SIRI structures approaches 1/2 - α/2.
+
+#include <gtest/gtest.h>
+
+#include "metrics/dedup.h"
+#include "tests/test_util.h"
+
+namespace siri {
+namespace {
+
+using testing_util::IndexKind;
+using testing_util::MakeIndex;
+using testing_util::MakeKvs;
+using testing_util::TKey;
+using testing_util::TVal;
+
+TEST(DedupStatsTest, DisjointSetsShareNothing) {
+  auto store = NewInMemoryNodeStore();
+  PageSet a, b;
+  a.insert(store->Put("page-a"));
+  b.insert(store->Put("page-b"));
+  auto stats = ComputeDedupStats(store.get(), {a, b});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_DOUBLE_EQ(stats->DeduplicationRatio(), 0.0);
+  EXPECT_DOUBLE_EQ(stats->NodeSharingRatio(), 0.0);
+}
+
+TEST(DedupStatsTest, IdenticalSetsShareEverything) {
+  auto store = NewInMemoryNodeStore();
+  PageSet a;
+  a.insert(store->Put("page-a"));
+  a.insert(store->Put("page-b"));
+  auto stats = ComputeDedupStats(store.get(), {a, a});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_DOUBLE_EQ(stats->DeduplicationRatio(), 0.5);
+  EXPECT_DOUBLE_EQ(stats->NodeSharingRatio(), 0.5);
+}
+
+TEST(DedupStatsTest, RatioWeighsBytesNotJustCounts) {
+  auto store = NewInMemoryNodeStore();
+  const Hash big = store->Put(std::string(1000, 'b'));
+  const Hash small_a = store->Put(std::string(10, 'x'));
+  const Hash small_b = store->Put(std::string(10, 'y'));
+  PageSet a = {big, small_a};
+  PageSet b = {big, small_b};
+  auto stats = ComputeDedupStats(store.get(), {a, b});
+  ASSERT_TRUE(stats.ok());
+  // Shared bytes = 1000 of 2020 -> dedup ratio 1000/2020.
+  EXPECT_NEAR(stats->DeduplicationRatio(), 1000.0 / 2020.0, 1e-9);
+  // Shared nodes = 1 of 4.
+  EXPECT_NEAR(stats->NodeSharingRatio(), 0.25, 1e-9);
+}
+
+TEST(DedupStatsTest, EmptyInputIsZero) {
+  auto store = NewInMemoryNodeStore();
+  auto stats = ComputeDedupStats(store.get(), {});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_DOUBLE_EQ(stats->DeduplicationRatio(), 0.0);
+}
+
+class VersionedDedupTest : public ::testing::TestWithParam<IndexKind> {};
+
+TEST_P(VersionedDedupTest, SequentialVersionsApproachHalfMinusAlpha) {
+  // §4.2.2 continuous differential analysis: with update ratio α over a
+  // *continuous key range* between consecutive versions, η over two
+  // adjacent versions ≈ 1/2 - α/2. Verify loosely for α = 0.05.
+  auto store = NewInMemoryNodeStore();
+  auto index = MakeIndex(GetParam(), store);
+  auto v1 = index->PutBatch(index->EmptyRoot(), MakeKvs(4000));
+  ASSERT_TRUE(v1.ok());
+  std::vector<KV> updates;
+  for (int i = 2000; i < 2200; ++i) updates.push_back(KV{TKey(i), TVal(i, 1)});
+  auto v2 = index->PutBatch(*v1, updates);
+  ASSERT_TRUE(v2.ok());
+
+  auto stats = ComputeDedupStatsForRoots(*index, {*v1, *v2});
+  ASSERT_TRUE(stats.ok());
+  const double eta = stats->DeduplicationRatio();
+  // Theory: 0.5 - 0.05/2 = 0.475; allow generous slack for node-level
+  // rounding (whole pages invalidate, not records — a 5% record change
+  // can dirty a larger page fraction).
+  EXPECT_GT(eta, 0.25) << stats->ToString();
+  EXPECT_LE(eta, 0.50) << stats->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SiriIndexes, VersionedDedupTest,
+    ::testing::Values(IndexKind::kMpt, IndexKind::kPos),
+    [](const ::testing::TestParamInfo<IndexKind>& info) {
+      return testing_util::KindName(info.param);
+    });
+
+TEST(MbtDedupTest, SequentialVersionsWithEnoughBuckets) {
+  // MBT scatters even contiguous key ranges across buckets (bucket = hash
+  // of key), so the α of the theory is α at the *bucket* level: with B
+  // much larger than the number of updated records, few buckets dirty and
+  // η approaches 1/2 - α/2 just like the others.
+  auto store = NewInMemoryNodeStore();
+  MbtOptions opt;
+  opt.num_buckets = 4096;
+  opt.fanout = 16;
+  Mbt mbt(store, opt);
+  auto v1 = mbt.PutBatch(mbt.EmptyRoot(), MakeKvs(4000));
+  ASSERT_TRUE(v1.ok());
+  std::vector<KV> updates;
+  for (int i = 2000; i < 2050; ++i) updates.push_back(KV{TKey(i), TVal(i, 1)});
+  auto v2 = mbt.PutBatch(*v1, updates);
+  ASSERT_TRUE(v2.ok());
+  auto stats = ComputeDedupStatsForRoots(mbt, {*v1, *v2});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->DeduplicationRatio(), 0.35) << stats->ToString();
+  EXPECT_LE(stats->DeduplicationRatio(), 0.50) << stats->ToString();
+}
+
+TEST(FootprintTest, RetainedVersionsCostOnlyDeltas) {
+  auto store = NewInMemoryNodeStore();
+  auto index = MakeIndex(IndexKind::kPos, store);
+  auto v1 = index->PutBatch(index->EmptyRoot(), MakeKvs(3000));
+  ASSERT_TRUE(v1.ok());
+  auto fp1 = ComputeFootprint(*index, {*v1});
+  ASSERT_TRUE(fp1.ok());
+
+  auto v2 = index->Put(*v1, TKey(1), "new");
+  ASSERT_TRUE(v2.ok());
+  auto fp_both = ComputeFootprint(*index, {*v1, *v2});
+  ASSERT_TRUE(fp_both.ok());
+
+  // Retaining both versions costs only slightly more than one.
+  EXPECT_LT(fp_both->bytes, static_cast<uint64_t>(fp1->bytes * 1.05));
+  EXPECT_GE(fp_both->bytes, fp1->bytes);
+}
+
+TEST(FootprintTest, StringFormatting) {
+  DedupStats stats;
+  stats.union_nodes = 10;
+  stats.union_bytes = 1000;
+  stats.total_nodes = 20;
+  stats.total_bytes = 4000;
+  const std::string s = stats.ToString();
+  EXPECT_NE(s.find("dedup=0.75"), std::string::npos);
+  EXPECT_NE(s.find("sharing=0.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace siri

@@ -1,0 +1,192 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// MPT-specific behavior: node splitting/collapsing around shared prefixes,
+// path compaction, lookup depth ~ key length, trie-aligned diff.
+
+#include <gtest/gtest.h>
+
+#include "index/mpt/mpt.h"
+#include "tests/test_util.h"
+
+namespace siri {
+namespace {
+
+using testing_util::Dump;
+using testing_util::MakeKvs;
+using testing_util::TKey;
+
+class MptTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = NewInMemoryNodeStore();
+    mpt_ = std::make_unique<Mpt>(store_);
+  }
+
+  std::shared_ptr<InMemoryNodeStore> store_;
+  std::unique_ptr<Mpt> mpt_;
+};
+
+TEST_F(MptTest, SharedPrefixKeysSplitCorrectly) {
+  auto r = mpt_->PutBatch(Hash::Zero(), {{"abcdef", "1"},
+                                         {"abcxyz", "2"},
+                                         {"abc", "3"},
+                                         {"zzz", "4"}});
+  ASSERT_TRUE(r.ok());
+  for (const auto& [k, v] : std::map<std::string, std::string>{
+           {"abcdef", "1"}, {"abcxyz", "2"}, {"abc", "3"}, {"zzz", "4"}}) {
+    auto got = mpt_->Get(*r, k, nullptr);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(got->has_value()) << k;
+    EXPECT_EQ(**got, v);
+  }
+  // Near-miss keys must not resolve.
+  EXPECT_FALSE(mpt_->Get(*r, "abcd", nullptr)->has_value());
+  EXPECT_FALSE(mpt_->Get(*r, "ab", nullptr)->has_value());
+  EXPECT_FALSE(mpt_->Get(*r, "abcdefg", nullptr)->has_value());
+}
+
+TEST_F(MptTest, LookupDepthTracksKeyLength) {
+  // With distinct shared-prefix chains, depth grows with key length —
+  // the O(L) bound of §4.1.1.
+  std::vector<KV> kvs;
+  std::string key;
+  for (int i = 0; i < 24; ++i) {
+    key.push_back('a' + (i % 3));
+    kvs.push_back(KV{key, "v"});
+  }
+  auto r = mpt_->PutBatch(Hash::Zero(), kvs);
+  ASSERT_TRUE(r.ok());
+  LookupStats shallow, deep;
+  ASSERT_TRUE(mpt_->Get(*r, kvs.front().key, &shallow).ok());
+  ASSERT_TRUE(mpt_->Get(*r, kvs.back().key, &deep).ok());
+  EXPECT_GT(deep.depth, shallow.depth);
+}
+
+TEST_F(MptTest, DeleteCollapsesBranchToLeaf) {
+  // Two keys diverging at the last nibble: removing one must collapse the
+  // branch, restoring the exact pre-insert digest (canonical form).
+  auto r1 = mpt_->Put(Hash::Zero(), "aaa1", "x");
+  ASSERT_TRUE(r1.ok());
+  auto r2 = mpt_->Put(*r1, "aaa2", "y");
+  ASSERT_TRUE(r2.ok());
+  auto r3 = mpt_->Delete(*r2, "aaa2");
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(*r3, *r1);
+}
+
+TEST_F(MptTest, DeleteCollapsesThroughExtensions) {
+  auto base = mpt_->PutBatch(Hash::Zero(), {{"prefix-long-a", "1"},
+                                            {"prefix-long-b", "2"}});
+  ASSERT_TRUE(base.ok());
+  auto with = mpt_->Put(*base, "prefix-other", "3");
+  ASSERT_TRUE(with.ok());
+  auto restored = mpt_->Delete(*with, "prefix-other");
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, *base);
+}
+
+TEST_F(MptTest, BranchValueSurvivesChildDeletion) {
+  // "ab" terminates at a branch that also routes "abc".
+  auto r1 = mpt_->PutBatch(Hash::Zero(), {{"ab", "vab"}, {"abc", "vabc"},
+                                          {"abd", "vabd"}});
+  ASSERT_TRUE(r1.ok());
+  auto r2 = mpt_->DeleteBatch(*r1, {"abc", "abd"});
+  ASSERT_TRUE(r2.ok());
+  auto got = mpt_->Get(*r2, "ab", nullptr);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(got->has_value());
+  EXPECT_EQ(**got, "vab");
+  EXPECT_EQ(Dump(*mpt_, *r2).size(), 1u);
+}
+
+TEST_F(MptTest, ScanYieldsLexicographicOrder) {
+  auto r = mpt_->PutBatch(Hash::Zero(), MakeKvs(200));
+  ASSERT_TRUE(r.ok());
+  std::string prev;
+  bool first = true;
+  ASSERT_TRUE(mpt_->Scan(*r, [&](Slice k, Slice) {
+    if (!first) EXPECT_LT(prev, k.ToString());
+    prev = k.ToString();
+    first = false;
+  }).ok());
+}
+
+TEST_F(MptTest, DiffFindsExactChanges) {
+  auto base = mpt_->PutBatch(Hash::Zero(), MakeKvs(300));
+  ASSERT_TRUE(base.ok());
+  auto changed = mpt_->PutBatch(
+      *base, {{TKey(5), "new5"}, {TKey(250), "new250"}, {"brand-new", "x"}});
+  ASSERT_TRUE(changed.ok());
+  auto after_del = mpt_->Delete(*changed, TKey(100));
+  ASSERT_TRUE(after_del.ok());
+
+  auto diff = mpt_->Diff(*base, *after_del);
+  ASSERT_TRUE(diff.ok());
+  ASSERT_EQ(diff->size(), 4u);
+  // Sorted by key: TKey(100) deleted, TKey(250)/TKey(5) modified, new added.
+  std::map<std::string, std::pair<bool, bool>> presence;
+  for (const auto& e : *diff) {
+    presence[e.key] = {e.left.has_value(), e.right.has_value()};
+  }
+  EXPECT_EQ(presence.at(TKey(100)), std::make_pair(true, false));
+  EXPECT_EQ(presence.at(TKey(5)), std::make_pair(true, true));
+  EXPECT_EQ(presence.at(TKey(250)), std::make_pair(true, true));
+  EXPECT_EQ(presence.at("brand-new"), std::make_pair(false, true));
+}
+
+TEST_F(MptTest, DiffAgainstEmptyListsEverything) {
+  auto r = mpt_->PutBatch(Hash::Zero(), MakeKvs(50));
+  ASSERT_TRUE(r.ok());
+  auto diff = mpt_->Diff(Hash::Zero(), *r);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff->size(), 50u);
+  for (const auto& e : *diff) {
+    EXPECT_FALSE(e.left.has_value());
+    EXPECT_TRUE(e.right.has_value());
+  }
+}
+
+TEST_F(MptTest, DiffPrunesSharedSubtrees) {
+  auto base = mpt_->PutBatch(Hash::Zero(), MakeKvs(2000));
+  ASSERT_TRUE(base.ok());
+  auto changed = mpt_->Put(*base, TKey(1234), "changed");
+  ASSERT_TRUE(changed.ok());
+  store_->ResetOpCounters();
+  auto diff = mpt_->Diff(*base, *changed);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff->size(), 1u);
+  // Pruning means the diff touched only the two divergent paths, not the
+  // whole 2000-record trie.
+  EXPECT_LT(store_->stats().gets, 100u);
+}
+
+TEST_F(MptTest, LongKeysWithDeepSharedPrefix) {
+  const std::string prefix(60, 'p');
+  std::vector<KV> kvs;
+  for (int i = 0; i < 20; ++i) {
+    kvs.push_back(KV{prefix + std::to_string(i), "v" + std::to_string(i)});
+  }
+  auto r = mpt_->PutBatch(Hash::Zero(), kvs);
+  ASSERT_TRUE(r.ok());
+  for (const auto& kv : kvs) {
+    auto got = mpt_->Get(*r, kv.key, nullptr);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(got->has_value());
+    EXPECT_EQ(**got, kv.value);
+  }
+}
+
+TEST_F(MptTest, EmptyKeySupported) {
+  auto r = mpt_->Put(Hash::Zero(), "", "empty-key-value");
+  ASSERT_TRUE(r.ok());
+  auto got = mpt_->Get(*r, "", nullptr);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(got->has_value());
+  EXPECT_EQ(**got, "empty-key-value");
+  auto r2 = mpt_->Put(*r, "a", "x");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(mpt_->Get(*r2, "", nullptr)->has_value());
+}
+
+}  // namespace
+}  // namespace siri

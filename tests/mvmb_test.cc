@@ -1,0 +1,142 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// MVMB+-Tree baseline: node splitting, balanced packing, order dependence
+// (the Figure 2 phenomenon that disqualifies B+-trees from SIRI), and
+// copy-on-write versioning.
+
+#include <gtest/gtest.h>
+
+#include "index/mvmb/mvmb_tree.h"
+#include "index/ordered/tree_cursor.h"
+#include "tests/test_util.h"
+
+namespace siri {
+namespace {
+
+using testing_util::Dump;
+using testing_util::MakeKvs;
+using testing_util::TKey;
+using testing_util::TVal;
+
+class MvmbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = NewInMemoryNodeStore();
+    tree_ = std::make_unique<MvmbTree>(store_);
+  }
+
+  std::shared_ptr<InMemoryNodeStore> store_;
+  std::unique_ptr<MvmbTree> tree_;
+};
+
+TEST_F(MvmbTest, NodesRespectByteBudget) {
+  auto root = tree_->PutBatch(Hash::Zero(), MakeKvs(3000));
+  ASSERT_TRUE(root.ok());
+  PageSet pages;
+  ASSERT_TRUE(tree_->CollectPages(*root, &pages).ok());
+  for (const Hash& h : pages) {
+    auto size = store_->SizeOf(h);
+    ASSERT_TRUE(size.ok());
+    // Packing targets max_node_bytes with slack for one oversized entry.
+    EXPECT_LT(*size, 2 * tree_->options().max_node_bytes);
+  }
+}
+
+TEST_F(MvmbTest, TreeIsBalancedEnough) {
+  auto root = tree_->PutBatch(Hash::Zero(), MakeKvs(10000));
+  ASSERT_TRUE(root.ok());
+  auto height = LevelCursor::TreeHeight(store_.get(), *root);
+  ASSERT_TRUE(height.ok());
+  // ~3 entries/leaf at 1KB, fanout ~25 internal: height stays modest.
+  EXPECT_LE(*height, 6);
+  EXPECT_GE(*height, 2);
+}
+
+TEST_F(MvmbTest, OrderDependentStructure) {
+  // The defining non-SIRI behavior (Figure 2): same records, different
+  // insertion orders, different digests — while content matches.
+  auto kvs = MakeKvs(1000);
+  auto forward = tree_->PutBatch(Hash::Zero(), kvs);
+  ASSERT_TRUE(forward.ok());
+
+  Hash reverse_root = Hash::Zero();
+  for (auto it = kvs.rbegin(); it != kvs.rend(); it += 100) {
+    std::vector<KV> batch(it, it + 100);
+    auto next = tree_->PutBatch(reverse_root, batch);
+    ASSERT_TRUE(next.ok());
+    reverse_root = *next;
+  }
+  EXPECT_NE(*forward, reverse_root);
+  EXPECT_EQ(Dump(*tree_, *forward), Dump(*tree_, reverse_root));
+}
+
+TEST_F(MvmbTest, BulkLoadMatchesContent) {
+  auto kvs = MakeKvs(2000);
+  auto bulk = tree_->BuildFromSorted(kvs);
+  ASSERT_TRUE(bulk.ok());
+  std::map<std::string, std::string> expected;
+  for (const auto& kv : kvs) expected[kv.key] = kv.value;
+  EXPECT_EQ(Dump(*tree_, *bulk), expected);
+}
+
+TEST_F(MvmbTest, SplitPreservesAllRecordsAcrossBoundary) {
+  // Fill one leaf to overflow and verify the split loses nothing.
+  std::vector<KV> kvs;
+  for (int i = 0; i < 30; ++i) {
+    kvs.push_back(KV{TKey(i), std::string(100, 'a' + (i % 26))});
+  }
+  Hash root = Hash::Zero();
+  for (const auto& kv : kvs) {
+    auto next = tree_->Put(root, kv.key, kv.value);
+    ASSERT_TRUE(next.ok());
+    root = *next;
+  }
+  EXPECT_EQ(Dump(*tree_, root).size(), 30u);
+}
+
+TEST_F(MvmbTest, CopyOnWriteSharesSubtrees) {
+  auto base = tree_->PutBatch(Hash::Zero(), MakeKvs(5000));
+  ASSERT_TRUE(base.ok());
+  auto next = tree_->Put(*base, TKey(2500), "x");
+  ASSERT_TRUE(next.ok());
+  PageSet p1, p2;
+  ASSERT_TRUE(tree_->CollectPages(*base, &p1).ok());
+  ASSERT_TRUE(tree_->CollectPages(*next, &p2).ok());
+  size_t fresh = 0;
+  for (const Hash& h : p2) {
+    if (p1.count(h) == 0) ++fresh;
+  }
+  // Only the root-to-leaf path is rewritten.
+  EXPECT_LE(fresh, 8u);
+}
+
+TEST_F(MvmbTest, DeletesLeaveUnderfullNodesButCorrectContent) {
+  auto root = tree_->PutBatch(Hash::Zero(), MakeKvs(1000));
+  ASSERT_TRUE(root.ok());
+  std::vector<std::string> dels;
+  for (int i = 0; i < 1000; i += 2) dels.push_back(TKey(i));
+  auto after = tree_->DeleteBatch(*root, dels);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(Dump(*tree_, *after).size(), 500u);
+}
+
+TEST_F(MvmbTest, EmptyRootAfterDeletingEverything) {
+  auto root = tree_->PutBatch(Hash::Zero(), MakeKvs(100));
+  ASSERT_TRUE(root.ok());
+  std::vector<std::string> dels;
+  for (int i = 0; i < 100; ++i) dels.push_back(TKey(i));
+  auto after = tree_->DeleteBatch(*root, dels);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->IsZero());
+}
+
+TEST_F(MvmbTest, HugeSingleValueGetsOwnNode) {
+  auto root = tree_->Put(Hash::Zero(), "big", std::string(10000, 'x'));
+  ASSERT_TRUE(root.ok());
+  auto got = tree_->Get(*root, "big", nullptr);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->value().size(), 10000u);
+}
+
+}  // namespace
+}  // namespace siri

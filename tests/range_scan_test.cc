@@ -1,0 +1,107 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// RangeScan across all structures: ordered trees use cursor seeks, the
+// others fall back to filtered scans; results must be identical.
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace siri {
+namespace {
+
+using testing_util::AllKinds;
+using testing_util::IndexKind;
+using testing_util::KindName;
+using testing_util::MakeIndex;
+using testing_util::MakeKvs;
+using testing_util::TKey;
+using testing_util::TVal;
+
+class RangeScanTest : public ::testing::TestWithParam<IndexKind> {
+ protected:
+  void SetUp() override {
+    store_ = NewInMemoryNodeStore();
+    index_ = MakeIndex(GetParam(), store_);
+    auto root = index_->PutBatch(index_->EmptyRoot(), MakeKvs(1000));
+    ASSERT_TRUE(root.ok());
+    root_ = *root;
+  }
+
+  std::vector<KV> Collect(Slice lo, Slice hi) {
+    std::vector<KV> out;
+    Status s = index_->RangeScan(root_, lo, hi, [&](Slice k, Slice v) {
+      out.push_back(KV{k.ToString(), v.ToString()});
+    });
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return out;
+  }
+
+  std::shared_ptr<InMemoryNodeStore> store_;
+  std::unique_ptr<ImmutableIndex> index_;
+  Hash root_;
+};
+
+TEST_P(RangeScanTest, MiddleRangeExactAndOrdered) {
+  auto hits = Collect(TKey(100), TKey(200));
+  ASSERT_EQ(hits.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(hits[i].key, TKey(100 + i));
+    EXPECT_EQ(hits[i].value, TVal(100 + i));
+  }
+}
+
+TEST_P(RangeScanTest, BoundsAreHalfOpen) {
+  auto hits = Collect(TKey(5), TKey(6));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].key, TKey(5));
+}
+
+TEST_P(RangeScanTest, EmptyRangeYieldsNothing) {
+  EXPECT_TRUE(Collect(TKey(7), TKey(7)).empty());
+  EXPECT_TRUE(Collect("zzz", "zzzz").empty());
+}
+
+TEST_P(RangeScanTest, FullRangeMatchesScan) {
+  auto hits = Collect("", "~");  // '~' > every generated key
+  EXPECT_EQ(hits.size(), 1000u);
+}
+
+TEST_P(RangeScanTest, RangeAcrossManyLeaves) {
+  auto hits = Collect(TKey(0), TKey(999) + "\xff");
+  EXPECT_EQ(hits.size(), 1000u);
+}
+
+TEST_P(RangeScanTest, OrderedTreesSeekInsteadOfScanning) {
+  if (GetParam() == IndexKind::kMbt || GetParam() == IndexKind::kMpt) {
+    GTEST_SKIP() << "fallback implementations scan";
+  }
+  // Bigger tree so "whole tree" and "one seek path" are far apart.
+  auto big = index_->PutBatch(index_->EmptyRoot(), MakeKvs(20000));
+  ASSERT_TRUE(big.ok());
+  PageSet pages;
+  ASSERT_TRUE(index_->CollectPages(*big, &pages).ok());
+
+  store_->ResetOpCounters();
+  std::vector<KV> hits;
+  ASSERT_TRUE(index_->RangeScan(*big, TKey(10000), TKey(10010),
+                                [&](Slice k, Slice v) {
+                                  hits.push_back(KV{k.ToString(), v.ToString()});
+                                })
+                  .ok());
+  const uint64_t gets = store_->stats().gets;
+  EXPECT_EQ(hits.size(), 10u);
+  // A short range visits one root-to-leaf path plus a few leaves, not the
+  // whole tree.
+  EXPECT_LT(gets, 30u);
+  EXPECT_LT(gets, pages.size() / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexes, RangeScanTest, ::testing::ValuesIn(AllKinds()),
+    [](const ::testing::TestParamInfo<IndexKind>& info) {
+      return KindName(info.param);
+    });
+
+}  // namespace
+}  // namespace siri

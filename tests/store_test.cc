@@ -1,0 +1,138 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Content-addressed node store: idempotent puts, statistics, page-set
+// accounting, and fault injection plumbing.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/random.h"
+#include "crypto/sha256.h"
+#include "store/node_store.h"
+
+namespace siri {
+namespace {
+
+TEST(NodeStoreTest, PutReturnsContentDigest) {
+  auto store = NewInMemoryNodeStore();
+  const Hash h = store->Put("hello node");
+  EXPECT_EQ(h, Sha256::Digest("hello node"));
+}
+
+TEST(NodeStoreTest, GetReturnsStoredBytes) {
+  auto store = NewInMemoryNodeStore();
+  const Hash h = store->Put("payload");
+  auto got = store->Get(h);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(**got, "payload");
+}
+
+TEST(NodeStoreTest, GetMissingIsNotFound) {
+  auto store = NewInMemoryNodeStore();
+  auto got = store->Get(Sha256::Digest("never stored"));
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsNotFound());
+}
+
+TEST(NodeStoreTest, DuplicatePutIsDeduplicated) {
+  auto store = NewInMemoryNodeStore();
+  store->Put("same");
+  store->Put("same");
+  store->Put("same");
+  const auto stats = store->stats();
+  EXPECT_EQ(stats.puts, 3u);
+  EXPECT_EQ(stats.dup_puts, 2u);
+  EXPECT_EQ(stats.unique_nodes, 1u);
+  EXPECT_EQ(stats.unique_bytes, 4u);
+}
+
+TEST(NodeStoreTest, StatsTrackBytes) {
+  auto store = NewInMemoryNodeStore();
+  store->Put(std::string(100, 'a'));
+  store->Put(std::string(50, 'b'));
+  const auto stats = store->stats();
+  EXPECT_EQ(stats.put_bytes, 150u);
+  EXPECT_EQ(stats.unique_bytes, 150u);
+}
+
+TEST(NodeStoreTest, ResetOpCountersKeepsResidency) {
+  auto store = NewInMemoryNodeStore();
+  const Hash h = store->Put("x");
+  (void)store->Get(h);
+  store->ResetOpCounters();
+  const auto stats = store->stats();
+  EXPECT_EQ(stats.puts, 0u);
+  EXPECT_EQ(stats.gets, 0u);
+  EXPECT_EQ(stats.unique_nodes, 1u);
+  EXPECT_TRUE(store->Contains(h));
+}
+
+TEST(NodeStoreTest, SizeOfReportsSerializedSize) {
+  auto store = NewInMemoryNodeStore();
+  const Hash h = store->Put(std::string(321, 'z'));
+  auto size = store->SizeOf(h);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 321u);
+  EXPECT_FALSE(store->SizeOf(Sha256::Digest("absent")).ok());
+}
+
+TEST(NodeStoreTest, BytesOfSumsPageSet) {
+  auto store = NewInMemoryNodeStore();
+  PageSet pages;
+  pages.insert(store->Put(std::string(10, 'a')));
+  pages.insert(store->Put(std::string(20, 'b')));
+  EXPECT_EQ(store->BytesOf(pages), 30u);
+}
+
+TEST(NodeStoreTest, ConcurrentPutsAndGetsAreSafe) {
+  auto store = NewInMemoryNodeStore();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&store, t] {
+      Rng rng(t);
+      for (int i = 0; i < 500; ++i) {
+        const Hash h = store->Put(rng.Bytes(64));
+        auto got = store->Get(h);
+        ASSERT_TRUE(got.ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(store->stats().puts, 2000u);
+}
+
+TEST(FaultyNodeStoreTest, CorruptNodeSurfacesCorruption) {
+  auto base = NewInMemoryNodeStore();
+  FaultyNodeStore faulty(base);
+  const Hash h = faulty.Put("data");
+  faulty.CorruptNode(h);
+  auto got = faulty.Get(h);
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsCorruption());
+}
+
+TEST(FaultyNodeStoreTest, DropNodeSurfacesNotFound) {
+  auto base = NewInMemoryNodeStore();
+  FaultyNodeStore faulty(base);
+  const Hash h = faulty.Put("data");
+  faulty.DropNode(h);
+  EXPECT_FALSE(faulty.Contains(h));
+  auto got = faulty.Get(h);
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsNotFound());
+}
+
+TEST(FaultyNodeStoreTest, ClearFaultsRestoresAccess) {
+  auto base = NewInMemoryNodeStore();
+  FaultyNodeStore faulty(base);
+  const Hash h = faulty.Put("data");
+  faulty.CorruptNode(h);
+  faulty.ClearFaults();
+  auto got = faulty.Get(h);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(**got, "data");
+}
+
+}  // namespace
+}  // namespace siri

@@ -1,0 +1,164 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// System layer: Forkbase servlet/client node cache behavior (§5.6.1) and
+// the blockchain ledger simulation (§5.1.3).
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.h"
+#include "index/pos/pos_tree.h"
+#include "system/forkbase.h"
+#include "system/ledger.h"
+#include "tests/test_util.h"
+#include "workload/datasets.h"
+
+namespace siri {
+namespace {
+
+using testing_util::MakeKvs;
+using testing_util::TKey;
+
+TEST(NodeCacheTest, LookupAfterInsertHits) {
+  NodeCache cache(1 << 20);
+  const Hash h = Sha256::Digest("x");
+  cache.Insert(h, std::make_shared<const std::string>("payload"));
+  auto got = cache.Lookup(h);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, "payload");
+}
+
+TEST(NodeCacheTest, EvictsLruWhenOverCapacity) {
+  NodeCache cache(100);
+  const Hash a = Sha256::Digest("a");
+  const Hash b = Sha256::Digest("b");
+  const Hash c = Sha256::Digest("c");
+  cache.Insert(a, std::make_shared<const std::string>(std::string(60, 'a')));
+  cache.Insert(b, std::make_shared<const std::string>(std::string(60, 'b')));
+  // a is LRU and must be gone; b stays.
+  EXPECT_EQ(cache.Lookup(a), nullptr);
+  EXPECT_NE(cache.Lookup(b), nullptr);
+  // Touch b, insert c: b stays hot.
+  cache.Insert(c, std::make_shared<const std::string>(std::string(60, 'c')));
+  EXPECT_NE(cache.Lookup(c), nullptr);
+  EXPECT_EQ(cache.Lookup(b), nullptr);  // b was evicted by c (b size 60+60>100)
+}
+
+TEST(NodeCacheTest, ClearEmptiesEverything) {
+  NodeCache cache(1000);
+  cache.Insert(Sha256::Digest("k"),
+               std::make_shared<const std::string>("v"));
+  cache.Clear();
+  EXPECT_EQ(cache.size_bytes(), 0u);
+  EXPECT_EQ(cache.Lookup(Sha256::Digest("k")), nullptr);
+}
+
+TEST(ForkbaseClientTest, RepeatedReadsHitCache) {
+  auto server_store = NewInMemoryNodeStore();
+  ForkbaseServlet servlet(server_store);
+  auto client_store =
+      std::make_shared<ForkbaseClientStore>(&servlet, 16 << 20, 0);
+
+  // Server-side index construction.
+  PosTree server_tree(server_store);
+  auto root = server_tree.BuildFromSorted(MakeKvs(2000));
+  ASSERT_TRUE(root.ok());
+
+  // Client-side reads via cache.
+  PosTree client_tree(client_store);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      auto got = client_tree.Get(*root, TKey(i * 7), nullptr);
+      ASSERT_TRUE(got.ok());
+      ASSERT_TRUE(got->has_value());
+    }
+  }
+  const auto& stats = client_store->remote_stats();
+  // Rounds 2 and 3 hit the cache for every node on the paths.
+  EXPECT_GT(stats.cache_hits, stats.remote_gets);
+  EXPECT_GT(stats.HitRatio(), 0.5);
+}
+
+TEST(ForkbaseClientTest, ColdCacheGoesRemote) {
+  auto server_store = NewInMemoryNodeStore();
+  ForkbaseServlet servlet(server_store);
+  auto client_store =
+      std::make_shared<ForkbaseClientStore>(&servlet, 16 << 20, 0);
+  PosTree server_tree(server_store);
+  auto root = server_tree.BuildFromSorted(MakeKvs(500));
+  ASSERT_TRUE(root.ok());
+
+  PosTree client_tree(client_store);
+  auto got = client_tree.Get(*root, TKey(123), nullptr);
+  ASSERT_TRUE(got.ok());
+  EXPECT_GT(client_store->remote_stats().remote_gets, 0u);
+  EXPECT_EQ(client_store->remote_stats().cache_hits, 0u);
+}
+
+TEST(ForkbaseClientTest, WritesForwardToServer) {
+  auto server_store = NewInMemoryNodeStore();
+  ForkbaseServlet servlet(server_store);
+  auto client_store =
+      std::make_shared<ForkbaseClientStore>(&servlet, 1 << 20, 0);
+  PosTree client_tree(client_store);
+  auto root = client_tree.Put(Hash::Zero(), "k", "v");
+  ASSERT_TRUE(root.ok());
+  // The node is durable on the server.
+  EXPECT_TRUE(server_store->Contains(*root));
+}
+
+TEST(LedgerTest, AppendAndLookup) {
+  auto store = NewInMemoryNodeStore();
+  PosTree tree(store);
+  Ledger ledger(&tree);
+  EthDataset eth;
+
+  std::vector<KV> probe;
+  for (uint64_t b = 0; b < 5; ++b) {
+    auto txs = eth.BlockRecords(b, 100);
+    probe.push_back(txs[b]);  // remember one tx per block
+    ASSERT_TRUE(ledger.AppendBlock(txs).ok());
+  }
+  EXPECT_EQ(ledger.num_blocks(), 5u);
+
+  for (const auto& kv : probe) {
+    uint64_t scanned = 0;
+    auto got = ledger.Lookup(kv.key, &scanned);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(got->has_value());
+    EXPECT_EQ(**got, kv.value);
+    EXPECT_GE(scanned, 1u);
+    EXPECT_LE(scanned, 5u);
+  }
+}
+
+TEST(LedgerTest, MissingTransactionScansAllBlocks) {
+  auto store = NewInMemoryNodeStore();
+  PosTree tree(store);
+  Ledger ledger(&tree);
+  EthDataset eth;
+  for (uint64_t b = 0; b < 4; ++b) {
+    ASSERT_TRUE(ledger.AppendBlock(eth.BlockRecords(b, 50)).ok());
+  }
+  uint64_t scanned = 0;
+  auto got = ledger.Lookup("deadbeef-no-such-hash", &scanned);
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(got->has_value());
+  EXPECT_EQ(scanned, 4u);
+}
+
+TEST(LedgerTest, NewerBlocksAreScannedFirst) {
+  auto store = NewInMemoryNodeStore();
+  PosTree tree(store);
+  Ledger ledger(&tree);
+  // The same key in two blocks: the newer block's value wins.
+  ASSERT_TRUE(ledger.AppendBlock({{"txhash", "old"}}).ok());
+  ASSERT_TRUE(ledger.AppendBlock({{"txhash", "new"}}).ok());
+  uint64_t scanned = 0;
+  auto got = ledger.Lookup("txhash", &scanned);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(**got, "new");
+  EXPECT_EQ(scanned, 1u);
+}
+
+}  // namespace
+}  // namespace siri

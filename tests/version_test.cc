@@ -1,0 +1,254 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Version layer: commit objects, branches, history walks, merge bases,
+// and version transfer packs.
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.h"
+#include "index/pos/pos_tree.h"
+#include "tests/test_util.h"
+#include "version/commit.h"
+#include "version/transfer.h"
+
+namespace siri {
+namespace {
+
+using testing_util::Dump;
+using testing_util::MakeKvs;
+using testing_util::TKey;
+
+TEST(CommitTest, EncodeDecodeRoundTrip) {
+  Commit c;
+  c.root = Sha256::Digest("some root");
+  c.parents = {Sha256::Digest("p1"), Sha256::Digest("p2")};
+  c.author = "alice";
+  c.message = "merge cleanup into main";
+  c.sequence = 42;
+  auto back = Commit::Decode(c.Encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->root, c.root);
+  ASSERT_EQ(back->parents.size(), 2u);
+  EXPECT_EQ(back->parents[1], c.parents[1]);
+  EXPECT_EQ(back->author, "alice");
+  EXPECT_EQ(back->message, c.message);
+  EXPECT_EQ(back->sequence, 42u);
+}
+
+TEST(CommitTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(Commit::Decode("not a commit").ok());
+  Commit c;
+  c.root = Sha256::Digest("r");
+  std::string bytes = c.Encode();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(Commit::Decode(bytes).ok());
+}
+
+class BranchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = NewInMemoryNodeStore();
+    index_ = std::make_unique<PosTree>(store_);
+    mgr_ = std::make_unique<BranchManager>(store_);
+  }
+
+  Hash MakeRoot(int n, int version) {
+    Hash root = Hash::Zero();
+    std::vector<KV> kvs;
+    for (int i = 0; i < n; ++i) {
+      kvs.push_back(KV{TKey(i), testing_util::TVal(i, version)});
+    }
+    auto r = index_->PutBatch(root, kvs);
+    EXPECT_TRUE(r.ok());
+    return *r;
+  }
+
+  std::shared_ptr<InMemoryNodeStore> store_;
+  std::unique_ptr<PosTree> index_;
+  std::unique_ptr<BranchManager> mgr_;
+};
+
+TEST_F(BranchTest, CommitAdvancesHead) {
+  const Hash v1 = MakeRoot(10, 0);
+  auto c1 = mgr_->CommitOnBranch("main", v1, "alice", "initial");
+  ASSERT_TRUE(c1.ok());
+  EXPECT_EQ(*mgr_->Head("main"), *c1);
+
+  const Hash v2 = MakeRoot(10, 1);
+  auto c2 = mgr_->CommitOnBranch("main", v2, "alice", "update");
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ(*mgr_->Head("main"), *c2);
+
+  auto commit = mgr_->ReadCommit(*c2);
+  ASSERT_TRUE(commit.ok());
+  EXPECT_EQ(commit->root, v2);
+  ASSERT_EQ(commit->parents.size(), 1u);
+  EXPECT_EQ(commit->parents[0], *c1);
+  EXPECT_EQ(commit->sequence, 1u);
+}
+
+TEST_F(BranchTest, BranchLifecycle) {
+  auto c1 = mgr_->CommitOnBranch("main", MakeRoot(5, 0), "a", "m");
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(mgr_->CreateBranch("dev", *c1).ok());
+  EXPECT_FALSE(mgr_->CreateBranch("dev", *c1).ok());  // exists
+  EXPECT_EQ(mgr_->ListBranches().size(), 2u);
+  ASSERT_TRUE(mgr_->DeleteBranch("dev").ok());
+  EXPECT_FALSE(mgr_->Head("dev").ok());
+  EXPECT_FALSE(mgr_->MoveBranch("dev", *c1).ok());
+}
+
+TEST_F(BranchTest, LogWalksNewestFirst) {
+  std::vector<Hash> commits;
+  for (int i = 0; i < 5; ++i) {
+    auto c = mgr_->CommitOnBranch("main", MakeRoot(5, i), "a",
+                                  "commit " + std::to_string(i));
+    ASSERT_TRUE(c.ok());
+    commits.push_back(*c);
+  }
+  auto log = mgr_->Log(commits.back());
+  ASSERT_TRUE(log.ok());
+  ASSERT_EQ(log->size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ((*log)[i].first, commits[4 - i]);
+  }
+  // Limited log.
+  auto short_log = mgr_->Log(commits.back(), 2);
+  ASSERT_TRUE(short_log.ok());
+  EXPECT_EQ(short_log->size(), 2u);
+}
+
+TEST_F(BranchTest, MergeBaseOfDivergedBranches) {
+  auto base = mgr_->CommitOnBranch("main", MakeRoot(10, 0), "a", "base");
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(mgr_->CreateBranch("feature", *base).ok());
+
+  auto main2 = mgr_->CommitOnBranch("main", MakeRoot(10, 1), "a", "main-2");
+  ASSERT_TRUE(main2.ok());
+  auto feat2 = mgr_->CommitOnBranch("feature", MakeRoot(10, 2), "b", "feat-2");
+  ASSERT_TRUE(feat2.ok());
+  auto feat3 = mgr_->CommitOnBranch("feature", MakeRoot(10, 3), "b", "feat-3");
+  ASSERT_TRUE(feat3.ok());
+
+  auto mb = mgr_->MergeBase(*main2, *feat3);
+  ASSERT_TRUE(mb.ok());
+  EXPECT_EQ(*mb, *base);
+
+  // End-to-end: use the merge base for a three-way index merge.
+  auto main_commit = mgr_->ReadCommit(*main2);
+  auto feat_commit = mgr_->ReadCommit(*feat3);
+  auto base_commit = mgr_->ReadCommit(*mb);
+  ASSERT_TRUE(main_commit.ok() && feat_commit.ok() && base_commit.ok());
+  auto merged = index_->Merge3(main_commit->root, feat_commit->root,
+                               base_commit->root,
+                               [](const std::string&, const std::string& o,
+                                  const std::string&) {
+                                 return std::optional<std::string>(o);
+                               });
+  EXPECT_TRUE(merged.ok());
+}
+
+TEST_F(BranchTest, IsAncestorReflectsHistory) {
+  auto c1 = mgr_->CommitOnBranch("main", MakeRoot(5, 0), "a", "1");
+  auto c2 = mgr_->CommitOnBranch("main", MakeRoot(5, 1), "a", "2");
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  EXPECT_TRUE(*mgr_->IsAncestor(*c1, *c2));
+  EXPECT_FALSE(*mgr_->IsAncestor(*c2, *c1));
+}
+
+TEST_F(BranchTest, UnrelatedHistoriesHaveNoMergeBase) {
+  auto a = mgr_->CommitOnBranch("a", MakeRoot(5, 0), "x", "1");
+  auto b = mgr_->CommitOnBranch("b", MakeRoot(5, 1), "y", "1");
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto mb = mgr_->MergeBase(*a, *b);
+  EXPECT_FALSE(mb.ok());
+  EXPECT_TRUE(mb.status().IsNotFound());
+}
+
+TEST(TransferTest, PackAndUnpackFullVersion) {
+  auto src_store = NewInMemoryNodeStore();
+  PosTree src(src_store);
+  auto root = src.PutBatch(Hash::Zero(), MakeKvs(1000));
+  ASSERT_TRUE(root.ok());
+
+  auto pack = PackVersions(src, {*root});
+  ASSERT_TRUE(pack.ok());
+  EXPECT_GT(pack->ByteSize(), 0u);
+
+  auto dst_store = NewInMemoryNodeStore();
+  ASSERT_TRUE(UnpackVersions(*pack, dst_store.get()).ok());
+  PosTree dst(dst_store);
+  EXPECT_EQ(Dump(dst, *root), Dump(src, *root));
+}
+
+TEST(TransferTest, IncrementalPackShipsOnlyDelta) {
+  auto src_store = NewInMemoryNodeStore();
+  PosTree src(src_store);
+  auto v1 = src.PutBatch(Hash::Zero(), MakeKvs(2000));
+  ASSERT_TRUE(v1.ok());
+  auto v2 = src.Put(*v1, TKey(1000), "changed");
+  ASSERT_TRUE(v2.ok());
+
+  auto full = PackVersions(src, {*v2});
+  auto delta = PackVersions(src, {*v2}, /*have=*/{*v1});
+  ASSERT_TRUE(full.ok() && delta.ok());
+  EXPECT_LT(delta->ByteSize(), full->ByteSize() / 10);
+
+  // Receiver with v1 + the delta can read all of v2.
+  auto dst_store = NewInMemoryNodeStore();
+  PosTree dst(dst_store);
+  auto base_pack = PackVersions(src, {*v1});
+  ASSERT_TRUE(base_pack.ok());
+  ASSERT_TRUE(UnpackVersions(*base_pack, dst_store.get()).ok());
+  ASSERT_TRUE(UnpackVersions(*delta, dst_store.get()).ok());
+  auto got = dst.Get(*v2, TKey(1000), nullptr);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(**got, "changed");
+}
+
+TEST(TransferTest, CorruptPackIsRejected) {
+  auto store = NewInMemoryNodeStore();
+  PosTree tree(store);
+  auto root = tree.PutBatch(Hash::Zero(), MakeKvs(50));
+  ASSERT_TRUE(root.ok());
+  auto pack = PackVersions(tree, {*root});
+  ASSERT_TRUE(pack.ok());
+  pack->bytes.resize(pack->bytes.size() - 3);  // truncate
+  auto dst = NewInMemoryNodeStore();
+  EXPECT_FALSE(UnpackVersions(*pack, dst.get()).ok());
+
+  VersionPack garbage;
+  garbage.bytes = "definitely not a pack";
+  EXPECT_FALSE(UnpackVersions(garbage, dst.get()).ok());
+}
+
+TEST(GcTest, PruneExceptKeepsRetainedVersionsReadable) {
+  auto store = NewInMemoryNodeStore();
+  PosTree tree(store);
+  auto v1 = tree.PutBatch(Hash::Zero(), MakeKvs(1000));
+  ASSERT_TRUE(v1.ok());
+  auto v2 = tree.PutBatch(*v1, MakeKvs(1000, /*version=*/1));
+  ASSERT_TRUE(v2.ok());
+  auto v3 = tree.PutBatch(*v2, MakeKvs(1000, /*version=*/2));
+  ASSERT_TRUE(v3.ok());
+
+  // Retain only v3: v1/v2-only pages go away.
+  PageSet retain;
+  ASSERT_TRUE(tree.CollectPages(*v3, &retain).ok());
+  const uint64_t dropped = store->PruneExcept(retain);
+  EXPECT_GT(dropped, 0u);
+
+  // v3 fully readable; v1 lookups now fail on missing pages.
+  std::map<std::string, std::string> expected;
+  for (const auto& kv : MakeKvs(1000, 2)) expected[kv.key] = kv.value;
+  testing_util::ExpectContent(tree, *v3, expected);
+  bool v1_broken = false;
+  for (int i = 0; i < 1000 && !v1_broken; ++i) {
+    auto got = tree.Get(*v1, TKey(i), nullptr);
+    if (!got.ok()) v1_broken = true;
+  }
+  EXPECT_TRUE(v1_broken);
+}
+
+}  // namespace
+}  // namespace siri

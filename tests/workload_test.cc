@@ -1,0 +1,249 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Workload substrate: Zipfian skew, YCSB geometry (Table 2), overlap sets,
+// RLP encoding, and the synthetic Wiki / Ethereum dataset shapes.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/datasets.h"
+#include "workload/rlp.h"
+#include "workload/ycsb.h"
+#include "workload/zipfian.h"
+
+namespace siri {
+namespace {
+
+TEST(ZipfianTest, UniformWhenThetaZero) {
+  ZipfianGenerator gen(1000, 0.0);
+  std::vector<uint64_t> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[gen.Next()];
+  // No item should dominate under uniformity.
+  for (uint64_t c : counts) EXPECT_LT(c, 400u);
+}
+
+TEST(ZipfianTest, SkewConcentratesMass) {
+  ZipfianGenerator gen(1000, 0.9);
+  std::map<uint64_t, uint64_t> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[gen.Next()];
+  // Top item of a θ=0.9 Zipfian over 1000 items draws >5% of the mass.
+  uint64_t max_count = 0;
+  for (const auto& [item, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, static_cast<uint64_t>(0.05 * n));
+}
+
+TEST(ZipfianTest, RankZeroIsHottestUnscrambled) {
+  ZipfianGenerator gen(100, 0.9);
+  std::vector<uint64_t> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[gen.NextRank()];
+  EXPECT_EQ(std::max_element(counts.begin(), counts.end()) - counts.begin(), 0);
+}
+
+TEST(ZipfianTest, StaysInRange) {
+  for (double theta : {0.0, 0.5, 0.9}) {
+    ZipfianGenerator gen(37, theta);
+    for (int i = 0; i < 10000; ++i) EXPECT_LT(gen.Next(), 37u);
+  }
+}
+
+TEST(YcsbTest, KeysUniqueAndSized) {
+  YcsbGenerator gen(1);
+  auto records = gen.GenerateRecords(5000);
+  std::set<std::string> keys;
+  for (const auto& kv : records) {
+    keys.insert(kv.key);
+    EXPECT_GE(kv.key.size(), 5u);
+    EXPECT_LE(kv.key.size(), 15u);
+  }
+  EXPECT_EQ(keys.size(), 5000u);
+}
+
+TEST(YcsbTest, ValueLengthAveragesNear256) {
+  YcsbGenerator gen(2);
+  auto records = gen.GenerateRecords(2000);
+  uint64_t total = 0;
+  for (const auto& kv : records) total += kv.value.size();
+  const double avg = static_cast<double>(total) / records.size();
+  EXPECT_GT(avg, 230);
+  EXPECT_LT(avg, 280);
+}
+
+TEST(YcsbTest, DeterministicAcrossInstances) {
+  YcsbGenerator a(3), b(3);
+  EXPECT_EQ(a.GenerateRecords(100), b.GenerateRecords(100));
+  EXPECT_EQ(a.KeyOf(42), b.KeyOf(42));
+  EXPECT_EQ(a.ValueOf(42, 7), b.ValueOf(42, 7));
+}
+
+TEST(YcsbTest, OpsRespectWriteRatio) {
+  YcsbGenerator gen(4);
+  for (double ratio : {0.0, 0.5, 1.0}) {
+    auto ops = gen.GenerateOps(10000, 1000, ratio, 0.0);
+    uint64_t writes = 0;
+    for (const auto& op : ops) {
+      if (op.type == YcsbOp::Type::kWrite) ++writes;
+    }
+    const double measured = static_cast<double>(writes) / ops.size();
+    EXPECT_NEAR(measured, ratio, 0.03);
+  }
+}
+
+TEST(YcsbTest, OpsKeysComeFromDataset) {
+  YcsbGenerator gen(5);
+  std::set<std::string> keys;
+  for (uint64_t i = 0; i < 200; ++i) keys.insert(gen.KeyOf(i));
+  auto ops = gen.GenerateOps(1000, 200, 0.5, 0.5);
+  for (const auto& op : ops) EXPECT_EQ(keys.count(op.key), 1u) << op.key;
+}
+
+TEST(YcsbTest, OverlapSetsShareExactFraction) {
+  YcsbGenerator gen(6);
+  auto sets = gen.GenerateOverlapSets(4, 1000, 0.3);
+  ASSERT_EQ(sets.size(), 4u);
+  std::set<std::string> first_keys;
+  for (const auto& kv : sets[0]) first_keys.insert(kv.key);
+  for (int p = 1; p < 4; ++p) {
+    uint64_t shared = 0;
+    for (const auto& kv : sets[p]) shared += first_keys.count(kv.key);
+    EXPECT_EQ(shared, 300u) << "party " << p;
+  }
+}
+
+TEST(YcsbTest, SplitIntoBatchesPreservesOrderAndSize) {
+  std::vector<KV> kvs;
+  for (int i = 0; i < 10; ++i) kvs.push_back(KV{std::to_string(i), "v"});
+  auto batches = SplitIntoBatches(kvs, 4);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].size(), 4u);
+  EXPECT_EQ(batches[2].size(), 2u);
+  EXPECT_EQ(batches[2][1].key, "9");
+}
+
+TEST(RlpTest, SingleByteEncodesAsItself) {
+  EXPECT_EQ(RlpEncodeString(std::string(1, 0x42)), std::string(1, 0x42));
+}
+
+TEST(RlpTest, ShortStringGetsPrefix) {
+  const std::string enc = RlpEncodeString("dog");
+  ASSERT_EQ(enc.size(), 4u);
+  EXPECT_EQ(static_cast<uint8_t>(enc[0]), 0x83);
+  EXPECT_EQ(enc.substr(1), "dog");
+}
+
+TEST(RlpTest, EmptyStringIs0x80) {
+  const std::string enc = RlpEncodeString("");
+  ASSERT_EQ(enc.size(), 1u);
+  EXPECT_EQ(static_cast<uint8_t>(enc[0]), 0x80);
+}
+
+TEST(RlpTest, LongStringUsesLengthOfLength) {
+  const std::string enc = RlpEncodeString(std::string(1024, 'x'));
+  EXPECT_EQ(static_cast<uint8_t>(enc[0]), 0xb9);  // 0xb7 + 2 length bytes
+  EXPECT_EQ(static_cast<uint8_t>(enc[1]), 0x04);
+  EXPECT_EQ(static_cast<uint8_t>(enc[2]), 0x00);
+  EXPECT_EQ(enc.size(), 3u + 1024u);
+}
+
+TEST(RlpTest, UintZeroIsEmptyString) {
+  const std::string enc = RlpEncodeUint(0);
+  ASSERT_EQ(enc.size(), 1u);
+  EXPECT_EQ(static_cast<uint8_t>(enc[0]), 0x80);
+}
+
+TEST(RlpTest, ListEncoding) {
+  // ["cat", "dog"] -> 0xc8 0x83 cat 0x83 dog (canonical example).
+  const std::string enc =
+      RlpEncodeList({RlpEncodeString("cat"), RlpEncodeString("dog")});
+  ASSERT_EQ(enc.size(), 9u);
+  EXPECT_EQ(static_cast<uint8_t>(enc[0]), 0xc8);
+}
+
+TEST(RlpTest, DecodeRoundTrip) {
+  bool is_list = false;
+  std::string payload;
+  ASSERT_TRUE(RlpDecode(RlpEncodeString("hello world"), &is_list, &payload));
+  EXPECT_FALSE(is_list);
+  EXPECT_EQ(payload, "hello world");
+
+  const std::string list =
+      RlpEncodeList({RlpEncodeString("a"), RlpEncodeString("b")});
+  ASSERT_TRUE(RlpDecode(list, &is_list, &payload));
+  EXPECT_TRUE(is_list);
+}
+
+TEST(RlpTest, DecodeRejectsTruncation) {
+  std::string enc = RlpEncodeString("hello world longer than nothing");
+  enc.pop_back();
+  bool is_list = false;
+  std::string payload;
+  EXPECT_FALSE(RlpDecode(enc, &is_list, &payload));
+}
+
+TEST(WikiDatasetTest, KeyAndValueGeometry) {
+  WikiDataset wiki(2000);
+  auto records = wiki.InitialRecords();
+  ASSERT_EQ(records.size(), 2000u);
+  uint64_t key_total = 0, val_total = 0;
+  std::set<std::string> keys;
+  for (const auto& kv : records) {
+    EXPECT_GE(kv.key.size(), 31u);
+    EXPECT_LE(kv.key.size(), 298u);
+    EXPECT_GE(kv.value.size(), 1u);
+    EXPECT_LE(kv.value.size(), 1036u);
+    key_total += kv.key.size();
+    val_total += kv.value.size();
+    keys.insert(kv.key);
+  }
+  EXPECT_EQ(keys.size(), 2000u);  // unique URLs
+  EXPECT_NEAR(static_cast<double>(key_total) / records.size(), 50.0, 20.0);
+  EXPECT_NEAR(static_cast<double>(val_total) / records.size(), 96.0, 40.0);
+}
+
+TEST(WikiDatasetTest, VersionEditsTouchExistingPages) {
+  WikiDataset wiki(500);
+  std::set<std::string> keys;
+  for (const auto& kv : wiki.InitialRecords()) keys.insert(kv.key);
+  auto edits = wiki.VersionEdits(3, 0.05);
+  EXPECT_GE(edits.size(), 20u);
+  for (const auto& kv : edits) EXPECT_EQ(keys.count(kv.key), 1u);
+  // New version, new content.
+  EXPECT_NE(wiki.ValueOf(7, 1), wiki.ValueOf(7, 2));
+}
+
+TEST(EthDatasetTest, TransactionGeometry) {
+  EthDataset eth;
+  auto txs = eth.Block(1, 500);
+  ASSERT_EQ(txs.size(), 500u);
+  uint64_t total = 0;
+  std::set<std::string> hashes;
+  for (const auto& tx : txs) {
+    EXPECT_EQ(tx.hash.size(), 64u);  // hex digest
+    EXPECT_GE(tx.rlp.size(), 100u);
+    EXPECT_LE(tx.rlp.size(), 57738u);
+    total += tx.rlp.size();
+    hashes.insert(tx.hash);
+    bool is_list = false;
+    std::string payload;
+    EXPECT_TRUE(RlpDecode(tx.rlp, &is_list, &payload));
+    EXPECT_TRUE(is_list);
+  }
+  EXPECT_EQ(hashes.size(), 500u);
+  const double avg = static_cast<double>(total) / txs.size();
+  EXPECT_GT(avg, 150);
+  EXPECT_LT(avg, 1500);
+}
+
+TEST(EthDatasetTest, BlocksAreDeterministicAndDistinct) {
+  EthDataset eth;
+  auto a1 = eth.Block(5, 50);
+  auto a2 = eth.Block(5, 50);
+  ASSERT_EQ(a1.size(), a2.size());
+  for (size_t i = 0; i < a1.size(); ++i) EXPECT_EQ(a1[i].hash, a2[i].hash);
+  auto b = eth.Block(6, 50);
+  EXPECT_NE(a1[0].hash, b[0].hash);
+}
+
+}  // namespace
+}  // namespace siri
