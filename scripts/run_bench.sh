@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Copyright (c) 2026 The siri Authors. MIT license.
+#
+# Runs a fast subset of the per-figure benchmark binaries and emits a
+# machine-readable perf trajectory file (BENCH_baseline.json by default).
+# Future scaling PRs compare their numbers against this baseline.
+#
+# Usage:
+#   scripts/run_bench.sh [-b BUILD_DIR] [-o OUT_JSON] [-a]
+#     -b  build directory containing bench/ binaries (default: build)
+#     -o  output JSON path (default: BENCH_baseline.json)
+#     -a  run ALL bench binaries instead of the fast subset
+#
+# Per-bench stdout is kept under BENCH_out/<name>.txt next to the JSON.
+
+set -u
+
+BUILD_DIR=build
+OUT=BENCH_baseline.json
+ALL=0
+while getopts "b:o:a" opt; do
+  case "$opt" in
+    b) BUILD_DIR=$OPTARG ;;
+    o) OUT=$OPTARG ;;
+    a) ALL=1 ;;
+    *) echo "usage: $0 [-b build_dir] [-o out.json] [-a]" >&2; exit 2 ;;
+  esac
+done
+
+BENCH_DIR="$BUILD_DIR/bench"
+if [ ! -d "$BENCH_DIR" ]; then
+  echo "error: $BENCH_DIR not found — build first:" >&2
+  echo "  cmake --preset release && cmake --build --preset release -j" >&2
+  exit 1
+fi
+
+# The fast subset keeps the whole run around a minute on one core while
+# still touching every structure (throughput, diff, height, MBT breakdown,
+# parameter sweep).
+FAST_SUBSET="fig01_motivation fig09_tree_height fig13_mbt_breakdown tab03_parameters fig08_diff"
+
+if [ "$ALL" -eq 1 ]; then
+  BENCHES=$(cd "$BENCH_DIR" && ls)
+else
+  BENCHES=$FAST_SUBSET
+fi
+
+OUT_DIR=$(dirname "$OUT")/BENCH_out
+mkdir -p "$OUT_DIR"
+
+TIMEOUT_SECS=${BENCH_TIMEOUT:-600}
+GIT_REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+STAMP=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
+{
+  echo "{"
+  echo "  \"schema\": \"siri-bench-v1\","
+  echo "  \"timestamp\": \"$STAMP\","
+  echo "  \"git_rev\": \"$GIT_REV\","
+  echo "  \"host\": \"$(uname -srm)\","
+  echo "  \"results\": ["
+} > "$OUT"
+
+first=1
+failed=0
+for b in $BENCHES; do
+  bin="$BENCH_DIR/$b"
+  [ -x "$bin" ] || continue
+  echo "== $b" >&2
+  start=$(date +%s)
+  if timeout "$TIMEOUT_SECS" "$bin" > "$OUT_DIR/$b.txt" 2>&1; then
+    status=ok
+  else
+    status=failed
+    failed=1
+  fi
+  secs=$(( $(date +%s) - start ))
+  [ $first -eq 1 ] || echo "    ," >> "$OUT"
+  first=0
+  {
+    echo "    {"
+    echo "      \"bench\": \"$b\","
+    echo "      \"status\": \"$status\","
+    echo "      \"wall_seconds\": $secs,"
+    echo "      \"output\": \"$OUT_DIR/$b.txt\""
+    echo "    }"
+  } >> "$OUT"
+done
+
+{
+  echo "  ]"
+  echo "}"
+} >> "$OUT"
+
+echo "wrote $OUT" >&2
+exit $failed

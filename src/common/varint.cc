@@ -20,6 +20,14 @@ bool GetVarint64(Slice* in, uint64_t* v) {
   for (int shift = 0; shift <= 63 && !in->empty(); shift += 7) {
     const unsigned char byte = static_cast<unsigned char>((*in)[0]);
     in->remove_prefix(1);
+    if (shift == 63) {
+      // Tenth byte: only bit 63 is left, so a continuation bit or any
+      // payload above 1 would silently shift bits out — reject instead.
+      if (byte > 1) return false;
+      result |= static_cast<uint64_t>(byte) << shift;
+      *v = result;
+      return true;
+    }
     if (byte & 0x80) {
       result |= static_cast<uint64_t>(byte & 0x7f) << shift;
     } else {

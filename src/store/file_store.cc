@@ -2,6 +2,8 @@
 
 #include "store/file_store.h"
 
+#include <unistd.h>
+
 #include <cstring>
 
 #include "common/varint.h"
@@ -9,9 +11,45 @@
 
 namespace siri {
 
-// Log record layout: varint length | page bytes. The page digest is not
-// stored — it is recomputed on replay, which both rebuilds the index and
-// verifies integrity.
+// Log layout: an 8-byte magic header identifying the format version,
+// followed by records of `varint page-length | 32-byte SHA-256 digest |
+// page bytes`. The stored digest is what Replay verifies each page
+// against — a bit-flip inside a record is detected instead of being
+// silently indexed under the digest of the corrupted bytes. Format
+// version 1 (digest-less records, no header) is not readable; reopening
+// such a log fails with Corruption.
+
+namespace {
+
+constexpr char kLogMagic[] = "SIRILOG\x02";
+constexpr size_t kLogMagicSize = 8;
+
+// Parses one record from *in (advancing it) into *page and *digest.
+// Returns false when the remaining bytes do not frame a whole record.
+// The bounds check is written subtraction-first: a corrupt varint can
+// decode to a length near UINT64_MAX, and `kSize + len` would wrap.
+bool ReadRecord(Slice* in, std::string* page, Hash* digest) {
+  uint64_t len = 0;
+  if (!GetVarint64(in, &len)) return false;
+  if (in->size() < Hash::kSize || in->size() - Hash::kSize < len) return false;
+  *digest = Hash::FromBytes(in->data());
+  in->remove_prefix(Hash::kSize);
+  page->assign(in->data(), len);
+  in->remove_prefix(len);
+  return true;
+}
+
+// Framing-only variant for counting dropped records: same bounds logic,
+// no payload copy.
+bool SkipRecord(Slice* in) {
+  uint64_t len = 0;
+  if (!GetVarint64(in, &len)) return false;
+  if (in->size() < Hash::kSize || in->size() - Hash::kSize < len) return false;
+  in->remove_prefix(Hash::kSize + static_cast<size_t>(len));
+  return true;
+}
+
+}  // namespace
 
 FileNodeStore::FileNodeStore(std::string path, FILE* file)
     : path_(std::move(path)), file_(file) {}
@@ -21,6 +59,28 @@ FileNodeStore::~FileNodeStore() {
     std::fflush(file_);
     std::fclose(file_);
   }
+}
+
+Status FileNodeStore::RewriteLog(const char* data, size_t len) {
+  const std::string tmp = path_ + ".tmp";
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot create " + tmp);
+  if ((len > 0 && std::fwrite(data, 1, len, f) != len) ||
+      std::fflush(f) != 0 || fsync(fileno(f)) != 0) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Status::IOError("failed writing " + tmp);
+  }
+  std::fclose(f);
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " over " + path_);
+  }
+  FILE* fresh = std::fopen(path_.c_str(), "a+b");
+  if (fresh == nullptr) return Status::IOError("cannot reopen " + path_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = fresh;
+  return Status::OK();
 }
 
 Status FileNodeStore::Open(const std::string& path,
@@ -51,36 +111,71 @@ Status FileNodeStore::Replay() {
   }
 
   Slice in(contents);
-  size_t valid_bytes = 0;
+  if (in.empty()) {
+    // Fresh log: stamp the format header.
+    if (std::fwrite(kLogMagic, 1, kLogMagicSize, file_) != kLogMagicSize ||
+        std::fflush(file_) != 0) {
+      return Status::IOError("cannot write log header to " + path_);
+    }
+    return Status::OK();
+  }
+  if (in.size() < kLogMagicSize &&
+      std::memcmp(in.data(), kLogMagic, in.size()) == 0) {
+    // Torn header write (crash while stamping a fresh log): self-heal by
+    // re-stamping. No pages existed yet, so nothing is dropped. (A
+    // foreign sub-8-byte file that happens to be a strict prefix of the
+    // magic is overwritten too — accepted: anything at this path that
+    // short is ours.)
+    return RewriteLog(kLogMagic, kLogMagicSize);
+  }
+  if (in.size() < kLogMagicSize ||
+      std::memcmp(in.data(), kLogMagic, kLogMagicSize) != 0) {
+    return Status::Corruption("unrecognized log format in " + path_ +
+                              " (expected SIRILOG v2 header)");
+  }
+  in.remove_prefix(kLogMagicSize);
+
+  bool bad = false;
   while (!in.empty()) {
     Slice mark = in;
     std::string page;
-    if (!GetLengthPrefixed(&in, &page)) {
-      // Truncated tail (e.g. crash mid-append): cut it off.
+    Hash stored;
+    if (!ReadRecord(&in, &page, &stored)) {
+      // Torn tail (e.g. crash mid-append): one partial record dropped.
+      in = mark;
       ++truncations_;
+      bad = true;
       break;
     }
-    const Hash h = Sha256::Digest(page);
+    if (Sha256::Digest(page) != stored) {
+      // Bit-flip inside this record. Truncate at its start: this record
+      // and everything after it is dropped, counting each dropped page.
+      // ReadRecord already advanced `in` past the corrupt record, so the
+      // suffix count starts from here.
+      ++truncations_;  // the corrupt record itself
+      while (!in.empty()) {
+        ++truncations_;  // complete records past the corruption, or the
+                         // final partial tail
+        if (!SkipRecord(&in)) break;
+      }
+      in = mark;
+      bad = true;
+      break;
+    }
     auto [it, inserted] = nodes_.emplace(
-        h, std::make_shared<const std::string>(std::move(page)));
+        stored, std::make_shared<const std::string>(std::move(page)));
     if (inserted) {
       ++stats_.unique_nodes;
       stats_.unique_bytes += it->second->size();
     }
-    valid_bytes += static_cast<size_t>(in.data() - mark.data());
   }
 
-  if (truncations_ > 0) {
+  if (bad) {
     // Rewrite the file to the valid prefix so future appends are clean.
-    FILE* fresh = std::fopen(path_.c_str(), "wb");
-    if (fresh == nullptr) return Status::IOError("cannot truncate " + path_);
-    if (valid_bytes > 0 &&
-        std::fwrite(contents.data(), 1, valid_bytes, fresh) != valid_bytes) {
-      std::fclose(fresh);
-      return Status::IOError("failed rewriting " + path_);
-    }
-    std::fclose(file_);
-    file_ = fresh;
+    const size_t valid_bytes =
+        static_cast<size_t>(in.data() - contents.data());
+    Status s = RewriteLog(contents.data(), valid_bytes);
+    if (!s.ok()) return s;
   }
   std::fseek(file_, 0, SEEK_END);
   return Status::OK();
@@ -96,7 +191,9 @@ Hash FileNodeStore::Put(Slice bytes) {
     return h;
   }
   std::string record;
-  PutLengthPrefixed(&record, bytes);
+  PutVarint64(&record, bytes.size());
+  record.append(reinterpret_cast<const char*>(h.data()), Hash::kSize);
+  record.append(bytes.data(), bytes.size());
   if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
     // Treat append failure as fatal for this page: report via CHECK since
     // Put has no Status channel (matching the in-memory contract).
@@ -143,6 +240,11 @@ void FileNodeStore::ResetOpCounters() {
 Status FileNodeStore::Flush() {
   std::lock_guard lock(mu_);
   if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
+  // Flush is the durability point acknowledged to callers (commit
+  // boundaries call it), so push all the way to stable storage.
+  if (fsync(fileno(file_)) != 0) {
+    return Status::IOError(std::string("fsync failed: ") + strerror(errno));
+  }
   return Status::OK();
 }
 

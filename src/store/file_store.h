@@ -3,9 +3,12 @@
 // FileNodeStore — a durable content-addressed store: an append-only log of
 // pages on disk with an in-memory digest index. Restarting a process and
 // reopening the log recovers every version ever committed (roots are just
-// digests, so persisting the pages persists the versions). Corrupt or
-// truncated tails are detected by the per-page digest check and cut off,
-// recovering the longest valid prefix.
+// digests, so persisting the pages persists the versions). Every record
+// stores the page's SHA-256 digest alongside the bytes; replay verifies
+// each page against its stored digest, so corrupt records and truncated
+// tails are detected and cut off, recovering the longest valid prefix.
+// The log starts with a format header ("SIRILOG" v2); older digest-less
+// logs are rejected with Corruption rather than mis-read.
 
 #ifndef SIRI_STORE_FILE_STORE_H_
 #define SIRI_STORE_FILE_STORE_H_
@@ -36,11 +39,14 @@ class FileNodeStore : public NodeStore {
   Stats stats() const override;
   void ResetOpCounters() override;
 
-  /// Flushes buffered appends to the OS.
-  Status Flush();
+  /// Flushes buffered appends all the way to stable storage (fsync).
+  /// Commit boundaries (Ledger, BranchManager) call this; pages are only
+  /// crash-durable once it returns OK.
+  Status Flush() override;
 
-  /// Number of pages dropped from the recovered log because the tail was
-  /// truncated or corrupt.
+  /// Number of records (pages) dropped from the recovered log: the first
+  /// torn or digest-mismatching record plus everything after it — replay
+  /// truncates at the first bad record.
   uint64_t recovered_truncations() const { return truncations_; }
 
   const std::string& path() const { return path_; }
@@ -48,6 +54,12 @@ class FileNodeStore : public NodeStore {
  private:
   FileNodeStore(std::string path, FILE* file);
   Status Replay();
+
+  /// Atomically replaces the log with \p len bytes of \p data (written to
+  /// a temp file, fsynced, renamed over the log) and reopens the append
+  /// handle. Recovery uses this so a crash mid-rewrite can never destroy
+  /// the valid prefix.
+  Status RewriteLog(const char* data, size_t len);
 
   std::string path_;
   FILE* file_;

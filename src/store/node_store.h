@@ -60,6 +60,11 @@ class NodeStore {
   /// Zeroes the operation counters (puts/gets); resident-node counters keep
   /// their values. Benches call this between phases.
   virtual void ResetOpCounters() = 0;
+
+  /// Makes previously acknowledged Puts durable. No-op for in-memory
+  /// stores; disk-backed stores fsync. Commit boundaries call this so an
+  /// acknowledged commit survives a crash.
+  virtual Status Flush() { return Status::OK(); }
 };
 
 using NodeStorePtr = std::shared_ptr<NodeStore>;
@@ -115,6 +120,7 @@ class FaultyNodeStore : public NodeStore {
   }
   Stats stats() const override { return base_->stats(); }
   void ResetOpCounters() override { base_->ResetOpCounters(); }
+  Status Flush() override { return base_->Flush(); }
 
  private:
   NodeStorePtr base_;

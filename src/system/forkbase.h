@@ -88,6 +88,7 @@ class ForkbaseClientStore : public NodeStore {
   Result<uint64_t> SizeOf(const Hash& h) const override;
   Stats stats() const override { return servlet_->store()->stats(); }
   void ResetOpCounters() override;
+  Status Flush() override { return servlet_->store()->Flush(); }
 
   const RemoteStats& remote_stats() const { return remote_stats_; }
   void ClearCache() { cache_.Clear(); }

@@ -21,6 +21,12 @@ Result<Hash> Ledger::AppendBlock(const std::vector<KV>& txs) {
       root = *r;
     }
   }
+  if (sync_on_commit_) {
+    // Block append is a commit boundary: the root we return must point at
+    // pages that survive a crash.
+    Status s = index_->store()->Flush();
+    if (!s.ok()) return s;
+  }
   block_roots_.push_back(root);
   return root;
 }

@@ -28,8 +28,14 @@ class Ledger {
   ///        for POS-Tree). Pass false to apply transactions one by one —
   ///        the top-down build path of the paper's MPT port and
   ///        MVMB+-Tree baseline (§5.3.1's Figure 7b asymmetry).
-  explicit Ledger(ImmutableIndex* index, bool batch_build = true)
-      : index_(index), batch_build_(batch_build) {}
+  /// \param sync_on_commit flush the backing store at every block append,
+  ///        so an acknowledged block survives a process crash. Off by
+  ///        default: benches measure the in-memory path.
+  explicit Ledger(ImmutableIndex* index, bool batch_build = true,
+                  bool sync_on_commit = false)
+      : index_(index),
+        batch_build_(batch_build),
+        sync_on_commit_(sync_on_commit) {}
 
   /// Builds the per-block index for \p txs and appends its root to the
   /// chain. Returns the block's index root.
@@ -50,6 +56,7 @@ class Ledger {
  private:
   ImmutableIndex* index_;
   bool batch_build_;
+  bool sync_on_commit_;
   std::vector<Hash> block_roots_;
 };
 

@@ -117,6 +117,12 @@ Result<Hash> BranchManager::CommitOnBranch(const std::string& name,
   }
   auto hash = WriteCommit(c);
   if (!hash.ok()) return hash;
+  // Commit boundary: the commit is acknowledged to the caller, so its
+  // pages (index nodes + the commit object) must survive a crash. A
+  // no-op for in-memory stores. Flush before moving the head so a failed
+  // flush leaves the branch untouched and the caller can safely retry.
+  Status flushed = store_->Flush();
+  if (!flushed.ok()) return flushed;
   if (head.ok()) {
     Status s = MoveBranch(name, *hash);
     if (!s.ok()) return s;

@@ -166,6 +166,43 @@ TEST(VarintTest, LengthPrefixedTruncatedPayloadFails) {
   EXPECT_FALSE(GetLengthPrefixed(&in, &out));
 }
 
+TEST(VarintTest, RejectsOverflowingTenthByte) {
+  // Nine continuation bytes fill bits 0..62; the tenth byte holds only
+  // bit 63. Any tenth byte above 1 would overflow uint64_t.
+  std::string buf(9, '\x80');
+  buf += '\x02';
+  Slice in(buf);
+  uint64_t v = 0;
+  EXPECT_FALSE(GetVarint64(&in, &v));
+}
+
+TEST(VarintTest, RejectsContinuationPastTenBytes) {
+  // An eleventh byte can only be reached through a continuation bit on the
+  // tenth, which is itself invalid.
+  std::string buf(10, '\x81');
+  buf += '\x00';
+  Slice in(buf);
+  uint64_t v = 0;
+  EXPECT_FALSE(GetVarint64(&in, &v));
+}
+
+TEST(VarintTest, AcceptsMaxValueTenByteEncoding) {
+  std::string buf;
+  PutVarint64(&buf, ~uint64_t{0});
+  ASSERT_EQ(buf.size(), 10u);
+  Slice in(buf);
+  uint64_t v = 0;
+  ASSERT_TRUE(GetVarint64(&in, &v));
+  EXPECT_EQ(v, ~uint64_t{0});
+}
+
+TEST(VarintTest, RejectsAllContinuationBytes) {
+  std::string buf(16, '\xff');
+  Slice in(buf);
+  uint64_t v = 0;
+  EXPECT_FALSE(GetVarint64(&in, &v));
+}
+
 TEST(VarintTest, Fixed32RoundTrip) {
   std::string buf;
   PutFixed32(&buf, 0xdeadbeef);
