@@ -9,13 +9,16 @@
 #ifndef SIRI_BENCH_BENCH_COMMON_H_
 #define SIRI_BENCH_BENCH_COMMON_H_
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/timer.h"
 #include "index/index.h"
 #include "index/mbt/mbt.h"
@@ -23,6 +26,7 @@
 #include "index/mvmb/mvmb_tree.h"
 #include "index/pos/pos_tree.h"
 #include "store/node_store.h"
+#include "system/forkbase.h"
 #include "workload/ycsb.h"
 
 namespace siri {
@@ -36,11 +40,44 @@ inline uint64_t ParseScale(int argc, char** argv) {
       scale = strtoull(argv[i] + 8, nullptr, 10);
       if (scale == 0) scale = 1;
     } else if (strcmp(argv[i], "--help") == 0) {
-      printf("usage: %s [--scale=K]\n", argv[0]);
+      printf("usage: %s [--scale=K]\n"
+             "  YCSB benches (fig06/fig10/fig21) also take"
+             " [--threads=K[,K...]] [--threads-only]\n",
+             argv[0]);
       exit(0);
     }
   }
   return scale;
+}
+
+/// Parses --threads=K or --threads=K,K,... — the client-thread counts for
+/// the multi-client sections of the YCSB benches. Default: the paper-style
+/// 1/2/4/8 sweep.
+inline std::vector<int> ParseThreadCounts(int argc, char** argv) {
+  std::vector<int> counts;
+  for (int i = 1; i < argc; ++i) {
+    if (strncmp(argv[i], "--threads=", 10) == 0) {
+      counts.clear();
+      const char* p = argv[i] + 10;
+      while (*p) {
+        char* end = nullptr;
+        const long v = strtol(p, &end, 10);
+        if (end == p) break;
+        if (v > 0) counts.push_back(static_cast<int>(v));
+        p = (*end == ',') ? end + 1 : end;
+      }
+    }
+  }
+  if (counts.empty()) counts = {1, 2, 4, 8};
+  return counts;
+}
+
+/// True if \p flag (e.g. "--threads-only") was passed.
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
 }
 
 struct NamedIndex {
@@ -179,6 +216,82 @@ inline std::vector<std::vector<Hash>> RunCollaboration(
     roots_per_party.push_back(std::move(roots));
   }
   return roots_per_party;
+}
+
+/// Multi-client read path (§5.6 at K clients): one ForkbaseServlet serves
+/// \p threads ForkbaseClientStore clients, each on its own thread with a
+/// private node cache. The simulated round trip uses RttModel::kSleep so
+/// concurrent clients overlap their round trips — aggregate throughput then
+/// scales with the client count the way networked clients do, even on a
+/// small core count.
+struct ConcurrentReadConfig {
+  int threads = 1;
+  uint64_t cache_bytes = 1 << 20;  ///< per client
+  uint64_t rtt_nanos = 20000;      ///< 20us simulated round trip
+  bool record_latency = false;
+};
+
+struct ConcurrentReadResult {
+  double kops = 0;         ///< aggregate ops/s across all clients, in kops
+  double hit_ratio = 0;    ///< mean per-client cache hit ratio
+  uint64_t remote_gets = 0;
+  Histogram latencies_us;  ///< per-op read latencies (when recorded)
+};
+
+inline ConcurrentReadResult RunConcurrentReads(ForkbaseServlet* servlet,
+                                               const ImmutableIndex& proto,
+                                               const Hash& root,
+                                               const std::vector<YcsbOp>& ops,
+                                               const ConcurrentReadConfig& cfg) {
+  std::vector<std::shared_ptr<ForkbaseClientStore>> stores;
+  std::vector<std::unique_ptr<ImmutableIndex>> indexes;
+  for (int t = 0; t < cfg.threads; ++t) {
+    stores.push_back(std::make_shared<ForkbaseClientStore>(
+        servlet, cfg.cache_bytes, cfg.rtt_nanos, RttModel::kSleep));
+    indexes.push_back(proto.WithStore(stores.back()));
+  }
+
+  uint64_t reads_per_client = 0;
+  for (const YcsbOp& op : ops) reads_per_client += op.type == YcsbOp::Type::kRead;
+
+  std::vector<Histogram> lat(cfg.threads);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(cfg.threads);
+  for (int t = 0; t < cfg.threads; ++t) {
+    workers.emplace_back([&, t] {
+      const ImmutableIndex* index = indexes[t].get();
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (const YcsbOp& op : ops) {
+        if (op.type != YcsbOp::Type::kRead) continue;
+        if (cfg.record_latency) {
+          Timer lt;
+          auto got = index->Get(root, op.key, nullptr);
+          lat[t].Record(lt.ElapsedMicros());
+          SIRI_CHECK(got.ok());
+        } else {
+          auto got = index->Get(root, op.key, nullptr);
+          SIRI_CHECK(got.ok());
+        }
+      }
+    });
+  }
+
+  Timer timer;
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  const double secs = timer.ElapsedSeconds();
+
+  ConcurrentReadResult out;
+  const uint64_t total_reads = reads_per_client * cfg.threads;
+  out.kops = secs == 0 ? 0 : static_cast<double>(total_reads) / secs / 1000.0;
+  for (const auto& s : stores) {
+    const auto stats = s->remote_stats();
+    out.hit_ratio += stats.HitRatio() / cfg.threads;
+    out.remote_gets += stats.remote_gets;
+  }
+  for (const Histogram& h : lat) out.latencies_us.Merge(h);
+  return out;
 }
 
 /// Printf a header line like the paper's figure captions.

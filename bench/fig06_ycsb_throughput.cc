@@ -10,12 +10,107 @@
 // skew (θ) changes almost nothing.
 
 #include "bench/bench_common.h"
+#include "crypto/sha256.h"
 
 using namespace siri;
 using namespace siri::bench;
 
+namespace {
+
+// Sharded vs unsharded NodeCache under reader contention: K threads doing
+// hot-set Lookups against one cache. With one shard every Lookup serializes
+// on a single mutex (the pre-sharding design, made safe); with the default
+// shard count most acquisitions are uncontended.
+void RunCacheShardSection(const std::vector<int>& thread_counts) {
+  constexpr int kHotKeys = 256;
+  constexpr int kLookupsPerThread = 100000;
+
+  printf("\n[node-cache lock scaling] %d-key hot set, aggregate Mops/s\n",
+         kHotKeys);
+  printf("%8s %12s %12s\n", "threads", "1shard",
+         (std::to_string(NodeCache::kDefaultShards) + "shards").c_str());
+
+  for (int threads : thread_counts) {
+    printf("%8d", threads);
+    for (int shards : {1, NodeCache::kDefaultShards}) {
+      NodeCache cache(8 << 20, shards);
+      std::vector<Hash> keys;
+      for (int i = 0; i < kHotKeys; ++i) {
+        const std::string payload(1024, 'a' + (i % 26));
+        const Hash h = Sha256::Digest(payload + std::to_string(i));
+        cache.Insert(h, std::make_shared<const std::string>(payload));
+        keys.push_back(h);
+      }
+
+      std::atomic<bool> go{false};
+      std::vector<std::thread> workers;
+      for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+          while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+          for (int i = 0; i < kLookupsPerThread; ++i) {
+            SIRI_CHECK(cache.Lookup(keys[(i + t) % kHotKeys]) != nullptr);
+          }
+        });
+      }
+      Timer timer;
+      go.store(true, std::memory_order_release);
+      for (auto& w : workers) w.join();
+      const double secs = timer.ElapsedSeconds();
+      const double mops =
+          secs == 0 ? 0
+                    : static_cast<double>(kLookupsPerThread) * threads / secs / 1e6;
+      printf(" %12.2f", mops);
+      fflush(stdout);
+    }
+    printf("\n");
+  }
+}
+
+// Multi-client read scaling: K client threads, each with its own cache,
+// reading through one servlet. Reported per structure: aggregate kops/s
+// and mean cache hit ratio at each thread count.
+void RunThreadedSection(uint64_t scale, const std::vector<int>& thread_counts) {
+  const uint64_t n = 20000 * scale;
+  const uint64_t num_ops = 3000;
+
+  printf("\n[multi-client read scaling] n=%llu read-only θ=0 "
+         "rtt=20us(sleep) cache=1MB/client\n",
+         static_cast<unsigned long long>(n));
+  printf("%8s %15s %15s %15s %15s\n", "threads", "pos(kops|hit)",
+         "mbt(kops|hit)", "mpt(kops|hit)", "mvmb(kops|hit)");
+
+  YcsbGenerator gen(1);
+  auto records = gen.GenerateRecords(n);
+  auto ops = gen.GenerateOps(num_ops, n, /*write_ratio=*/0.0, /*theta=*/0.0);
+
+  auto server_store = NewInMemoryNodeStore();
+  siri::ForkbaseServlet servlet(server_store);
+  auto indexes = MakeAllIndexes(server_store);
+  std::vector<Hash> roots;
+  for (auto& [name, index] : indexes) {
+    roots.push_back(LoadRecords(index.get(), records));
+  }
+
+  for (int threads : thread_counts) {
+    printf("%8d", threads);
+    for (size_t i = 0; i < indexes.size(); ++i) {
+      ConcurrentReadConfig cfg;
+      cfg.threads = threads;
+      auto result = RunConcurrentReads(&servlet, *indexes[i].index, roots[i],
+                                       ops, cfg);
+      printf("   %8.1f|%4.2f", result.kops, result.hit_ratio);
+      fflush(stdout);
+    }
+    printf("\n");
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const uint64_t scale = ParseScale(argc, argv);
+  const std::vector<int> thread_counts = ParseThreadCounts(argc, argv);
+  const bool threads_only = HasFlag(argc, argv, "--threads-only");
   std::vector<uint64_t> sizes;
   for (uint64_t n : {10000, 20000, 40000, 80000}) sizes.push_back(n * scale);
   const uint64_t num_ops = 3000;
@@ -23,6 +118,12 @@ int main(int argc, char** argv) {
   const double write_ratios[] = {0.0, 0.5, 1.0};
 
   PrintHeader("Figure 6", "YCSB throughput (kops/s) across θ and write ratio");
+
+  if (threads_only) {
+    RunThreadedSection(scale, thread_counts);
+    RunCacheShardSection(thread_counts);
+    return 0;
+  }
 
   for (double theta : thetas) {
     for (double wr : write_ratios) {
@@ -44,5 +145,8 @@ int main(int argc, char** argv) {
       }
     }
   }
+
+  RunThreadedSection(scale, thread_counts);
+  RunCacheShardSection(thread_counts);
   return 0;
 }

@@ -16,6 +16,7 @@ using namespace siri::bench;
 
 int main(int argc, char** argv) {
   const uint64_t scale = ParseScale(argc, argv);
+  const std::vector<int> thread_counts = ParseThreadCounts(argc, argv);
   std::vector<uint64_t> sizes;
   for (uint64_t n : {10000, 40000, 160000}) sizes.push_back(n * scale);
   const uint64_t num_ops = 3000;
@@ -56,6 +57,48 @@ int main(int argc, char** argv) {
           const double kops = RunOps(server_index.get(), &root, ops, WriteBatchFor(name, 100));
           printf("   %9.1f|----", kops);
         }
+        fflush(stdout);
+      }
+      printf("\n");
+    }
+  }
+
+  // Multi-client scaling: K concurrent clients, each with a private cache,
+  // against one servlet. Overlapped (slept) round trips make aggregate read
+  // throughput scale with the client count — the regime the paper's system
+  // experiment targets.
+  {
+    const uint64_t n = 40000 * scale;
+    printf("\n[multi-client read scaling] n=%llu read-only rtt=%lluus(sleep) "
+           "cache=%lluMB/client\n",
+           static_cast<unsigned long long>(n),
+           static_cast<unsigned long long>(rtt_nanos / 1000),
+           static_cast<unsigned long long>(cache_bytes >> 20));
+    printf("%8s %18s %18s %18s %18s\n", "threads", "pos(kops|hit)",
+           "mbt(kops|hit)", "mpt(kops|hit)", "mvmb(kops|hit)");
+
+    YcsbGenerator gen(1);
+    auto records = gen.GenerateRecords(n);
+    auto ops = gen.GenerateOps(num_ops, n, 0.0, 0.0);
+
+    auto server_store = NewInMemoryNodeStore();
+    ForkbaseServlet servlet(server_store);
+    auto indexes = MakeAllIndexes(server_store);
+    std::vector<Hash> roots;
+    for (auto& [name, index] : indexes) {
+      roots.push_back(LoadRecords(index.get(), records));
+    }
+
+    for (int threads : thread_counts) {
+      printf("%8d", threads);
+      for (size_t i = 0; i < indexes.size(); ++i) {
+        ConcurrentReadConfig cfg;
+        cfg.threads = threads;
+        cfg.cache_bytes = cache_bytes;
+        cfg.rtt_nanos = rtt_nanos;
+        auto result = RunConcurrentReads(&servlet, *indexes[i].index, roots[i],
+                                         ops, cfg);
+        printf("   %11.1f|%4.2f", result.kops, result.hit_ratio);
         fflush(stdout);
       }
       printf("\n");

@@ -75,9 +75,10 @@ int main() {
   // ... and resolved by a strategy when the user supplies one.
   Hash resolved = *index.Merge3(
       conflict_a, conflict_b, base,
-      [](const std::string&, const std::string& ours,
-         const std::string& theirs) {
-        return std::optional<std::string>(ours + "|" + theirs);
+      [](const std::string&, const std::optional<std::string>& ours,
+         const std::optional<std::string>& theirs) {
+        return std::optional<std::string>(ours.value_or("<deleted>") + "|" +
+                                          theirs.value_or("<deleted>"));
       });
   printf("resolved value: %s\n",
          index.Get(resolved, base_records[0].key, nullptr)->value().c_str());

@@ -36,14 +36,24 @@ fi
 
 # The fast subset keeps the whole run around a minute on one core while
 # still touching every structure (throughput, diff, height, MBT breakdown,
-# parameter sweep).
-FAST_SUBSET="fig01_motivation fig09_tree_height fig13_mbt_breakdown tab03_parameters fig08_diff"
+# parameter sweep) plus the multi-client read-scaling report.
+FAST_SUBSET="fig01_motivation fig09_tree_height fig13_mbt_breakdown tab03_parameters fig08_diff fig06_threads"
 
 if [ "$ALL" -eq 1 ]; then
   BENCHES=$(cd "$BENCH_DIR" && ls)
 else
   BENCHES=$FAST_SUBSET
 fi
+
+# Pseudo-benches: logical names that map to a binary plus arguments.
+# fig06_threads = the fig06 multi-client section only, swept at 1/2/4/8
+# client threads (aggregate kops/s + per-structure cache hit ratios).
+bench_cmdline() {
+  case "$1" in
+    fig06_threads) echo "fig06_ycsb_throughput --threads=1,2,4,8 --threads-only" ;;
+    *)             echo "$1" ;;
+  esac
+}
 
 OUT_DIR=$(dirname "$OUT")/BENCH_out
 mkdir -p "$OUT_DIR"
@@ -64,11 +74,13 @@ STAMP=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 first=1
 failed=0
 for b in $BENCHES; do
-  bin="$BENCH_DIR/$b"
+  set -- $(bench_cmdline "$b")
+  bin="$BENCH_DIR/$1"
+  shift
   [ -x "$bin" ] || continue
   echo "== $b" >&2
   start=$(date +%s)
-  if timeout "$TIMEOUT_SECS" "$bin" > "$OUT_DIR/$b.txt" 2>&1; then
+  if timeout "$TIMEOUT_SECS" "$bin" "$@" > "$OUT_DIR/$b.txt" 2>&1; then
     status=ok
   else
     status=failed

@@ -63,7 +63,7 @@ Result<Hash> ImmutableIndex::Merge(const Hash& ours, const Hash& theirs,
         return Status::Conflict("key '" + e.key +
                                 "' differs and no resolver was supplied");
       }
-      auto winner = resolver(e.key, *e.left, *e.right);
+      auto winner = resolver(e.key, e.left, e.right);
       if (winner) {
         to_put.push_back({e.key, std::move(*winner)});
       } else {
@@ -118,7 +118,9 @@ Result<Hash> ImmutableIndex::Merge3(const Hash& ours, const Hash& theirs,
                               "' changed on both sides and no resolver was "
                               "supplied");
     }
-    auto winner = resolver(t.key, ours_new.value_or(""), theirs_new.value_or(""));
+    // Pass the optionals through: a deleting side stays nullopt instead of
+    // being conflated with an empty-string write.
+    auto winner = resolver(t.key, ours_new, theirs_new);
     if (winner) {
       to_put.push_back({t.key, std::move(*winner)});
     } else {

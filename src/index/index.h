@@ -46,10 +46,16 @@ struct DiffEntry {
 
 using DiffResult = std::vector<DiffEntry>;
 
-/// Resolves a merge conflict: both sides changed \p key to different values.
-/// Returns the winning value, or nullopt to drop the key.
+/// Resolves a merge conflict: both sides changed \p key divergently. In
+/// Merge3 a side is nullopt when that side deleted the key, so a
+/// delete-vs-modify conflict is distinguishable from a write of the empty
+/// string. (Two-way Merge has no base to detect deletions against — it
+/// only conflicts on value-vs-value, so both sides are always engaged
+/// there.) Returns the winning value, or nullopt to drop the key from the
+/// merge result.
 using ConflictResolver = std::function<std::optional<std::string>(
-    const std::string& key, const std::string& ours, const std::string& theirs)>;
+    const std::string& key, const std::optional<std::string>& ours,
+    const std::optional<std::string>& theirs)>;
 
 /// Per-lookup instrumentation (Figures 9 and 13).
 struct LookupStats {

@@ -24,6 +24,7 @@ ProofNodeStore::ProofNodeStore(const Proof& proof) {
 
 Hash ProofNodeStore::Put(Slice bytes) {
   const Hash h = Sha256::Digest(bytes);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = nodes_.find(h);
   if (it == nodes_.end()) {
     nodes_.emplace(h, std::make_shared<const std::string>(bytes.ToString()));
@@ -34,6 +35,7 @@ Hash ProofNodeStore::Put(Slice bytes) {
 }
 
 Result<std::shared_ptr<const std::string>> ProofNodeStore::Get(const Hash& h) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.gets;
   auto it = nodes_.find(h);
   if (it == nodes_.end()) {
@@ -44,13 +46,20 @@ Result<std::shared_ptr<const std::string>> ProofNodeStore::Get(const Hash& h) {
 }
 
 bool ProofNodeStore::Contains(const Hash& h) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return nodes_.count(h) > 0;
 }
 
 Result<uint64_t> ProofNodeStore::SizeOf(const Hash& h) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = nodes_.find(h);
   if (it == nodes_.end()) return Status::NotFound();
   return static_cast<uint64_t>(it->second->size());
+}
+
+NodeStore::Stats ProofNodeStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 }  // namespace siri

@@ -9,6 +9,7 @@
 #ifndef SIRI_INDEX_PROOF_H_
 #define SIRI_INDEX_PROOF_H_
 
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -34,6 +35,8 @@ struct Proof {
 ///
 /// Get(h) succeeds only if some proof node hashes to exactly h, so any
 /// tampering with a node makes it unreachable and verification fails.
+/// Thread-safe (NodeStore contract): one proof store may back concurrent
+/// verifier threads.
 class ProofNodeStore : public NodeStore {
  public:
   explicit ProofNodeStore(const Proof& proof);
@@ -45,10 +48,11 @@ class ProofNodeStore : public NodeStore {
   Result<std::shared_ptr<const std::string>> Get(const Hash& h) override;
   bool Contains(const Hash& h) const override;
   Result<uint64_t> SizeOf(const Hash& h) const override;
-  Stats stats() const override { return stats_; }
+  Stats stats() const override;
   void ResetOpCounters() override {}
 
  private:
+  mutable std::mutex mu_;
   std::unordered_map<Hash, std::shared_ptr<const std::string>, HashHasher>
       nodes_;
   Stats stats_;

@@ -11,28 +11,28 @@ namespace siri {
 Hash InMemoryNodeStore::Put(Slice bytes) {
   const Hash h = Sha256::Digest(bytes);
   std::unique_lock lock(mu_);
-  ++stats_.puts;
-  stats_.put_bytes += bytes.size();
+  puts_.fetch_add(1, std::memory_order_relaxed);
+  put_bytes_.fetch_add(bytes.size(), std::memory_order_relaxed);
   auto it = nodes_.find(h);
   if (it != nodes_.end()) {
-    ++stats_.dup_puts;
+    dup_puts_.fetch_add(1, std::memory_order_relaxed);
     return h;
   }
   nodes_.emplace(h, std::make_shared<const std::string>(bytes.ToString()));
-  ++stats_.unique_nodes;
-  stats_.unique_bytes += bytes.size();
+  ++unique_nodes_;
+  unique_bytes_ += bytes.size();
   return h;
 }
 
 Result<std::shared_ptr<const std::string>> InMemoryNodeStore::Get(
     const Hash& h) {
   std::shared_lock lock(mu_);
-  ++stats_.gets;
+  gets_.fetch_add(1, std::memory_order_relaxed);
   auto it = nodes_.find(h);
   if (it == nodes_.end()) {
     return Status::NotFound("node " + h.ToHex());
   }
-  stats_.get_bytes += it->second->size();
+  get_bytes_.fetch_add(it->second->size(), std::memory_order_relaxed);
   return it->second;
 }
 
@@ -52,16 +52,23 @@ Result<uint64_t> InMemoryNodeStore::SizeOf(const Hash& h) const {
 
 NodeStore::Stats InMemoryNodeStore::stats() const {
   std::shared_lock lock(mu_);
-  return stats_;
+  Stats out;
+  out.puts = puts_.load(std::memory_order_relaxed);
+  out.put_bytes = put_bytes_.load(std::memory_order_relaxed);
+  out.dup_puts = dup_puts_.load(std::memory_order_relaxed);
+  out.gets = gets_.load(std::memory_order_relaxed);
+  out.get_bytes = get_bytes_.load(std::memory_order_relaxed);
+  out.unique_nodes = unique_nodes_;
+  out.unique_bytes = unique_bytes_;
+  return out;
 }
 
 void InMemoryNodeStore::ResetOpCounters() {
-  std::unique_lock lock(mu_);
-  stats_.puts = 0;
-  stats_.put_bytes = 0;
-  stats_.dup_puts = 0;
-  stats_.gets = 0;
-  stats_.get_bytes = 0;
+  puts_.store(0, std::memory_order_relaxed);
+  put_bytes_.store(0, std::memory_order_relaxed);
+  dup_puts_.store(0, std::memory_order_relaxed);
+  gets_.store(0, std::memory_order_relaxed);
+  get_bytes_.store(0, std::memory_order_relaxed);
 }
 
 uint64_t InMemoryNodeStore::BytesOf(const PageSet& pages) const {
@@ -79,8 +86,8 @@ uint64_t InMemoryNodeStore::PruneExcept(const PageSet& retain) {
   uint64_t dropped = 0;
   for (auto it = nodes_.begin(); it != nodes_.end();) {
     if (retain.count(it->first) == 0) {
-      stats_.unique_bytes -= it->second->size();
-      --stats_.unique_nodes;
+      unique_bytes_ -= it->second->size();
+      --unique_nodes_;
       it = nodes_.erase(it);
       ++dropped;
     } else {

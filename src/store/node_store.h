@@ -11,6 +11,7 @@
 #ifndef SIRI_STORE_NODE_STORE_H_
 #define SIRI_STORE_NODE_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <shared_mutex>
@@ -93,7 +94,15 @@ class InMemoryNodeStore : public NodeStore {
   mutable std::shared_mutex mu_;
   std::unordered_map<Hash, std::shared_ptr<const std::string>, HashHasher>
       nodes_;
-  Stats stats_;
+  // Op counters are bumped on the shared-lock read path, so they are
+  // atomic; the resident-node counters only change under the unique lock.
+  mutable std::atomic<uint64_t> puts_{0};
+  mutable std::atomic<uint64_t> put_bytes_{0};
+  mutable std::atomic<uint64_t> dup_puts_{0};
+  mutable std::atomic<uint64_t> gets_{0};
+  mutable std::atomic<uint64_t> get_bytes_{0};
+  uint64_t unique_nodes_ = 0;
+  uint64_t unique_bytes_ = 0;
 };
 
 std::shared_ptr<InMemoryNodeStore> NewInMemoryNodeStore();

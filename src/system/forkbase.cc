@@ -2,48 +2,93 @@
 
 #include "system/forkbase.h"
 
+#include <chrono>
+#include <thread>
+
 #include "common/timer.h"
 
 namespace siri {
 
-NodeCache::NodeCache(uint64_t capacity_bytes)
-    : capacity_bytes_(capacity_bytes) {}
+NodeCache::NodeCache(uint64_t capacity_bytes, int num_shards)
+    : capacity_bytes_(capacity_bytes),
+      shards_(num_shards < 1 ? 1 : static_cast<size_t>(num_shards)) {
+  // Integer division: with capacity below the shard count every shard gets
+  // capacity 0 and behaves as a pass-through (insert, then evict) — the
+  // documented capacity-0 semantics.
+  const uint64_t per_shard = capacity_bytes_ / shards_.size();
+  for (Shard& s : shards_) s.capacity = per_shard;
+}
 
 std::shared_ptr<const std::string> NodeCache::Lookup(const Hash& h) {
-  auto it = map_.find(h);
-  if (it == map_.end()) return nullptr;
+  Shard& s = ShardFor(h);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.map.find(h);
+  if (it == s.map.end()) return nullptr;
   // Move to front (most recently used).
-  lru_.splice(lru_.begin(), lru_, it->second);
+  s.lru.splice(s.lru.begin(), s.lru, it->second);
   return it->second->bytes;
 }
 
 void NodeCache::Insert(const Hash& h, std::shared_ptr<const std::string> bytes) {
-  if (map_.count(h) > 0) return;
-  size_bytes_ += bytes->size();
-  lru_.push_front(Entry{h, std::move(bytes)});
-  map_[h] = lru_.begin();
-  EvictIfNeeded();
-}
-
-void NodeCache::EvictIfNeeded() {
-  while (size_bytes_ > capacity_bytes_ && !lru_.empty()) {
-    const Entry& victim = lru_.back();
-    size_bytes_ -= victim.bytes->size();
-    map_.erase(victim.hash);
-    lru_.pop_back();
+  Shard& s = ShardFor(h);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.map.find(h);
+  if (it != s.map.end()) {
+    // Content-addressed: same digest, same bytes. Refresh recency so the
+    // entry is not evicted as if cold.
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  s.size += bytes->size();
+  s.lru.push_front(Entry{h, std::move(bytes)});
+  s.map[h] = s.lru.begin();
+  while (s.size > s.capacity && !s.lru.empty()) {
+    const Entry& victim = s.lru.back();
+    s.size -= victim.bytes->size();
+    s.map.erase(victim.hash);
+    s.lru.pop_back();
   }
 }
 
 void NodeCache::Clear() {
-  lru_.clear();
-  map_.clear();
-  size_bytes_ = 0;
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.lru.clear();
+    s.map.clear();
+    s.size = 0;
+  }
+}
+
+uint64_t NodeCache::size_bytes() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    total += s.size;
+  }
+  return total;
 }
 
 ForkbaseClientStore::ForkbaseClientStore(ForkbaseServlet* servlet,
                                          uint64_t cache_bytes,
-                                         uint64_t rtt_nanos)
-    : servlet_(servlet), cache_(cache_bytes), rtt_nanos_(rtt_nanos) {}
+                                         uint64_t rtt_nanos, RttModel rtt_model)
+    : servlet_(servlet),
+      cache_(cache_bytes),
+      rtt_nanos_(rtt_nanos),
+      rtt_model_(rtt_model) {}
+
+void ForkbaseClientStore::ChargeRoundTrip() const {
+  if (rtt_nanos_ == 0) return;
+  if (rtt_model_ == RttModel::kSleep) {
+    // Yield the core: concurrent clients overlap their round trips, which
+    // is what makes multi-client read throughput scale on few cores.
+    std::this_thread::sleep_for(std::chrono::nanoseconds(rtt_nanos_));
+    return;
+  }
+  Timer t;
+  while (t.ElapsedNanos() < rtt_nanos_) {
+    // Busy-wait to model the round trip inside throughput measurements.
+  }
+}
 
 Hash ForkbaseClientStore::Put(Slice bytes) {
   // Writes run server-side in the paper's setup; forward directly.
@@ -53,34 +98,54 @@ Hash ForkbaseClientStore::Put(Slice bytes) {
 Result<std::shared_ptr<const std::string>> ForkbaseClientStore::Get(
     const Hash& h) {
   if (auto cached = cache_.Lookup(h)) {
-    ++remote_stats_.cache_hits;
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
     return cached;
   }
-  if (rtt_nanos_ > 0) {
-    Timer t;
-    while (t.ElapsedNanos() < rtt_nanos_) {
-      // Busy-wait to model the round trip inside throughput measurements.
-    }
-  }
+  ChargeRoundTrip();
   auto bytes = servlet_->store()->Get(h);
   if (!bytes.ok()) return bytes;
-  ++remote_stats_.remote_gets;
-  remote_stats_.remote_bytes += (*bytes)->size();
+  remote_gets_.fetch_add(1, std::memory_order_relaxed);
+  remote_bytes_.fetch_add((*bytes)->size(), std::memory_order_relaxed);
   cache_.Insert(h, *bytes);
   return bytes;
 }
 
 bool ForkbaseClientStore::Contains(const Hash& h) const {
+  // A cached node is by construction present on the servlet (it was fetched
+  // from there), so answer locally and keep remote accounting faithful to
+  // the paper's client-side model.
+  if (cache_.Lookup(h) != nullptr) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  ChargeRoundTrip();
+  remote_gets_.fetch_add(1, std::memory_order_relaxed);
   return servlet_->store()->Contains(h);
 }
 
 Result<uint64_t> ForkbaseClientStore::SizeOf(const Hash& h) const {
+  if (auto cached = cache_.Lookup(h)) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    return static_cast<uint64_t>(cached->size());
+  }
+  ChargeRoundTrip();
+  remote_gets_.fetch_add(1, std::memory_order_relaxed);
   return servlet_->store()->SizeOf(h);
 }
 
 void ForkbaseClientStore::ResetOpCounters() {
   servlet_->store()->ResetOpCounters();
-  remote_stats_ = RemoteStats{};
+  remote_gets_.store(0, std::memory_order_relaxed);
+  cache_hits_.store(0, std::memory_order_relaxed);
+  remote_bytes_.store(0, std::memory_order_relaxed);
+}
+
+ForkbaseClientStore::RemoteStats ForkbaseClientStore::remote_stats() const {
+  RemoteStats out;
+  out.remote_gets = remote_gets_.load(std::memory_order_relaxed);
+  out.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  out.remote_bytes = remote_bytes_.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace siri

@@ -9,30 +9,55 @@
 // throughput dominated by remote access, mitigated by caching, with cache
 // hit ratios that differ per index structure (large shared nodes are
 // re-read more often, fixed-entry MBT nodes less).
+//
+// Concurrency: one servlet serves K ForkbaseClientStore clients from K
+// threads, and a single client may itself be shared by multiple reader
+// threads. NodeCache is a sharded LRU (shards keyed by digest prefix,
+// one mutex per shard) so concurrent lookups on different shards never
+// contend; RemoteStats accounting is lock-free (relaxed atomics).
 
 #ifndef SIRI_SYSTEM_FORKBASE_H_
 #define SIRI_SYSTEM_FORKBASE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "store/node_store.h"
 
 namespace siri {
 
-/// \brief LRU cache of nodes, keyed by digest (a client's local node cache).
+/// \brief Thread-safe LRU cache of nodes, keyed by digest (a client's
+/// local node cache).
+///
+/// Internally sharded: a node lives in the shard selected by its digest
+/// prefix, and each shard is an independently-locked LRU with capacity
+/// `capacity_bytes / num_shards`. Eviction is therefore per-shard LRU, a
+/// close approximation of global LRU for SHA-256-distributed keys. Tests
+/// that assert exact global LRU order pass `num_shards = 1`.
 class NodeCache {
  public:
-  explicit NodeCache(uint64_t capacity_bytes);
+  static constexpr int kDefaultShards = 16;
 
+  explicit NodeCache(uint64_t capacity_bytes, int num_shards = kDefaultShards);
+
+  /// Returns the cached bytes and refreshes recency, or nullptr on miss.
   std::shared_ptr<const std::string> Lookup(const Hash& h);
+
+  /// Inserts the node, evicting per-shard LRU victims while over capacity.
+  /// A digest already present is touched to the front instead (same bytes:
+  /// the store is content-addressed) so a re-inserted entry is hot again.
   void Insert(const Hash& h, std::shared_ptr<const std::string> bytes);
+
   void Clear();
 
-  uint64_t size_bytes() const { return size_bytes_; }
+  uint64_t size_bytes() const;
   uint64_t capacity_bytes() const { return capacity_bytes_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
 
  private:
   struct Entry {
@@ -40,15 +65,25 @@ class NodeCache {
     std::shared_ptr<const std::string> bytes;
   };
 
-  void EvictIfNeeded();
+  struct Shard {
+    mutable std::mutex mu;
+    uint64_t capacity = 0;
+    uint64_t size = 0;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<Hash, std::list<Entry>::iterator, HashHasher> map;
+  };
+
+  Shard& ShardFor(const Hash& h) {
+    return shards_[h.Prefix64() % shards_.size()];
+  }
 
   uint64_t capacity_bytes_;
-  uint64_t size_bytes_ = 0;
-  std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<Hash, std::list<Entry>::iterator, HashHasher> map_;
+  std::vector<Shard> shards_;
 };
 
-/// \brief The server side: owns the authoritative store.
+/// \brief The server side: owns the authoritative store. Safe to share
+/// across client threads as long as the underlying NodeStore honors its
+/// thread-safety contract.
 class ForkbaseServlet {
  public:
   explicit ForkbaseServlet(NodeStorePtr store) : store_(std::move(store)) {}
@@ -60,10 +95,17 @@ class ForkbaseServlet {
   NodeStorePtr store_;
 };
 
+/// How the simulated round trip is charged on a remote access.
+enum class RttModel {
+  kBusyWait,  ///< burn the core — accurate single-client cost accounting
+  kSleep,     ///< yield the core — round trips of concurrent clients overlap
+};
+
 /// \brief Client-side NodeStore view: cache first, then "remote" fetch.
 ///
 /// Reads executed through this store see the client-server boundary;
 /// writes are forwarded (the paper executes writes entirely server-side).
+/// Thread-safe: one instance may serve many reader threads.
 class ForkbaseClientStore : public NodeStore {
  public:
   struct RemoteStats {
@@ -77,10 +119,11 @@ class ForkbaseClientStore : public NodeStore {
     }
   };
 
-  /// \param rtt_nanos simulated per-fetch round-trip cost, busy-waited so
-  ///        throughput numbers include it (0 = count only).
+  /// \param rtt_nanos simulated per-fetch round-trip cost (0 = count only),
+  ///        charged per \p rtt_model so throughput numbers include it.
   ForkbaseClientStore(ForkbaseServlet* servlet, uint64_t cache_bytes,
-                      uint64_t rtt_nanos = 0);
+                      uint64_t rtt_nanos = 0,
+                      RttModel rtt_model = RttModel::kBusyWait);
 
   Hash Put(Slice bytes) override;
   Result<std::shared_ptr<const std::string>> Get(const Hash& h) override;
@@ -90,14 +133,20 @@ class ForkbaseClientStore : public NodeStore {
   void ResetOpCounters() override;
   Status Flush() override { return servlet_->store()->Flush(); }
 
-  const RemoteStats& remote_stats() const { return remote_stats_; }
+  /// Consistent-enough snapshot of the remote accounting counters.
+  RemoteStats remote_stats() const;
   void ClearCache() { cache_.Clear(); }
 
  private:
+  void ChargeRoundTrip() const;
+
   ForkbaseServlet* servlet_;
-  NodeCache cache_;
+  mutable NodeCache cache_;  // Lookup refreshes recency, so const paths touch it
   uint64_t rtt_nanos_;
-  RemoteStats remote_stats_;
+  RttModel rtt_model_;
+  mutable std::atomic<uint64_t> remote_gets_{0};
+  mutable std::atomic<uint64_t> cache_hits_{0};
+  mutable std::atomic<uint64_t> remote_bytes_{0};
 };
 
 }  // namespace siri

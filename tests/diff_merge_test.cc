@@ -173,8 +173,9 @@ TEST_P(DiffMergeTest, MergeResolverPicksWinner) {
   ASSERT_TRUE(theirs.ok());
   auto merged = index_->Merge(
       *ours, *theirs,
-      [](const std::string&, const std::string& o, const std::string& t) {
-        return std::optional<std::string>(o + "+" + t);
+      [](const std::string&, const std::optional<std::string>& o,
+         const std::optional<std::string>& t) {
+        return std::optional<std::string>(*o + "+" + *t);
       });
   ASSERT_TRUE(merged.ok());
   auto got = index_->Get(*merged, TKey(7), nullptr);
@@ -191,7 +192,8 @@ TEST_P(DiffMergeTest, MergeResolverCanDropKey) {
   ASSERT_TRUE(theirs.ok());
   auto merged = index_->Merge(
       *ours, *theirs,
-      [](const std::string&, const std::string&, const std::string&) {
+      [](const std::string&, const std::optional<std::string>&,
+         const std::optional<std::string>&) {
         return std::optional<std::string>{};
       });
   ASSERT_TRUE(merged.ok());
@@ -239,6 +241,65 @@ TEST_P(DiffMergeTest, ThreeWayMergeConflictsOnDivergence) {
   auto merged = index_->Merge3(*ours, *theirs, *base);
   ASSERT_FALSE(merged.ok());
   EXPECT_TRUE(merged.status().IsConflict());
+}
+
+TEST_P(DiffMergeTest, ThreeWayMergeDeleteVsModifyConflictSeesDeletion) {
+  // Regression: the resolver used to receive value_or(""), conflating a
+  // deleted side with a write of the empty string. It must see nullopt for
+  // the deleting side and the real value for the modifying side.
+  auto base = index_->PutBatch(index_->EmptyRoot(), MakeKvs(50));
+  ASSERT_TRUE(base.ok());
+  auto ours = index_->Delete(*base, TKey(7));
+  ASSERT_TRUE(ours.ok());
+  auto theirs = index_->Put(*base, TKey(7), "modified");
+  ASSERT_TRUE(theirs.ok());
+
+  // Without a resolver this is a conflict, not a silent pick.
+  auto unresolved = index_->Merge3(*ours, *theirs, *base);
+  ASSERT_FALSE(unresolved.ok());
+  EXPECT_TRUE(unresolved.status().IsConflict());
+
+  bool saw_delete_vs_modify = false;
+  auto merged = index_->Merge3(
+      *ours, *theirs, *base,
+      [&](const std::string&, const std::optional<std::string>& o,
+          const std::optional<std::string>& t) -> std::optional<std::string> {
+        saw_delete_vs_modify = !o.has_value() && t.has_value();
+        return t;  // modify wins over delete
+      });
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_TRUE(saw_delete_vs_modify);
+  auto got = index_->Get(*merged, TKey(7), nullptr);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(got->has_value());
+  EXPECT_EQ(**got, "modified");
+}
+
+TEST_P(DiffMergeTest, ThreeWayMergeDeleteVsEmptyStringIsStillAConflict) {
+  // Deleting a key and writing "" are different changes; identical-change
+  // suppression must not kick in and the resolver must see the difference.
+  auto base = index_->PutBatch(index_->EmptyRoot(), MakeKvs(30));
+  ASSERT_TRUE(base.ok());
+  auto ours = index_->Delete(*base, TKey(3));
+  ASSERT_TRUE(ours.ok());
+  auto theirs = index_->Put(*base, TKey(3), "");
+  ASSERT_TRUE(theirs.ok());
+
+  std::optional<std::string> seen_ours = std::string("sentinel");
+  std::optional<std::string> seen_theirs;
+  auto merged = index_->Merge3(
+      *ours, *theirs, *base,
+      [&](const std::string&, const std::optional<std::string>& o,
+          const std::optional<std::string>& t) -> std::optional<std::string> {
+        seen_ours = o;
+        seen_theirs = t;
+        return std::nullopt;  // drop the key
+      });
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_FALSE(seen_ours.has_value());          // deletion, not ""
+  ASSERT_TRUE(seen_theirs.has_value());
+  EXPECT_EQ(*seen_theirs, "");                  // empty-string write, not deletion
+  EXPECT_FALSE(index_->Get(*merged, TKey(3), nullptr)->has_value());
 }
 
 TEST_P(DiffMergeTest, CountMatchesContent) {

@@ -85,8 +85,9 @@ TEST_P(InvariantTest, MergeContentIsSymmetric) {
   auto theirs = index_->PutBatch(*base, {{"t1", "y"}, {TKey(5), "tv"}});
   ASSERT_TRUE(ours.ok() && theirs.ok());
   // Symmetric resolver: order of operands must not change the content.
-  auto resolver = [](const std::string&, const std::string& a,
-                     const std::string& b) {
+  auto resolver = [](const std::string&, const std::optional<std::string>& ao,
+                     const std::optional<std::string>& bo) {
+    const std::string a = ao.value_or(""), b = bo.value_or("");
     return std::optional<std::string>(a < b ? a + b : b + a);
   };
   auto m1 = index_->Merge(*ours, *theirs, resolver);

@@ -28,7 +28,8 @@ TEST(NodeCacheTest, LookupAfterInsertHits) {
 }
 
 TEST(NodeCacheTest, EvictsLruWhenOverCapacity) {
-  NodeCache cache(100);
+  // One shard: exact global LRU order is observable.
+  NodeCache cache(100, /*num_shards=*/1);
   const Hash a = Sha256::Digest("a");
   const Hash b = Sha256::Digest("b");
   const Hash c = Sha256::Digest("c");
@@ -50,6 +51,74 @@ TEST(NodeCacheTest, ClearEmptiesEverything) {
   cache.Clear();
   EXPECT_EQ(cache.size_bytes(), 0u);
   EXPECT_EQ(cache.Lookup(Sha256::Digest("k")), nullptr);
+}
+
+TEST(NodeCacheTest, ReinsertRefreshesRecency) {
+  // Regression: Insert on an already-present digest used to return without
+  // touching the LRU, so the entry could be evicted as if cold.
+  NodeCache cache(100, /*num_shards=*/1);
+  const Hash a = Sha256::Digest("a");
+  const Hash b = Sha256::Digest("b");
+  const Hash c = Sha256::Digest("c");
+  const auto payload = [](char ch) {
+    return std::make_shared<const std::string>(std::string(40, ch));
+  };
+  cache.Insert(a, payload('a'));
+  cache.Insert(b, payload('b'));  // LRU order: b, a
+  cache.Insert(a, payload('a'));  // re-insert must move a to the front
+  cache.Insert(c, payload('c'));  // 120 bytes > 100: evicts the LRU entry
+  EXPECT_EQ(cache.Lookup(b), nullptr);   // b was coldest
+  EXPECT_NE(cache.Lookup(a), nullptr);   // a was refreshed, survives
+  EXPECT_NE(cache.Lookup(c), nullptr);
+  EXPECT_EQ(cache.size_bytes(), 80u);
+}
+
+TEST(NodeCacheTest, NodeLargerThanCapacityIsNotRetained) {
+  NodeCache cache(50, /*num_shards=*/1);
+  const Hash h = Sha256::Digest("big");
+  cache.Insert(h, std::make_shared<const std::string>(std::string(200, 'x')));
+  EXPECT_EQ(cache.Lookup(h), nullptr);
+  EXPECT_EQ(cache.size_bytes(), 0u);
+}
+
+TEST(NodeCacheTest, ZeroCapacityCachesNothing) {
+  NodeCache cache(0);
+  const Hash h = Sha256::Digest("k");
+  cache.Insert(h, std::make_shared<const std::string>("v"));
+  EXPECT_EQ(cache.Lookup(h), nullptr);
+  EXPECT_EQ(cache.size_bytes(), 0u);
+}
+
+TEST(NodeCacheTest, ClearThenReinsertWorks) {
+  NodeCache cache(1000, /*num_shards=*/4);
+  const Hash h = Sha256::Digest("k");
+  cache.Insert(h, std::make_shared<const std::string>("before"));
+  cache.Clear();
+  cache.Insert(h, std::make_shared<const std::string>("before"));
+  auto got = cache.Lookup(h);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, "before");
+  EXPECT_EQ(cache.size_bytes(), 6u);
+}
+
+TEST(NodeCacheTest, ShardedCacheSpreadsCapacity) {
+  // With uniform SHA-256 keys and per-shard capacity, a sharded cache still
+  // retains roughly its capacity's worth of hot nodes.
+  NodeCache cache(64 << 10);
+  EXPECT_EQ(cache.num_shards(), NodeCache::kDefaultShards);
+  std::vector<Hash> keys;
+  for (int i = 0; i < 64; ++i) {
+    const std::string payload(512, 'a' + (i % 26));
+    const Hash h = Sha256::Digest(payload + std::to_string(i));
+    cache.Insert(h, std::make_shared<const std::string>(payload));
+    keys.push_back(h);
+  }
+  // 32 KB of payload in a 64 KB cache: the vast majority survives even
+  // though per-shard capacity makes eviction possible for unlucky shards.
+  int hits = 0;
+  for (const Hash& h : keys) hits += cache.Lookup(h) != nullptr;
+  EXPECT_GE(hits, 48);
+  EXPECT_LE(cache.size_bytes(), cache.capacity_bytes());
 }
 
 TEST(ForkbaseClientTest, RepeatedReadsHitCache) {
@@ -92,6 +161,35 @@ TEST(ForkbaseClientTest, ColdCacheGoesRemote) {
   ASSERT_TRUE(got.ok());
   EXPECT_GT(client_store->remote_stats().remote_gets, 0u);
   EXPECT_EQ(client_store->remote_stats().cache_hits, 0u);
+}
+
+TEST(ForkbaseClientTest, CachedNodeAnswersSizeOfAndContainsLocally) {
+  auto server_store = NewInMemoryNodeStore();
+  ForkbaseServlet servlet(server_store);
+  auto client_store =
+      std::make_shared<ForkbaseClientStore>(&servlet, 1 << 20, 0);
+
+  const std::string payload(300, 'p');
+  const Hash h = client_store->Put(payload);
+  // Prime the cache with one remote fetch.
+  ASSERT_TRUE(client_store->Get(h).ok());
+  ASSERT_EQ(client_store->remote_stats().remote_gets, 1u);
+  client_store->ResetOpCounters();
+
+  // Cached node: metadata queries must not touch the servlet.
+  auto size = client_store->SizeOf(h);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, payload.size());
+  EXPECT_TRUE(client_store->Contains(h));
+  EXPECT_EQ(client_store->remote_stats().remote_gets, 0u);
+  EXPECT_EQ(client_store->remote_stats().cache_hits, 2u);
+
+  // Uncached node: the query is a (counted) remote round trip.
+  const Hash cold = server_store->Put(std::string(40, 'q'));
+  auto cold_size = client_store->SizeOf(cold);
+  ASSERT_TRUE(cold_size.ok());
+  EXPECT_EQ(*cold_size, 40u);
+  EXPECT_EQ(client_store->remote_stats().remote_gets, 1u);
 }
 
 TEST(ForkbaseClientTest, WritesForwardToServer) {

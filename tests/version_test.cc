@@ -141,9 +141,10 @@ TEST_F(BranchTest, MergeBaseOfDivergedBranches) {
   ASSERT_TRUE(main_commit.ok() && feat_commit.ok() && base_commit.ok());
   auto merged = index_->Merge3(main_commit->root, feat_commit->root,
                                base_commit->root,
-                               [](const std::string&, const std::string& o,
-                                  const std::string&) {
-                                 return std::optional<std::string>(o);
+                               [](const std::string&,
+                                  const std::optional<std::string>& o,
+                                  const std::optional<std::string>&) {
+                                 return o;
                                });
   EXPECT_TRUE(merged.ok());
 }
