@@ -42,7 +42,9 @@ inline uint64_t ParseScale(int argc, char** argv) {
     } else if (strcmp(argv[i], "--help") == 0) {
       printf("usage: %s [--scale=K]\n"
              "  YCSB benches (fig06/fig10/fig21) also take"
-             " [--threads=K[,K...]] [--threads-only]\n",
+             " [--threads=K[,K...]] [--write-threads=K[,K...]]\n"
+             "  fig06 also takes [--threads-only] [--write-scaling-only]"
+             " [--smoke]\n",
              argv[0]);
       exit(0);
     }
@@ -50,15 +52,16 @@ inline uint64_t ParseScale(int argc, char** argv) {
   return scale;
 }
 
-/// Parses --threads=K or --threads=K,K,... — the client-thread counts for
-/// the multi-client sections of the YCSB benches. Default: the paper-style
-/// 1/2/4/8 sweep.
-inline std::vector<int> ParseThreadCounts(int argc, char** argv) {
+/// Parses a K[,K...] thread-count list from \p flag (e.g. "--threads=").
+/// Default: the paper-style 1/2/4/8 sweep.
+inline std::vector<int> ParseThreadList(int argc, char** argv,
+                                        const char* flag) {
+  const size_t flag_len = strlen(flag);
   std::vector<int> counts;
   for (int i = 1; i < argc; ++i) {
-    if (strncmp(argv[i], "--threads=", 10) == 0) {
+    if (strncmp(argv[i], flag, flag_len) == 0) {
       counts.clear();
-      const char* p = argv[i] + 10;
+      const char* p = argv[i] + flag_len;
       while (*p) {
         char* end = nullptr;
         const long v = strtol(p, &end, 10);
@@ -70,6 +73,18 @@ inline std::vector<int> ParseThreadCounts(int argc, char** argv) {
   }
   if (counts.empty()) counts = {1, 2, 4, 8};
   return counts;
+}
+
+/// --threads=K[,K...] — client-thread counts for the multi-client read
+/// sections of the YCSB benches.
+inline std::vector<int> ParseThreadCounts(int argc, char** argv) {
+  return ParseThreadList(argc, argv, "--threads=");
+}
+
+/// --write-threads=K[,K...] — writer-thread counts for the write-scaling
+/// sections.
+inline std::vector<int> ParseWriteThreadCounts(int argc, char** argv) {
+  return ParseThreadList(argc, argv, "--write-threads=");
 }
 
 /// True if \p flag (e.g. "--threads-only") was passed.
@@ -291,6 +306,93 @@ inline ConcurrentReadResult RunConcurrentReads(ForkbaseServlet* servlet,
     out.remote_gets += stats.remote_gets;
   }
   for (const Histogram& h : lat) out.latencies_us.Merge(h);
+  return out;
+}
+
+/// Multi-client write path: K writer clients, each on its own thread with
+/// its own ForkbaseClientStore, committing batches of writes against a
+/// shared servlet. Every commit stages its dirty root-to-leaf nodes and
+/// ships them in ONE PutMany upload RPC (one slept round trip), so — as
+/// with the read path — aggregate throughput scales with the client count
+/// because the clients' round trips overlap. Writers derive independent
+/// version lineages from the shared base root (copy-on-write needs no
+/// coordination beyond the store).
+struct ConcurrentWriteConfig {
+  int threads = 1;
+  size_t commit_kvs = 20;          ///< writes per commit (one PutBatch)
+  uint64_t cache_bytes = 1 << 20;  ///< per client
+  uint64_t rtt_nanos = 2000000;    ///< 2ms simulated upload round trip
+};
+
+struct ConcurrentWriteResult {
+  double kops = 0;           ///< aggregate writes/s across clients, in kops
+  uint64_t commits = 0;      ///< total commits across clients
+  uint64_t upload_rpcs = 0;  ///< total write RPCs (sum of remote_puts)
+  /// Upload RPCs per commit: 1.0 when every commit batched into one RPC.
+  double RpcsPerCommit() const {
+    return commits == 0 ? 0 : static_cast<double>(upload_rpcs) / commits;
+  }
+};
+
+inline ConcurrentWriteResult RunConcurrentWrites(
+    ForkbaseServlet* servlet, const ImmutableIndex& proto,
+    const Hash& base_root, const std::vector<YcsbOp>& ops,
+    const ConcurrentWriteConfig& cfg) {
+  std::vector<std::shared_ptr<ForkbaseClientStore>> stores;
+  std::vector<std::unique_ptr<ImmutableIndex>> indexes;
+  for (int t = 0; t < cfg.threads; ++t) {
+    stores.push_back(std::make_shared<ForkbaseClientStore>(
+        servlet, cfg.cache_bytes, cfg.rtt_nanos, RttModel::kSleep));
+    indexes.push_back(proto.WithStore(stores.back()));
+    // Index construction may upload a skeleton (MBT's empty tree); that is
+    // setup, not steady-state commit traffic.
+    stores.back()->ResetOpCounters();
+  }
+
+  std::vector<std::vector<KV>> commits;  // shared op stream, pre-batched
+  for (const YcsbOp& op : ops) {
+    if (op.type != YcsbOp::Type::kWrite) continue;
+    if (commits.empty() || commits.back().size() >= cfg.commit_kvs) {
+      commits.emplace_back();
+    }
+    commits.back().push_back(KV{op.key, op.value});
+  }
+
+  uint64_t writes_per_client = 0;
+  for (const auto& c : commits) writes_per_client += c.size();
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(cfg.threads);
+  for (int t = 0; t < cfg.threads; ++t) {
+    workers.emplace_back([&, t] {
+      ImmutableIndex* index = indexes[t].get();
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      Hash root = base_root;
+      for (const auto& commit : commits) {
+        // Writer-private key prefix: every client builds its own lineage.
+        std::vector<KV> batch;
+        batch.reserve(commit.size());
+        for (const KV& kv : commit) {
+          batch.push_back(KV{"w" + std::to_string(t) + "/" + kv.key, kv.value});
+        }
+        auto next = index->PutBatch(root, std::move(batch));
+        SIRI_CHECK(next.ok());
+        root = *next;
+      }
+    });
+  }
+
+  Timer timer;
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  const double secs = timer.ElapsedSeconds();
+
+  ConcurrentWriteResult out;
+  const uint64_t total_writes = writes_per_client * cfg.threads;
+  out.kops = secs == 0 ? 0 : static_cast<double>(total_writes) / secs / 1000.0;
+  out.commits = commits.size() * cfg.threads;
+  for (const auto& s : stores) out.upload_rpcs += s->remote_stats().remote_puts;
   return out;
 }
 

@@ -11,6 +11,7 @@
 
 #include "bench/bench_common.h"
 #include "crypto/sha256.h"
+#include "store/staging_store.h"
 
 using namespace siri;
 using namespace siri::bench;
@@ -21,9 +22,10 @@ namespace {
 // hot-set Lookups against one cache. With one shard every Lookup serializes
 // on a single mutex (the pre-sharding design, made safe); with the default
 // shard count most acquisitions are uncontended.
-void RunCacheShardSection(const std::vector<int>& thread_counts) {
+void RunCacheShardSection(const std::vector<int>& thread_counts,
+                          bool smoke = false) {
   constexpr int kHotKeys = 256;
-  constexpr int kLookupsPerThread = 100000;
+  const int kLookupsPerThread = smoke ? 5000 : 100000;
 
   printf("\n[node-cache lock scaling] %d-key hot set, aggregate Mops/s\n",
          kHotKeys);
@@ -66,12 +68,107 @@ void RunCacheShardSection(const std::vector<int>& thread_counts) {
   }
 }
 
+// Sharded vs unsharded InMemoryNodeStore under writer contention: K
+// threads each flushing staged 64-node batches into one shared store.
+// With one shard every batch serializes on a single mutex (the
+// pre-sharding write path, made safe); with the default shard count a
+// batch takes each shard lock once and different writers rarely collide.
+void RunStoreShardSection(const std::vector<int>& thread_counts,
+                          bool smoke = false) {
+  const int kBatchesPerThread = smoke ? 40 : 400;
+  constexpr int kBatchNodes = 64;
+
+  printf("\n[node-store write lock scaling] %d-node staged batches,"
+         " aggregate K nodes/s\n",
+         kBatchNodes);
+  printf("%8s %12s %12s\n", "threads", "1shard",
+         (std::to_string(InMemoryNodeStore::kDefaultShards) + "shards").c_str());
+
+  for (int threads : thread_counts) {
+    printf("%8d", threads);
+    for (int shards : {1, InMemoryNodeStore::kDefaultShards}) {
+      auto store = NewInMemoryNodeStore(shards);
+      std::atomic<bool> go{false};
+      std::vector<std::thread> workers;
+      for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+          while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+          for (int b = 0; b < kBatchesPerThread; ++b) {
+            StagingNodeStore staging(store.get());
+            for (int i = 0; i < kBatchNodes; ++i) {
+              std::string node(192, 'a' + (i % 26));
+              node += std::to_string(t * 1000000 + b * 1000 + i);
+              staging.Put(node);
+            }
+            staging.FlushBatch();
+          }
+        });
+      }
+      Timer timer;
+      go.store(true, std::memory_order_release);
+      for (auto& w : workers) w.join();
+      const double secs = timer.ElapsedSeconds();
+      const double knodes =
+          secs == 0 ? 0
+                    : static_cast<double>(kBatchesPerThread) * kBatchNodes *
+                          threads / secs / 1e3;
+      printf(" %12.1f", knodes);
+      fflush(stdout);
+    }
+    printf("\n");
+  }
+}
+
+// Multi-client write scaling: K writer threads, each with its own client
+// store, committing staged write batches (one upload RPC per commit)
+// against one servlet over a sharded server store. Reported per
+// structure: aggregate write kops/s and upload RPCs per commit (≤ 1.0
+// means every commit batched its whole dirty path into one round trip).
+void RunWriteScalingSection(uint64_t scale,
+                            const std::vector<int>& thread_counts,
+                            bool smoke = false) {
+  const uint64_t n = (smoke ? 2000 : 20000) * scale;
+  const uint64_t num_ops = smoke ? 200 : 1000;
+
+  printf("\n[multi-client write scaling] n=%llu write-only commit=20"
+         " rtt=2ms(sleep,1/commit) cache=1MB/client\n",
+         static_cast<unsigned long long>(n));
+  printf("%8s %15s %15s %15s %15s\n", "threads", "pos(kops|rpc)",
+         "mbt(kops|rpc)", "mpt(kops|rpc)", "mvmb(kops|rpc)");
+
+  YcsbGenerator gen(1);
+  auto records = gen.GenerateRecords(n);
+  auto ops = gen.GenerateOps(num_ops, n, /*write_ratio=*/1.0, /*theta=*/0.0);
+
+  auto server_store = NewInMemoryNodeStore();
+  siri::ForkbaseServlet servlet(server_store);
+  auto indexes = MakeAllIndexes(server_store, smoke ? 1024 : 8192);
+  std::vector<Hash> roots;
+  for (auto& [name, index] : indexes) {
+    roots.push_back(LoadRecords(index.get(), records));
+  }
+
+  for (int threads : thread_counts) {
+    printf("%8d", threads);
+    for (size_t i = 0; i < indexes.size(); ++i) {
+      ConcurrentWriteConfig cfg;
+      cfg.threads = threads;
+      auto result = RunConcurrentWrites(&servlet, *indexes[i].index, roots[i],
+                                        ops, cfg);
+      printf("   %8.2f|%4.2f", result.kops, result.RpcsPerCommit());
+      fflush(stdout);
+    }
+    printf("\n");
+  }
+}
+
 // Multi-client read scaling: K client threads, each with its own cache,
 // reading through one servlet. Reported per structure: aggregate kops/s
 // and mean cache hit ratio at each thread count.
-void RunThreadedSection(uint64_t scale, const std::vector<int>& thread_counts) {
-  const uint64_t n = 20000 * scale;
-  const uint64_t num_ops = 3000;
+void RunThreadedSection(uint64_t scale, const std::vector<int>& thread_counts,
+                        bool smoke = false) {
+  const uint64_t n = (smoke ? 2000 : 20000) * scale;
+  const uint64_t num_ops = smoke ? 500 : 3000;
 
   printf("\n[multi-client read scaling] n=%llu read-only θ=0 "
          "rtt=20us(sleep) cache=1MB/client\n",
@@ -110,7 +207,10 @@ void RunThreadedSection(uint64_t scale, const std::vector<int>& thread_counts) {
 int main(int argc, char** argv) {
   const uint64_t scale = ParseScale(argc, argv);
   const std::vector<int> thread_counts = ParseThreadCounts(argc, argv);
+  const std::vector<int> write_threads = ParseWriteThreadCounts(argc, argv);
   const bool threads_only = HasFlag(argc, argv, "--threads-only");
+  const bool write_scaling_only = HasFlag(argc, argv, "--write-scaling-only");
+  const bool smoke = HasFlag(argc, argv, "--smoke");
   std::vector<uint64_t> sizes;
   for (uint64_t n : {10000, 20000, 40000, 80000}) sizes.push_back(n * scale);
   const uint64_t num_ops = 3000;
@@ -119,9 +219,24 @@ int main(int argc, char** argv) {
 
   PrintHeader("Figure 6", "YCSB throughput (kops/s) across θ and write ratio");
 
-  if (threads_only) {
-    RunThreadedSection(scale, thread_counts);
-    RunCacheShardSection(thread_counts);
+  if (smoke) {
+    // Tiny end-to-end pass over every threaded section — the TSan CI
+    // smoke: races only reachable at bench-scale contention surface here.
+    RunThreadedSection(scale, thread_counts, /*smoke=*/true);
+    RunWriteScalingSection(scale, write_threads, /*smoke=*/true);
+    RunCacheShardSection(thread_counts, /*smoke=*/true);
+    RunStoreShardSection(write_threads, /*smoke=*/true);
+    return 0;
+  }
+  if (threads_only || write_scaling_only) {
+    if (threads_only) {
+      RunThreadedSection(scale, thread_counts);
+      RunCacheShardSection(thread_counts);
+    }
+    if (write_scaling_only) {
+      RunWriteScalingSection(scale, write_threads);
+      RunStoreShardSection(write_threads);
+    }
     return 0;
   }
 
@@ -147,6 +262,8 @@ int main(int argc, char** argv) {
   }
 
   RunThreadedSection(scale, thread_counts);
+  RunWriteScalingSection(scale, write_threads);
   RunCacheShardSection(thread_counts);
+  RunStoreShardSection(write_threads);
   return 0;
 }

@@ -8,6 +8,8 @@
 
 #include "bench/bench_common.h"
 #include "common/histogram.h"
+#include "store/file_store.h"
+#include "system/ledger.h"
 
 using namespace siri;
 using namespace siri::bench;
@@ -61,6 +63,102 @@ int main(int argc, char** argv) {
       PrintHistogram("write", write_lat);
       fflush(stdout);
     }
+  }
+
+  // Batched vs eager commits over the remote boundary: a Ledger appends
+  // blocks of 100 txs through a client store whose upload RPCs cost a
+  // slept 50us round trip. A batched build stages the block's dirty nodes
+  // and ships them as ONE PutMany RPC per commit; the eager build applies
+  // txs one at a time and pays one upload RPC per operation. The rpc
+  // column is upload RPCs per commit — ≤ 1.0 certifies batching.
+  {
+    const int kBlocks = 20;
+    const int kTxsPerBlock = 100;
+    const uint64_t kUploadRttNanos = 50000;
+
+    printf("\n[commit latency: batched vs eager] %d-tx blocks, upload "
+           "rtt=50us(sleep)\n",
+           kTxsPerBlock);
+    printf(" %-6s %28s %28s\n", "", "batched p50/p95 us (rpc/c)",
+           "eager p50/p95 us (rpc/c)");
+
+    YcsbGenerator commit_gen(7);
+    for (const char* mode_name : {"pos", "mbt", "mpt", "mvmb"}) {
+      printf(" %-6s", mode_name);
+      for (bool batched : {true, false}) {
+        auto server_store = NewInMemoryNodeStore();
+        ForkbaseServlet servlet(server_store);
+        auto client_store = std::make_shared<ForkbaseClientStore>(
+            &servlet, 4 << 20, kUploadRttNanos, RttModel::kSleep);
+        // The whole structure lives behind the client boundary: commits
+        // upload their nodes, lookups during the build fetch remotely.
+        auto indexes = MakeAllIndexes(client_store, /*mbt_buckets=*/1024);
+        ImmutableIndex* index = nullptr;
+        for (auto& [name, ix] : indexes) {
+          if (name == mode_name) index = ix.get();
+        }
+        SIRI_CHECK(index != nullptr);
+        client_store->ResetOpCounters();
+
+        Ledger ledger(index, /*batch_build=*/batched);
+        Histogram commit_lat;
+        for (int b = 0; b < kBlocks; ++b) {
+          std::vector<KV> txs;
+          for (int i = 0; i < kTxsPerBlock; ++i) {
+            const uint64_t id = static_cast<uint64_t>(b) * kTxsPerBlock + i;
+            txs.push_back(KV{commit_gen.KeyOf(id, "blk"),
+                             commit_gen.ValueOf(id, 0, "blk")});
+          }
+          Timer t;
+          SIRI_CHECK(ledger.AppendBlock(txs).ok());
+          commit_lat.Record(t.ElapsedMicros());
+        }
+        const double rpcs_per_commit =
+            static_cast<double>(client_store->remote_stats().remote_puts) /
+            kBlocks;
+        printf("   %9.0f/%8.0f (%5.1f)", commit_lat.Percentile(0.5),
+               commit_lat.Percentile(0.95), rpcs_per_commit);
+        fflush(stdout);
+      }
+      printf("\n");
+    }
+  }
+
+  // Durable batched commits: the same Ledger boundary over a disk-backed
+  // store. Each block's nodes land as one batched log append, and the
+  // commit flush is the only fsync — the fsyncs/commit figure should be
+  // exactly 1.0 (clean flushes are skipped).
+  {
+    const std::string path = "/tmp/siri_fig10_commit.log";
+    std::remove(path.c_str());
+    std::shared_ptr<FileNodeStore> fstore;
+    SIRI_CHECK(FileNodeStore::Open(path, &fstore).ok());
+    SIRI_CHECK(fstore->Flush().ok());  // settle the fresh-log header
+    const uint64_t baseline_fsyncs = fstore->fsync_count();
+
+    PosTree tree(fstore);
+    Ledger ledger(&tree, /*batch_build=*/true, /*sync_on_commit=*/true);
+    const int kBlocks = 10;
+    Histogram commit_lat;
+    YcsbGenerator durable_gen(11);
+    for (int b = 0; b < kBlocks; ++b) {
+      std::vector<KV> txs;
+      for (int i = 0; i < 200; ++i) {
+        const uint64_t id = static_cast<uint64_t>(b) * 200 + i;
+        txs.push_back(
+            KV{durable_gen.KeyOf(id, "dur"), durable_gen.ValueOf(id, 0, "dur")});
+      }
+      Timer t;
+      SIRI_CHECK(ledger.AppendBlock(txs).ok());
+      commit_lat.Record(t.ElapsedMicros());
+    }
+    const double fsyncs_per_commit =
+        static_cast<double>(fstore->fsync_count() - baseline_fsyncs) / kBlocks;
+    printf("\n[durable batched commits] FileNodeStore ledger, 200-tx blocks: "
+           "p50=%.0fus p95=%.0fus fsyncs/commit=%.2f\n",
+           commit_lat.Percentile(0.5), commit_lat.Percentile(0.95),
+           fsyncs_per_commit);
+    std::remove(path.c_str());
   }
 
   // Concurrent clients: per-op read latency under K threads reading through

@@ -37,7 +37,7 @@ fi
 # The fast subset keeps the whole run around a minute on one core while
 # still touching every structure (throughput, diff, height, MBT breakdown,
 # parameter sweep) plus the multi-client read-scaling report.
-FAST_SUBSET="fig01_motivation fig09_tree_height fig13_mbt_breakdown tab03_parameters fig08_diff fig06_threads"
+FAST_SUBSET="fig01_motivation fig09_tree_height fig13_mbt_breakdown tab03_parameters fig08_diff fig06_threads fig06_write_scaling"
 
 if [ "$ALL" -eq 1 ]; then
   BENCHES=$(cd "$BENCH_DIR" && ls)
@@ -46,12 +46,25 @@ else
 fi
 
 # Pseudo-benches: logical names that map to a binary plus arguments.
-# fig06_threads = the fig06 multi-client section only, swept at 1/2/4/8
-# client threads (aggregate kops/s + per-structure cache hit ratios).
+# fig06_threads = the fig06 multi-client read section only, swept at
+# 1/2/4/8 client threads (aggregate kops/s + per-structure hit ratios).
+# fig06_write_scaling = the fig06 multi-client write section only, swept
+# at 1/2/4/8 writer threads (aggregate write kops/s + upload RPCs/commit).
 bench_cmdline() {
   case "$1" in
-    fig06_threads) echo "fig06_ycsb_throughput --threads=1,2,4,8 --threads-only" ;;
-    *)             echo "$1" ;;
+    fig06_threads)       echo "fig06_ycsb_throughput --threads=1,2,4,8 --threads-only" ;;
+    fig06_write_scaling) echo "fig06_ycsb_throughput --write-threads=1,2,4,8 --write-scaling-only" ;;
+    *)                   echo "$1" ;;
+  esac
+}
+
+# Client/writer thread counts a bench sweeps, recorded in its JSON entry
+# so trajectory comparisons know which rows are multi-threaded.
+bench_threads() {
+  case "$1" in
+    fig06_threads)       echo "1,2,4,8" ;;
+    fig06_write_scaling) echo "1,2,4,8" ;;
+    *)                   echo "" ;;
   esac
 }
 
@@ -89,10 +102,12 @@ for b in $BENCHES; do
   secs=$(( $(date +%s) - start ))
   [ $first -eq 1 ] || echo "    ," >> "$OUT"
   first=0
+  threads=$(bench_threads "$b")
   {
     echo "    {"
     echo "      \"bench\": \"$b\","
     echo "      \"status\": \"$status\","
+    echo "      \"threads\": \"$threads\","
     echo "      \"wall_seconds\": $secs,"
     echo "      \"output\": \"$OUT_DIR/$b.txt\""
     echo "    }"

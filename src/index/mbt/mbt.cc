@@ -11,6 +11,7 @@
 #include "crypto/sha256.h"
 #include "index/diff.h"
 #include "index/ordered/node_codec.h"
+#include "store/staging_store.h"
 
 namespace siri {
 
@@ -74,7 +75,10 @@ void Mbt::ComputeShape() {
 }
 
 Hash Mbt::BuildEmptyTree() {
-  const Hash empty_bucket = store_->Put(EncodeLeaf({}));
+  // The empty skeleton is O(num_buckets / fanout) internal nodes; stage
+  // them and flush once so constructing an Mbt costs one store batch.
+  StagingNodeStore staging(store_.get());
+  const Hash empty_bucket = staging.Put(EncodeLeaf({}));
   std::vector<Hash> prev(level_size_[0], empty_bucket);
   Hash root = empty_bucket;
   for (int level = 1; level <= num_levels_; ++level) {
@@ -84,11 +88,12 @@ Hash Mbt::BuildEmptyTree() {
       const uint64_t lo = j * options_.fanout;
       const uint64_t hi = std::min<uint64_t>(lo + options_.fanout, prev.size());
       std::vector<Hash> children(prev.begin() + lo, prev.begin() + hi);
-      cur.push_back(store_->Put(EncodeMbtInternal(children)));
+      cur.push_back(staging.Put(EncodeMbtInternal(children)));
     }
     root = cur[0];
     prev = std::move(cur);
   }
+  staging.FlushBatch();
   return root;
 }
 
@@ -179,6 +184,12 @@ Result<Hash> Mbt::PutBatch(const Hash& root, std::vector<KV> kvs) {
   const Hash r = root.IsZero() ? empty_root_ : root;
   if (kvs.empty()) return r;
 
+  // All new buckets and internal nodes of this batch are staged and
+  // flushed in one PutMany after the new root is computed. Reads during
+  // the rebuild (LoadPathTo) only touch nodes of the old version, which
+  // are already resident in the backing store.
+  StagingNodeStore staging(store_.get());
+
   // Group edits (upserts) by bucket.
   std::map<uint64_t, std::vector<KV>> by_bucket;
   for (KV& kv : kvs) {
@@ -211,10 +222,13 @@ Result<Hash> Mbt::PutBatch(const Hash& root, std::vector<KV> kvs) {
     }
     while (i < entries.size()) merged.push_back(std::move(entries[i++]));
 
-    const Hash new_bucket = store_->Put(EncodeLeaf(merged));
+    const Hash new_bucket = staging.Put(EncodeLeaf(merged));
     if (new_bucket != path.back().first) changed[bucket] = new_bucket;
   }
-  if (changed.empty()) return r;
+  if (changed.empty()) {
+    staging.FlushBatch();  // dup records only; keeps put accounting intact
+    return r;
+  }
 
   // Recompute the Merkle path bottom-up, level by level.
   std::map<uint64_t, Hash> level_changed = std::move(changed);
@@ -245,19 +259,25 @@ Result<Hash> Mbt::PutBatch(const Hash& root, std::vector<KV> kvs) {
         children[slot] = it->second;
         ++it;
       }
-      const Hash new_node = store_->Put(EncodeMbtInternal(children));
+      const Hash new_node = staging.Put(EncodeMbtInternal(children));
       if (new_node != parent_node.first) parent_changed[parent] = new_node;
       if (level == num_levels_) new_root = new_node;
     }
     level_changed = std::move(parent_changed);
-    if (level_changed.empty()) return r;  // everything collapsed to no-op
+    if (level_changed.empty()) {
+      staging.FlushBatch();
+      return r;  // everything collapsed to no-op
+    }
   }
+  staging.FlushBatch();
   return new_root;
 }
 
 Result<Hash> Mbt::DeleteBatch(const Hash& root, std::vector<std::string> keys) {
   const Hash r = root.IsZero() ? empty_root_ : root;
   if (keys.empty()) return r;
+
+  StagingNodeStore staging(store_.get());
 
   std::map<uint64_t, std::vector<std::string>> by_bucket;
   for (std::string& k : keys) {
@@ -281,7 +301,7 @@ Result<Hash> Mbt::DeleteBatch(const Hash& root, std::vector<std::string> keys) {
       }
     }
     if (kept.size() == entries.size()) continue;  // nothing deleted
-    changed[bucket] = store_->Put(EncodeLeaf(kept));
+    changed[bucket] = staging.Put(EncodeLeaf(kept));
   }
   if (changed.empty()) return r;
 
@@ -311,13 +331,17 @@ Result<Hash> Mbt::DeleteBatch(const Hash& root, std::vector<std::string> keys) {
         children[slot] = it->second;
         ++it;
       }
-      const Hash new_node = store_->Put(EncodeMbtInternal(children));
+      const Hash new_node = staging.Put(EncodeMbtInternal(children));
       if (new_node != parent_node.first) parent_changed[parent] = new_node;
       if (level == num_levels_) new_root = new_node;
     }
     level_changed = std::move(parent_changed);
-    if (level_changed.empty()) return r;
+    if (level_changed.empty()) {
+      staging.FlushBatch();
+      return r;
+    }
   }
+  staging.FlushBatch();
   return new_root;
 }
 

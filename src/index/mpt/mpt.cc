@@ -6,6 +6,7 @@
 
 #include "common/varint.h"
 #include "index/diff.h"
+#include "store/staging_store.h"
 
 namespace siri {
 
@@ -156,17 +157,17 @@ Mpt::Mpt(NodeStorePtr store) : ImmutableIndex(std::move(store)) {}
 // ---------------------------------------------------------------------------
 // Insert
 
-Result<Hash> Mpt::InsertRec(const Hash& node, const uint8_t* path, size_t len,
-                            Slice value) {
+Result<Hash> Mpt::InsertRec(NodeStore* store, const Hash& node,
+                            const uint8_t* path, size_t len, Slice value) {
   if (node.IsZero()) {
     Node leaf;
     leaf.type = Node::Type::kLeaf;
     leaf.path.assign(path, path + len);
     leaf.value = value.ToString();
-    return store_->Put(leaf.Encode());
+    return store->Put(leaf.Encode());
   }
 
-  auto loaded = LoadNode(store_.get(), node);
+  auto loaded = LoadNode(store, node);
   if (!loaded.ok()) return loaded.status();
   Node& n = *loaded;
 
@@ -177,7 +178,7 @@ Result<Hash> Mpt::InsertRec(const Hash& node, const uint8_t* path, size_t len,
       if (common == n.path.size() && common == len) {
         // Exact key: overwrite the value.
         n.value = value.ToString();
-        return store_->Put(n.Encode());
+        return store->Put(n.Encode());
       }
       // Diverge: build a branch at the split point.
       Node branch;
@@ -190,7 +191,7 @@ Result<Hash> Mpt::InsertRec(const Hash& node, const uint8_t* path, size_t len,
         old_leaf.type = Node::Type::kLeaf;
         old_leaf.path.assign(n.path.begin() + common + 1, n.path.end());
         old_leaf.value = n.value;
-        branch.children[n.path[common]] = store_->Put(old_leaf.Encode());
+        branch.children[n.path[common]] = store->Put(old_leaf.Encode());
       }
       if (common == len) {
         branch.has_value = true;
@@ -200,15 +201,15 @@ Result<Hash> Mpt::InsertRec(const Hash& node, const uint8_t* path, size_t len,
         new_leaf.type = Node::Type::kLeaf;
         new_leaf.path.assign(path + common + 1, path + len);
         new_leaf.value = value.ToString();
-        branch.children[path[common]] = store_->Put(new_leaf.Encode());
+        branch.children[path[common]] = store->Put(new_leaf.Encode());
       }
-      Hash branch_hash = store_->Put(branch.Encode());
+      Hash branch_hash = store->Put(branch.Encode());
       if (common == 0) return branch_hash;
       Node ext;
       ext.type = Node::Type::kExt;
       ext.path.assign(path, path + common);
       ext.child = branch_hash;
-      return store_->Put(ext.Encode());
+      return store->Put(ext.Encode());
     }
 
     case Node::Type::kExt: {
@@ -216,10 +217,11 @@ Result<Hash> Mpt::InsertRec(const Hash& node, const uint8_t* path, size_t len,
           CommonNibblePrefix(n.path.data(), n.path.size(), path, len);
       if (common == n.path.size()) {
         // The whole compressed path matches: descend.
-        auto child = InsertRec(n.child, path + common, len - common, value);
+        auto child =
+            InsertRec(store, n.child, path + common, len - common, value);
         if (!child.ok()) return child.status();
         n.child = *child;
-        return store_->Put(n.Encode());
+        return store->Put(n.Encode());
       }
       // Split the extension at the divergence point.
       Node branch;
@@ -234,7 +236,7 @@ Result<Hash> Mpt::InsertRec(const Hash& node, const uint8_t* path, size_t len,
           sub.type = Node::Type::kExt;
           sub.path.assign(n.path.begin() + common + 1, n.path.end());
           sub.child = n.child;
-          branch.children[n.path[common]] = store_->Put(sub.Encode());
+          branch.children[n.path[common]] = store->Put(sub.Encode());
         }
       }
       if (common == len) {
@@ -245,27 +247,28 @@ Result<Hash> Mpt::InsertRec(const Hash& node, const uint8_t* path, size_t len,
         leaf.type = Node::Type::kLeaf;
         leaf.path.assign(path + common + 1, path + len);
         leaf.value = value.ToString();
-        branch.children[path[common]] = store_->Put(leaf.Encode());
+        branch.children[path[common]] = store->Put(leaf.Encode());
       }
-      Hash branch_hash = store_->Put(branch.Encode());
+      Hash branch_hash = store->Put(branch.Encode());
       if (common == 0) return branch_hash;
       Node ext;
       ext.type = Node::Type::kExt;
       ext.path.assign(path, path + common);
       ext.child = branch_hash;
-      return store_->Put(ext.Encode());
+      return store->Put(ext.Encode());
     }
 
     case Node::Type::kBranch: {
       if (len == 0) {
         n.has_value = true;
         n.value = value.ToString();
-        return store_->Put(n.Encode());
+        return store->Put(n.Encode());
       }
-      auto child = InsertRec(n.children[path[0]], path + 1, len - 1, value);
+      auto child =
+          InsertRec(store, n.children[path[0]], path + 1, len - 1, value);
       if (!child.ok()) return child.status();
       n.children[path[0]] = *child;
-      return store_->Put(n.Encode());
+      return store->Put(n.Encode());
     }
   }
   return Status::Corruption("unreachable");
@@ -274,9 +277,10 @@ Result<Hash> Mpt::InsertRec(const Hash& node, const uint8_t* path, size_t len,
 // ---------------------------------------------------------------------------
 // Delete
 
-Result<Hash> Mpt::Reattach(const Nibbles& prefix, const Hash& child) {
+Result<Hash> Mpt::Reattach(NodeStore* store, const Nibbles& prefix,
+                           const Hash& child) {
   if (prefix.empty()) return child;
-  auto loaded = LoadNode(store_.get(), child);
+  auto loaded = LoadNode(store, child);
   if (!loaded.ok()) return loaded.status();
   Node& c = *loaded;
   switch (c.type) {
@@ -286,25 +290,25 @@ Result<Hash> Mpt::Reattach(const Nibbles& prefix, const Hash& child) {
       Nibbles merged = prefix;
       merged.insert(merged.end(), c.path.begin(), c.path.end());
       c.path = std::move(merged);
-      return store_->Put(c.Encode());
+      return store->Put(c.Encode());
     }
     case Node::Type::kBranch: {
       Node ext;
       ext.type = Node::Type::kExt;
       ext.path = prefix;
       ext.child = child;
-      return store_->Put(ext.Encode());
+      return store->Put(ext.Encode());
     }
   }
   return Status::Corruption("unreachable");
 }
 
-Result<Hash> Mpt::DeleteRec(const Hash& node, const uint8_t* path, size_t len,
-                            bool* changed) {
+Result<Hash> Mpt::DeleteRec(NodeStore* store, const Hash& node,
+                            const uint8_t* path, size_t len, bool* changed) {
   *changed = false;
   if (node.IsZero()) return node;  // key absent
 
-  auto loaded = LoadNode(store_.get(), node);
+  auto loaded = LoadNode(store, node);
   if (!loaded.ok()) return loaded.status();
   Node& n = *loaded;
 
@@ -325,14 +329,14 @@ Result<Hash> Mpt::DeleteRec(const Hash& node, const uint8_t* path, size_t len,
         return node;  // key not under this extension
       }
       bool child_changed = false;
-      auto child = DeleteRec(n.child, path + n.path.size(),
+      auto child = DeleteRec(store, n.child, path + n.path.size(),
                              len - n.path.size(), &child_changed);
       if (!child.ok()) return child.status();
       if (!child_changed) return node;
       *changed = true;
       if (child->IsZero()) return Hash::Zero();  // whole subtree gone
       // The child may have collapsed to a leaf/ext: merge paths.
-      return Reattach(n.path, *child);
+      return Reattach(store, n.path, *child);
     }
 
     case Node::Type::kBranch: {
@@ -343,7 +347,7 @@ Result<Hash> Mpt::DeleteRec(const Hash& node, const uint8_t* path, size_t len,
       } else {
         const uint8_t slot = path[0];
         bool child_changed = false;
-        auto child = DeleteRec(n.children[slot], path + 1, len - 1,
+        auto child = DeleteRec(store, n.children[slot], path + 1, len - 1,
                                &child_changed);
         if (!child.ok()) return child.status();
         if (!child_changed) return node;
@@ -358,17 +362,17 @@ Result<Hash> Mpt::DeleteRec(const Hash& node, const uint8_t* path, size_t len,
         Node leaf;
         leaf.type = Node::Type::kLeaf;
         leaf.value = std::move(n.value);
-        return store_->Put(leaf.Encode());
+        return store->Put(leaf.Encode());
       }
       if (child_count == 1 && !n.has_value) {
         // Collapse: merge the lone child into its selecting nibble.
         for (uint8_t i = 0; i < 16; ++i) {
           if (!n.children[i].IsZero()) {
-            return Reattach(Nibbles{i}, n.children[i]);
+            return Reattach(store, Nibbles{i}, n.children[i]);
           }
         }
       }
-      return store_->Put(n.Encode());
+      return store->Put(n.Encode());
     }
   }
   return Status::Corruption("unreachable");
@@ -378,25 +382,33 @@ Result<Hash> Mpt::DeleteRec(const Hash& node, const uint8_t* path, size_t len,
 // Public write API
 
 Result<Hash> Mpt::PutBatch(const Hash& root, std::vector<KV> kvs) {
+  // The whole batch writes into one staging batch: intermediate roots
+  // (after each key) live only in the staging buffer, which the recursion
+  // reads through; the dirty nodes of the final version are flushed to the
+  // backing store in a single PutMany before the root escapes.
+  StagingNodeStore staging(store_.get());
   Hash cur = root;
   for (const KV& kv : kvs) {
     const Nibbles path = KeyToNibbles(kv.key);
-    auto next = InsertRec(cur, path.data(), path.size(), kv.value);
+    auto next = InsertRec(&staging, cur, path.data(), path.size(), kv.value);
     if (!next.ok()) return next.status();
     cur = *next;
   }
+  staging.FlushBatch();
   return cur;
 }
 
 Result<Hash> Mpt::DeleteBatch(const Hash& root, std::vector<std::string> keys) {
+  StagingNodeStore staging(store_.get());
   Hash cur = root;
   for (const std::string& k : keys) {
     const Nibbles path = KeyToNibbles(k);
     bool changed = false;
-    auto next = DeleteRec(cur, path.data(), path.size(), &changed);
+    auto next = DeleteRec(&staging, cur, path.data(), path.size(), &changed);
     if (!next.ok()) return next.status();
     if (changed) cur = *next;
   }
+  staging.FlushBatch();
   return cur;
 }
 

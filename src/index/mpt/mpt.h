@@ -50,13 +50,17 @@ class Mpt : public ImmutableIndex {
   struct Node;   // decoded node (branch / extension / leaf)
   struct VNode;  // virtual view of a node at a nibble offset (diff helper)
 
-  Result<Hash> InsertRec(const Hash& node, const uint8_t* path, size_t len,
-                         Slice value);
-  Result<Hash> DeleteRec(const Hash& node, const uint8_t* path, size_t len,
-                         bool* changed);
+  // The mutation recursion reads and writes through \p store — the staging
+  // batch of the enclosing PutBatch/DeleteBatch — so a whole batch's dirty
+  // root-to-leaf paths are collected locally and flushed with one PutMany.
+  Result<Hash> InsertRec(NodeStore* store, const Hash& node,
+                         const uint8_t* path, size_t len, Slice value);
+  Result<Hash> DeleteRec(NodeStore* store, const Hash& node,
+                         const uint8_t* path, size_t len, bool* changed);
   /// Re-attaches \p prefix in front of the subtree \p child, merging with
   /// the child's own compressed path (used after branch collapse).
-  Result<Hash> Reattach(const Nibbles& prefix, const Hash& child);
+  Result<Hash> Reattach(NodeStore* store, const Nibbles& prefix,
+                        const Hash& child);
 
   Status ScanRec(const Hash& node, Nibbles* prefix,
                  const std::function<void(Slice, Slice)>& fn) const;

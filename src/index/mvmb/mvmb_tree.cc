@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "index/ordered/tree_ops.h"
+#include "store/staging_store.h"
 
 namespace siri {
 
@@ -54,7 +55,8 @@ std::vector<std::vector<T>> PackGroups(std::vector<T> entries, SizeFn size_of,
 MvmbTree::MvmbTree(NodeStorePtr store, MvmbTreeOptions options)
     : ImmutableIndex(std::move(store)), options_(options) {}
 
-std::vector<ChildEntry> MvmbTree::WriteLeaves(const std::vector<KV>& entries) {
+std::vector<ChildEntry> MvmbTree::WriteLeaves(NodeStore* store,
+                                              const std::vector<KV>& entries) {
   std::vector<ChildEntry> out;
   if (entries.empty()) return out;
   auto groups = PackGroups(entries, LeafEntryBytes, options_.max_node_bytes);
@@ -62,13 +64,14 @@ std::vector<ChildEntry> MvmbTree::WriteLeaves(const std::vector<KV>& entries) {
   for (const auto& group : groups) {
     ChildEntry ce;
     ce.key = group.front().key;
-    ce.hash = store_->Put(EncodeLeaf(group));
+    ce.hash = store->Put(EncodeLeaf(group));
     out.push_back(std::move(ce));
   }
   return out;
 }
 
-Result<Hash> MvmbTree::BuildRoot(std::vector<ChildEntry> children) {
+Result<Hash> MvmbTree::BuildRoot(NodeStore* store,
+                                 std::vector<ChildEntry> children) {
   if (children.empty()) return Hash::Zero();
   while (children.size() > 1) {
     auto groups =
@@ -78,7 +81,7 @@ Result<Hash> MvmbTree::BuildRoot(std::vector<ChildEntry> children) {
     for (const auto& group : groups) {
       ChildEntry ce;
       ce.key = group.front().key;
-      ce.hash = store_->Put(EncodeInternal(group));
+      ce.hash = store->Put(EncodeInternal(group));
       next.push_back(std::move(ce));
     }
     children = std::move(next);
@@ -87,8 +90,8 @@ Result<Hash> MvmbTree::BuildRoot(std::vector<ChildEntry> children) {
 }
 
 Result<std::vector<ChildEntry>> MvmbTree::UpdateRec(
-    const Hash& node, const std::vector<Edit>& edits) {
-  auto bytes = store_->Get(node);
+    NodeStore* store, const Hash& node, const std::vector<Edit>& edits) {
+  auto bytes = store->Get(node);
   if (!bytes.ok()) return bytes.status();
 
   if (IsLeafNode(**bytes)) {
@@ -108,7 +111,7 @@ Result<std::vector<ChildEntry>> MvmbTree::UpdateRec(
       if (e.value) merged.push_back(KV{e.key, *e.value});
     }
     while (i < entries.size()) merged.push_back(std::move(entries[i++]));
-    return WriteLeaves(merged);
+    return WriteLeaves(store, merged);
   }
 
   std::vector<ChildEntry> children;
@@ -133,7 +136,7 @@ Result<std::vector<ChildEntry>> MvmbTree::UpdateRec(
       updated.push_back(children[c]);
       continue;
     }
-    auto replacement = UpdateRec(children[c].hash, child_edits);
+    auto replacement = UpdateRec(store, children[c].hash, child_edits);
     if (!replacement.ok()) return replacement.status();
     for (ChildEntry& r : *replacement) updated.push_back(std::move(r));
   }
@@ -146,7 +149,7 @@ Result<std::vector<ChildEntry>> MvmbTree::UpdateRec(
   for (const auto& group : groups) {
     ChildEntry ce;
     ce.key = group.front().key;
-    ce.hash = store_->Put(EncodeInternal(group));
+    ce.hash = store->Put(EncodeInternal(group));
     out.push_back(std::move(ce));
   }
   return out;
@@ -166,19 +169,29 @@ Result<Hash> MvmbTree::ApplyEdits(const Hash& root, std::vector<Edit> edits) {
     }
   }
 
+  // One staging batch per edit batch: every node the rebuild produces is
+  // flushed to the backing store with a single PutMany.
+  StagingNodeStore staging(store_.get());
+
   if (root.IsZero()) {
     std::vector<KV> entries;
     for (Edit& e : unique) {
       if (e.value) entries.push_back(KV{std::move(e.key), std::move(*e.value)});
     }
-    return BuildRoot(WriteLeaves(entries));
+    auto built = BuildRoot(&staging, WriteLeaves(&staging, entries));
+    if (built.ok()) staging.FlushBatch();
+    return built;
   }
 
-  auto replacement = UpdateRec(root, unique);
+  auto replacement = UpdateRec(&staging, root, unique);
   if (!replacement.ok()) return replacement.status();
-  if (replacement->empty()) return Hash::Zero();
-  if (replacement->size() == 1) return (*replacement)[0].hash;
-  return BuildRoot(std::move(*replacement));
+  Result<Hash> built =
+      replacement->size() == 1
+          ? Result<Hash>((*replacement)[0].hash)
+          : replacement->empty() ? Result<Hash>(Hash::Zero())
+                                 : BuildRoot(&staging, std::move(*replacement));
+  if (built.ok()) staging.FlushBatch();
+  return built;
 }
 
 Result<Hash> MvmbTree::PutBatch(const Hash& root, std::vector<KV> kvs) {
@@ -204,7 +217,10 @@ Result<Hash> MvmbTree::BuildFromSorted(const std::vector<KV>& entries) {
       return Status::InvalidArgument("entries not sorted/unique");
     }
   }
-  return BuildRoot(WriteLeaves(entries));
+  StagingNodeStore staging(store_.get());
+  auto built = BuildRoot(&staging, WriteLeaves(&staging, entries));
+  if (built.ok()) staging.FlushBatch();
+  return built;
 }
 
 Result<std::optional<std::string>> MvmbTree::Get(const Hash& root, Slice key,

@@ -65,19 +65,24 @@ class MvmbTree : public ImmutableIndex {
     std::optional<std::string> value;
   };
 
+  // Mutation helpers read and write through \p store — the staging batch
+  // of the enclosing PutBatch/DeleteBatch/BuildFromSorted — so one commit's
+  // nodes are flushed to the backing store with a single PutMany.
+
   /// Rewrites the subtree under \p node applying \p edits; returns the
   /// replacement child entries (several if the node split, none if it
   /// emptied).
-  Result<std::vector<ChildEntry>> UpdateRec(const Hash& node,
+  Result<std::vector<ChildEntry>> UpdateRec(NodeStore* store, const Hash& node,
                                             const std::vector<Edit>& edits);
 
   /// Packs sorted leaf entries into one or more leaf nodes of at most
   /// max_node_bytes each.
-  std::vector<ChildEntry> WriteLeaves(const std::vector<KV>& entries);
+  std::vector<ChildEntry> WriteLeaves(NodeStore* store,
+                                      const std::vector<KV>& entries);
 
   /// Packs child entries into internal nodes, stacking levels until a
   /// single root remains.
-  Result<Hash> BuildRoot(std::vector<ChildEntry> children);
+  Result<Hash> BuildRoot(NodeStore* store, std::vector<ChildEntry> children);
 
   Result<Hash> ApplyEdits(const Hash& root, std::vector<Edit> edits);
 

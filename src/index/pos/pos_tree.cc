@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "index/ordered/tree_ops.h"
+#include "store/staging_store.h"
 
 namespace siri {
 
@@ -296,7 +297,8 @@ uint64_t PosTree::NodeSalt() const {
   return options_.disable_recursively_identical ? version_counter_ : 0;
 }
 
-Result<Hash> PosTree::BuildFromItems(std::vector<LevelItem> items,
+Result<Hash> PosTree::BuildFromItems(NodeStore* store,
+                                     std::vector<LevelItem> items,
                                      bool leaf_items) {
   if (items.empty()) return Hash::Zero();
   if (!leaf_items && items.size() == 1) {
@@ -308,7 +310,7 @@ Result<Hash> PosTree::BuildFromItems(std::vector<LevelItem> items,
   while (true) {
     auto chunker = leaf ? MakeLeafChunker() : MakeInternalChunker();
     chunker->Reset();
-    ChunkBuilder builder(store_.get(), chunker.get(), leaf, salt);
+    ChunkBuilder builder(store, chunker.get(), leaf, salt);
     for (const LevelItem& item : current) builder.Add(item);
     builder.Flush();
     std::vector<LevelItem>& chunks = builder.emitted();
@@ -329,7 +331,10 @@ Result<Hash> PosTree::BuildFromSorted(const std::vector<KV>& entries) {
     items.push_back(LevelItem{entries[i].key, entries[i].value});
   }
   if (options_.disable_recursively_identical) ++version_counter_;
-  return BuildFromItems(std::move(items), /*leaf_items=*/true);
+  StagingNodeStore staging(store_.get());
+  auto built = BuildFromItems(&staging, std::move(items), /*leaf_items=*/true);
+  if (built.ok()) staging.FlushBatch();
+  return built;
 }
 
 Result<Hash> PosTree::FullRebuild(const Hash& root,
@@ -356,7 +361,10 @@ Result<Hash> PosTree::FullRebuild(const Hash& root,
     items.push_back(
         LevelItem{std::move(entries[i].key), std::move(entries[i].value)});
   }
-  return BuildFromItems(std::move(items), /*leaf_items=*/true);
+  StagingNodeStore staging(store_.get());
+  auto built = BuildFromItems(&staging, std::move(items), /*leaf_items=*/true);
+  if (built.ok()) staging.FlushBatch();
+  return built;
 }
 
 Result<Hash> PosTree::ApplyEdits(const Hash& root, std::vector<Edit> edits) {
@@ -380,12 +388,18 @@ Result<Hash> PosTree::ApplyEdits(const Hash& root, std::vector<Edit> edits) {
     return FullRebuild(root, unique);
   }
 
+  // Every node this mutation produces is staged locally and flushed with
+  // one PutMany once the new root is known (see staging_store.h).
+  StagingNodeStore staging(store_.get());
+
   if (root.IsZero()) {
     std::vector<LevelItem> items;
     for (Edit& e : unique) {
       if (e.value) items.push_back(LevelItem{std::move(e.key), std::move(*e.value)});
     }
-    return BuildFromItems(std::move(items), /*leaf_items=*/true);
+    auto built = BuildFromItems(&staging, std::move(items), /*leaf_items=*/true);
+    if (built.ok()) staging.FlushBatch();
+    return built;
   }
 
   auto height = LevelCursor::TreeHeight(store_.get(), root);
@@ -407,7 +421,7 @@ Result<Hash> PosTree::ApplyEdits(const Hash& root, std::vector<Edit> edits) {
   auto internal_chunker = MakeInternalChunker();
   const uint64_t salt = NodeSalt();
 
-  MemoizingStore memo(store_.get());
+  MemoizingStore memo(&staging);
   for (int level = 0; level <= h - 2; ++level) {
     Chunker* ck = level == 0 ? leaf_chunker.get() : internal_chunker.get();
     const bool force_local =
@@ -444,7 +458,9 @@ Result<Hash> PosTree::ApplyEdits(const Hash& root, std::vector<Edit> edits) {
     }
   }
   items = ApplySplices(std::move(items), splices);
-  return BuildFromItems(std::move(items), top_is_leaf);
+  auto built = BuildFromItems(&memo, std::move(items), top_is_leaf);
+  if (built.ok()) staging.FlushBatch();
+  return built;
 }
 
 Result<Hash> PosTree::PutBatch(const Hash& root, std::vector<KV> kvs) {

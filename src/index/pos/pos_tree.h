@@ -126,7 +126,10 @@ class PosTree : public ImmutableIndex {
 
   Result<Hash> ApplyEdits(const Hash& root, std::vector<Edit> edits);
   Result<Hash> FullRebuild(const Hash& root, const std::vector<Edit>& edits);
-  Result<Hash> BuildFromItems(std::vector<LevelItem> items, bool leaf_items);
+  /// Writes the emitted nodes through \p store — the enclosing mutation's
+  /// staging batch, so a commit's nodes are flushed together via PutMany.
+  Result<Hash> BuildFromItems(NodeStore* store, std::vector<LevelItem> items,
+                              bool leaf_items);
 
   PosTreeOptions options_;
   uint64_t version_counter_ = 0;  // salt source for the non-RI ablation

@@ -34,6 +34,17 @@ Hash ProofNodeStore::Put(Slice bytes) {
   return h;
 }
 
+void ProofNodeStore::PutMany(const NodeBatch& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const NodeRecord& rec : batch) {
+    auto [it, inserted] = nodes_.emplace(rec.hash, rec.bytes);
+    if (inserted) {
+      ++stats_.unique_nodes;
+      stats_.unique_bytes += it->second->size();
+    }
+  }
+}
+
 Result<std::shared_ptr<const std::string>> ProofNodeStore::Get(const Hash& h) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.gets;

@@ -45,6 +45,9 @@ class ProofNodeStore : public NodeStore {
   /// (MBT's empty tree) can operate; a tampered proof node still fails
   /// verification because lookups address nodes by digest.
   Hash Put(Slice bytes) override;
+  /// Batched variant: one lock acquisition for a whole staged batch (MBT
+  /// verifiers flush their skeleton in one call).
+  void PutMany(const NodeBatch& batch) override;
   Result<std::shared_ptr<const std::string>> Get(const Hash& h) override;
   bool Contains(const Hash& h) const override;
   Result<uint64_t> SizeOf(const Hash& h) const override;

@@ -117,6 +117,7 @@ Status FileNodeStore::Replay() {
         std::fflush(file_) != 0) {
       return Status::IOError("cannot write log header to " + path_);
     }
+    dirty_ = true;  // header not yet fsynced; first Flush pushes it down
     return Status::OK();
   }
   if (in.size() < kLogMagicSize &&
@@ -181,6 +182,13 @@ Status FileNodeStore::Replay() {
   return Status::OK();
 }
 
+void FileNodeStore::AppendRecord(std::string* out, const Hash& h,
+                                 Slice bytes) {
+  PutVarint64(out, bytes.size());
+  out->append(reinterpret_cast<const char*>(h.data()), Hash::kSize);
+  out->append(bytes.data(), bytes.size());
+}
+
 Hash FileNodeStore::Put(Slice bytes) {
   const Hash h = Sha256::Digest(bytes);
   std::lock_guard lock(mu_);
@@ -191,18 +199,44 @@ Hash FileNodeStore::Put(Slice bytes) {
     return h;
   }
   std::string record;
-  PutVarint64(&record, bytes.size());
-  record.append(reinterpret_cast<const char*>(h.data()), Hash::kSize);
-  record.append(bytes.data(), bytes.size());
+  AppendRecord(&record, h, bytes);
   if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
     // Treat append failure as fatal for this page: report via CHECK since
     // Put has no Status channel (matching the in-memory contract).
     SIRI_CHECK(false && "FileNodeStore append failed");
   }
+  dirty_ = true;
   nodes_.emplace(h, std::make_shared<const std::string>(bytes.ToString()));
   ++stats_.unique_nodes;
   stats_.unique_bytes += bytes.size();
   return h;
+}
+
+void FileNodeStore::PutMany(const NodeBatch& batch) {
+  std::lock_guard lock(mu_);
+  // One serialized run of records per batch: the whole dirty path of a
+  // commit goes to the log in a single fwrite. Records of nodes already
+  // resident are skipped (content-addressed dedup), exactly as per-node
+  // Put would have done.
+  std::string records;
+  for (const NodeRecord& rec : batch) {
+    ++stats_.puts;
+    stats_.put_bytes += rec.bytes->size();
+    if (nodes_.count(rec.hash) > 0) {
+      ++stats_.dup_puts;
+      continue;
+    }
+    AppendRecord(&records, rec.hash, Slice(*rec.bytes));
+    nodes_.emplace(rec.hash, rec.bytes);
+    ++stats_.unique_nodes;
+    stats_.unique_bytes += rec.bytes->size();
+  }
+  if (records.empty()) return;
+  if (std::fwrite(records.data(), 1, records.size(), file_) !=
+      records.size()) {
+    SIRI_CHECK(false && "FileNodeStore batch append failed");
+  }
+  dirty_ = true;
 }
 
 Result<std::shared_ptr<const std::string>> FileNodeStore::Get(const Hash& h) {
@@ -239,13 +273,24 @@ void FileNodeStore::ResetOpCounters() {
 
 Status FileNodeStore::Flush() {
   std::lock_guard lock(mu_);
+  // Nothing appended since the last flush: the log is already durable, so
+  // skip the syscalls — back-to-back commit boundaries (or a commit whose
+  // batch was fully deduplicated) cost zero fsyncs.
+  if (!dirty_) return Status::OK();
   if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
   // Flush is the durability point acknowledged to callers (commit
   // boundaries call it), so push all the way to stable storage.
   if (fsync(fileno(file_)) != 0) {
     return Status::IOError(std::string("fsync failed: ") + strerror(errno));
   }
+  ++fsyncs_;
+  dirty_ = false;
   return Status::OK();
+}
+
+uint64_t FileNodeStore::fsync_count() const {
+  std::lock_guard lock(mu_);
+  return fsyncs_;
 }
 
 }  // namespace siri

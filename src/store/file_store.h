@@ -33,6 +33,13 @@ class FileNodeStore : public NodeStore {
   ~FileNodeStore() override;
 
   Hash Put(Slice bytes) override;
+
+  /// Appends every new node of \p batch as ONE buffered log write (a
+  /// commit's whole root-to-leaf path in a single append) instead of one
+  /// write per node. Durability still happens at Flush(), so a batched
+  /// commit costs exactly one fsync.
+  void PutMany(const NodeBatch& batch) override;
+
   Result<std::shared_ptr<const std::string>> Get(const Hash& h) override;
   bool Contains(const Hash& h) const override;
   Result<uint64_t> SizeOf(const Hash& h) const override;
@@ -41,8 +48,13 @@ class FileNodeStore : public NodeStore {
 
   /// Flushes buffered appends all the way to stable storage (fsync).
   /// Commit boundaries (Ledger, BranchManager) call this; pages are only
-  /// crash-durable once it returns OK.
+  /// crash-durable once it returns OK. When nothing was appended since the
+  /// last flush the syscall is skipped entirely.
   Status Flush() override;
+
+  /// Number of fsyncs actually issued (skipped clean flushes excluded).
+  /// Lets tests and benches assert the ≤1-fsync-per-commit property.
+  uint64_t fsync_count() const;
 
   /// Number of records (pages) dropped from the recovered log: the first
   /// torn or digest-mismatching record plus everything after it — replay
@@ -54,6 +66,9 @@ class FileNodeStore : public NodeStore {
  private:
   FileNodeStore(std::string path, FILE* file);
   Status Replay();
+
+  /// Serializes one `varint len | digest | bytes` record into \p out.
+  static void AppendRecord(std::string* out, const Hash& h, Slice bytes);
 
   /// Atomically replaces the log with \p len bytes of \p data (written to
   /// a temp file, fsynced, renamed over the log) and reopens the append
@@ -68,6 +83,10 @@ class FileNodeStore : public NodeStore {
       nodes_;
   Stats stats_;
   uint64_t truncations_ = 0;
+  // True when bytes were appended since the last fsync; Flush() on a clean
+  // store is a no-op so idle commit boundaries cost nothing.
+  bool dirty_ = false;
+  uint64_t fsyncs_ = 0;
 };
 
 }  // namespace siri

@@ -8,28 +8,78 @@
 
 namespace siri {
 
+void NodeStore::PutMany(const NodeBatch& batch) {
+  for (const NodeRecord& rec : batch) Put(Slice(*rec.bytes));
+}
+
+InMemoryNodeStore::InMemoryNodeStore(int num_shards)
+    : shards_(num_shards < 1 ? 1 : static_cast<size_t>(num_shards)) {}
+
+void InMemoryNodeStore::InsertLocked(Shard& shard, const Hash& h,
+                                     std::shared_ptr<const std::string> bytes) {
+  puts_.fetch_add(1, std::memory_order_relaxed);
+  put_bytes_.fetch_add(bytes->size(), std::memory_order_relaxed);
+  auto [it, inserted] = shard.nodes.emplace(h, std::move(bytes));
+  if (!inserted) {
+    dup_puts_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ++shard.unique_nodes;
+  shard.unique_bytes += it->second->size();
+}
+
 Hash InMemoryNodeStore::Put(Slice bytes) {
   const Hash h = Sha256::Digest(bytes);
-  std::unique_lock lock(mu_);
+  Shard& shard = ShardFor(h);
+  std::unique_lock lock(shard.mu);
   puts_.fetch_add(1, std::memory_order_relaxed);
   put_bytes_.fetch_add(bytes.size(), std::memory_order_relaxed);
-  auto it = nodes_.find(h);
-  if (it != nodes_.end()) {
+  auto it = shard.nodes.find(h);
+  if (it != shard.nodes.end()) {
     dup_puts_.fetch_add(1, std::memory_order_relaxed);
-    return h;
+    return h;  // duplicate: no payload copy
   }
-  nodes_.emplace(h, std::make_shared<const std::string>(bytes.ToString()));
-  ++unique_nodes_;
-  unique_bytes_ += bytes.size();
+  shard.nodes.emplace(h, std::make_shared<const std::string>(bytes.ToString()));
+  ++shard.unique_nodes;
+  shard.unique_bytes += bytes.size();
   return h;
+}
+
+void InMemoryNodeStore::PutMany(const NodeBatch& batch) {
+  // Small batches (a single-op commit dirties only a handful of path
+  // nodes) skip the grouping scaffolding: lock per record, like Put minus
+  // the hashing — no allocations on the latency path.
+  if (batch.size() <= shards_.size() / 2) {
+    for (const NodeRecord& rec : batch) {
+      Shard& shard = ShardFor(rec.hash);
+      std::unique_lock lock(shard.mu);
+      InsertLocked(shard, rec.hash, rec.bytes);
+    }
+    return;
+  }
+  // Group records by shard first so each shard lock is taken exactly once
+  // per batch, no matter how many nodes land in it.
+  std::vector<std::vector<const NodeRecord*>> by_shard(shards_.size());
+  for (const NodeRecord& rec : batch) {
+    by_shard[ShardIndexFor(rec.hash)].push_back(&rec);
+  }
+  for (size_t s = 0; s < by_shard.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard& shard = shards_[s];
+    std::unique_lock lock(shard.mu);
+    for (const NodeRecord* rec : by_shard[s]) {
+      InsertLocked(shard, rec->hash, rec->bytes);
+    }
+  }
 }
 
 Result<std::shared_ptr<const std::string>> InMemoryNodeStore::Get(
     const Hash& h) {
-  std::shared_lock lock(mu_);
+  const Shard& shard = ShardFor(h);
+  std::shared_lock lock(shard.mu);
   gets_.fetch_add(1, std::memory_order_relaxed);
-  auto it = nodes_.find(h);
-  if (it == nodes_.end()) {
+  auto it = shard.nodes.find(h);
+  if (it == shard.nodes.end()) {
     return Status::NotFound("node " + h.ToHex());
   }
   get_bytes_.fetch_add(it->second->size(), std::memory_order_relaxed);
@@ -37,29 +87,33 @@ Result<std::shared_ptr<const std::string>> InMemoryNodeStore::Get(
 }
 
 bool InMemoryNodeStore::Contains(const Hash& h) const {
-  std::shared_lock lock(mu_);
-  return nodes_.count(h) > 0;
+  const Shard& shard = ShardFor(h);
+  std::shared_lock lock(shard.mu);
+  return shard.nodes.count(h) > 0;
 }
 
 Result<uint64_t> InMemoryNodeStore::SizeOf(const Hash& h) const {
-  std::shared_lock lock(mu_);
-  auto it = nodes_.find(h);
-  if (it == nodes_.end()) {
+  const Shard& shard = ShardFor(h);
+  std::shared_lock lock(shard.mu);
+  auto it = shard.nodes.find(h);
+  if (it == shard.nodes.end()) {
     return Status::NotFound("node " + h.ToHex());
   }
   return static_cast<uint64_t>(it->second->size());
 }
 
 NodeStore::Stats InMemoryNodeStore::stats() const {
-  std::shared_lock lock(mu_);
   Stats out;
   out.puts = puts_.load(std::memory_order_relaxed);
   out.put_bytes = put_bytes_.load(std::memory_order_relaxed);
   out.dup_puts = dup_puts_.load(std::memory_order_relaxed);
   out.gets = gets_.load(std::memory_order_relaxed);
   out.get_bytes = get_bytes_.load(std::memory_order_relaxed);
-  out.unique_nodes = unique_nodes_;
-  out.unique_bytes = unique_bytes_;
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mu);
+    out.unique_nodes += shard.unique_nodes;
+    out.unique_bytes += shard.unique_bytes;
+  }
   return out;
 }
 
@@ -72,33 +126,36 @@ void InMemoryNodeStore::ResetOpCounters() {
 }
 
 uint64_t InMemoryNodeStore::BytesOf(const PageSet& pages) const {
-  std::shared_lock lock(mu_);
   uint64_t total = 0;
   for (const Hash& h : pages) {
-    auto it = nodes_.find(h);
-    if (it != nodes_.end()) total += it->second->size();
+    const Shard& shard = ShardFor(h);
+    std::shared_lock lock(shard.mu);
+    auto it = shard.nodes.find(h);
+    if (it != shard.nodes.end()) total += it->second->size();
   }
   return total;
 }
 
 uint64_t InMemoryNodeStore::PruneExcept(const PageSet& retain) {
-  std::unique_lock lock(mu_);
   uint64_t dropped = 0;
-  for (auto it = nodes_.begin(); it != nodes_.end();) {
-    if (retain.count(it->first) == 0) {
-      unique_bytes_ -= it->second->size();
-      --unique_nodes_;
-      it = nodes_.erase(it);
-      ++dropped;
-    } else {
-      ++it;
+  for (Shard& shard : shards_) {
+    std::unique_lock lock(shard.mu);
+    for (auto it = shard.nodes.begin(); it != shard.nodes.end();) {
+      if (retain.count(it->first) == 0) {
+        shard.unique_bytes -= it->second->size();
+        --shard.unique_nodes;
+        it = shard.nodes.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
     }
   }
   return dropped;
 }
 
-std::shared_ptr<InMemoryNodeStore> NewInMemoryNodeStore() {
-  return std::make_shared<InMemoryNodeStore>();
+std::shared_ptr<InMemoryNodeStore> NewInMemoryNodeStore(int num_shards) {
+  return std::make_shared<InMemoryNodeStore>(num_shards);
 }
 
 void FaultyNodeStore::CorruptNode(const Hash& h) {

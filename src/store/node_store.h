@@ -7,6 +7,11 @@
 // (§3.3 of the paper). All four index structures share one NodeStore, so
 // space metrics (deduplication ratio η, node sharing ratio) can be computed
 // directly from store statistics and reachable page sets.
+//
+// Write path: index commit paths stage the dirty root-to-leaf nodes of one
+// batch locally (see staging_store.h) and hand the whole set to PutMany,
+// so a commit costs one lock acquisition per touched shard / one log
+// append / one upload RPC instead of one per node.
 
 #ifndef SIRI_STORE_NODE_STORE_H_
 #define SIRI_STORE_NODE_STORE_H_
@@ -28,15 +33,29 @@ namespace siri {
 /// A set of page digests, e.g. all pages reachable from one version root.
 using PageSet = std::unordered_set<Hash, HashHasher>;
 
+/// \brief One pre-digested node of a write batch.
+///
+/// Contract: \c hash MUST equal SHA-256(*bytes). Producers (the staging
+/// layer, version transfer) compute the digest exactly once when the node
+/// is created; PutMany implementations trust it so the batch path does not
+/// re-hash every node — that amortization is the point of batching.
+struct NodeRecord {
+  Hash hash;
+  std::shared_ptr<const std::string> bytes;
+};
+
+/// A batch of nodes flushed together at a commit boundary.
+using NodeBatch = std::vector<NodeRecord>;
+
 /// \brief Abstract content-addressed store mapping SHA-256(bytes) -> bytes.
 ///
 /// Implementations must be thread-safe. Nodes are immutable once stored.
 class NodeStore {
  public:
   struct Stats {
-    uint64_t puts = 0;         ///< total Put calls
-    uint64_t put_bytes = 0;    ///< bytes offered across all Put calls
-    uint64_t dup_puts = 0;     ///< Put calls that hit an existing node
+    uint64_t puts = 0;         ///< total nodes offered (Put + PutMany)
+    uint64_t put_bytes = 0;    ///< bytes offered across all put calls
+    uint64_t dup_puts = 0;     ///< offered nodes that hit an existing node
     uint64_t gets = 0;         ///< total Get calls
     uint64_t get_bytes = 0;    ///< bytes returned across all Get calls
     uint64_t unique_nodes = 0; ///< distinct nodes resident
@@ -47,6 +66,14 @@ class NodeStore {
 
   /// Stores \p bytes (idempotent) and returns its SHA-256 digest.
   virtual Hash Put(Slice bytes) = 0;
+
+  /// Stores every node of \p batch (idempotent, like Put). Implementations
+  /// override this to amortize per-node overhead: the in-memory store takes
+  /// each shard lock once, the file store issues one log append, the client
+  /// store pays one simulated round trip. The default loops over Put so
+  /// decorators keep working unchanged. Per-node put/dup accounting is
+  /// identical to calling Put once per node.
+  virtual void PutMany(const NodeBatch& batch);
 
   /// Fetches the node with digest \p h. NotFound if absent.
   virtual Result<std::shared_ptr<const std::string>> Get(const Hash& h) = 0;
@@ -71,14 +98,29 @@ class NodeStore {
 using NodeStorePtr = std::shared_ptr<NodeStore>;
 
 /// \brief Hash-map backed store; the default for every test and bench.
+///
+/// Internally sharded like NodeCache: a node lives in the shard selected by
+/// its digest prefix, and each shard has its own mutex and resident-node
+/// counters, so concurrent writers on different shards never contend.
+/// Op counters are process-wide relaxed atomics. Constructing with
+/// `num_shards = 1` preserves the exact single-map semantics (one lock
+/// ordering all operations), which tests that reason about interleavings
+/// rely on.
 class InMemoryNodeStore : public NodeStore {
  public:
+  static constexpr int kDefaultShards = 16;
+
+  explicit InMemoryNodeStore(int num_shards = kDefaultShards);
+
   Hash Put(Slice bytes) override;
+  void PutMany(const NodeBatch& batch) override;
   Result<std::shared_ptr<const std::string>> Get(const Hash& h) override;
   bool Contains(const Hash& h) const override;
   Result<uint64_t> SizeOf(const Hash& h) const override;
   Stats stats() const override;
   void ResetOpCounters() override;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
 
   /// Total serialized bytes of the pages in \p pages that exist in this
   /// store (the byte() function of §4.2.1 applied to a page set).
@@ -91,21 +133,40 @@ class InMemoryNodeStore : public NodeStore {
   uint64_t PruneExcept(const PageSet& retain);
 
  private:
-  mutable std::shared_mutex mu_;
-  std::unordered_map<Hash, std::shared_ptr<const std::string>, HashHasher>
-      nodes_;
-  // Op counters are bumped on the shared-lock read path, so they are
-  // atomic; the resident-node counters only change under the unique lock.
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<Hash, std::shared_ptr<const std::string>, HashHasher>
+        nodes;
+    // Resident-node counters only change under the shard's unique lock.
+    uint64_t unique_nodes = 0;
+    uint64_t unique_bytes = 0;
+  };
+
+  size_t ShardIndexFor(const Hash& h) const {
+    return h.Prefix64() % shards_.size();
+  }
+  Shard& ShardFor(const Hash& h) { return shards_[ShardIndexFor(h)]; }
+  const Shard& ShardFor(const Hash& h) const {
+    return shards_[ShardIndexFor(h)];
+  }
+
+  /// Inserts one pre-digested node into \p shard (which must be uniquely
+  /// locked by the caller) and bumps the op counters.
+  void InsertLocked(Shard& shard, const Hash& h,
+                    std::shared_ptr<const std::string> bytes);
+
+  std::vector<Shard> shards_;
+  // Op counters are bumped on shared-lock read paths and across shards, so
+  // they are process-wide atomics rather than per-shard fields.
   mutable std::atomic<uint64_t> puts_{0};
   mutable std::atomic<uint64_t> put_bytes_{0};
   mutable std::atomic<uint64_t> dup_puts_{0};
   mutable std::atomic<uint64_t> gets_{0};
   mutable std::atomic<uint64_t> get_bytes_{0};
-  uint64_t unique_nodes_ = 0;
-  uint64_t unique_bytes_ = 0;
 };
 
-std::shared_ptr<InMemoryNodeStore> NewInMemoryNodeStore();
+std::shared_ptr<InMemoryNodeStore> NewInMemoryNodeStore(
+    int num_shards = InMemoryNodeStore::kDefaultShards);
 
 /// \brief Store decorator that fails a configurable fraction of operations.
 ///
@@ -122,6 +183,7 @@ class FaultyNodeStore : public NodeStore {
   void ClearFaults();
 
   Hash Put(Slice bytes) override { return base_->Put(bytes); }
+  void PutMany(const NodeBatch& batch) override { base_->PutMany(batch); }
   Result<std::shared_ptr<const std::string>> Get(const Hash& h) override;
   bool Contains(const Hash& h) const override;
   Result<uint64_t> SizeOf(const Hash& h) const override {

@@ -1,0 +1,73 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#include "store/staging_store.h"
+
+#include "crypto/sha256.h"
+
+namespace siri {
+
+const NodeRecord* StagingNodeStore::FindStaged(const Hash& h) const {
+  if (!staged_.empty()) {
+    auto it = staged_.find(h);
+    return it == staged_.end() ? nullptr : &batch_[it->second];
+  }
+  for (const NodeRecord& rec : batch_) {
+    if (rec.hash == h) return &rec;
+  }
+  return nullptr;
+}
+
+void StagingNodeStore::IndexNewestStaged() {
+  if (!staged_.empty()) {
+    staged_.emplace(batch_.back().hash, batch_.size() - 1);
+  } else if (batch_.size() > kLinearThreshold) {
+    // Outgrew the linear regime: index everything staged so far.
+    staged_.reserve(batch_.size() * 2);
+    for (size_t i = 0; i < batch_.size(); ++i) {
+      staged_.emplace(batch_[i].hash, i);
+    }
+  }
+}
+
+Hash StagingNodeStore::Put(Slice bytes) {
+  const Hash h = Sha256::Digest(bytes);
+  if (FindStaged(h) != nullptr) return h;  // content-addressed: staged once
+  batch_.push_back(
+      NodeRecord{h, std::make_shared<const std::string>(bytes.ToString())});
+  IndexNewestStaged();
+  return h;
+}
+
+void StagingNodeStore::PutMany(const NodeBatch& batch) {
+  for (const NodeRecord& rec : batch) {
+    if (FindStaged(rec.hash) != nullptr) continue;
+    batch_.push_back(rec);
+    IndexNewestStaged();  // keeps large relayed batches O(n), not O(n^2)
+  }
+}
+
+Result<std::shared_ptr<const std::string>> StagingNodeStore::Get(
+    const Hash& h) {
+  if (const NodeRecord* rec = FindStaged(h)) return rec->bytes;
+  return base_->Get(h);
+}
+
+bool StagingNodeStore::Contains(const Hash& h) const {
+  return FindStaged(h) != nullptr || base_->Contains(h);
+}
+
+Result<uint64_t> StagingNodeStore::SizeOf(const Hash& h) const {
+  if (const NodeRecord* rec = FindStaged(h)) {
+    return static_cast<uint64_t>(rec->bytes->size());
+  }
+  return base_->SizeOf(h);
+}
+
+void StagingNodeStore::FlushBatch() {
+  if (batch_.empty()) return;
+  base_->PutMany(batch_);
+  batch_.clear();
+  staged_.clear();
+}
+
+}  // namespace siri

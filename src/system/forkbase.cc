@@ -91,8 +91,24 @@ void ForkbaseClientStore::ChargeRoundTrip() const {
 }
 
 Hash ForkbaseClientStore::Put(Slice bytes) {
-  // Writes run server-side in the paper's setup; forward directly.
+  // One node, one upload RPC. Batched commit paths use PutMany instead,
+  // which ships the whole staged batch for a single round trip.
+  ChargeRoundTrip();
+  remote_puts_.fetch_add(1, std::memory_order_relaxed);
   return servlet_->store()->Put(bytes);
+}
+
+void ForkbaseClientStore::PutMany(const NodeBatch& batch) {
+  if (batch.empty()) return;
+  // The whole batch rides one chunk-upload RPC: a commit's dirty
+  // root-to-leaf path costs one simulated round trip, not one per node.
+  ChargeRoundTrip();
+  remote_puts_.fetch_add(1, std::memory_order_relaxed);
+  servlet_->store()->PutMany(batch);
+  // Write-allocate: the next commit of this client starts by re-reading
+  // the path nodes this one just produced; without caching them each would
+  // cost a fresh remote fetch.
+  for (const NodeRecord& rec : batch) cache_.Insert(rec.hash, rec.bytes);
 }
 
 Result<std::shared_ptr<const std::string>> ForkbaseClientStore::Get(
@@ -101,12 +117,51 @@ Result<std::shared_ptr<const std::string>> ForkbaseClientStore::Get(
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
     return cached;
   }
+  // Singleflight: join an in-flight fetch of the same digest if one
+  // exists, otherwise become its leader.
+  std::shared_ptr<InFlightFetch> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(h);
+    if (it == inflight_.end()) {
+      flight = std::make_shared<InFlightFetch>();
+      inflight_.emplace(h, flight);
+      leader = true;
+    } else {
+      flight = it->second;
+    }
+  }
+  if (!leader) {
+    // Follower: the round trip is already being paid by the leader; wait
+    // for its result instead of issuing a duplicate fetch.
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&flight] { return flight->done; });
+    coalesced_gets_.fetch_add(1, std::memory_order_relaxed);
+    if (!flight->status.ok()) return flight->status;
+    return flight->bytes;
+  }
+
   ChargeRoundTrip();
   auto bytes = servlet_->store()->Get(h);
-  if (!bytes.ok()) return bytes;
-  remote_gets_.fetch_add(1, std::memory_order_relaxed);
-  remote_bytes_.fetch_add((*bytes)->size(), std::memory_order_relaxed);
-  cache_.Insert(h, *bytes);
+  if (bytes.ok()) {
+    remote_gets_.fetch_add(1, std::memory_order_relaxed);
+    remote_bytes_.fetch_add((*bytes)->size(), std::memory_order_relaxed);
+    cache_.Insert(h, *bytes);
+  }
+  // Publish to followers, then retire the flight so later misses start a
+  // fresh fetch (by then the node is normally in the cache anyway).
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->status = bytes.ok() ? Status::OK() : bytes.status();
+    if (bytes.ok()) flight->bytes = *bytes;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.erase(h);
+  }
   return bytes;
 }
 
@@ -138,6 +193,8 @@ void ForkbaseClientStore::ResetOpCounters() {
   remote_gets_.store(0, std::memory_order_relaxed);
   cache_hits_.store(0, std::memory_order_relaxed);
   remote_bytes_.store(0, std::memory_order_relaxed);
+  coalesced_gets_.store(0, std::memory_order_relaxed);
+  remote_puts_.store(0, std::memory_order_relaxed);
 }
 
 ForkbaseClientStore::RemoteStats ForkbaseClientStore::remote_stats() const {
@@ -145,6 +202,8 @@ ForkbaseClientStore::RemoteStats ForkbaseClientStore::remote_stats() const {
   out.remote_gets = remote_gets_.load(std::memory_order_relaxed);
   out.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   out.remote_bytes = remote_bytes_.load(std::memory_order_relaxed);
+  out.coalesced_gets = coalesced_gets_.load(std::memory_order_relaxed);
+  out.remote_puts = remote_puts_.load(std::memory_order_relaxed);
   return out;
 }
 

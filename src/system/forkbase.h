@@ -15,11 +15,20 @@
 // threads. NodeCache is a sharded LRU (shards keyed by digest prefix,
 // one mutex per shard) so concurrent lookups on different shards never
 // contend; RemoteStats accounting is lock-free (relaxed atomics).
+// Concurrent misses on the same digest are coalesced (singleflight): one
+// thread pays the round trip, the others wait for its result, so a shared
+// hot set never fetches the same node twice at the same time.
+//
+// Writes are RPCs too: Put ships one node per round trip, PutMany ships a
+// whole commit's staged batch in a single round trip — ForkBase's
+// chunk-upload call — which is what makes batched commits cost ≤ 1
+// simulated RTT each.
 
 #ifndef SIRI_SYSTEM_FORKBASE_H_
 #define SIRI_SYSTEM_FORKBASE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -112,10 +121,18 @@ class ForkbaseClientStore : public NodeStore {
     uint64_t remote_gets = 0;   ///< fetches that had to go to the servlet
     uint64_t cache_hits = 0;    ///< fetches served locally
     uint64_t remote_bytes = 0;  ///< bytes shipped from the servlet
+    /// Misses that piggybacked on another thread's in-flight fetch of the
+    /// same digest instead of paying their own round trip (singleflight).
+    uint64_t coalesced_gets = 0;
+    /// Write RPCs issued: one per Put, one per PutMany batch. Batched
+    /// commits therefore show ≤ 1 remote_put per commit.
+    uint64_t remote_puts = 0;
 
     double HitRatio() const {
-      const uint64_t total = remote_gets + cache_hits;
-      return total == 0 ? 0.0 : static_cast<double>(cache_hits) / total;
+      const uint64_t total = remote_gets + cache_hits + coalesced_gets;
+      return total == 0
+                 ? 0.0
+                 : static_cast<double>(cache_hits + coalesced_gets) / total;
     }
   };
 
@@ -125,8 +142,18 @@ class ForkbaseClientStore : public NodeStore {
                       uint64_t rtt_nanos = 0,
                       RttModel rtt_model = RttModel::kBusyWait);
 
+  /// One upload RPC per node: charges a round trip and forwards.
   Hash Put(Slice bytes) override;
+
+  /// One upload RPC per *batch* (ForkBase's chunk-upload call): a staged
+  /// commit of any size costs a single simulated round trip.
+  void PutMany(const NodeBatch& batch) override;
+
+  /// Cache first, then a remote fetch. Concurrent misses on the same
+  /// digest share one round trip (singleflight): the first thread fetches,
+  /// the rest wait on its result and count as coalesced_gets.
   Result<std::shared_ptr<const std::string>> Get(const Hash& h) override;
+
   bool Contains(const Hash& h) const override;
   Result<uint64_t> SizeOf(const Hash& h) const override;
   Stats stats() const override { return servlet_->store()->stats(); }
@@ -138,6 +165,16 @@ class ForkbaseClientStore : public NodeStore {
   void ClearCache() { cache_.Clear(); }
 
  private:
+  /// One miss being fetched from the servlet; followers block on cv until
+  /// the leader publishes the outcome.
+  struct InFlightFetch {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+    std::shared_ptr<const std::string> bytes;
+  };
+
   void ChargeRoundTrip() const;
 
   ForkbaseServlet* servlet_;
@@ -147,6 +184,11 @@ class ForkbaseClientStore : public NodeStore {
   mutable std::atomic<uint64_t> remote_gets_{0};
   mutable std::atomic<uint64_t> cache_hits_{0};
   mutable std::atomic<uint64_t> remote_bytes_{0};
+  mutable std::atomic<uint64_t> coalesced_gets_{0};
+  mutable std::atomic<uint64_t> remote_puts_{0};
+  std::mutex inflight_mu_;
+  std::unordered_map<Hash, std::shared_ptr<InFlightFetch>, HashHasher>
+      inflight_;
 };
 
 }  // namespace siri

@@ -30,7 +30,10 @@ class Ledger {
   ///        MVMB+-Tree baseline (§5.3.1's Figure 7b asymmetry).
   /// \param sync_on_commit flush the backing store at every block append,
   ///        so an acknowledged block survives a process crash. Off by
-  ///        default: benches measure the in-memory path.
+  ///        default: benches measure the in-memory path. With a batched
+  ///        build (the index stages the block's nodes and lands them in
+  ///        one PutMany append), the flush costs exactly one fsync per
+  ///        block.
   explicit Ledger(ImmutableIndex* index, bool batch_build = true,
                   bool sync_on_commit = false)
       : index_(index),

@@ -119,8 +119,11 @@ Result<Hash> BranchManager::CommitOnBranch(const std::string& name,
   if (!hash.ok()) return hash;
   // Commit boundary: the commit is acknowledged to the caller, so its
   // pages (index nodes + the commit object) must survive a crash. A
-  // no-op for in-memory stores. Flush before moving the head so a failed
-  // flush leaves the branch untouched and the caller can safely retry.
+  // no-op for in-memory stores; on a file store this is the single fsync
+  // of the commit (the index nodes arrived as one batched append, and a
+  // clean store skips the syscall entirely). Flush before moving the head
+  // so a failed flush leaves the branch untouched and the caller can
+  // safely retry.
   Status flushed = store_->Flush();
   if (!flushed.ok()) return flushed;
   if (head.ok()) {

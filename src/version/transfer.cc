@@ -2,6 +2,8 @@
 
 #include "version/transfer.h"
 
+#include <algorithm>
+
 #include "common/varint.h"
 #include "crypto/sha256.h"
 
@@ -52,14 +54,26 @@ Status UnpackVersions(const VersionPack& pack, NodeStore* store) {
   in.remove_prefix(magic_len);
   uint64_t count = 0;
   if (!GetVarint64(&in, &count)) return Status::Corruption("bad pack count");
+  // Digest every page up front (content addressing implies and verifies
+  // the digests), then land the whole pack with one PutMany — receiving a
+  // version costs one store batch instead of one locked Put per page.
+  NodeBatch batch;
+  // `count` is untrusted input: bound the pre-validation reservation by a
+  // small constant so a corrupt varint cannot force a large allocation
+  // (vector growth handles genuinely bigger packs).
+  batch.reserve(static_cast<size_t>(std::min<uint64_t>(count, 4096)));
   for (uint64_t i = 0; i < count; ++i) {
     std::string page;
     if (!GetLengthPrefixed(&in, &page)) {
       return Status::Corruption("truncated pack page");
     }
-    store->Put(page);  // content-addressed: digest is implied and verified
+    NodeRecord rec;
+    rec.bytes = std::make_shared<const std::string>(std::move(page));
+    rec.hash = Sha256::Digest(*rec.bytes);
+    batch.push_back(std::move(rec));
   }
   if (!in.empty()) return Status::Corruption("trailing pack bytes");
+  store->PutMany(batch);
   return Status::OK();
 }
 

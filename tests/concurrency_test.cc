@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "crypto/sha256.h"
+#include "store/staging_store.h"
 #include "system/forkbase.h"
 #include "tests/test_util.h"
 
@@ -192,6 +193,154 @@ TEST(ConcurrencyTest, ConcurrentGetPutScanAllStructures) {
       });
     }
     RunAll(&threads, &gate);
+  }
+}
+
+// --- Sharded InMemoryNodeStore under mixed Put/PutMany/Get ----------------
+
+TEST(ConcurrencyTest, ShardedStoreConcurrentBatchedWrites) {
+  // Writers flush batches (one lock per touched shard), other writers use
+  // per-node Put, readers Get and scan the stats — all concurrently. Under
+  // TSan this covers the per-shard locking and the atomic op counters.
+  auto store = NewInMemoryNodeStore();
+  StartGate gate;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      gate.Wait();
+      for (int round = 0; round < 60; ++round) {
+        if (t % 2 == 0) {
+          // Batched writer: staged batch -> one PutMany.
+          StagingNodeStore staging(store.get());
+          std::vector<Hash> mine;
+          for (int i = 0; i < 20; ++i) {
+            mine.push_back(staging.Put("t" + std::to_string(t) + "r" +
+                                       std::to_string(round) + "i" +
+                                       std::to_string(i)));
+          }
+          staging.FlushBatch();
+          for (const Hash& h : mine) ASSERT_TRUE(store->Get(h).ok());
+        } else {
+          // Per-node writer + reader.
+          const Hash h =
+              store->Put("p" + std::to_string(t) + "-" + std::to_string(round));
+          ASSERT_TRUE(store->Get(h).ok());
+          (void)store->stats();
+        }
+      }
+    });
+  }
+  RunAll(&threads, &gate);
+  const auto stats = store->stats();
+  // 2 batched writers x 60 rounds x 20 nodes + 2 plain writers x 60 nodes.
+  EXPECT_EQ(stats.puts, 2u * 60 * 20 + 2u * 60);
+  EXPECT_EQ(stats.dup_puts, 0u);
+}
+
+// --- Singleflight: concurrent misses on one digest share one fetch --------
+
+TEST(ConcurrencyTest, SingleflightCoalescesConcurrentMisses) {
+  auto server_store = NewInMemoryNodeStore();
+  ForkbaseServlet servlet(server_store);
+  const std::string payload(2048, 'x');
+  const Hash hot = server_store->Put(payload);
+
+  // A long slept round trip keeps the leader's fetch in flight while every
+  // other thread arrives: they must wait for its result, not refetch.
+  auto client = std::make_shared<ForkbaseClientStore>(
+      &servlet, 1 << 20, /*rtt_nanos=*/50'000'000, RttModel::kSleep);
+
+  StartGate gate;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      gate.Wait();
+      auto got = client->Get(hot);
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(**got, payload);
+    });
+  }
+  RunAll(&threads, &gate);
+
+  const auto stats = client->remote_stats();
+  // Exactly one thread paid the round trip; everyone else was served from
+  // its flight (or, if scheduled very late, from the now-primed cache).
+  EXPECT_EQ(stats.remote_gets, 1u);
+  EXPECT_EQ(stats.coalesced_gets + stats.cache_hits,
+            static_cast<uint64_t>(kThreads - 1));
+  EXPECT_GT(stats.coalesced_gets, 0u);
+
+  // The node is cached now: further reads are local.
+  ASSERT_TRUE(client->Get(hot).ok());
+  EXPECT_EQ(client->remote_stats().remote_gets, 1u);
+}
+
+TEST(ConcurrencyTest, SingleflightMissShareSingleNotFound) {
+  // All threads miss on a digest the servlet does not have: the error is
+  // shared like a result, and nothing is cached.
+  auto server_store = NewInMemoryNodeStore();
+  ForkbaseServlet servlet(server_store);
+  const Hash absent = Sha256::Digest("never stored anywhere");
+  auto client = std::make_shared<ForkbaseClientStore>(
+      &servlet, 1 << 20, /*rtt_nanos=*/20'000'000, RttModel::kSleep);
+
+  StartGate gate;
+  std::vector<std::thread> threads;
+  std::atomic<int> not_found{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      gate.Wait();
+      auto got = client->Get(absent);
+      if (!got.ok() && got.status().IsNotFound()) ++not_found;
+    });
+  }
+  RunAll(&threads, &gate);
+  EXPECT_EQ(not_found.load(), kThreads);
+  // A failed fetch is not a remote_get; followers still count as coalesced.
+  const auto stats = client->remote_stats();
+  EXPECT_EQ(stats.remote_gets, 0u);
+  EXPECT_GT(stats.coalesced_gets, 0u);
+}
+
+// --- Concurrent batched writers through client stores ----------------------
+
+TEST(ConcurrencyTest, ConcurrentWritersBatchOneRttPerCommit) {
+  auto server_store = NewInMemoryNodeStore();
+  ForkbaseServlet servlet(server_store);
+  auto server_index = MakeIndex(IndexKind::kPos, server_store);
+  auto base = server_index->PutBatch(server_index->EmptyRoot(), MakeKvs(1000));
+  ASSERT_TRUE(base.ok());
+
+  StartGate gate;
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<ForkbaseClientStore>> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.push_back(
+        std::make_shared<ForkbaseClientStore>(&servlet, 256 << 10, 0));
+  }
+  constexpr int kCommits = 8;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto index = server_index->WithStore(clients[t]);
+      gate.Wait();
+      Hash root = *base;
+      for (int c = 0; c < kCommits; ++c) {
+        std::vector<KV> batch;
+        for (int i = 0; i < 30; ++i) {
+          batch.push_back(KV{"w" + std::to_string(t) + "-" + TKey(i),
+                             TVal(i, c)});
+        }
+        auto next = index->PutBatch(root, batch);
+        ASSERT_TRUE(next.ok());
+        root = *next;
+      }
+    });
+  }
+  RunAll(&threads, &gate);
+  for (const auto& c : clients) {
+    // Each commit shipped its whole staged batch in exactly one upload RPC.
+    EXPECT_EQ(c->remote_stats().remote_puts,
+              static_cast<uint64_t>(kCommits));
   }
 }
 

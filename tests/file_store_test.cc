@@ -276,5 +276,116 @@ TEST_F(FileStoreTest, OpenFailsOnBadDirectory) {
       FileNodeStore::Open("/no/such/dir/at/all/store.log", &store).ok());
 }
 
+// --- Batched appends (PutMany) and flush economy ---------------------------
+
+NodeBatch BatchOf(int first, int count) {
+  NodeBatch batch;
+  for (int i = first; i < first + count; ++i) {
+    NodeRecord rec;
+    rec.bytes = std::make_shared<const std::string>(PageOf(i));
+    rec.hash = Sha256::Digest(*rec.bytes);
+    batch.push_back(std::move(rec));
+  }
+  return batch;
+}
+
+TEST_F(FileStoreTest, PutManyBatchSurvivesReopen) {
+  const NodeBatch batch = BatchOf(0, 5);
+  {
+    std::shared_ptr<FileNodeStore> store;
+    ASSERT_TRUE(FileNodeStore::Open(path_, &store).ok());
+    store->PutMany(batch);
+    const auto stats = store->stats();
+    EXPECT_EQ(stats.puts, 5u);
+    EXPECT_EQ(stats.unique_nodes, 5u);
+    ASSERT_TRUE(store->Flush().ok());
+  }
+  std::shared_ptr<FileNodeStore> reopened;
+  ASSERT_TRUE(FileNodeStore::Open(path_, &reopened).ok());
+  EXPECT_EQ(reopened->recovered_truncations(), 0u);
+  for (const NodeRecord& rec : batch) {
+    auto got = reopened->Get(rec.hash);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(**got, *rec.bytes);
+  }
+}
+
+TEST_F(FileStoreTest, PutManySkipsResidentAndInBatchDuplicates) {
+  std::shared_ptr<FileNodeStore> store;
+  ASSERT_TRUE(FileNodeStore::Open(path_, &store).ok());
+  store->Put(PageOf(0));  // already resident before the batch
+  NodeBatch batch = BatchOf(0, 3);
+  batch.push_back(batch[1]);  // duplicate digest within the batch
+  store->PutMany(batch);
+  const auto stats = store->stats();
+  EXPECT_EQ(stats.puts, 5u);      // 1 Put + 4 batch records offered
+  EXPECT_EQ(stats.dup_puts, 2u);  // resident page + in-batch duplicate
+  EXPECT_EQ(stats.unique_nodes, 3u);
+  // Only the three unique records ever reached the log.
+  ASSERT_TRUE(store->Flush().ok());
+  store.reset();
+  std::shared_ptr<FileNodeStore> reopened;
+  ASSERT_TRUE(FileNodeStore::Open(path_, &reopened).ok());
+  EXPECT_EQ(reopened->stats().unique_nodes, 3u);
+}
+
+TEST_F(FileStoreTest, TornBatchedAppendRecoversCommittedPrefix) {
+  // Commit one batch (flushed), then crash in the middle of a second
+  // batched append: the first batch and the complete leading records of
+  // the torn batch survive, the torn record is counted and dropped.
+  const NodeBatch committed = BatchOf(0, 3);
+  {
+    std::shared_ptr<FileNodeStore> store;
+    ASSERT_TRUE(FileNodeStore::Open(path_, &store).ok());
+    store->PutMany(committed);
+    ASSERT_TRUE(store->Flush().ok());
+    store->PutMany(BatchOf(10, 3));
+    ASSERT_TRUE(store->Flush().ok());
+  }
+  // Tear the log inside the second record of the second batch.
+  ASSERT_EQ(truncate(path_.c_str(), kHeaderSize + 4 * kRecordSize + 40), 0);
+
+  std::shared_ptr<FileNodeStore> recovered;
+  ASSERT_TRUE(FileNodeStore::Open(path_, &recovered).ok());
+  EXPECT_EQ(recovered->recovered_truncations(), 1u);
+  EXPECT_EQ(recovered->stats().unique_nodes, 4u);
+  for (const NodeRecord& rec : committed) {
+    EXPECT_TRUE(recovered->Get(rec.hash).ok());
+  }
+  // Fresh batched appends after recovery survive another reopen.
+  const NodeBatch fresh = BatchOf(20, 2);
+  recovered->PutMany(fresh);
+  ASSERT_TRUE(recovered->Flush().ok());
+  recovered.reset();
+  std::shared_ptr<FileNodeStore> again;
+  ASSERT_TRUE(FileNodeStore::Open(path_, &again).ok());
+  EXPECT_EQ(again->recovered_truncations(), 0u);
+  EXPECT_TRUE(again->Get(fresh[0].hash).ok());
+  EXPECT_TRUE(again->Get(fresh[1].hash).ok());
+}
+
+TEST_F(FileStoreTest, FlushSkipsFsyncWhenNothingAppended) {
+  std::shared_ptr<FileNodeStore> store;
+  ASSERT_TRUE(FileNodeStore::Open(path_, &store).ok());
+  ASSERT_TRUE(store->Flush().ok());  // header append -> one fsync
+  const uint64_t after_header = store->fsync_count();
+  EXPECT_EQ(after_header, 1u);
+
+  // Clean store: repeated commit boundaries must not reach the syscall.
+  ASSERT_TRUE(store->Flush().ok());
+  ASSERT_TRUE(store->Flush().ok());
+  EXPECT_EQ(store->fsync_count(), after_header);
+
+  // One batched commit = exactly one fsync, regardless of batch size.
+  store->PutMany(BatchOf(0, 8));
+  ASSERT_TRUE(store->Flush().ok());
+  EXPECT_EQ(store->fsync_count(), after_header + 1);
+
+  // A fully deduplicated batch appends nothing, so its flush is free too.
+  store->PutMany(BatchOf(0, 8));
+  ASSERT_TRUE(store->Flush().ok());
+  EXPECT_EQ(store->fsync_count(), after_header + 1);
+}
+
 }  // namespace
 }  // namespace siri

@@ -1,7 +1,8 @@
 // Copyright (c) 2026 The siri Authors. MIT license.
 //
 // Content-addressed node store: idempotent puts, statistics, page-set
-// accounting, and fault injection plumbing.
+// accounting, sharding, batched writes (PutMany + staging), and fault
+// injection plumbing.
 
 #include <gtest/gtest.h>
 
@@ -10,9 +11,17 @@
 #include "common/random.h"
 #include "crypto/sha256.h"
 #include "store/node_store.h"
+#include "store/staging_store.h"
 
 namespace siri {
 namespace {
+
+NodeRecord RecordOf(const std::string& bytes) {
+  NodeRecord rec;
+  rec.bytes = std::make_shared<const std::string>(bytes);
+  rec.hash = Sha256::Digest(*rec.bytes);
+  return rec;
+}
 
 TEST(NodeStoreTest, PutReturnsContentDigest) {
   auto store = NewInMemoryNodeStore();
@@ -100,6 +109,170 @@ TEST(NodeStoreTest, ConcurrentPutsAndGetsAreSafe) {
   }
   for (auto& th : threads) th.join();
   EXPECT_EQ(store->stats().puts, 2000u);
+}
+
+// --- Sharding --------------------------------------------------------------
+
+TEST(ShardedStoreTest, OneShardPreservesExactSemantics) {
+  // num_shards = 1 is the pre-sharding store: one map, one lock. Contents
+  // and statistics must match a default-sharded store given the same ops.
+  auto one = NewInMemoryNodeStore(1);
+  auto sharded = NewInMemoryNodeStore();
+  ASSERT_EQ(one->num_shards(), 1);
+  ASSERT_EQ(sharded->num_shards(), InMemoryNodeStore::kDefaultShards);
+
+  std::vector<Hash> hashes;
+  for (int i = 0; i < 100; ++i) {
+    const std::string page = "page-" + std::to_string(i % 80);  // dups too
+    EXPECT_EQ(one->Put(page), sharded->Put(page));
+  }
+  for (int i = 0; i < 80; ++i) {
+    const Hash h = Sha256::Digest("page-" + std::to_string(i));
+    hashes.push_back(h);
+    ASSERT_TRUE(one->Get(h).ok());
+    ASSERT_TRUE(sharded->Get(h).ok());
+  }
+  const auto a = one->stats();
+  const auto b = sharded->stats();
+  EXPECT_EQ(a.puts, b.puts);
+  EXPECT_EQ(a.dup_puts, b.dup_puts);
+  EXPECT_EQ(a.unique_nodes, b.unique_nodes);
+  EXPECT_EQ(a.unique_bytes, b.unique_bytes);
+  EXPECT_EQ(a.gets, b.gets);
+  EXPECT_EQ(a.get_bytes, b.get_bytes);
+}
+
+TEST(ShardedStoreTest, CrossShardAccountingAndIteration) {
+  // 200 SHA-256-distributed digests land in every shard of an 8-shard
+  // store; the whole-store views (stats, BytesOf, PruneExcept) must stitch
+  // the shards together correctly.
+  auto store = NewInMemoryNodeStore(8);
+  PageSet all;
+  PageSet keep;
+  uint64_t keep_bytes = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::string page(64 + i % 7, static_cast<char>('a' + i % 26));
+    const Hash h = store->Put(page + std::to_string(i));
+    all.insert(h);
+    if (i % 3 == 0) {
+      keep.insert(h);
+      keep_bytes += page.size() + std::to_string(i).size();
+    }
+  }
+  ASSERT_EQ(store->stats().unique_nodes, 200u);
+  EXPECT_EQ(store->BytesOf(all), store->stats().unique_bytes);
+  EXPECT_EQ(store->BytesOf(keep), keep_bytes);
+
+  const uint64_t dropped = store->PruneExcept(keep);
+  EXPECT_EQ(dropped, 200u - keep.size());
+  EXPECT_EQ(store->stats().unique_nodes, keep.size());
+  EXPECT_EQ(store->stats().unique_bytes, keep_bytes);
+  for (const Hash& h : keep) EXPECT_TRUE(store->Contains(h));
+}
+
+// --- PutMany ---------------------------------------------------------------
+
+TEST(PutManyTest, EmptyBatchIsNoOp) {
+  auto store = NewInMemoryNodeStore();
+  store->PutMany({});
+  const auto stats = store->stats();
+  EXPECT_EQ(stats.puts, 0u);
+  EXPECT_EQ(stats.unique_nodes, 0u);
+}
+
+TEST(PutManyTest, StoresEveryNodeOfTheBatch) {
+  auto store = NewInMemoryNodeStore();
+  NodeBatch batch;
+  for (int i = 0; i < 50; ++i) {
+    batch.push_back(RecordOf("batched-node-" + std::to_string(i)));
+  }
+  store->PutMany(batch);
+  for (const NodeRecord& rec : batch) {
+    auto got = store->Get(rec.hash);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(**got, *rec.bytes);
+  }
+  const auto stats = store->stats();
+  EXPECT_EQ(stats.puts, 50u);
+  EXPECT_EQ(stats.dup_puts, 0u);
+  EXPECT_EQ(stats.unique_nodes, 50u);
+}
+
+TEST(PutManyTest, DuplicateDigestsWithinBatchAreDeduplicated) {
+  auto store = NewInMemoryNodeStore();
+  store->Put("resident");
+  NodeBatch batch;
+  batch.push_back(RecordOf("resident"));  // duplicates a stored node
+  batch.push_back(RecordOf("new-node"));
+  batch.push_back(RecordOf("new-node"));  // duplicate within the batch
+  store->PutMany(batch);
+  const auto stats = store->stats();
+  EXPECT_EQ(stats.puts, 4u);
+  EXPECT_EQ(stats.dup_puts, 2u);
+  EXPECT_EQ(stats.unique_nodes, 2u);
+}
+
+// --- StagingNodeStore ------------------------------------------------------
+
+TEST(StagingStoreTest, StagedNodesInvisibleUntilFlush) {
+  auto base = NewInMemoryNodeStore();
+  StagingNodeStore staging(base.get());
+  const Hash h = staging.Put("staged page");
+  EXPECT_EQ(h, Sha256::Digest("staged page"));
+  EXPECT_EQ(staging.staged_count(), 1u);
+
+  // The staging view serves its own writes; the base store has nothing.
+  auto got = staging.Get(h);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(**got, "staged page");
+  EXPECT_TRUE(staging.Contains(h));
+  ASSERT_TRUE(staging.SizeOf(h).ok());
+  EXPECT_EQ(*staging.SizeOf(h), 11u);
+  EXPECT_FALSE(base->Contains(h));
+  EXPECT_EQ(base->stats().puts, 0u);
+
+  staging.FlushBatch();
+  EXPECT_EQ(staging.staged_count(), 0u);
+  EXPECT_TRUE(base->Contains(h));
+  EXPECT_EQ(base->stats().puts, 1u);
+
+  // Flushing again is a no-op (no duplicate accounting).
+  staging.FlushBatch();
+  EXPECT_EQ(base->stats().puts, 1u);
+}
+
+TEST(StagingStoreTest, ReadsFallThroughToBase) {
+  auto base = NewInMemoryNodeStore();
+  const Hash resident = base->Put("already in base");
+  StagingNodeStore staging(base.get());
+  auto got = staging.Get(resident);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(**got, "already in base");
+  EXPECT_TRUE(staging.Contains(resident));
+}
+
+TEST(StagingStoreTest, InBatchDuplicatesStagedOnce) {
+  auto base = NewInMemoryNodeStore();
+  StagingNodeStore staging(base.get());
+  staging.Put("same bytes");
+  staging.Put("same bytes");
+  EXPECT_EQ(staging.staged_count(), 1u);
+  staging.FlushBatch();
+  const auto stats = base->stats();
+  EXPECT_EQ(stats.puts, 1u);
+  EXPECT_EQ(stats.dup_puts, 0u);
+  EXPECT_EQ(stats.unique_nodes, 1u);
+}
+
+TEST(StagingStoreTest, DroppedWithoutFlushLeavesBaseUntouched) {
+  auto base = NewInMemoryNodeStore();
+  Hash h;
+  {
+    StagingNodeStore staging(base.get());
+    h = staging.Put("abandoned");
+  }  // mutation failed: staged writes dropped
+  EXPECT_FALSE(base->Contains(h));
+  EXPECT_EQ(base->stats().puts, 0u);
 }
 
 TEST(FaultyNodeStoreTest, CorruptNodeSurfacesCorruption) {
