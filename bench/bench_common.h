@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -27,6 +28,8 @@
 #include "index/pos/pos_tree.h"
 #include "store/node_store.h"
 #include "system/forkbase.h"
+#include "version/occ.h"
+#include "version/transfer.h"
 #include "workload/ycsb.h"
 
 namespace siri {
@@ -44,7 +47,7 @@ inline uint64_t ParseScale(int argc, char** argv) {
              "  YCSB benches (fig06/fig10/fig21) also take"
              " [--threads=K[,K...]] [--write-threads=K[,K...]]\n"
              "  fig06 also takes [--threads-only] [--write-scaling-only]"
-             " [--smoke]\n",
+             " [--branch-commits-only] [--smoke]\n",
              argv[0]);
       exit(0);
     }
@@ -394,6 +397,217 @@ inline ConcurrentWriteResult RunConcurrentWrites(
   out.commits = commits.size() * cfg.threads;
   for (const auto& s : stores) out.upload_rpcs += s->remote_stats().remote_puts;
   return out;
+}
+
+/// Multi-writer-same-branch contention (the collaborative regime of
+/// §2.1/§5.6): K writer clients, ONE branch, optimistic head CAS with
+/// auto-merge retries. Each writer reads the branch head, builds a commit
+/// of disjoint writer-private keys on the head's root through its own
+/// client store, and lands it with CommitWithMerge — a lost head race is
+/// retried as a two-parent merge commit whose staged batch costs nothing
+/// unless it wins. Afterward every writer's every key must be readable at
+/// the final head (zero lost updates).
+struct BranchContentionConfig {
+  int threads = 1;
+  int commits_per_writer = 24;
+  /// Chunk uploads per commit: a branch commit publishes a body of work
+  /// built through several staged batches (each one upload RPC), the way
+  /// a collaborative writer accumulates changes before committing. The
+  /// uploads overlap across writers; only the publish (head CAS + flush)
+  /// serializes per branch, so the upload:publish ratio is what aggregate
+  /// commit throughput scales with.
+  int uploads_per_commit = 5;
+  size_t upload_kvs = 10;           ///< writer-private keys per chunk upload
+  uint64_t cache_bytes = 32 << 20;  ///< shared client cache (holds the base
+                                    ///< version of every structure + churn)
+  uint64_t rtt_nanos = 2000000;     ///< 2ms simulated round trip (sleep)
+};
+
+/// The writer-private key scheme RunBranchContention commits and its
+/// lost-update verifier re-reads — one definition so the two sides can
+/// never drift apart.
+inline std::string BranchContentionKey(int writer, int commit, int upload,
+                                       size_t kv) {
+  return "w" + std::to_string(writer) + "/c" + std::to_string(commit) + "/u" +
+         std::to_string(upload) + "/k" + std::to_string(kv);
+}
+
+struct BranchContentionResult {
+  double commits_per_sec = 0;  ///< aggregate landed commits/s
+  uint64_t commits = 0;        ///< landed commits (threads x per-writer)
+  uint64_t cas_failures = 0;   ///< head races lost (branch_stats)
+  uint64_t merge_commits = 0;  ///< two-parent commits written
+  bool lost_update = false;    ///< any committed key missing at final head
+
+  /// Lost head races per landed commit: 0 single-writer, grows with K.
+  double RetriesPerCommit() const {
+    return commits == 0 ? 0 : static_cast<double>(cas_failures) / commits;
+  }
+};
+
+inline BranchContentionResult RunBranchContention(
+    ForkbaseServlet* servlet, const ImmutableIndex& proto,
+    const Hash& base_root, const std::string& branch,
+    const BranchContentionConfig& cfg) {
+  BranchManager* mgr = servlet->branches();
+  {
+    auto init = mgr->CommitOnBranch(branch, base_root, "init", "base");
+    SIRI_CHECK(init.ok());
+  }
+
+  // One client app, K writer worker threads (PR 2's shared-client model):
+  // every upload (PutMany) write-allocates into the shared cache, so each
+  // writer reads the evolving head — and a merge retry reads base, ours
+  // and theirs — almost entirely locally. Per-commit cost is then
+  // dominated by the slept upload RPCs, which concurrent writers overlap,
+  // and a winning merge retry ships its whole staged batch (merged pages
+  // + both commit objects) in exactly one more upload RPC.
+  auto client_store = std::make_shared<ForkbaseClientStore>(
+      servlet, cfg.cache_bytes, cfg.rtt_nanos, RttModel::kSleep);
+  auto client_index = proto.WithStore(client_store);
+  // Steady-state collaboration: the client holds the shared base version
+  // before the race starts, delivered the way a replica receives one — as
+  // a version-transfer pack landed in a single batched PutMany (which
+  // write-allocates the whole version into the shared cache). From here
+  // on every node a commit or a merge retry reads is either cached base
+  // state or a peer's upload; the measured round trips are the uploads
+  // themselves, which concurrent writers overlap.
+  {
+    auto pack = PackVersions(proto, {base_root});
+    SIRI_CHECK(pack.ok());
+    SIRI_CHECK(UnpackVersions(*pack, client_store.get()).ok());
+  }
+
+  std::atomic<uint64_t> merge_commits{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(cfg.threads);
+  for (int t = 0; t < cfg.threads; ++t) {
+    workers.emplace_back([&, t] {
+      ImmutableIndex* index = client_index.get();
+      MergeCommitOptions opts;
+      // The bench must never abandon a commit: at 8 writers on one branch
+      // a streak of 64+ lost races is possible, so the cap is effectively
+      // removed (backoff still bounds the retry rate).
+      opts.max_retries = std::numeric_limits<int>::max();
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int c = 0; c < cfg.commits_per_writer; ++c) {
+        auto head = mgr->Head(branch);
+        SIRI_CHECK(head.ok());
+        auto head_commit = mgr->ReadCommit(*head);
+        SIRI_CHECK(head_commit.ok());
+        // Build the commit's body: several chained chunk uploads on top
+        // of the head root (each PutBatch stages its dirty path and ships
+        // it as one upload RPC).
+        Hash root = head_commit->root;
+        for (int u = 0; u < cfg.uploads_per_commit; ++u) {
+          std::vector<KV> batch;
+          batch.reserve(cfg.upload_kvs);
+          for (size_t k = 0; k < cfg.upload_kvs; ++k) {
+            batch.push_back(KV{BranchContentionKey(t, c, u, k),
+                               "v" + std::to_string(c)});
+          }
+          auto next = index->PutBatch(root, std::move(batch));
+          SIRI_CHECK(next.ok());
+          root = *next;
+        }
+        auto landed = CommitWithMerge(mgr, index, branch, root,
+                                      "w" + std::to_string(t),
+                                      "c" + std::to_string(c), *head, opts);
+        SIRI_CHECK(landed.ok());
+        merge_commits.fetch_add(landed->merge_commits,
+                                std::memory_order_relaxed);
+      }
+    });
+  }
+
+  Timer timer;
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  const double secs = timer.ElapsedSeconds();
+
+  BranchContentionResult out;
+  out.commits =
+      static_cast<uint64_t>(cfg.threads) * cfg.commits_per_writer;
+  out.commits_per_sec =
+      secs == 0 ? 0 : static_cast<double>(out.commits) / secs;
+  const BranchStats stats = mgr->branch_stats(branch);
+  out.cas_failures = stats.cas_failures;
+  out.merge_commits = merge_commits.load();
+
+  // Zero lost updates: every writer's every key is readable at the final
+  // head (server-side reads — verification, not measured traffic).
+  auto head = mgr->Head(branch);
+  SIRI_CHECK(head.ok());
+  auto head_commit = mgr->ReadCommit(*head);
+  SIRI_CHECK(head_commit.ok());
+  for (int t = 0; t < cfg.threads && !out.lost_update; ++t) {
+    for (int c = 0; c < cfg.commits_per_writer && !out.lost_update; ++c) {
+      for (int u = 0; u < cfg.uploads_per_commit && !out.lost_update; ++u) {
+        for (size_t k = 0; k < cfg.upload_kvs; ++k) {
+          auto got = proto.Get(head_commit->root,
+                               BranchContentionKey(t, c, u, k), nullptr);
+          if (!got.ok() || !got->has_value()) {
+            out.lost_update = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// Drives and prints one [multi-writer branch commits] table: the four
+/// structures behind one servlet at \p n preloaded records, swept over
+/// \p thread_counts writer counts, one contended branch per cell (fresh
+/// branch per cell so the per-branch stats isolate that cell). Shared by
+/// fig06 and fig21 so the two figures cannot drift; aborts on any lost
+/// update because zero lost updates is the section's whole claim.
+inline void RunBranchCommitTable(uint64_t n, uint64_t mbt_buckets,
+                                 const std::vector<int>& thread_counts,
+                                 int commits_per_writer,
+                                 int uploads_per_commit) {
+  const BranchContentionConfig defaults;
+  printf("\n[multi-writer branch commits] one branch, head CAS + merge "
+         "retry, n=%llu records, commits of %dx%zu-KV uploads, "
+         "rtt=%llums(sleep) warm shared-cache=%lluMB\n",
+         static_cast<unsigned long long>(n), uploads_per_commit,
+         defaults.upload_kvs,
+         static_cast<unsigned long long>(defaults.rtt_nanos / 1000000),
+         static_cast<unsigned long long>(defaults.cache_bytes >> 20));
+  printf("%8s %17s %17s %17s %17s\n", "threads", "pos(cmt/s|retry)",
+         "mbt(cmt/s|retry)", "mpt(cmt/s|retry)", "mvmb(cmt/s|retry)");
+
+  YcsbGenerator gen(1);
+  auto records = gen.GenerateRecords(n);
+
+  auto server_store = NewInMemoryNodeStore();
+  ForkbaseServlet servlet(server_store);
+  auto indexes = MakeAllIndexes(server_store, mbt_buckets);
+  std::vector<Hash> roots;
+  for (auto& [name, index] : indexes) {
+    roots.push_back(LoadRecords(index.get(), records));
+  }
+
+  for (int threads : thread_counts) {
+    printf("%8d", threads);
+    for (size_t i = 0; i < indexes.size(); ++i) {
+      BranchContentionConfig cfg;
+      cfg.threads = threads;
+      cfg.commits_per_writer = commits_per_writer;
+      cfg.uploads_per_commit = uploads_per_commit;
+      const std::string branch =
+          indexes[i].name + "-k" + std::to_string(threads);
+      auto result = RunBranchContention(&servlet, *indexes[i].index, roots[i],
+                                        branch, cfg);
+      SIRI_CHECK(!result.lost_update);
+      printf("   %8.1f|%5.2f", result.commits_per_sec,
+             result.RetriesPerCommit());
+      fflush(stdout);
+    }
+    printf("\n");
+  }
 }
 
 /// Printf a header line like the paper's figure captions.

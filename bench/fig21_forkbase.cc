@@ -146,5 +146,18 @@ int main(int argc, char** argv) {
       printf("\n");
     }
   }
+
+  // Multi-writer-same-branch contention: the collaborative regime — K
+  // writer clients racing commits onto ONE shared branch through the
+  // servlet's BranchManager. Head movement is an optimistic CAS; a lost
+  // race is retried as a two-parent merge commit (version/occ.h) whose
+  // staged batch costs nothing unless it wins. The retry column is lost
+  // head races per landed commit; every writer's every key must be
+  // readable at the final head (zero lost updates) or the run aborts.
+  {
+    const std::vector<int> write_threads = ParseWriteThreadCounts(argc, argv);
+    RunBranchCommitTable(8000 * scale, /*mbt_buckets=*/2048, write_threads,
+                         /*commits_per_writer=*/24, /*uploads_per_commit=*/5);
+  }
   return 0;
 }

@@ -37,7 +37,7 @@ fi
 # The fast subset keeps the whole run around a minute on one core while
 # still touching every structure (throughput, diff, height, MBT breakdown,
 # parameter sweep) plus the multi-client read-scaling report.
-FAST_SUBSET="fig01_motivation fig09_tree_height fig13_mbt_breakdown tab03_parameters fig08_diff fig06_threads fig06_write_scaling"
+FAST_SUBSET="fig01_motivation fig09_tree_height fig13_mbt_breakdown tab03_parameters fig08_diff fig06_threads fig06_write_scaling fig06_branch_commits"
 
 if [ "$ALL" -eq 1 ]; then
   BENCHES=$(cd "$BENCH_DIR" && ls)
@@ -50,10 +50,14 @@ fi
 # 1/2/4/8 client threads (aggregate kops/s + per-structure hit ratios).
 # fig06_write_scaling = the fig06 multi-client write section only, swept
 # at 1/2/4/8 writer threads (aggregate write kops/s + upload RPCs/commit).
+# fig06_branch_commits = the fig06 multi-writer-same-branch contention
+# section only: K writers racing one branch via head CAS + merge retry
+# (aggregate commits/s + lost head races per commit).
 bench_cmdline() {
   case "$1" in
     fig06_threads)       echo "fig06_ycsb_throughput --threads=1,2,4,8 --threads-only" ;;
     fig06_write_scaling) echo "fig06_ycsb_throughput --write-threads=1,2,4,8 --write-scaling-only" ;;
+    fig06_branch_commits) echo "fig06_ycsb_throughput --write-threads=1,2,4 --branch-commits-only" ;;
     *)                   echo "$1" ;;
   esac
 }
@@ -64,6 +68,7 @@ bench_threads() {
   case "$1" in
     fig06_threads)       echo "1,2,4,8" ;;
     fig06_write_scaling) echo "1,2,4,8" ;;
+    fig06_branch_commits) echo "1,2,4" ;;
     *)                   echo "" ;;
   esac
 }

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "store/node_store.h"
+#include "version/commit.h"
 
 namespace siri {
 
@@ -90,18 +91,27 @@ class NodeCache {
   std::vector<Shard> shards_;
 };
 
-/// \brief The server side: owns the authoritative store. Safe to share
-/// across client threads as long as the underlying NodeStore honors its
-/// thread-safety contract.
+/// \brief The server side: owns the authoritative store and the branch
+/// table. Safe to share across client threads as long as the underlying
+/// NodeStore honors its thread-safety contract; the BranchManager is
+/// internally thread-safe, so K writer clients may commit to the same
+/// branch concurrently — head movement is an optimistic CAS (typed
+/// Conflict on a lost race) and the merge retry driver in version/occ.h
+/// turns losses into two-parent merge commits.
 class ForkbaseServlet {
  public:
-  explicit ForkbaseServlet(NodeStorePtr store) : store_(std::move(store)) {}
+  explicit ForkbaseServlet(NodeStorePtr store)
+      : store_(std::move(store)), branches_(store_) {}
 
   NodeStore* store() { return store_.get(); }
   const NodeStorePtr& store_ptr() const { return store_; }
 
+  /// The server-side branch table shared by every client.
+  BranchManager* branches() { return &branches_; }
+
  private:
   NodeStorePtr store_;
+  BranchManager branches_;
 };
 
 /// How the simulated round trip is charged on a remote access.

@@ -27,16 +27,35 @@ Result<Hash> Ledger::AppendBlock(const std::vector<KV>& txs) {
     Status s = index_->store()->Flush();
     if (!s.ok()) return s;
   }
-  block_roots_.push_back(root);
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    block_roots_.push_back(root);
+  }
   return root;
 }
 
 Result<std::optional<std::string>> Ledger::Lookup(
     Slice tx_hash, uint64_t* blocks_scanned) const {
+  // Walk a snapshot of the chain length: blocks appended after this point
+  // are simply not visible to this lookup, which is the usual chain-read
+  // semantics. Roots are immutable once pushed, so per-block indexed
+  // access under a brief shared lock (push_back may reallocate the
+  // vector, so no reference outlives the lock) avoids copying the whole
+  // chain on this measured hot path.
+  uint64_t num_blocks;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    num_blocks = block_roots_.size();
+  }
   uint64_t scanned = 0;
-  for (auto it = block_roots_.rbegin(); it != block_roots_.rend(); ++it) {
+  for (uint64_t i = num_blocks; i-- > 0;) {
+    Hash root;
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      root = block_roots_[i];
+    }
     ++scanned;
-    auto value = index_->Get(*it, tx_hash, nullptr);
+    auto value = index_->Get(root, tx_hash, nullptr);
     if (!value.ok()) return value.status();
     if (value->has_value()) {
       if (blocks_scanned) *blocks_scanned = scanned;

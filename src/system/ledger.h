@@ -12,6 +12,7 @@
 
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,12 @@
 namespace siri {
 
 /// \brief Chain of per-block transaction indexes over one index structure.
+///
+/// Thread-safe: concurrent AppendBlock calls serialize only on the chain
+/// append itself (the block's index build and its flush happen outside
+/// the lock — the store's staged-batch write path needs no coordination),
+/// and Lookup walks a consistent snapshot of the chain while appenders
+/// keep extending it.
 class Ledger {
  public:
   /// \param index the structure used for every per-block index. The ledger
@@ -51,8 +58,16 @@ class Ledger {
   Result<std::optional<std::string>> Lookup(Slice tx_hash,
                                             uint64_t* blocks_scanned = nullptr) const;
 
-  const std::vector<Hash>& block_roots() const { return block_roots_; }
-  uint64_t num_blocks() const { return block_roots_.size(); }
+  /// Snapshot of the chain (copied under the lock: appenders may be
+  /// extending it concurrently, so a reference would race).
+  std::vector<Hash> block_roots() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return block_roots_;
+  }
+  uint64_t num_blocks() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return block_roots_.size();
+  }
 
   ImmutableIndex* index() const { return index_; }
 
@@ -60,6 +75,7 @@ class Ledger {
   ImmutableIndex* index_;
   bool batch_build_;
   bool sync_on_commit_;
+  mutable std::shared_mutex mu_;  // guards block_roots_
   std::vector<Hash> block_roots_;
 };
 

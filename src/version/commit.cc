@@ -67,73 +67,155 @@ Result<Commit> BranchManager::ReadCommit(const Hash& commit_hash) const {
 
 Status BranchManager::CreateBranch(const std::string& name,
                                    const Hash& commit_hash) {
-  if (branches_.count(name) > 0) {
-    return Status::InvalidArgument("branch exists: " + name);
-  }
-  branches_[name] = commit_hash;
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.branches.try_emplace(name);
+  if (!inserted) return Status::InvalidArgument("branch exists: " + name);
+  it->second.head = commit_hash;
   return Status::OK();
 }
 
 Status BranchManager::MoveBranch(const std::string& name,
                                  const Hash& commit_hash) {
-  auto it = branches_.find(name);
-  if (it == branches_.end()) return Status::NotFound("branch " + name);
-  it->second = commit_hash;
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.branches.find(name);
+  if (it == shard.branches.end()) return Status::NotFound("branch " + name);
+  it->second.head = commit_hash;
   return Status::OK();
 }
 
 Status BranchManager::DeleteBranch(const std::string& name) {
-  if (branches_.erase(name) == 0) return Status::NotFound("branch " + name);
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.branches.erase(name) == 0) {
+    return Status::NotFound("branch " + name);
+  }
   return Status::OK();
 }
 
+std::optional<Hash> BranchManager::LoadHead(const std::string& name) const {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.branches.find(name);
+  if (it == shard.branches.end()) return std::nullopt;
+  return it->second.head;
+}
+
 Result<Hash> BranchManager::Head(const std::string& name) const {
-  auto it = branches_.find(name);
-  if (it == branches_.end()) return Status::NotFound("branch " + name);
-  return it->second;
+  auto head = LoadHead(name);
+  if (!head) return Status::NotFound("branch " + name);
+  return *head;
 }
 
 std::vector<std::string> BranchManager::ListBranches() const {
   std::vector<std::string> out;
-  out.reserve(branches_.size());
-  for (const auto& [name, head] : branches_) out.push_back(name);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, entry] : shard.branches) out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
   return out;
+}
+
+BranchStats BranchManager::branch_stats(const std::string& name) const {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.branches.find(name);
+  return it == shard.branches.end() ? BranchStats{} : it->second.stats;
+}
+
+void BranchManager::RecordMergeRetry(const std::string& name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.branches.find(name);
+  if (it != shard.branches.end()) ++it->second.stats.merge_retries;
+}
+
+CasResult BranchManager::CheckAndSwingHead(const std::string& name,
+                                           const std::optional<Hash>& expected,
+                                           const Hash* swing_to) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.branches.find(name);
+  const bool exists = it != shard.branches.end();
+  if (exists != expected.has_value() ||
+      (exists && it->second.head != *expected)) {
+    if (exists) {
+      ++it->second.stats.cas_failures;
+      return CasResult::Conflicted(it->second.head);
+    }
+    return CasResult::Error(Status::NotFound("branch " + name));
+  }
+  if (swing_to == nullptr) {
+    return CasResult::Committed(expected ? *expected : Hash());
+  }
+  auto& entry = exists ? it->second : shard.branches[name];
+  entry.head = *swing_to;
+  ++entry.stats.commits;
+  return CasResult::Committed(*swing_to);
+}
+
+CasResult BranchManager::CompareAndSwapHead(const std::string& name,
+                                            const std::optional<Hash>& expected,
+                                            const Hash& desired,
+                                            NodeStore* flush_first) {
+  if (!flush_first) {
+    // Nothing to make durable: check and swing in one lock acquisition.
+    return CheckAndSwingHead(name, expected, &desired);
+  }
+  // Fast pre-check so a doomed attempt fails before paying the flush: its
+  // staged batch is dropped without a single store write or fsync.
+  CasResult pre = CheckAndSwingHead(name, expected, nullptr);
+  if (!pre.ok()) return pre;
+  // Durability before visibility, outside the shard lock so concurrent
+  // committers (of this and other branches) overlap their flushes.
+  Status flushed = flush_first->Flush();
+  if (!flushed.ok()) return CasResult::Error(flushed);
+  // Re-check and swing. A head moved during the flush costs the loser one
+  // wasted flush (content-addressed garbage), never a lost update.
+  return CheckAndSwingHead(name, expected, &desired);
+}
+
+CasResult BranchManager::CommitOnBranchIf(const std::string& name,
+                                          const std::optional<Hash>& expected_head,
+                                          const Hash& new_root,
+                                          const std::string& author,
+                                          const std::string& message,
+                                          NodeStore* write_through) {
+  // Fail fast before producing any bytes: a stale expectation costs zero
+  // store writes, zero RPCs, zero fsyncs.
+  CasResult pre = CheckAndSwingHead(name, expected_head, nullptr);
+  if (!pre.ok()) return pre;
+
+  Commit c;
+  c.root = new_root;
+  c.author = author;
+  c.message = message;
+  if (expected_head) {
+    c.parents.push_back(*expected_head);
+    auto parent = ReadCommit(*expected_head);
+    if (!parent.ok()) return CasResult::Error(parent.status());
+    c.sequence = parent->sequence + 1;
+  }
+  NodeStore* sink = write_through ? write_through : store_.get();
+  const Hash hash = sink->Put(c.Encode());
+  return CompareAndSwapHead(name, expected_head, hash, sink);
 }
 
 Result<Hash> BranchManager::CommitOnBranch(const std::string& name,
                                            const Hash& new_root,
                                            const std::string& author,
                                            const std::string& message) {
-  Commit c;
-  c.root = new_root;
-  c.author = author;
-  c.message = message;
-  auto head = Head(name);
-  if (head.ok()) {
-    c.parents.push_back(*head);
-    auto parent = ReadCommit(*head);
-    if (!parent.ok()) return parent.status();
-    c.sequence = parent->sequence + 1;
+  for (;;) {
+    CasResult r = CommitOnBranchIf(name, LoadHead(name), new_root, author,
+                                   message);
+    if (r.ok()) return r.commit;
+    // Lost the race: chain the commit on top of whichever head won. The
+    // root still overrides (single-writer semantics preserved); merging
+    // roots is CommitWithMerge's job.
+    if (!r.status.IsConflict()) return r.status;
   }
-  auto hash = WriteCommit(c);
-  if (!hash.ok()) return hash;
-  // Commit boundary: the commit is acknowledged to the caller, so its
-  // pages (index nodes + the commit object) must survive a crash. A
-  // no-op for in-memory stores; on a file store this is the single fsync
-  // of the commit (the index nodes arrived as one batched append, and a
-  // clean store skips the syscall entirely). Flush before moving the head
-  // so a failed flush leaves the branch untouched and the caller can
-  // safely retry.
-  Status flushed = store_->Flush();
-  if (!flushed.ok()) return flushed;
-  if (head.ok()) {
-    Status s = MoveBranch(name, *hash);
-    if (!s.ok()) return s;
-  } else {
-    Status s = CreateBranch(name, *hash);
-    if (!s.ok()) return s;
-  }
-  return hash;
 }
 
 Result<std::vector<std::pair<Hash, Commit>>> BranchManager::Log(

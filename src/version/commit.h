@@ -11,12 +11,20 @@
 //
 // The commit digest commits to the entire reachable history (a Merkle
 // DAG, as in git).
+//
+// Concurrency: branch heads move by optimistic concurrency control. The
+// head table is sharded (per-shard mutex, shard keyed by branch name) and
+// every head movement is a compare-and-swap: CommitOnBranchIf /
+// CompareAndSwapHead fail with a typed Conflict carrying the head that
+// actually won instead of clobbering a concurrent committer. The merge
+// retry driver on top of the CAS primitives lives in version/occ.h.
 
 #ifndef SIRI_VERSION_COMMIT_H_
 #define SIRI_VERSION_COMMIT_H_
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -40,11 +48,60 @@ struct Commit {
   static Result<Commit> Decode(Slice bytes);
 };
 
+/// \brief Typed conflict payload of a failed head CAS: the head commit
+/// that actually won the race (what the loser must merge against).
+struct HeadConflict {
+  Hash actual_head;
+};
+
+/// \brief Outcome of an optimistic branch-head operation. Exactly one of
+/// three shapes:
+///   - ok():                  `commit` is the new head digest
+///   - status.IsConflict():   `conflict` carries the winning head
+///   - any other error:       IO/corruption/NotFound from the store walk
+struct CasResult {
+  Status status;
+  Hash commit;                          ///< new head; valid iff status.ok()
+  std::optional<HeadConflict> conflict; ///< set iff status.IsConflict()
+
+  bool ok() const { return status.ok(); }
+
+  static CasResult Committed(const Hash& h) {
+    CasResult r;
+    r.commit = h;
+    return r;
+  }
+  static CasResult Conflicted(const Hash& actual) {
+    CasResult r;
+    r.status = Status::Conflict("branch head moved: now " + actual.ToHex());
+    r.conflict = HeadConflict{actual};
+    return r;
+  }
+  static CasResult Error(Status s) {
+    CasResult r;
+    r.status = std::move(s);
+    return r;
+  }
+};
+
+/// \brief Per-branch optimistic-concurrency counters.
+struct BranchStats {
+  uint64_t commits = 0;        ///< successful head movements
+  uint64_t cas_failures = 0;   ///< attempts that lost the head race
+  uint64_t merge_retries = 0;  ///< merge-commit retries driven by OCC
+};
+
 /// \brief Branch heads + commit storage over a NodeStore.
 ///
-/// Not thread-safe; guard externally if shared.
+/// Internally thread-safe: the head table is sharded by branch name, each
+/// shard guarded by its own mutex, so concurrent commits to different
+/// branches never contend and commits to one branch serialize only on the
+/// pointer swing itself (the expensive parts — staging, hashing, the
+/// store flush — happen outside the shard lock).
 class BranchManager {
  public:
+  static constexpr int kShards = 8;
+
   explicit BranchManager(NodeStorePtr store) : store_(std::move(store)) {}
 
   /// Writes a commit object; returns its digest.
@@ -56,7 +113,8 @@ class BranchManager {
   /// Creates a branch pointing at \p commit_hash. Fails if it exists.
   Status CreateBranch(const std::string& name, const Hash& commit_hash);
 
-  /// Moves an existing branch head.
+  /// Moves an existing branch head unconditionally (administrative reset;
+  /// concurrent committers may lose silently — prefer CompareAndSwapHead).
   Status MoveBranch(const std::string& name, const Hash& commit_hash);
 
   Status DeleteBranch(const std::string& name);
@@ -66,11 +124,58 @@ class BranchManager {
 
   std::vector<std::string> ListBranches() const;
 
+  /// Optimistic head update: moves \p name from \p expected to \p desired
+  /// atomically. \p expected == nullopt means "the branch must not exist
+  /// yet" (creation CAS). On a lost race the result is a typed Conflict
+  /// carrying the head that won; per-branch cas_failures is bumped.
+  ///
+  /// \p flush_first (optional) is flushed after the head is confirmed to
+  /// still match but before it is swung — the durability point of a
+  /// commit. Losers therefore drop their staged batch without paying the
+  /// flush, and a failed flush leaves the head untouched. The flush runs
+  /// outside the shard lock, so concurrent committers overlap their
+  /// fsyncs/upload RPCs; the unlucky loser of the re-check after the
+  /// flush pays one wasted (harmless, content-addressed) flush.
+  CasResult CompareAndSwapHead(const std::string& name,
+                               const std::optional<Hash>& expected,
+                               const Hash& desired,
+                               NodeStore* flush_first = nullptr);
+
+  /// Optimistic commit: writes a commit of \p new_root whose parent is
+  /// \p expected_head (none for a creation) and CASes the branch head to
+  /// it. A stale expectation fails with a typed Conflict at a fail-fast
+  /// pre-check, before anything is written or flushed; only a head that
+  /// moves *during* the attempt can orphan one already-written commit
+  /// object (harmless content-addressed garbage, never a flush a loser
+  /// pays at the pre-check).
+  ///
+  /// \p write_through (optional) is the store the commit object is written
+  /// to and flushed through (e.g. a client-side store so the upload is
+  /// accounted as one RPC, or a StagingNodeStore so the commit object
+  /// joins a larger staged batch). Defaults to the manager's own store.
+  CasResult CommitOnBranchIf(const std::string& name,
+                             const std::optional<Hash>& expected_head,
+                             const Hash& new_root, const std::string& author,
+                             const std::string& message,
+                             NodeStore* write_through = nullptr);
+
   /// Convenience: commit \p new_root on top of branch \p name (creating
   /// the branch at an initial commit if absent) and advance the head.
+  /// Thread-safe: internally retries the head CAS, chaining on top of
+  /// whichever commit won, so concurrent callers never lose a commit
+  /// object (though their roots are not merged — use CommitWithMerge in
+  /// version/occ.h for that).
   Result<Hash> CommitOnBranch(const std::string& name, const Hash& new_root,
                               const std::string& author,
                               const std::string& message);
+
+  /// Counters for \p name (zeros when the branch is unknown). The
+  /// snapshot is internally consistent per branch.
+  BranchStats branch_stats(const std::string& name) const;
+
+  /// Called by the OCC retry driver when a lost CAS turns into a merge
+  /// attempt, so contention is observable per branch.
+  void RecordMergeRetry(const std::string& name);
 
   /// Walks history from \p from (newest first), up to \p limit commits.
   Result<std::vector<std::pair<Hash, Commit>>> Log(const Hash& from,
@@ -83,9 +188,39 @@ class BranchManager {
   /// True if \p ancestor is reachable from \p descendant.
   Result<bool> IsAncestor(const Hash& ancestor, const Hash& descendant) const;
 
+  NodeStore* store() const { return store_.get(); }
+  const NodeStorePtr& store_ptr() const { return store_; }
+
  private:
+  struct BranchEntry {
+    Hash head;
+    BranchStats stats;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, BranchEntry> branches;
+  };
+
+  Shard& ShardFor(const std::string& name) const {
+    return shards_[std::hash<std::string>{}(name) % kShards];
+  }
+
+  /// Locked head read: nullopt when the branch does not exist.
+  std::optional<Hash> LoadHead(const std::string& name) const;
+
+  /// The one check-and-swing primitive behind every CAS path. Under the
+  /// shard lock: verifies the branch head matches \p expected — bumping
+  /// cas_failures and producing the typed Conflict (or NotFound when
+  /// \p expected names a branch that no longer exists) on mismatch — and,
+  /// when \p swing_to is non-null, moves the head there and counts the
+  /// commit. A null \p swing_to is a pure pre-check.
+  CasResult CheckAndSwingHead(const std::string& name,
+                              const std::optional<Hash>& expected,
+                              const Hash* swing_to);
+
   NodeStorePtr store_;
-  std::map<std::string, Hash> branches_;
+  mutable Shard shards_[kShards];
 };
 
 }  // namespace siri

@@ -1,0 +1,120 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#include "version/occ.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "store/staging_store.h"
+
+namespace siri {
+
+Result<MergeCommitResult> CommitWithMerge(
+    BranchManager* mgr, ImmutableIndex* index, const std::string& branch,
+    const Hash& new_root, const std::string& author,
+    const std::string& message, const std::optional<Hash>& expected_head,
+    const MergeCommitOptions& opts) {
+  MergeCommitResult out;
+  NodeStore* merge_store = index->store();
+  NodeStore* commit_store = opts.commit_store ? opts.commit_store : merge_store;
+
+  // Fast path: nobody moved the head since the caller read it. The commit
+  // object ships through the caller's store (one upload RPC / one append)
+  // and the head CAS flushes it before swinging.
+  CasResult r = mgr->CommitOnBranchIf(branch, expected_head, new_root, author,
+                                      message, commit_store);
+  if (r.ok()) {
+    out.head = out.commit = r.commit;
+    return out;
+  }
+
+  // Our side of every merge attempt is fixed: the content commit of
+  // new_root on top of expected_head. It is re-staged per attempt (same
+  // bytes, same digest — content addressing makes that free) so a dropped
+  // attempt leaves nothing behind.
+  Commit ours;
+  ours.root = new_root;
+  ours.author = author;
+  ours.message = message;
+  if (expected_head) {
+    ours.parents.push_back(*expected_head);
+    auto base_commit = mgr->ReadCommit(*expected_head);
+    if (!base_commit.ok()) return base_commit.status();
+    ours.sequence = base_commit->sequence + 1;
+  }
+  const std::string ours_bytes = ours.Encode();
+
+  for (int retry = 0; retry < opts.max_retries; ++retry) {
+    if (!r.status.IsConflict()) return r.status;
+    ++out.cas_failures;
+    const Hash actual = r.conflict->actual_head;
+    mgr->RecordMergeRetry(branch);
+    if (opts.on_retry) opts.on_retry(retry, actual);
+    if (opts.backoff_init_micros > 0 && retry > 0) {
+      // Clamp the exponent: large max_retries would otherwise shift past
+      // the word width (UB) — and a handful of doublings saturates any
+      // sane backoff_max anyway.
+      const int doublings = std::min(retry - 1, 20);
+      const uint64_t us = std::min(opts.backoff_init_micros << doublings,
+                                   opts.backoff_max_micros);
+      std::this_thread::sleep_for(std::chrono::microseconds(us));
+    }
+
+    auto winner = mgr->ReadCommit(actual);
+    if (!winner.ok()) return winner.status();
+
+    // The merge base: lowest common ancestor of what we built on and what
+    // won. In the normal race the winner descends from expected_head, so
+    // the base IS the old head — IsAncestor confirms that in O(divergence)
+    // steps instead of MergeBase's O(history) ancestry collection, which
+    // matters because a contended branch runs one merge attempt per lost
+    // race. An administrative head reset (winner not a descendant) still
+    // falls back to the full MergeBase walk.
+    Hash base_root = index->EmptyRoot();
+    if (expected_head) {
+      Hash base_hash = *expected_head;
+      auto fast_forward = mgr->IsAncestor(*expected_head, actual);
+      if (!fast_forward.ok()) return fast_forward.status();
+      if (!*fast_forward) {
+        auto mb = mgr->MergeBase(*expected_head, actual);
+        if (!mb.ok()) return mb.status();
+        base_hash = *mb;
+      }
+      auto mb_commit = mgr->ReadCommit(base_hash);
+      if (!mb_commit.ok()) return mb_commit.status();
+      base_root = mb_commit->root;
+    }
+
+    // Stage the whole attempt — merged index pages and both commit
+    // objects — over the store the index is bound to. A lost CAS drops
+    // the staging store unflushed: zero writes, zero RPCs, zero fsyncs.
+    auto staging = std::make_shared<StagingNodeStore>(merge_store);
+    auto merge_index = index->WithStore(staging);
+    auto merged =
+        merge_index->Merge3(new_root, winner->root, base_root, opts.resolver);
+    if (!merged.ok()) return merged.status();
+
+    const Hash ours_hash = staging->Put(ours_bytes);
+    Commit merge_commit;
+    merge_commit.root = *merged;
+    merge_commit.parents = {actual, ours_hash};  // first parent: the winner
+    merge_commit.author = author;
+    merge_commit.message = "merge: " + message;
+    merge_commit.sequence = std::max(winner->sequence, ours.sequence) + 1;
+    const Hash merge_hash = staging->Put(merge_commit.Encode());
+
+    r = mgr->CompareAndSwapHead(branch, actual, merge_hash, staging.get());
+    if (r.ok()) {
+      out.head = merge_hash;
+      out.commit = ours_hash;
+      ++out.merge_commits;
+      return out;
+    }
+  }
+  if (!r.status.IsConflict()) return r.status;
+  return Status::Conflict("branch '" + branch + "' still contended after " +
+                          std::to_string(opts.max_retries) + " merge retries");
+}
+
+}  // namespace siri

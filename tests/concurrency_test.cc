@@ -8,6 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <limits>
+#include <map>
 #include <thread>
 #include <vector>
 
@@ -15,6 +18,7 @@
 #include "store/staging_store.h"
 #include "system/forkbase.h"
 #include "tests/test_util.h"
+#include "version/occ.h"
 
 namespace siri {
 namespace {
@@ -341,6 +345,184 @@ TEST(ConcurrencyTest, ConcurrentWritersBatchOneRttPerCommit) {
     // Each commit shipped its whole staged batch in exactly one upload RPC.
     EXPECT_EQ(c->remote_stats().remote_puts,
               static_cast<uint64_t>(kCommits));
+  }
+}
+
+// --- Optimistic branch commits: N writers race real CommitWithMerge -------
+//
+// Scheduler-driven races over the whole OCC stack (BranchManager head CAS
+// + merge retries + staged batches). The OccStressTest suite also runs as
+// the `stress`-labeled CTest entry (ctest -L stress) with SIRI_STRESS=1,
+// which scales the workload up — that long configuration is what the TSan
+// CI job exercises; the default size keeps plain `ctest` wall time flat.
+
+/// Workload multiplier: 1 by default, larger under SIRI_STRESS=1.
+int StressFactor() {
+  const char* e = std::getenv("SIRI_STRESS");
+  return (e != nullptr && e[0] == '1') ? 4 : 1;
+}
+
+/// One writer's loop: read the branch head, commit a batch of
+/// writer-private keys on top of it via CommitWithMerge, collect the
+/// content-commit hashes it landed.
+void RunOccWriter(BranchManager* mgr, ImmutableIndex* index,
+                  const std::string& branch, const std::string& writer,
+                  int commits, std::vector<Hash>* landed,
+                  std::atomic<uint64_t>* merges) {
+  MergeCommitOptions opts;
+  opts.max_retries = 256;
+  for (int c = 0; c < commits; ++c) {
+    auto head = mgr->Head(branch);
+    ASSERT_TRUE(head.ok());
+    auto head_commit = mgr->ReadCommit(*head);
+    ASSERT_TRUE(head_commit.ok());
+    std::vector<KV> batch;
+    for (int k = 0; k < 4; ++k) {
+      batch.push_back(KV{writer + "/c" + std::to_string(c) + "/k" +
+                             std::to_string(k),
+                         "v" + std::to_string(c)});
+    }
+    auto root = index->PutBatch(head_commit->root, std::move(batch));
+    ASSERT_TRUE(root.ok());
+    // Hand the core to another writer inside the widest race window (root
+    // built, head not yet CASed) so conflicts materialize even on a
+    // single-core host where threads otherwise run their loops back to
+    // back.
+    std::this_thread::yield();
+    auto res = CommitWithMerge(mgr, index, branch, *root, writer,
+                               "c" + std::to_string(c), *head, opts);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    landed->push_back(res->commit);
+    merges->fetch_add(res->merge_commits, std::memory_order_relaxed);
+  }
+}
+
+/// Asserts the OCC invariants for one branch after the writers joined:
+/// every landed content commit is reachable from the final head exactly
+/// once, sequences increase strictly along first-parent chains, and no
+/// writer's update was lost.
+void CheckBranchInvariants(BranchManager* mgr, const ImmutableIndex& index,
+                           const std::string& branch,
+                           const std::vector<std::vector<Hash>>& landed,
+                           uint64_t merges, int commits_per_writer) {
+  auto head = mgr->Head(branch);
+  ASSERT_TRUE(head.ok());
+  auto log = mgr->Log(*head, std::numeric_limits<size_t>::max());
+  ASSERT_TRUE(log.ok());
+
+  // Reachable exactly once: the history walk (which deduplicates) must
+  // contain every landed content commit, and the total count must equal
+  // initial + content commits + merge commits — nothing lost, nothing
+  // double-counted.
+  std::map<std::string, int> occurrences;
+  for (const auto& [h, c] : *log) occurrences[h.ToHex()]++;
+  uint64_t total_content = 0;
+  for (const auto& per_writer : landed) {
+    total_content += per_writer.size();
+    for (const Hash& h : per_writer) {
+      EXPECT_EQ(occurrences[h.ToHex()], 1)
+          << "content commit not reachable exactly once";
+    }
+  }
+  EXPECT_EQ(log->size(), 1 + total_content + merges);
+
+  // Strictly increasing sequence along the first-parent chain.
+  Hash cursor = *head;
+  for (;;) {
+    auto c = mgr->ReadCommit(cursor);
+    ASSERT_TRUE(c.ok());
+    if (c->parents.empty()) break;
+    auto first_parent = mgr->ReadCommit(c->parents[0]);
+    ASSERT_TRUE(first_parent.ok());
+    EXPECT_LT(first_parent->sequence, c->sequence);
+    cursor = c->parents[0];
+  }
+
+  // No update lost: every writer's every key is present at the final head.
+  auto head_commit = mgr->ReadCommit(*head);
+  ASSERT_TRUE(head_commit.ok());
+  for (size_t w = 0; w < landed.size(); ++w) {
+    for (int c = 0; c < commits_per_writer; ++c) {
+      for (int k = 0; k < 4; ++k) {
+        const std::string key = "w" + std::to_string(w) + "/c" +
+                                std::to_string(c) + "/k" + std::to_string(k);
+        auto got = index.Get(head_commit->root, key, nullptr);
+        ASSERT_TRUE(got.ok());
+        EXPECT_TRUE(got->has_value()) << "lost update: " << key;
+      }
+    }
+  }
+}
+
+TEST(OccStressTest, WritersRaceOneBranch) {
+  const int commits = 5 * StressFactor();
+  auto store = NewInMemoryNodeStore();
+  auto index = MakeIndex(IndexKind::kPos, store);
+  BranchManager mgr(store);
+  auto base = index->PutBatch(index->EmptyRoot(), MakeKvs(200));
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(mgr.CommitOnBranch("main", *base, "init", "base").ok());
+
+  StartGate gate;
+  std::atomic<uint64_t> merges{0};
+  std::vector<std::vector<Hash>> landed(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      gate.Wait();
+      RunOccWriter(&mgr, index.get(), "main", "w" + std::to_string(t),
+                   commits, &landed[t], &merges);
+    });
+  }
+  RunAll(&threads, &gate);
+
+  CheckBranchInvariants(&mgr, *index, "main", landed, merges.load(), commits);
+  const BranchStats stats = mgr.branch_stats("main");
+  EXPECT_EQ(stats.commits,
+            1 + static_cast<uint64_t>(kThreads) * commits);
+  EXPECT_EQ(stats.merge_retries, stats.cas_failures);
+}
+
+TEST(OccStressTest, WriterGroupsRaceManyBranches) {
+  // N x M writer threads over M branches (N writers per branch): races
+  // within a branch, independence across branches (different shards of
+  // the head table move concurrently).
+  constexpr int kBranches = 3;
+  constexpr int kWritersPerBranch = 3;
+  const int commits = 4 * StressFactor();
+
+  auto store = NewInMemoryNodeStore();
+  auto index = MakeIndex(IndexKind::kPos, store);
+  BranchManager mgr(store);
+  auto base = index->PutBatch(index->EmptyRoot(), MakeKvs(200));
+  ASSERT_TRUE(base.ok());
+  for (int b = 0; b < kBranches; ++b) {
+    ASSERT_TRUE(
+        mgr.CommitOnBranch("b" + std::to_string(b), *base, "init", "base")
+            .ok());
+  }
+
+  StartGate gate;
+  std::atomic<uint64_t> merges[kBranches] = {};
+  std::vector<std::vector<Hash>> landed[kBranches];
+  for (int b = 0; b < kBranches; ++b) landed[b].resize(kWritersPerBranch);
+  std::vector<std::thread> threads;
+  for (int b = 0; b < kBranches; ++b) {
+    for (int t = 0; t < kWritersPerBranch; ++t) {
+      threads.emplace_back([&, b, t] {
+        gate.Wait();
+        RunOccWriter(&mgr, index.get(), "b" + std::to_string(b),
+                     "w" + std::to_string(t), commits, &landed[b][t],
+                     &merges[b]);
+      });
+    }
+  }
+  RunAll(&threads, &gate);
+
+  for (int b = 0; b < kBranches; ++b) {
+    SCOPED_TRACE("branch b" + std::to_string(b));
+    CheckBranchInvariants(&mgr, *index, "b" + std::to_string(b), landed[b],
+                          merges[b].load(), commits);
   }
 }
 

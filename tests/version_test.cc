@@ -5,6 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/random.h"
 #include "crypto/sha256.h"
 #include "index/pos/pos_tree.h"
 #include "tests/test_util.h"
@@ -164,6 +170,106 @@ TEST_F(BranchTest, UnrelatedHistoriesHaveNoMergeBase) {
   auto mb = mgr_->MergeBase(*a, *b);
   EXPECT_FALSE(mb.ok());
   EXPECT_TRUE(mb.status().IsNotFound());
+}
+
+// Property test: MergeBase / IsAncestor / Log against a brute-force
+// reachability oracle on random merge DAGs. The linear-history tests
+// above never exercise two-parent commits, multiple roots, or diamond
+// shapes; this does, across several seeded generations.
+TEST(DagPropertyTest, RandomMergeDagsMatchReachabilityOracle) {
+  for (uint64_t seed : {11u, 22u, 33u, 44u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed);
+    auto store = NewInMemoryNodeStore();
+    BranchManager mgr(store);
+
+    // Build a random DAG: mostly 1- or 2-parent commits over the existing
+    // prefix, with occasional fresh roots so unrelated histories exist.
+    constexpr int kCommits = 40;
+    std::vector<Hash> hashes;
+    std::vector<std::vector<int>> parents_of(kCommits);
+    std::vector<uint64_t> seq(kCommits, 0);
+    for (int i = 0; i < kCommits; ++i) {
+      Commit c;
+      c.root = Sha256::Digest("root-" + std::to_string(seed) + "-" +
+                              std::to_string(i));
+      c.author = "gen";
+      c.message = "c" + std::to_string(i);
+      if (i > 0 && !(i % 13 == 5)) {  // i%13==5: a new unrelated root
+        const int num_parents = (i > 1 && rng.Bernoulli(0.4)) ? 2 : 1;
+        std::vector<int> ps;
+        while (static_cast<int>(ps.size()) < num_parents) {
+          const int p = static_cast<int>(rng.Uniform(i));
+          if (std::find(ps.begin(), ps.end(), p) == ps.end()) ps.push_back(p);
+        }
+        for (int p : ps) {
+          c.parents.push_back(hashes[p]);
+          c.sequence = std::max(c.sequence, seq[p] + 1);
+        }
+        parents_of[i] = ps;
+      }
+      seq[i] = c.sequence;
+      auto h = mgr.WriteCommit(c);
+      ASSERT_TRUE(h.ok());
+      hashes.push_back(*h);
+    }
+
+    // Brute-force reachability oracle (reflexive: i reaches i).
+    std::vector<std::unordered_set<int>> reach(kCommits);
+    for (int i = 0; i < kCommits; ++i) {
+      reach[i].insert(i);
+      for (int p : parents_of[i]) {
+        reach[i].insert(reach[p].begin(), reach[p].end());
+      }
+    }
+    std::unordered_map<Hash, int, HashHasher> index_of;
+    for (int i = 0; i < kCommits; ++i) index_of[hashes[i]] = i;
+
+    for (int a = 0; a < kCommits; ++a) {
+      // Log enumerates exactly a's ancestor closure, newest-first by
+      // sequence (non-increasing).
+      auto log = mgr.Log(hashes[a], std::numeric_limits<size_t>::max());
+      ASSERT_TRUE(log.ok());
+      EXPECT_EQ(log->size(), reach[a].size());
+      uint64_t last_seq = std::numeric_limits<uint64_t>::max();
+      for (const auto& [h, c] : *log) {
+        const int i = index_of.at(h);
+        EXPECT_TRUE(reach[a].count(i)) << "log leaked non-ancestor " << i;
+        EXPECT_LE(c.sequence, last_seq);
+        last_seq = c.sequence;
+      }
+
+      for (int b = 0; b < kCommits; ++b) {
+        // IsAncestor(a, b) <=> a in reach(b).
+        auto anc = mgr.IsAncestor(hashes[a], hashes[b]);
+        ASSERT_TRUE(anc.ok());
+        EXPECT_EQ(*anc, reach[b].count(a) > 0)
+            << "IsAncestor(" << a << ", " << b << ")";
+
+        // MergeBase: a common ancestor of maximal sequence, or NotFound
+        // when the histories are unrelated.
+        std::vector<int> common;
+        for (int i : reach[a]) {
+          if (reach[b].count(i)) common.push_back(i);
+        }
+        auto mb = mgr.MergeBase(hashes[a], hashes[b]);
+        if (common.empty()) {
+          EXPECT_FALSE(mb.ok());
+          EXPECT_TRUE(mb.status().IsNotFound());
+          continue;
+        }
+        ASSERT_TRUE(mb.ok()) << "MergeBase(" << a << ", " << b << ")";
+        const int got = index_of.at(*mb);
+        EXPECT_TRUE(std::find(common.begin(), common.end(), got) !=
+                    common.end())
+            << "merge base " << got << " is not a common ancestor";
+        uint64_t max_seq = 0;
+        for (int i : common) max_seq = std::max(max_seq, seq[i]);
+        EXPECT_EQ(seq[got], max_seq)
+            << "merge base " << got << " is not a lowest common ancestor";
+      }
+    }
+  }
 }
 
 TEST(TransferTest, PackAndUnpackFullVersion) {
