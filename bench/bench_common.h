@@ -410,6 +410,11 @@ inline ConcurrentWriteResult RunConcurrentWrites(
 struct BranchContentionConfig {
   int threads = 1;
   int commits_per_writer = 24;
+  /// Publish through the servlet's group-commit combiner instead of
+  /// per-commit CommitWithMerge: K racing committers batch into one
+  /// combined merge + one staged flush + one head swing. The combiner's
+  /// window/batch knobs come from the servlet's GroupCommitOptions.
+  bool group_commit = false;
   /// Chunk uploads per commit: a branch commit publishes a body of work
   /// built through several staged batches (each one upload RPC), the way
   /// a collaborative writer accumulates changes before committing. The
@@ -436,12 +441,21 @@ struct BranchContentionResult {
   double commits_per_sec = 0;  ///< aggregate landed commits/s
   uint64_t commits = 0;        ///< landed commits (threads x per-writer)
   uint64_t cas_failures = 0;   ///< head races lost (branch_stats)
-  uint64_t merge_commits = 0;  ///< two-parent commits written
+  uint64_t merge_commits = 0;  ///< merge/combined commits written
+  uint64_t combined_commits = 0;  ///< commits landed in ≥2-member batches
+  uint64_t flushes = 0;        ///< server-store durability points paid
   bool lost_update = false;    ///< any committed key missing at final head
 
   /// Lost head races per landed commit: 0 single-writer, grows with K.
   double RetriesPerCommit() const {
     return commits == 0 ? 0 : static_cast<double>(cas_failures) / commits;
+  }
+
+  /// Landed commits per server-store flush (fsync on a disk-backed
+  /// deployment): 1.0 per-commit publishes, > 1 when group commit
+  /// amortizes the durability point across a batch.
+  double CommitsPerFlush() const {
+    return flushes == 0 ? 0 : static_cast<double>(commits) / flushes;
   }
 };
 
@@ -480,6 +494,7 @@ inline BranchContentionResult RunBranchContention(
 
   std::atomic<uint64_t> merge_commits{0};
   std::atomic<bool> go{false};
+  const uint64_t flushes_before = servlet->store()->stats().flushes;
   std::vector<std::thread> workers;
   workers.reserve(cfg.threads);
   for (int t = 0; t < cfg.threads; ++t) {
@@ -511,12 +526,28 @@ inline BranchContentionResult RunBranchContention(
           SIRI_CHECK(next.ok());
           root = *next;
         }
-        auto landed = CommitWithMerge(mgr, index, branch, root,
-                                      "w" + std::to_string(t),
-                                      "c" + std::to_string(c), *head, opts);
-        SIRI_CHECK(landed.ok());
-        merge_commits.fetch_add(landed->merge_commits,
-                                std::memory_order_relaxed);
+        if (cfg.group_commit) {
+          // Publish through the combining commit queue: racing committers
+          // batch into one combined merge + one flush + one head swing.
+          PublishSpec spec;
+          spec.index = index;
+          spec.branch = branch;
+          spec.new_root = root;
+          spec.author = "w" + std::to_string(t);
+          spec.message = "c" + std::to_string(c);
+          spec.expected_head = *head;
+          auto landed = servlet->combiner()->Publish(spec);
+          SIRI_CHECK(landed.ok());
+          merge_commits.fetch_add(landed->merge_commits,
+                                  std::memory_order_relaxed);
+        } else {
+          auto landed = CommitWithMerge(mgr, index, branch, root,
+                                        "w" + std::to_string(t),
+                                        "c" + std::to_string(c), *head, opts);
+          SIRI_CHECK(landed.ok());
+          merge_commits.fetch_add(landed->merge_commits,
+                                  std::memory_order_relaxed);
+        }
       }
     });
   }
@@ -534,6 +565,8 @@ inline BranchContentionResult RunBranchContention(
   const BranchStats stats = mgr->branch_stats(branch);
   out.cas_failures = stats.cas_failures;
   out.merge_commits = merge_commits.load();
+  out.combined_commits = stats.combined_commits;
+  out.flushes = servlet->store()->stats().flushes - flushes_before;
 
   // Zero lost updates: every writer's every key is readable at the final
   // head (server-side reads — verification, not measured traffic).
@@ -608,6 +641,90 @@ inline void RunBranchCommitTable(uint64_t n, uint64_t mbt_buckets,
     }
     printf("\n");
   }
+}
+
+/// Drives and prints one [group-commit publish pipeline] table: the four
+/// structures behind one servlet, swept over writer counts x {group
+/// commit off, on} on ONE contended branch per cell. The body of each
+/// commit is deliberately small (uploads_per_commit low) so the cell is
+/// publish-bound — exactly the single-branch ceiling the combiner lifts.
+/// Also emits one machine-readable `#json` line per cell so run_bench.sh
+/// can record commits_per_fsync and the publish-window size in the bench
+/// trajectory. Shared by fig06 and fig21. Aborts on any lost update.
+inline void RunGroupCommitTable(uint64_t n, uint64_t mbt_buckets,
+                                const std::vector<int>& thread_counts,
+                                int commits_per_writer, int uploads_per_commit,
+                                uint64_t window_micros,
+                                uint64_t rtt_nanos = 4000000) {
+  const BranchContentionConfig defaults;
+  printf("\n[group-commit publish pipeline] one branch, combining commit "
+         "queue, n=%llu records, commits of %dx%zu-KV uploads, "
+         "window=%lluus, rtt=%llums(sleep)\n",
+         static_cast<unsigned long long>(n), uploads_per_commit,
+         defaults.upload_kvs, static_cast<unsigned long long>(window_micros),
+         static_cast<unsigned long long>(rtt_nanos / 1000000));
+  printf("%8s %4s %19s %19s %19s %19s\n", "threads", "gc",
+         "pos(cmt/s|rty|cpf)", "mbt(cmt/s|rty|cpf)", "mpt(cmt/s|rty|cpf)",
+         "mvmb(cmt/s|rty|cpf)");
+
+  YcsbGenerator gen(1);
+  auto records = gen.GenerateRecords(n);
+
+  GroupCommitOptions gc;
+  gc.window_micros = window_micros;
+  // The bench must never abandon a commit (matching the per-commit path's
+  // uncapped retries).
+  gc.merge.max_retries = std::numeric_limits<int>::max();
+  auto server_store = NewInMemoryNodeStore();
+  ForkbaseServlet servlet(server_store, gc);
+  auto indexes = MakeAllIndexes(server_store, mbt_buckets);
+  std::vector<Hash> roots;
+  for (auto& [name, index] : indexes) {
+    roots.push_back(LoadRecords(index.get(), records));
+  }
+
+  std::vector<std::string> machine_lines;
+  for (int threads : thread_counts) {
+    for (bool group_commit : {false, true}) {
+      printf("%8d %4s", threads, group_commit ? "on" : "off");
+      for (size_t i = 0; i < indexes.size(); ++i) {
+        BranchContentionConfig cfg;
+        cfg.threads = threads;
+        cfg.commits_per_writer = commits_per_writer;
+        cfg.uploads_per_commit = uploads_per_commit;
+        cfg.group_commit = group_commit;
+        // The sweep's subject is the publish ceiling, so the round trip
+        // is slower than the contention table's default: the costs the
+        // combiner amortizes (upload + durability point per publish)
+        // dominate single-host scheduling noise, for both modes alike.
+        cfg.rtt_nanos = rtt_nanos;
+        const std::string branch = indexes[i].name + "-gc" +
+                                   (group_commit ? "on" : "off") + "-k" +
+                                   std::to_string(threads);
+        auto result = RunBranchContention(&servlet, *indexes[i].index,
+                                          roots[i], branch, cfg);
+        SIRI_CHECK(!result.lost_update);
+        printf("   %7.1f|%4.2f|%3.1f", result.commits_per_sec,
+               result.RetriesPerCommit(), result.CommitsPerFlush());
+        fflush(stdout);
+        char line[256];
+        snprintf(line, sizeof(line),
+                 "#json group_commit structure=%s threads=%d gc=%s "
+                 "commits_per_sec=%.1f commits_per_fsync=%.2f "
+                 "combined_commits=%llu window_us=%llu",
+                 indexes[i].name.c_str(), threads,
+                 group_commit ? "on" : "off", result.commits_per_sec,
+                 result.CommitsPerFlush(),
+                 static_cast<unsigned long long>(result.combined_commits),
+                 static_cast<unsigned long long>(window_micros));
+        machine_lines.emplace_back(line);
+      }
+      printf("\n");
+    }
+  }
+  // Machine-readable trajectory lines (run_bench.sh lifts
+  // commits_per_fsync and the window size into the bench JSON).
+  for (const std::string& line : machine_lines) printf("%s\n", line.c_str());
 }
 
 /// Printf a header line like the paper's figure captions.

@@ -186,6 +186,23 @@ void RunBranchCommitSection(uint64_t scale,
                        /*uploads_per_commit=*/smoke ? 2 : 5);
 }
 
+// Group-commit publish pipeline: the same contended-branch regime, swept
+// over {group commit off, on}. The commit bodies are small (publish-bound
+// cells) because the combiner's whole point is the publish ceiling: with
+// per-commit publishes, one hot branch lands at most one commit per
+// (merge CPU + flush); the combining queue batches K waiting committers
+// into one merged publish, so commits-per-fsync rises toward K and
+// throughput scales with the batch size instead.
+void RunGroupCommitSection(uint64_t scale,
+                           const std::vector<int>& thread_counts,
+                           bool smoke = false) {
+  RunGroupCommitTable((smoke ? 1000 : 8000) * scale,
+                      /*mbt_buckets=*/smoke ? 256 : 2048, thread_counts,
+                      /*commits_per_writer=*/smoke ? 4 : 48,
+                      /*uploads_per_commit=*/1,
+                      /*window_micros=*/500);
+}
+
 // Multi-client read scaling: K client threads, each with its own cache,
 // reading through one servlet. Reported per structure: aggregate kops/s
 // and mean cache hit ratio at each thread count.
@@ -235,6 +252,7 @@ int main(int argc, char** argv) {
   const bool threads_only = HasFlag(argc, argv, "--threads-only");
   const bool write_scaling_only = HasFlag(argc, argv, "--write-scaling-only");
   const bool branch_commits_only = HasFlag(argc, argv, "--branch-commits-only");
+  const bool group_commit_only = HasFlag(argc, argv, "--group-commit-only");
   const bool smoke = HasFlag(argc, argv, "--smoke");
   std::vector<uint64_t> sizes;
   for (uint64_t n : {10000, 20000, 40000, 80000}) sizes.push_back(n * scale);
@@ -247,14 +265,18 @@ int main(int argc, char** argv) {
   if (smoke) {
     // Tiny end-to-end pass over every threaded section — the TSan CI
     // smoke: races only reachable at bench-scale contention surface here.
+    // The group-commit sweep runs both off and on, so the combiner's
+    // lanes, window waits, and combined merges all execute under TSan.
     RunThreadedSection(scale, thread_counts, /*smoke=*/true);
     RunWriteScalingSection(scale, write_threads, /*smoke=*/true);
     RunBranchCommitSection(scale, write_threads, /*smoke=*/true);
+    RunGroupCommitSection(scale, write_threads, /*smoke=*/true);
     RunCacheShardSection(thread_counts, /*smoke=*/true);
     RunStoreShardSection(write_threads, /*smoke=*/true);
     return 0;
   }
-  if (threads_only || write_scaling_only || branch_commits_only) {
+  if (threads_only || write_scaling_only || branch_commits_only ||
+      group_commit_only) {
     if (threads_only) {
       RunThreadedSection(scale, thread_counts);
       RunCacheShardSection(thread_counts);
@@ -265,6 +287,9 @@ int main(int argc, char** argv) {
     }
     if (branch_commits_only) {
       RunBranchCommitSection(scale, write_threads);
+    }
+    if (group_commit_only) {
+      RunGroupCommitSection(scale, write_threads);
     }
     return 0;
   }
@@ -293,6 +318,7 @@ int main(int argc, char** argv) {
   RunThreadedSection(scale, thread_counts);
   RunWriteScalingSection(scale, write_threads);
   RunBranchCommitSection(scale, write_threads);
+  RunGroupCommitSection(scale, write_threads);
   RunCacheShardSection(thread_counts);
   RunStoreShardSection(write_threads);
   return 0;

@@ -158,6 +158,14 @@ int main(int argc, char** argv) {
     const std::vector<int> write_threads = ParseWriteThreadCounts(argc, argv);
     RunBranchCommitTable(8000 * scale, /*mbt_buckets=*/2048, write_threads,
                          /*commits_per_writer=*/24, /*uploads_per_commit=*/5);
+    // Group-commit publish pipeline over the same contended regime:
+    // {off, on} sweep with publish-bound commit bodies, so the combining
+    // queue's batch-size win (commits-per-fsync > 1, throughput scaling
+    // past the per-commit ceiling) is visible next to the per-commit
+    // table above.
+    RunGroupCommitTable(8000 * scale, /*mbt_buckets=*/2048, write_threads,
+                        /*commits_per_writer=*/24, /*uploads_per_commit=*/1,
+                        /*window_micros=*/500);
   }
   return 0;
 }

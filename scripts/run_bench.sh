@@ -37,7 +37,7 @@ fi
 # The fast subset keeps the whole run around a minute on one core while
 # still touching every structure (throughput, diff, height, MBT breakdown,
 # parameter sweep) plus the multi-client read-scaling report.
-FAST_SUBSET="fig01_motivation fig09_tree_height fig13_mbt_breakdown tab03_parameters fig08_diff fig06_threads fig06_write_scaling fig06_branch_commits"
+FAST_SUBSET="fig01_motivation fig09_tree_height fig13_mbt_breakdown tab03_parameters fig08_diff fig06_threads fig06_write_scaling fig06_branch_commits fig06_group_commit"
 
 if [ "$ALL" -eq 1 ]; then
   BENCHES=$(cd "$BENCH_DIR" && ls)
@@ -53,11 +53,15 @@ fi
 # fig06_branch_commits = the fig06 multi-writer-same-branch contention
 # section only: K writers racing one branch via head CAS + merge retry
 # (aggregate commits/s + lost head races per commit).
+# fig06_group_commit = the group-commit publish pipeline sweep: the same
+# contended-branch regime with the combining commit queue off vs on
+# (aggregate commits/s, retries/commit, commits-per-fsync).
 bench_cmdline() {
   case "$1" in
     fig06_threads)       echo "fig06_ycsb_throughput --threads=1,2,4,8 --threads-only" ;;
     fig06_write_scaling) echo "fig06_ycsb_throughput --write-threads=1,2,4,8 --write-scaling-only" ;;
     fig06_branch_commits) echo "fig06_ycsb_throughput --write-threads=1,2,4 --branch-commits-only" ;;
+    fig06_group_commit)  echo "fig06_ycsb_throughput --write-threads=1,2,4,8 --group-commit-only" ;;
     *)                   echo "$1" ;;
   esac
 }
@@ -69,6 +73,7 @@ bench_threads() {
     fig06_threads)       echo "1,2,4,8" ;;
     fig06_write_scaling) echo "1,2,4,8" ;;
     fig06_branch_commits) echo "1,2,4" ;;
+    fig06_group_commit)  echo "1,2,4,8" ;;
     *)                   echo "" ;;
   esac
 }
@@ -108,11 +113,21 @@ for b in $BENCHES; do
   [ $first -eq 1 ] || echo "    ," >> "$OUT"
   first=0
   threads=$(bench_threads "$b")
+  # Group-commit trajectory fields: the bench emits machine-readable
+  # `#json ... gc=on commits_per_fsync=X ... window_us=Y` lines; record
+  # the best (highest-thread-count) commits-per-fsync and the publish
+  # window so the BENCH trajectory captures the group-commit win.
+  cpf=$(grep -o 'gc=on.*commits_per_fsync=[0-9.]*' "$OUT_DIR/$b.txt" 2>/dev/null \
+        | grep -o 'commits_per_fsync=[0-9.]*' | cut -d= -f2 | sort -g | tail -1)
+  window=$(grep -o 'window_us=[0-9]*' "$OUT_DIR/$b.txt" 2>/dev/null \
+           | head -1 | cut -d= -f2)
   {
     echo "    {"
     echo "      \"bench\": \"$b\","
     echo "      \"status\": \"$status\","
     echo "      \"threads\": \"$threads\","
+    [ -n "$cpf" ] && echo "      \"commits_per_fsync\": $cpf,"
+    [ -n "$window" ] && echo "      \"publish_window_micros\": $window,"
     echo "      \"wall_seconds\": $secs,"
     echo "      \"output\": \"$OUT_DIR/$b.txt\""
     echo "    }"

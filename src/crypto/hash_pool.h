@@ -1,0 +1,103 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Sha256Pool — a small worker pool that digests a batch of independent
+// pages in parallel. A commit's SHA-256 work is embarrassingly parallel
+// (every staged page is hashed independently), but the index write paths
+// produce pages one at a time, so the per-page digest stays on the writer
+// thread. Batch consumers are different: landing a version-transfer pack,
+// replaying a log on startup, and bulk-staging pages all hold many
+// undigested pages at once — those go through DigestAll here and use every
+// core.
+//
+// Digests are bit-identical to the serial path: each worker runs the same
+// Sha256::Digest over the same bytes; only the schedule changes. Small
+// batches (below kMinPagesPerWorker per worker) are digested inline on the
+// calling thread, so the pool never slows down the single-page regime.
+
+#ifndef SIRI_CRYPTO_HASH_POOL_H_
+#define SIRI_CRYPTO_HASH_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/slice.h"
+#include "crypto/hash.h"
+
+namespace siri {
+
+/// \brief Fixed-size SHA-256 worker pool. Thread-safe: any number of
+/// threads may call DigestAll concurrently; jobs are split into per-worker
+/// slices and the calling thread digests its own share while the workers
+/// chew the rest (the caller never just blocks).
+class Sha256Pool {
+ public:
+  /// Pages per worker below which a batch is digested inline — spawning a
+  /// cross-thread job for a handful of ~1 KB pages costs more than hashing
+  /// them.
+  static constexpr size_t kMinPagesPerWorker = 16;
+
+  struct Stats {
+    uint64_t jobs = 0;         ///< DigestAll calls that used the workers
+    uint64_t inline_jobs = 0;  ///< DigestAll calls digested on the caller
+    uint64_t pages = 0;        ///< pages digested through the pool workers
+  };
+
+  /// \param workers worker threads (0 = everything inline; default picks
+  ///        a small pool sized to the host, capped at 4 — hashing is only
+  ///        one stage of a commit, it should not own the machine).
+  explicit Sha256Pool(int workers = DefaultWorkers());
+  ~Sha256Pool();
+
+  Sha256Pool(const Sha256Pool&) = delete;
+  Sha256Pool& operator=(const Sha256Pool&) = delete;
+
+  /// Digests pages[i] into out[i] for every i, bit-identical to calling
+  /// Sha256::Digest(pages[i]) serially. Splits the batch across the
+  /// workers when it is large enough to pay for the handoff.
+  std::vector<Hash> DigestAll(
+      const std::vector<std::shared_ptr<const std::string>>& pages);
+
+  /// Variant over raw slices (the pages must outlive the call).
+  std::vector<Hash> DigestAllSlices(const std::vector<Slice>& pages);
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+  Stats stats() const;
+
+  /// Process-wide shared pool (lazily constructed, never destroyed before
+  /// exit). Batch consumers use this so the whole process pays for one set
+  /// of worker threads.
+  static Sha256Pool& Shared();
+
+  static int DefaultWorkers();
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  void WorkerLoop();
+
+  /// Runs fn(i) for i in [0, n) across the workers + the calling thread;
+  /// returns when every index is done.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Task> queue_;
+  bool stop_ = false;
+
+  mutable std::atomic<uint64_t> jobs_{0};
+  mutable std::atomic<uint64_t> inline_jobs_{0};
+  mutable std::atomic<uint64_t> pages_{0};
+};
+
+}  // namespace siri
+
+#endif  // SIRI_CRYPTO_HASH_POOL_H_

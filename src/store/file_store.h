@@ -5,18 +5,32 @@
 // reopening the log recovers every version ever committed (roots are just
 // digests, so persisting the pages persists the versions). Every record
 // stores the page's SHA-256 digest alongside the bytes; replay verifies
-// each page against its stored digest, so corrupt records and truncated
-// tails are detected and cut off, recovering the longest valid prefix.
+// each page against its stored digest (in parallel through the shared
+// SHA-256 pool on big logs), so corrupt records and truncated tails are
+// detected and cut off, recovering the longest valid prefix.
 // The log starts with a format header ("SIRILOG" v2); older digest-less
 // logs are rejected with Corruption rather than mis-read.
+//
+// Group fsync: Flush() coalesces. Appends carry a generation number and an
+// fsync makes everything appended up to its covering generation durable,
+// so a Flush whose data an in-flight or just-finished fsync already covers
+// returns without issuing its own syscall. An optional wait-a-little
+// window (set_group_flush_window_micros) makes the syncing thread pause
+// briefly before the fsync so concurrent committers' appends arrive in
+// time to share it — under K-writer contention, commits-per-fsync rises
+// toward the batch size. fsync_count() stays exact (real syscalls only),
+// which is what lets tests assert the coalescing actually happened.
 
 #ifndef SIRI_STORE_FILE_STORE_H_
 #define SIRI_STORE_FILE_STORE_H_
 
+#include <condition_variable>
 #include <cstdio>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_set>
+#include <vector>
 
 #include "store/node_store.h"
 
@@ -25,6 +39,9 @@ namespace siri {
 /// \brief Append-only-log backed NodeStore.
 class FileNodeStore : public NodeStore {
  public:
+  /// Digests remembered by the recently-flushed ring (cross-commit dedup).
+  static constexpr size_t kRecentRingSize = 1024;
+
   /// Opens (or creates) the log at \p path, replaying existing pages.
   /// \param out receives the opened store.
   static Status Open(const std::string& path,
@@ -37,7 +54,10 @@ class FileNodeStore : public NodeStore {
   /// Appends every new node of \p batch as ONE buffered log write (a
   /// commit's whole root-to-leaf path in a single append) instead of one
   /// write per node. Durability still happens at Flush(), so a batched
-  /// commit costs exactly one fsync.
+  /// commit costs exactly one fsync. Duplicate pages another committer
+  /// landed within the last kRecentRingSize appends are attributed by the
+  /// recent-digest ring and counted in dedup_skips() — the cross-commit
+  /// dedup signal under shared key prefixes.
   void PutMany(const NodeBatch& batch) override;
 
   Result<std::shared_ptr<const std::string>> Get(const Hash& h) override;
@@ -46,15 +66,37 @@ class FileNodeStore : public NodeStore {
   Stats stats() const override;
   void ResetOpCounters() override;
 
-  /// Flushes buffered appends all the way to stable storage (fsync).
-  /// Commit boundaries (Ledger, BranchManager) call this; pages are only
-  /// crash-durable once it returns OK. When nothing was appended since the
-  /// last flush the syscall is skipped entirely.
+  /// Flushes buffered appends all the way to stable storage (fsync), with
+  /// group-commit coalescing: if another thread's fsync already covers (or
+  /// is about to cover) everything this caller appended, the call waits on
+  /// that fsync instead of issuing its own. Pages are only crash-durable
+  /// once it returns OK. When nothing was appended since the last flush
+  /// the syscall is skipped entirely.
   Status Flush() override;
 
-  /// Number of fsyncs actually issued (skipped clean flushes excluded).
-  /// Lets tests and benches assert the ≤1-fsync-per-commit property.
+  /// Wait-a-little group window: before issuing an fsync, the syncing
+  /// thread sleeps up to \p micros so concurrent committers' appends land
+  /// in time to be covered by the same syscall. 0 (the default) disables
+  /// the wait; coalescing via generations still happens. Typical
+  /// contended-server settings are 100-500µs.
+  void set_group_flush_window_micros(uint64_t micros);
+  uint64_t group_flush_window_micros() const;
+
+  /// Number of fsyncs actually issued (skipped clean flushes and coalesced
+  /// flushes excluded). Lets tests and benches assert the ≤1-fsync-per-
+  /// commit and >1-commit-per-fsync properties.
   uint64_t fsync_count() const;
+
+  /// Dirty Flush() calls that were made durable by another thread's fsync
+  /// instead of their own syscall (the group-commit coalescing counter).
+  uint64_t coalesced_flushes() const;
+
+  /// Offered duplicate pages whose digest sat in the recently-flushed
+  /// ring — i.e. a concurrent committer landed the identical page within
+  /// the last kRecentRingSize appends. A subset of stats().dup_puts:
+  /// the ring attributes *recent* cross-commit dedup, which the
+  /// all-time resident map cannot.
+  uint64_t dedup_skips() const;
 
   /// Number of records (pages) dropped from the recovered log: the first
   /// torn or digest-mismatching record plus everything after it — replay
@@ -70,6 +112,13 @@ class FileNodeStore : public NodeStore {
   /// Serializes one `varint len | digest | bytes` record into \p out.
   static void AppendRecord(std::string* out, const Hash& h, Slice bytes);
 
+  /// Remembers \p h in the recent-digest ring (caller holds mu_).
+  void RememberRecentLocked(const Hash& h);
+
+  /// Issues the fflush+fsync covering everything appended so far. Caller
+  /// holds mu_ and has claimed sync_in_progress_.
+  Status SyncLocked(std::unique_lock<std::mutex>& lock);
+
   /// Atomically replaces the log with \p len bytes of \p data (written to
   /// a temp file, fsynced, renamed over the log) and reopens the append
   /// handle. Recovery uses this so a crash mid-rewrite can never destroy
@@ -83,10 +132,32 @@ class FileNodeStore : public NodeStore {
       nodes_;
   Stats stats_;
   uint64_t truncations_ = 0;
-  // True when bytes were appended since the last fsync; Flush() on a clean
-  // store is a no-op so idle commit boundaries cost nothing.
-  bool dirty_ = false;
+
+  // Group-commit state. An append bumps append_gen_; a successful fsync
+  // records the generation it covered in synced_gen_. dirty ≡ append_gen_
+  // > synced_gen_. One thread at a time owns the actual syscall
+  // (sync_in_progress_); others wait on sync_cv_ and re-check whether the
+  // finished fsync covered their appends.
+  uint64_t append_gen_ = 0;
+  uint64_t synced_gen_ = 0;
+  bool sync_in_progress_ = false;
+  std::condition_variable sync_cv_;
+  uint64_t group_window_micros_ = 0;
   uint64_t fsyncs_ = 0;
+  // fsyncs_ at the last ResetOpCounters: stats().flushes reports the
+  // difference so the Stats view is reset-relative like every other op
+  // counter, while fsync_count() stays cumulative.
+  uint64_t fsyncs_at_reset_ = 0;
+  uint64_t coalesced_flushes_ = 0;
+
+  // Recently-flushed digest ring: the last kRecentRingSize appended
+  // digests, membership-indexed. Consulted on the dup path only, so
+  // cross-commit duplicates are observable as dedup_skips without any
+  // cost to fresh appends.
+  std::vector<Hash> recent_ring_;
+  size_t recent_next_ = 0;
+  std::unordered_set<Hash, HashHasher> recent_set_;
+  uint64_t dedup_skips_ = 0;
 };
 
 }  // namespace siri

@@ -109,6 +109,7 @@ NodeStore::Stats InMemoryNodeStore::stats() const {
   out.dup_puts = dup_puts_.load(std::memory_order_relaxed);
   out.gets = gets_.load(std::memory_order_relaxed);
   out.get_bytes = get_bytes_.load(std::memory_order_relaxed);
+  out.flushes = flushes_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
     std::shared_lock lock(shard.mu);
     out.unique_nodes += shard.unique_nodes;
@@ -123,6 +124,7 @@ void InMemoryNodeStore::ResetOpCounters() {
   dup_puts_.store(0, std::memory_order_relaxed);
   gets_.store(0, std::memory_order_relaxed);
   get_bytes_.store(0, std::memory_order_relaxed);
+  flushes_.store(0, std::memory_order_relaxed);
 }
 
 uint64_t InMemoryNodeStore::BytesOf(const PageSet& pages) const {

@@ -2,6 +2,7 @@
 
 #include "store/staging_store.h"
 
+#include "crypto/hash_pool.h"
 #include "crypto/sha256.h"
 
 namespace siri {
@@ -36,6 +37,17 @@ Hash StagingNodeStore::Put(Slice bytes) {
       NodeRecord{h, std::make_shared<const std::string>(bytes.ToString())});
   IndexNewestStaged();
   return h;
+}
+
+std::vector<Hash> StagingNodeStore::PutPages(
+    const std::vector<std::shared_ptr<const std::string>>& pages) {
+  std::vector<Hash> digests = Sha256Pool::Shared().DigestAll(pages);
+  for (size_t i = 0; i < pages.size(); ++i) {
+    if (FindStaged(digests[i]) != nullptr) continue;
+    batch_.push_back(NodeRecord{digests[i], pages[i]});
+    IndexNewestStaged();
+  }
+  return digests;
 }
 
 void StagingNodeStore::PutMany(const NodeBatch& batch) {

@@ -46,6 +46,16 @@ class StagingNodeStore : public NodeStore {
   /// batch, e.g. version transfer through a staging boundary).
   void PutMany(const NodeBatch& batch) override;
 
+  /// Bulk-stages \p pages, digesting the batch through the shared SHA-256
+  /// worker pool when it is large (bit-identical to calling Put on each
+  /// page in order — same digests, same stage order). Returns the digests
+  /// in page order. This is the parallel-hashing entry for producers that
+  /// hold many undigested pages at once (pack landing, bulk loads); the
+  /// per-page Put stays serial because index write paths need each child
+  /// digest before they can build the parent.
+  std::vector<Hash> PutPages(
+      const std::vector<std::shared_ptr<const std::string>>& pages);
+
   /// Staged node first, then the base store.
   Result<std::shared_ptr<const std::string>> Get(const Hash& h) override;
   bool Contains(const Hash& h) const override;

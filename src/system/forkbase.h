@@ -38,6 +38,7 @@
 
 #include "store/node_store.h"
 #include "version/commit.h"
+#include "version/group_commit.h"
 
 namespace siri {
 
@@ -100,8 +101,14 @@ class NodeCache {
 /// turns losses into two-parent merge commits.
 class ForkbaseServlet {
  public:
-  explicit ForkbaseServlet(NodeStorePtr store)
-      : store_(std::move(store)), branches_(store_) {}
+  /// \param group_commit tuning for the combining commit queue; the
+  ///        defaults give a 200µs publish window. Committers opt in by
+  ///        publishing through combiner() instead of CommitWithMerge.
+  explicit ForkbaseServlet(NodeStorePtr store,
+                           GroupCommitOptions group_commit = {})
+      : store_(std::move(store)),
+        branches_(store_),
+        combiner_(&branches_, std::move(group_commit)) {}
 
   NodeStore* store() { return store_.get(); }
   const NodeStorePtr& store_ptr() const { return store_; }
@@ -109,9 +116,18 @@ class ForkbaseServlet {
   /// The server-side branch table shared by every client.
   BranchManager* branches() { return &branches_; }
 
+  /// The group-commit publish pipeline over branches(): K concurrent
+  /// committers of one branch batch into one combined merge + one staged
+  /// flush + one head swing (version/group_commit.h). Committers that
+  /// want per-commit publishes keep calling CommitWithMerge directly —
+  /// both paths are safe concurrently (the combiner is just another OCC
+  /// writer).
+  CommitCombiner* combiner() { return &combiner_; }
+
  private:
   NodeStorePtr store_;
   BranchManager branches_;
+  CommitCombiner combiner_;
 };
 
 /// How the simulated round trip is charged on a remote access.

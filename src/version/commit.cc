@@ -71,6 +71,13 @@ Status BranchManager::CreateBranch(const std::string& name,
   std::lock_guard<std::mutex> lock(shard.mu);
   auto [it, inserted] = shard.branches.try_emplace(name);
   if (!inserted) return Status::InvalidArgument("branch exists: " + name);
+  if (ref_log_) {
+    Status logged = ref_log_->Append(name, commit_hash);
+    if (!logged.ok()) {
+      shard.branches.erase(it);
+      return logged;
+    }
+  }
   it->second.head = commit_hash;
   return Status::OK();
 }
@@ -81,6 +88,10 @@ Status BranchManager::MoveBranch(const std::string& name,
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.branches.find(name);
   if (it == shard.branches.end()) return Status::NotFound("branch " + name);
+  if (ref_log_) {
+    Status logged = ref_log_->Append(name, commit_hash);
+    if (!logged.ok()) return logged;
+  }
   it->second.head = commit_hash;
   return Status::OK();
 }
@@ -88,10 +99,37 @@ Status BranchManager::MoveBranch(const std::string& name,
 Status BranchManager::DeleteBranch(const std::string& name) {
   Shard& shard = ShardFor(name);
   std::lock_guard<std::mutex> lock(shard.mu);
-  if (shard.branches.erase(name) == 0) {
-    return Status::NotFound("branch " + name);
+  auto it = shard.branches.find(name);
+  if (it == shard.branches.end()) return Status::NotFound("branch " + name);
+  if (ref_log_) {
+    Status logged = ref_log_->AppendDelete(name);
+    if (!logged.ok()) return logged;
   }
+  shard.branches.erase(it);
   return Status::OK();
+}
+
+Status BranchManager::AttachRefLog(const std::string& path,
+                                   const RefLog::Options& opts) {
+  std::shared_ptr<RefLog> log;
+  Status s = RefLog::Open(path, opts, &log);
+  if (!s.ok()) return s;
+  for (const auto& [name, head] : log->recovered_heads()) {
+    // A recovered head whose commit the page store does not contain means
+    // the page log was truncated further back than the ref log — skip it
+    // rather than resurrect a dangling branch.
+    if (!store_->Contains(head)) continue;
+    Shard& shard = ShardFor(name);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [it, inserted] = shard.branches.try_emplace(name);
+    if (inserted) it->second.head = head;
+  }
+  ref_log_ = std::move(log);
+  return Status::OK();
+}
+
+Status BranchManager::SyncRefs() {
+  return ref_log_ ? ref_log_->Sync() : Status::OK();
 }
 
 std::optional<Hash> BranchManager::LoadHead(const std::string& name) const {
@@ -132,6 +170,14 @@ void BranchManager::RecordMergeRetry(const std::string& name) {
   if (it != shard.branches.end()) ++it->second.stats.merge_retries;
 }
 
+void BranchManager::RecordCombinedCommits(const std::string& name,
+                                          uint64_t count) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.branches.find(name);
+  if (it != shard.branches.end()) it->second.stats.combined_commits += count;
+}
+
 CasResult BranchManager::CheckAndSwingHead(const std::string& name,
                                            const std::optional<Hash>& expected,
                                            const Hash* swing_to) {
@@ -149,6 +195,13 @@ CasResult BranchManager::CheckAndSwingHead(const std::string& name,
   }
   if (swing_to == nullptr) {
     return CasResult::Committed(expected ? *expected : Hash());
+  }
+  // Mirror the movement into the ref log (when attached) before making it
+  // visible, so a recovered head is never newer than the in-memory one
+  // was. A failed append leaves the head untouched.
+  if (ref_log_) {
+    Status logged = ref_log_->Append(name, *swing_to);
+    if (!logged.ok()) return CasResult::Error(std::move(logged));
   }
   auto& entry = exists ? it->second : shard.branches[name];
   entry.head = *swing_to;

@@ -32,6 +32,7 @@
 #include "common/status.h"
 #include "crypto/hash.h"
 #include "store/node_store.h"
+#include "version/ref_log.h"
 
 namespace siri {
 
@@ -89,6 +90,10 @@ struct BranchStats {
   uint64_t commits = 0;        ///< successful head movements
   uint64_t cas_failures = 0;   ///< attempts that lost the head race
   uint64_t merge_retries = 0;  ///< merge-commit retries driven by OCC
+  /// Commits that landed as part of a multi-committer combined publish
+  /// (version/group_commit.h): a batch of K ≥ 2 adds K. commits counts
+  /// head *movements*, so commits_per_fsync > 1 shows up here, not there.
+  uint64_t combined_commits = 0;
 };
 
 /// \brief Branch heads + commit storage over a NodeStore.
@@ -177,6 +182,28 @@ class BranchManager {
   /// attempt, so contention is observable per branch.
   void RecordMergeRetry(const std::string& name);
 
+  /// Called by the group-commit combiner when a batch of \p count ≥ 2
+  /// committers lands as one publish, so the combining win is observable
+  /// per branch (branch_stats().combined_commits).
+  void RecordCombinedCommits(const std::string& name, uint64_t count);
+
+  /// Attaches a sidecar ref log (version/ref_log.h) at \p path: heads
+  /// recovered from the log seed the table (names already present keep
+  /// their in-memory head; recovered heads whose commit the store does
+  /// not contain — the page log was truncated further back — are
+  /// skipped), and every subsequent head movement is mirrored into the
+  /// log before it becomes visible, making branches crash-durable
+  /// alongside the pages. Attach before sharing the manager across
+  /// threads; attaching twice replaces the log.
+  Status AttachRefLog(const std::string& path,
+                      const RefLog::Options& opts = {});
+
+  /// fsyncs the attached ref log (OK when none is attached).
+  Status SyncRefs();
+
+  /// The attached ref log, or nullptr.
+  RefLog* ref_log() const { return ref_log_.get(); }
+
   /// Walks history from \p from (newest first), up to \p limit commits.
   Result<std::vector<std::pair<Hash, Commit>>> Log(const Hash& from,
                                                    size_t limit = 64) const;
@@ -221,6 +248,10 @@ class BranchManager {
 
   NodeStorePtr store_;
   mutable Shard shards_[kShards];
+  // Set once by AttachRefLog (before concurrent use); appends are
+  // internally locked. Head movements append under the shard lock, so the
+  // log's per-branch record order matches the head order.
+  std::shared_ptr<RefLog> ref_log_;
 };
 
 }  // namespace siri

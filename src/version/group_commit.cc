@@ -1,0 +1,390 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#include "version/group_commit.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "store/staging_store.h"
+
+namespace siri {
+
+namespace {
+
+// The combined commit's parents are [head] + one content commit per
+// member, and commit objects decode at most 16 parents — so a batch can
+// hold 1..15 members. Clamping here (instead of trusting the caller)
+// keeps a bad config from writing an undecodable head or hanging the
+// gather loop.
+GroupCommitOptions ClampOptions(GroupCommitOptions opts) {
+  if (opts.max_batch < 1) opts.max_batch = 1;
+  if (opts.max_batch > 15) opts.max_batch = 15;
+  return opts;
+}
+
+}  // namespace
+
+CommitCombiner::CommitCombiner(BranchManager* mgr, GroupCommitOptions opts)
+    : mgr_(mgr), opts_(ClampOptions(std::move(opts))) {}
+
+CommitCombiner::~CommitCombiner() { Shutdown(); }
+
+bool CommitCombiner::IdleLocked() const {
+  for (const auto& [name, lane] : lanes_) {
+    // users covers threads whose request is already done but which are
+    // still inside Publish (e.g. blocked reacquiring the mutex after a
+    // completion wakeup): the combiner is not idle — and must not be
+    // destroyed — until they have left the lane.
+    if (lane.leader_active || !lane.queue.empty() || lane.users > 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void CommitCombiner::Shutdown() {
+  std::unique_lock<std::mutex> lock(mu_);
+  shutdown_ = true;
+  // Requests already queued keep draining — each has an owner thread
+  // driving it through the lane — so shutting down just means waiting for
+  // the lanes to empty. New Publish calls bypass the queue from now on.
+  drain_cv_.wait(lock, [this] { return IdleLocked(); });
+}
+
+CommitCombiner::Stats CommitCombiner::stats() const {
+  Stats s;
+  s.publishes = publishes_.load(std::memory_order_relaxed);
+  s.combined_commits = combined_commits_.load(std::memory_order_relaxed);
+  s.solo_commits = solo_commits_.load(std::memory_order_relaxed);
+  s.fallbacks = fallbacks_.load(std::memory_order_relaxed);
+  s.max_batch_seen = max_batch_seen_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void CommitCombiner::RunBatch(const std::vector<Request*>& batch) {
+  // One publish writes parents = [head] + one content commit per member;
+  // commit objects decode at most 16 parents. Publish gathers at most
+  // max_batch and PublishCombined chunks, so this is a programming-error
+  // backstop, not a reachable state.
+  SIRI_CHECK(batch.size() <= static_cast<size_t>(opts_.max_batch));
+  if (batch.size() == 1) {
+    // Solo publish: the individual retry driver IS the fast path — no
+    // combined wrapper, no window, no extra commit object. The lane stays
+    // held while this runs, so committers arriving during the flush pile
+    // up and form the next (combined) batch.
+    Request* r = batch[0];
+    const PublishSpec& s = *r->spec;
+    r->result = CommitWithMerge(mgr_, s.index, s.branch, s.new_root, s.author,
+                                s.message, s.expected_head, opts_.merge);
+    solo_commits_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  const std::string& branch = batch[0]->spec->branch;
+  ImmutableIndex* index = batch[0]->spec->index;
+  auto fail_all = [](const std::vector<Request*>& reqs, const Status& st) {
+    for (Request* r : reqs) {
+      if (!r->result && !r->fallback) r->result = Result<MergeCommitResult>(st);
+    }
+  };
+
+  // Members that neither errored nor fell back yet; a lost head CAS (an
+  // outside writer swung the head mid-combine) re-runs the combine for
+  // exactly these.
+  std::vector<Request*> pending(batch.begin(), batch.end());
+  const int max_attempts = std::max(1, opts_.merge.max_retries);
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) {
+      const uint64_t us = MergeBackoffMicros(opts_.merge, attempt - 2);
+      if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+    }
+
+    // The head everyone merges onto this attempt (nullopt: creation race).
+    std::optional<Hash> head;
+    {
+      auto h = mgr_->Head(branch);
+      if (h.ok()) {
+        head = *h;
+      } else if (!h.status().IsNotFound()) {
+        fail_all(pending, h.status());
+        return;
+      }
+    }
+    Hash acc_root = index->EmptyRoot();
+    uint64_t max_seq = 0;
+    if (head) {
+      auto hc = mgr_->ReadCommit(*head);
+      if (!hc.ok()) {
+        fail_all(pending, hc.status());
+        return;
+      }
+      acc_root = hc->root;
+      max_seq = hc->sequence;
+    }
+
+    // One shared staging batch for the whole publish: every merged page
+    // and every commit object lands in ONE PutMany and ONE flush at the
+    // head CAS below.
+    auto staging = std::make_shared<StagingNodeStore>(index->store());
+
+    // The combine folds each member's (small) delta onto the accumulated
+    // chain — Merge3(acc, member, base) applies only the member's keys,
+    // not the whole chain's. That makes the accumulated side "ours" at
+    // the Merge3 layer, the opposite of CommitWithMerge, where the
+    // committer is "ours" — so the user resolver is adapted to see the
+    // member as "ours": an asymmetric resolver decides identically
+    // whether a commit lands through the combiner or an individual retry.
+    ConflictResolver member_resolver;
+    if (opts_.merge.resolver) {
+      const ConflictResolver& user = opts_.merge.resolver;
+      member_resolver = [&user](const std::string& key,
+                                const std::optional<std::string>& acc_side,
+                                const std::optional<std::string>& member_side) {
+        return user(key, member_side, acc_side);
+      };
+    }
+    std::vector<Request*> landed;
+    std::vector<Hash> content_hashes;
+
+    for (Request* r : pending) {
+      const PublishSpec& s = *r->spec;
+      // Base of this member's delta: the merge base of what it built on
+      // and the branch history it is folding into.
+      Hash base_root = index->EmptyRoot();
+      if (head) {
+        auto br = MergeBaseRoot(mgr_, index, s.expected_head, *head);
+        if (!br.ok()) {
+          r->result = Result<MergeCommitResult>(br.status());
+          continue;
+        }
+        base_root = *br;
+      }
+
+      // The member's content commit, preserving its own lineage — exactly
+      // the commit the individual path would have written. Built (and its
+      // parent read) BEFORE any merge work so every fallible step is
+      // behind us once pages flow into the shared batch: a member that
+      // fails writes zero pages.
+      Commit ours;
+      ours.root = s.new_root;
+      ours.author = s.author;
+      ours.message = s.message;
+      if (s.expected_head) {
+        ours.parents.push_back(*s.expected_head);
+        auto parent = mgr_->ReadCommit(*s.expected_head);
+        if (!parent.ok()) {
+          r->result = Result<MergeCommitResult>(parent.status());
+          continue;
+        }
+        ours.sequence = parent->sequence + 1;
+      }
+
+      Hash merged_root;
+      if (acc_root == base_root) {
+        merged_root = s.new_root;  // fast-forward: nothing landed since base
+      } else if (s.new_root == base_root) {
+        merged_root = acc_root;  // empty delta: nothing of ours to fold in
+      } else {
+        // Nested per-member staging: a member that conflicts mid-merge is
+        // dropped WITH its partial pages — a failed combine member writes
+        // zero pages to the shared batch, let alone the store.
+        auto nested = std::make_shared<StagingNodeStore>(staging.get());
+        auto nested_index = index->WithStore(nested);
+        auto merged = nested_index->Merge3(acc_root, s.new_root, base_root,
+                                           member_resolver);
+        if (!merged.ok()) {
+          if (merged.status().IsConflict()) {
+            // This member races another member of its own batch on a key:
+            // send it to the individual CommitWithMerge retry, where the
+            // per-commit conflict surface (and resolver) applies.
+            r->fallback = true;
+            fallbacks_.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            r->result = Result<MergeCommitResult>(merged.status());
+          }
+          continue;
+        }
+        nested->FlushBatch();  // relays pre-digested records; no re-hash
+        merged_root = *merged;
+      }
+
+      r->content = staging->Put(ours.Encode());
+      content_hashes.push_back(r->content);
+      max_seq = std::max(max_seq, ours.sequence);
+      acc_root = merged_root;
+      landed.push_back(r);
+    }
+
+    if (landed.empty()) return;  // every member conflicted or errored
+
+    // The combined commit: parents = [prior head, content_1 … content_K].
+    // A batch that shrank to one member whose expectation still matches
+    // the head needs no wrapper — that is just the plain fast path.
+    Hash desired;
+    int wrapper = 0;
+    if (landed.size() == 1 && landed[0]->spec->expected_head == head) {
+      desired = landed[0]->content;
+    } else {
+      Commit combined;
+      combined.root = acc_root;
+      if (head) combined.parents.push_back(*head);
+      combined.parents.insert(combined.parents.end(), content_hashes.begin(),
+                              content_hashes.end());
+      combined.author = "group-commit";
+      combined.message =
+          "combine: " + std::to_string(landed.size()) + " commits";
+      combined.sequence = max_seq + 1;
+      desired = staging->Put(combined.Encode());
+      wrapper = 1;
+    }
+
+    // One head swing for the whole batch. CompareAndSwapHead pre-checks,
+    // flushes the staged batch (ONE PutMany + ONE store flush), re-checks
+    // and swings — durability precedes visibility, exactly like the
+    // per-commit path.
+    CasResult cas =
+        mgr_->CompareAndSwapHead(branch, head, desired, staging.get());
+    if (cas.ok()) {
+      for (Request* r : landed) {
+        MergeCommitResult mr;
+        mr.head = desired;
+        mr.commit = r->content;
+        mr.cas_failures = attempt - 1;
+        mr.merge_commits = wrapper;
+        r->result = Result<MergeCommitResult>(std::move(mr));
+      }
+      publishes_.fetch_add(1, std::memory_order_relaxed);
+      if (landed.size() >= 2) {
+        combined_commits_.fetch_add(landed.size(), std::memory_order_relaxed);
+        mgr_->RecordCombinedCommits(branch, landed.size());
+      } else {
+        solo_commits_.fetch_add(1, std::memory_order_relaxed);
+      }
+      uint64_t seen = max_batch_seen_.load(std::memory_order_relaxed);
+      while (seen < landed.size() &&
+             !max_batch_seen_.compare_exchange_weak(
+                 seen, landed.size(), std::memory_order_relaxed)) {
+      }
+      return;
+    }
+    if (!cas.status.IsConflict()) {
+      fail_all(landed, cas.status);
+      return;
+    }
+    // An outside writer swung the head mid-combine. The staged attempt is
+    // dropped (or, if the re-check after the flush lost, is harmless
+    // content-addressed garbage); re-combine the clean members against
+    // the new head.
+    pending = std::move(landed);
+  }
+  // Batch retries exhausted against outside writers: every remaining
+  // member retries individually, where per-commit backoff applies.
+  for (Request* r : pending) {
+    if (r->result || r->fallback) continue;
+    r->fallback = true;
+    fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Result<MergeCommitResult> CommitCombiner::Publish(const PublishSpec& spec) {
+  Request req;
+  req.spec = &spec;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!shutdown_) {
+      Lane& lane = lanes_[spec.branch];
+      ++lane.users;
+      lane.queue.push_back(&req);
+      // A leader gathering inside its publish window learns of us now.
+      if (lane.leader_active) lane.cv.notify_all();
+      while (!req.done) {
+        if (!lane.leader_active && lane.queue.front() == &req) {
+          lane.leader_active = true;
+          // Wait-a-little: a leader with company holds the door open for
+          // stragglers up to the window; a solo committer publishes
+          // immediately and never waits.
+          if (opts_.window_micros > 0 && lane.queue.size() > 1 &&
+              lane.queue.size() < static_cast<size_t>(opts_.max_batch)) {
+            const auto deadline =
+                std::chrono::steady_clock::now() +
+                std::chrono::microseconds(opts_.window_micros);
+            while (lane.queue.size() < static_cast<size_t>(opts_.max_batch) &&
+                   lane.cv.wait_until(lock, deadline) !=
+                       std::cv_status::timeout) {
+            }
+          }
+          std::vector<Request*> group;
+          while (!lane.queue.empty() &&
+                 group.size() < static_cast<size_t>(opts_.max_batch)) {
+            group.push_back(lane.queue.front());
+            lane.queue.pop_front();
+          }
+          lock.unlock();
+          RunBatch(group);
+          lock.lock();
+          for (Request* r : group) r->done = true;
+          lane.leader_active = false;
+          lane.cv.notify_all();
+          drain_cv_.notify_all();
+          break;  // our own request led from the front, so it is done
+        }
+        lane.cv.wait(lock);
+      }
+      // Last thread out of an idle lane erases it, so the lane map does
+      // not grow with every branch name ever published. Anyone still
+      // queued or leading keeps it alive (their wait sits on its cv).
+      // Shutdown's drain predicate counts users too, so it learns of the
+      // exit here.
+      if (--lane.users == 0 && lane.queue.empty() && !lane.leader_active) {
+        lanes_.erase(spec.branch);
+        drain_cv_.notify_all();
+      }
+    }
+  }
+  if (req.done && !req.fallback) return std::move(*req.result);
+  // Shutdown, or this member fell out of its combined batch: individual
+  // CommitWithMerge retry on the caller's own thread — same semantics,
+  // just uncombined.
+  return CommitWithMerge(mgr_, spec.index, spec.branch, spec.new_root,
+                         spec.author, spec.message, spec.expected_head,
+                         opts_.merge);
+}
+
+std::vector<Result<MergeCommitResult>> CommitCombiner::PublishCombined(
+    const std::vector<PublishSpec>& specs) {
+  std::vector<Request> requests(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    SIRI_CHECK(specs[i].branch == specs[0].branch);
+    requests[i].spec = &specs[i];
+  }
+  // Chain of maximal batches: one publish holds at most max_batch
+  // members (the 16-parent commit format), so an oversized spec vector
+  // lands as several combined commits, later chunks chaining on the
+  // head the earlier ones swung.
+  for (size_t start = 0; start < requests.size();
+       start += static_cast<size_t>(opts_.max_batch)) {
+    const size_t end = std::min(
+        requests.size(), start + static_cast<size_t>(opts_.max_batch));
+    std::vector<Request*> group;
+    group.reserve(end - start);
+    for (size_t i = start; i < end; ++i) group.push_back(&requests[i]);
+    RunBatch(group);
+  }
+
+  std::vector<Result<MergeCommitResult>> out;
+  out.reserve(requests.size());
+  for (Request& r : requests) {
+    if (r.result) {
+      out.push_back(std::move(*r.result));
+      continue;
+    }
+    const PublishSpec& s = *r.spec;
+    out.push_back(CommitWithMerge(mgr_, s.index, s.branch, s.new_root,
+                                  s.author, s.message, s.expected_head,
+                                  opts_.merge));
+  }
+  return out;
+}
+
+}  // namespace siri

@@ -1,0 +1,180 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Group-commit publish pipeline: a combining commit queue per branch.
+//
+// PR 4's contention benches exposed the single-branch ceiling: commits on
+// one hot branch land at most once per (merge CPU + flush), because the
+// winner's flush sits inside the OCC race window and every loser pays a
+// full Merge3 retry. The combiner lifts that ceiling by *batching the
+// publish*: when K committers race one branch, one of them (the leader)
+// folds all K staged deltas into a single combined merge chain, writes one
+// content commit per committer plus one combined commit whose parents are
+// [prior head, content_1 … content_K], and lands the whole thing with ONE
+// PutMany, ONE flush (= one fsync / one upload RPC), and ONE head swing.
+// Throughput then scales with the batch size instead of serializing per
+// winner.
+//
+// Batching discipline:
+//   - A solo committer never waits: with nobody else queued, the leader
+//     publishes immediately (the fast path is exactly CommitWithMerge).
+//   - With company, the leader waits a short publish window
+//     (GroupCommitOptions::window_micros) for stragglers, then publishes.
+//     Committers arriving while a publish is in flight queue up and form
+//     the next batch — the in-flight publish is itself a natural window.
+//   - A committer whose delta conflicts inside the combined merge (or
+//     whose merge hard-fails) is dropped from the batch and falls back to
+//     an individual CommitWithMerge retry on its own thread; its partial
+//     merge output is staged in a nested batch that is discarded, so a
+//     failed combine member writes zero pages.
+//
+// The combiner has no threads of its own — leaders are committer threads —
+// so construction is free and shutdown only means draining waiters.
+
+#ifndef SIRI_VERSION_GROUP_COMMIT_H_
+#define SIRI_VERSION_GROUP_COMMIT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "index/index.h"
+#include "version/commit.h"
+#include "version/occ.h"
+
+namespace siri {
+
+/// \brief Tuning for the combining commit queue.
+struct GroupCommitOptions {
+  /// How long a leader that has company waits for stragglers before
+  /// publishing, in microseconds. A solo committer never waits. 0 turns
+  /// the window off (in-flight publishes still batch arrivals).
+  uint64_t window_micros = 200;
+  /// Most committers combined into one publish. The combined commit's
+  /// parents are [prior head] + one content commit per committer, and
+  /// commit objects decode at most 16 parents, so the ceiling is 15 —
+  /// the combiner clamps out-of-range values into [1, 15].
+  int max_batch = 15;
+  /// Knobs for the merge work: resolver for divergent keys (applies to
+  /// the combined merge chain too), retry/backoff for the individual
+  /// CommitWithMerge fallback.
+  MergeCommitOptions merge;
+};
+
+/// \brief One committer's publish request: everything CommitWithMerge
+/// takes, as a value the combiner can queue.
+///
+/// \c index must be bound to the store the new root's nodes live in; all
+/// committers of one branch must publish through indexes of the same
+/// structure over the same store (the combiner merges their deltas through
+/// the first request's index).
+struct PublishSpec {
+  ImmutableIndex* index = nullptr;
+  std::string branch;
+  Hash new_root;
+  std::string author;
+  std::string message;
+  std::optional<Hash> expected_head;  ///< head the committer built on
+};
+
+/// \brief Per-branch combining commit queue over a BranchManager.
+///
+/// Thread-safe. Different branches publish in parallel (one lane each);
+/// within a lane one leader at a time runs the combine.
+class CommitCombiner {
+ public:
+  struct Stats {
+    uint64_t publishes = 0;         ///< combined head swings that landed
+    uint64_t combined_commits = 0;  ///< commits landed in batches of ≥ 2
+    uint64_t solo_commits = 0;      ///< requests published alone (fast path)
+    uint64_t fallbacks = 0;         ///< combine members sent to individual retry
+    uint64_t max_batch_seen = 0;    ///< largest batch landed so far
+  };
+
+  explicit CommitCombiner(BranchManager* mgr, GroupCommitOptions opts = {});
+  ~CommitCombiner();
+
+  CommitCombiner(const CommitCombiner&) = delete;
+  CommitCombiner& operator=(const CommitCombiner&) = delete;
+
+  /// Publishes one commit, combining with concurrent committers of the
+  /// same branch when possible. Blocks until the commit landed (result's
+  /// `head` is the branch head containing it) or failed for this committer
+  /// (e.g. Conflict with no resolver). Semantically equivalent to
+  /// CommitWithMerge — only the batching differs.
+  Result<MergeCommitResult> Publish(const PublishSpec& spec);
+
+  /// Deterministic single-threaded combine of \p specs — exactly what a
+  /// leader does with a gathered batch, including running the individual
+  /// CommitWithMerge fallback for members that conflicted inside the
+  /// combined merge. More than max_batch specs publish as a chain of
+  /// maximal batches (the 16-parent commit format caps one publish).
+  /// All specs must name the same branch. Test and inspection entry;
+  /// results are index-aligned with \p specs.
+  std::vector<Result<MergeCommitResult>> PublishCombined(
+      const std::vector<PublishSpec>& specs);
+
+  /// Drains the queue: blocks until every enqueued request has completed,
+  /// then routes future Publish calls straight to CommitWithMerge
+  /// (uncombined but still correct). Idempotent.
+  void Shutdown();
+
+  Stats stats() const;
+  const GroupCommitOptions& options() const { return opts_; }
+  BranchManager* manager() const { return mgr_; }
+
+ private:
+  struct Request {
+    const PublishSpec* spec = nullptr;
+    bool done = false;
+    /// Set instead of `result` when this member must retry individually
+    /// (combined-merge conflict, batch retries exhausted, or solo fast
+    /// path — which IS the individual path).
+    bool fallback = false;
+    Hash content;  ///< this member's content commit, once staged
+    std::optional<Result<MergeCommitResult>> result;
+  };
+
+  struct Lane {
+    std::deque<Request*> queue;
+    bool leader_active = false;
+    /// Threads currently inside Publish for this lane (queued, leading,
+    /// or about to exit). The last one out erases the lane, so the map
+    /// does not grow forever with short-lived branch names.
+    int users = 0;
+    std::condition_variable cv;
+  };
+
+  /// Runs one gathered batch (same branch) to completion: combined merge
+  /// chain, one staged flush, one head CAS; marks each request's result or
+  /// fallback. Called without mu_ held; `done` flags are set by the
+  /// caller under mu_.
+  void RunBatch(const std::vector<Request*>& batch);
+
+  /// True when no lane has queued or in-flight work (mu_ held).
+  bool IdleLocked() const;
+
+  BranchManager* mgr_;
+  const GroupCommitOptions opts_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Lane> lanes_;  // node-based: Lanes pin
+  std::condition_variable drain_cv_;
+  bool shutdown_ = false;
+
+  std::atomic<uint64_t> publishes_{0};
+  std::atomic<uint64_t> combined_commits_{0};
+  std::atomic<uint64_t> solo_commits_{0};
+  std::atomic<uint64_t> fallbacks_{0};
+  std::atomic<uint64_t> max_batch_seen_{0};
+};
+
+}  // namespace siri
+
+#endif  // SIRI_VERSION_GROUP_COMMIT_H_

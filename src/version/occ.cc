@@ -10,6 +10,32 @@
 
 namespace siri {
 
+uint64_t MergeBackoffMicros(const MergeCommitOptions& opts, int ordinal) {
+  if (opts.backoff_init_micros == 0) return 0;
+  // Clamp the exponent: a handful of doublings saturates any sane
+  // backoff_max, and an unclamped shift would be UB at large ordinals.
+  const int doublings = std::min(std::max(ordinal, 0), 20);
+  return std::min(opts.backoff_init_micros << doublings,
+                  opts.backoff_max_micros);
+}
+
+Result<Hash> MergeBaseRoot(BranchManager* mgr, ImmutableIndex* index,
+                           const std::optional<Hash>& expected_head,
+                           const Hash& actual_head) {
+  if (!expected_head) return index->EmptyRoot();
+  Hash base_hash = *expected_head;
+  auto fast_forward = mgr->IsAncestor(*expected_head, actual_head);
+  if (!fast_forward.ok()) return fast_forward.status();
+  if (!*fast_forward) {
+    auto mb = mgr->MergeBase(*expected_head, actual_head);
+    if (!mb.ok()) return mb.status();
+    base_hash = *mb;
+  }
+  auto mb_commit = mgr->ReadCommit(base_hash);
+  if (!mb_commit.ok()) return mb_commit.status();
+  return mb_commit->root;
+}
+
 Result<MergeCommitResult> CommitWithMerge(
     BranchManager* mgr, ImmutableIndex* index, const std::string& branch,
     const Hash& new_root, const std::string& author,
@@ -51,40 +77,20 @@ Result<MergeCommitResult> CommitWithMerge(
     const Hash actual = r.conflict->actual_head;
     mgr->RecordMergeRetry(branch);
     if (opts.on_retry) opts.on_retry(retry, actual);
-    if (opts.backoff_init_micros > 0 && retry > 0) {
-      // Clamp the exponent: large max_retries would otherwise shift past
-      // the word width (UB) — and a handful of doublings saturates any
-      // sane backoff_max anyway.
-      const int doublings = std::min(retry - 1, 20);
-      const uint64_t us = std::min(opts.backoff_init_micros << doublings,
-                                   opts.backoff_max_micros);
-      std::this_thread::sleep_for(std::chrono::microseconds(us));
+    if (retry > 0) {
+      const uint64_t us = MergeBackoffMicros(opts, retry - 1);
+      if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
     }
 
     auto winner = mgr->ReadCommit(actual);
     if (!winner.ok()) return winner.status();
 
     // The merge base: lowest common ancestor of what we built on and what
-    // won. In the normal race the winner descends from expected_head, so
-    // the base IS the old head — IsAncestor confirms that in O(divergence)
-    // steps instead of MergeBase's O(history) ancestry collection, which
+    // won (O(divergence) in the normal race — see MergeBaseRoot). This
     // matters because a contended branch runs one merge attempt per lost
-    // race. An administrative head reset (winner not a descendant) still
-    // falls back to the full MergeBase walk.
-    Hash base_root = index->EmptyRoot();
-    if (expected_head) {
-      Hash base_hash = *expected_head;
-      auto fast_forward = mgr->IsAncestor(*expected_head, actual);
-      if (!fast_forward.ok()) return fast_forward.status();
-      if (!*fast_forward) {
-        auto mb = mgr->MergeBase(*expected_head, actual);
-        if (!mb.ok()) return mb.status();
-        base_hash = *mb;
-      }
-      auto mb_commit = mgr->ReadCommit(base_hash);
-      if (!mb_commit.ok()) return mb_commit.status();
-      base_root = mb_commit->root;
-    }
+    // race.
+    auto base_root = MergeBaseRoot(mgr, index, expected_head, actual);
+    if (!base_root.ok()) return base_root.status();
 
     // Stage the whole attempt — merged index pages and both commit
     // objects — over the store the index is bound to. A lost CAS drops
@@ -92,7 +98,7 @@ Result<MergeCommitResult> CommitWithMerge(
     auto staging = std::make_shared<StagingNodeStore>(merge_store);
     auto merge_index = index->WithStore(staging);
     auto merged =
-        merge_index->Merge3(new_root, winner->root, base_root, opts.resolver);
+        merge_index->Merge3(new_root, winner->root, *base_root, opts.resolver);
     if (!merged.ok()) return merged.status();
 
     const Hash ours_hash = staging->Put(ours_bytes);

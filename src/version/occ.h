@@ -81,6 +81,26 @@ Result<MergeCommitResult> CommitWithMerge(
     const std::string& message, const std::optional<Hash>& expected_head,
     const MergeCommitOptions& opts = {});
 
+/// Backoff before the (ordinal+1)-th merge retry, per \p opts:
+/// min(backoff_init << ordinal, backoff_max), with the shift clamped so
+/// a large retry count cannot shift past the word width (UB). Returns 0
+/// when backoff is disabled. Shared by the per-commit retry driver and
+/// the group-commit combiner so the two retry loops cannot drift.
+uint64_t MergeBackoffMicros(const MergeCommitOptions& opts, int ordinal);
+
+/// Root of the merge base between what a committer built on
+/// (\p expected_head; nullopt = built from the empty index) and
+/// \p actual_head, the commit that actually won the branch race. In the
+/// normal race the winner descends from expected_head, so the base IS the
+/// old head — IsAncestor confirms that in O(divergence) steps instead of
+/// MergeBase's O(history) ancestry collection; an administrative head
+/// reset (winner not a descendant) falls back to the full MergeBase walk.
+/// Shared by the per-commit retry driver above and the group-commit
+/// combiner (version/group_commit.h).
+Result<Hash> MergeBaseRoot(BranchManager* mgr, ImmutableIndex* index,
+                           const std::optional<Hash>& expected_head,
+                           const Hash& actual_head);
+
 }  // namespace siri
 
 #endif  // SIRI_VERSION_OCC_H_

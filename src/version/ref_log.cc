@@ -1,0 +1,186 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#include "version/ref_log.h"
+
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/record_io.h"
+#include "common/slice.h"
+#include "common/varint.h"
+#include "crypto/sha256.h"
+
+namespace siri {
+
+namespace {
+
+constexpr char kRefMagic[] = "SIRIREF\x01";
+constexpr size_t kRefMagicSize = 8;
+
+// payload = `varint name-len | name | 32-byte head`.
+std::string EncodePayload(const std::string& name, const Hash& head) {
+  std::string payload;
+  PutLengthPrefixed(&payload, name);
+  payload.append(reinterpret_cast<const char*>(head.data()), Hash::kSize);
+  return payload;
+}
+
+bool DecodePayload(Slice payload, std::string* name, Hash* head) {
+  if (!GetLengthPrefixed(&payload, name)) return false;
+  if (payload.size() != Hash::kSize) return false;
+  *head = Hash::FromBytes(payload.data());
+  return true;
+}
+
+// One framed record from *in (advancing it), via the framing shared with
+// the page log (common/record_io.h). Returns false when the remaining
+// bytes do not frame a whole record; sets *verified false on a digest
+// mismatch (record framed but corrupt).
+bool ReadFramed(Slice* in, std::string* payload, bool* verified) {
+  Hash stored;
+  if (!ReadDigestRecord(in, payload, &stored)) return false;
+  *verified = Sha256::Digest(*payload) == stored;
+  return true;
+}
+
+}  // namespace
+
+RefLog::RefLog(std::string path, FILE* file, Options opts)
+    : path_(std::move(path)), file_(file), opts_(opts) {}
+
+RefLog::~RefLog() {
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    std::fclose(file_);
+  }
+}
+
+Status RefLog::Open(const std::string& path, const Options& opts,
+                    std::shared_ptr<RefLog>* out) {
+  FILE* f = std::fopen(path.c_str(), "a+b");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + ": " + strerror(errno));
+  }
+  std::shared_ptr<RefLog> log(new RefLog(path, f, opts));
+  Status s = log->Replay();
+  if (!s.ok()) return s;
+  *out = std::move(log);
+  return Status::OK();
+}
+
+Status RefLog::Replay() {
+  std::fseek(file_, 0, SEEK_END);
+  const long end = std::ftell(file_);
+  if (end < 0) return Status::IOError("ftell failed");
+  std::rewind(file_);
+
+  std::string contents;
+  contents.resize(static_cast<size_t>(end));
+  if (end > 0 &&
+      std::fread(contents.data(), 1, contents.size(), file_) !=
+          contents.size()) {
+    return Status::IOError("short read replaying " + path_);
+  }
+
+  Slice in(contents);
+  if (in.size() < kRefMagicSize) {
+    // Fresh (or torn-header) log: stamp a clean header. No heads existed
+    // in a sub-header file, so nothing is dropped.
+    if (std::memcmp(in.data(), kRefMagic, in.size()) != 0) {
+      return Status::Corruption("unrecognized ref log in " + path_);
+    }
+    FILE* fresh = std::fopen(path_.c_str(), "wb");
+    if (fresh == nullptr) return Status::IOError("cannot restamp " + path_);
+    if (std::fwrite(kRefMagic, 1, kRefMagicSize, fresh) != kRefMagicSize ||
+        std::fflush(fresh) != 0) {
+      std::fclose(fresh);
+      return Status::IOError("cannot write ref header to " + path_);
+    }
+    std::fclose(fresh);
+    FILE* reopened = std::fopen(path_.c_str(), "a+b");
+    if (reopened == nullptr) return Status::IOError("cannot reopen " + path_);
+    std::fclose(file_);
+    file_ = reopened;
+    return Status::OK();
+  }
+  if (std::memcmp(in.data(), kRefMagic, kRefMagicSize) != 0) {
+    return Status::Corruption("unrecognized ref log in " + path_);
+  }
+  in.remove_prefix(kRefMagicSize);
+
+  const char* valid_end = in.data();
+  while (!in.empty()) {
+    std::string payload;
+    bool verified = false;
+    std::string name;
+    Hash head;
+    const bool framed = ReadFramed(&in, &payload, &verified);
+    if (!framed || !verified || !DecodePayload(payload, &name, &head)) {
+      // First bad record: drop it and everything after it, counting each
+      // dropped record once — the corrupt (or torn partial) record
+      // itself, every complete record past it, and a final partial tail.
+      ++truncations_;
+      if (framed) {
+        // `in` already sits past the corrupt record; walk the rest.
+        while (!in.empty()) {
+          ++truncations_;
+          std::string rest;
+          bool rest_ok = false;
+          if (!ReadFramed(&in, &rest, &rest_ok)) break;
+        }
+      }
+      break;
+    }
+    valid_end = in.data();
+    if (head.IsZero()) {
+      recovered_.erase(name);  // deletion tombstone
+    } else {
+      recovered_[name] = head;
+    }
+  }
+
+  if (truncations_ > 0) {
+    // Truncate the file back to the valid prefix so future appends are
+    // framed cleanly.
+    const long keep = static_cast<long>(valid_end - contents.data());
+    if (truncate(path_.c_str(), keep) != 0) {
+      return Status::IOError("cannot truncate " + path_);
+    }
+    FILE* reopened = std::fopen(path_.c_str(), "a+b");
+    if (reopened == nullptr) return Status::IOError("cannot reopen " + path_);
+    std::fclose(file_);
+    file_ = reopened;
+  }
+  std::fseek(file_, 0, SEEK_END);
+  return Status::OK();
+}
+
+Status RefLog::Append(const std::string& name, const Hash& head) {
+  const std::string payload = EncodePayload(name, head);
+  std::string record;
+  AppendDigestRecord(&record, Sha256::Digest(payload), payload);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    return Status::IOError("ref log append failed");
+  }
+  // fflush so the record survives process death (_exit skips stdio
+  // cleanup); fsync_each upgrades to power-loss durability per swing.
+  if (std::fflush(file_) != 0) return Status::IOError("ref log fflush failed");
+  if (opts_.fsync_each && fsync(fileno(file_)) != 0) {
+    return Status::IOError("ref log fsync failed");
+  }
+  return Status::OK();
+}
+
+Status RefLog::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::fflush(file_) != 0) return Status::IOError("ref log fflush failed");
+  if (fsync(fileno(file_)) != 0) {
+    return Status::IOError("ref log fsync failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace siri

@@ -1,0 +1,89 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// RefLog — a sidecar append-only log of branch-head movements, kept next
+// to the FileNodeStore page log. Pages are content-addressed, so the page
+// log alone recovers every commit ever flushed — but not which commit each
+// branch pointed at. Appending one small record per head swing makes
+// branches crash-durable like the pages they reference: a restart replays
+// the ref log, takes the last record per branch (a zero head is a deletion
+// tombstone), and reseeds the BranchManager.
+//
+// Record framing mirrors the page log: `varint len | SHA-256(payload) |
+// payload`, payload = `varint name-len | name | 32-byte head`. Replay
+// verifies each record's digest and truncates at the first torn or corrupt
+// record, recovering the longest valid prefix.
+//
+// Durability: every append is fwrite+fflush (survives process death, e.g.
+// the fork/_exit crash tests); Options::fsync_each upgrades that to a
+// per-swing fsync (survives power loss), and Sync() lets callers batch
+// that cost at their own boundaries. Appends happen after the page store
+// flush in the commit path, so a recovered head never points ahead of the
+// recovered pages.
+
+#ifndef SIRI_VERSION_REF_LOG_H_
+#define SIRI_VERSION_REF_LOG_H_
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "crypto/hash.h"
+
+namespace siri {
+
+/// \brief Append-only branch-head journal with digest-verified replay.
+class RefLog {
+ public:
+  struct Options {
+    /// fsync after every append (power-loss durability per swing). Off by
+    /// default: appends are fflushed, and Sync() batches the fsync.
+    bool fsync_each = false;
+  };
+
+  /// Opens (or creates) the ref log at \p path, replaying existing
+  /// records. Torn or corrupt tails are truncated, not fatal.
+  static Status Open(const std::string& path, const Options& opts,
+                     std::shared_ptr<RefLog>* out);
+
+  ~RefLog();
+
+  /// Appends one head movement. Thread-safe.
+  Status Append(const std::string& name, const Hash& head);
+
+  /// Appends a deletion tombstone for \p name.
+  Status AppendDelete(const std::string& name) {
+    return Append(name, Hash::Zero());
+  }
+
+  /// fsyncs everything appended so far.
+  Status Sync();
+
+  /// Branch heads recovered at open: last record per name, tombstones
+  /// removed. Snapshot of open time — later appends don't show up here.
+  const std::map<std::string, Hash>& recovered_heads() const {
+    return recovered_;
+  }
+
+  /// Records dropped during replay (torn tail / digest mismatch).
+  uint64_t recovered_truncations() const { return truncations_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  RefLog(std::string path, FILE* file, Options opts);
+  Status Replay();
+
+  std::string path_;
+  FILE* file_;
+  Options opts_;
+  std::mutex mu_;
+  std::map<std::string, Hash> recovered_;
+  uint64_t truncations_ = 0;
+};
+
+}  // namespace siri
+
+#endif  // SIRI_VERSION_REF_LOG_H_

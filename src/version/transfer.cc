@@ -5,7 +5,7 @@
 #include <algorithm>
 
 #include "common/varint.h"
-#include "crypto/sha256.h"
+#include "store/staging_store.h"
 
 namespace siri {
 
@@ -55,25 +55,27 @@ Status UnpackVersions(const VersionPack& pack, NodeStore* store) {
   uint64_t count = 0;
   if (!GetVarint64(&in, &count)) return Status::Corruption("bad pack count");
   // Digest every page up front (content addressing implies and verifies
-  // the digests), then land the whole pack with one PutMany — receiving a
-  // version costs one store batch instead of one locked Put per page.
-  NodeBatch batch;
+  // the digests) — a pack is exactly the many-independent-pages batch the
+  // SHA-256 pool exists for, so bulk-stage through PutPages (which
+  // digests large batches in parallel) and land the whole pack with one
+  // PutMany: receiving a version costs one store batch instead of one
+  // locked Put per page.
+  std::vector<std::shared_ptr<const std::string>> pages;
   // `count` is untrusted input: bound the pre-validation reservation by a
   // small constant so a corrupt varint cannot force a large allocation
   // (vector growth handles genuinely bigger packs).
-  batch.reserve(static_cast<size_t>(std::min<uint64_t>(count, 4096)));
+  pages.reserve(static_cast<size_t>(std::min<uint64_t>(count, 4096)));
   for (uint64_t i = 0; i < count; ++i) {
     std::string page;
     if (!GetLengthPrefixed(&in, &page)) {
       return Status::Corruption("truncated pack page");
     }
-    NodeRecord rec;
-    rec.bytes = std::make_shared<const std::string>(std::move(page));
-    rec.hash = Sha256::Digest(*rec.bytes);
-    batch.push_back(std::move(rec));
+    pages.push_back(std::make_shared<const std::string>(std::move(page)));
   }
   if (!in.empty()) return Status::Corruption("trailing pack bytes");
-  store->PutMany(batch);
+  StagingNodeStore staging(store);
+  staging.PutPages(pages);
+  staging.FlushBatch();
   return Status::OK();
 }
 

@@ -6,7 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "common/random.h"
+#include "crypto/hash_pool.h"
 #include "crypto/rolling_hash.h"
 #include "crypto/sha256.h"
 
@@ -88,6 +94,82 @@ TEST(HashTest, OrderingAndEquality) {
 TEST(HashTest, Prefix64Stable) {
   const Hash a = Sha256::Digest("stable");
   EXPECT_EQ(a.Prefix64(), Sha256::Digest("stable").Prefix64());
+}
+
+// --- Sha256Pool (parallel batch hashing) -----------------------------------
+
+std::vector<std::shared_ptr<const std::string>> PoolPages(size_t n) {
+  // Sizes straddle every interesting boundary: empty, sub-block, exact
+  // block multiples, multi-block.
+  Rng rng(0x9a9e);
+  std::vector<std::shared_ptr<const std::string>> pages;
+  const size_t sizes[] = {0, 1, 55, 56, 63, 64, 65, 128, 1000, 4096};
+  for (size_t i = 0; i < n; ++i) {
+    std::string page;
+    const size_t len = sizes[i % (sizeof(sizes) / sizeof(sizes[0]))] + i / 10;
+    page.reserve(len);
+    for (size_t b = 0; b < len; ++b) {
+      page.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    pages.push_back(std::make_shared<const std::string>(std::move(page)));
+  }
+  return pages;
+}
+
+TEST(Sha256PoolTest, DigestsBitIdenticalToSerialPath) {
+  // Large enough to engage the workers (above the inline threshold).
+  const auto pages = PoolPages(300);
+  Sha256Pool pool(3);
+  const auto digests = pool.DigestAll(pages);
+  ASSERT_EQ(digests.size(), pages.size());
+  for (size_t i = 0; i < pages.size(); ++i) {
+    EXPECT_EQ(digests[i], Sha256::Digest(*pages[i])) << "page " << i;
+  }
+  EXPECT_GE(pool.stats().jobs, 1u);
+  EXPECT_EQ(pool.stats().pages, pages.size());
+}
+
+TEST(Sha256PoolTest, SmallBatchesDigestInline) {
+  const auto pages = PoolPages(4);
+  Sha256Pool pool(3);
+  const auto digests = pool.DigestAll(pages);
+  for (size_t i = 0; i < pages.size(); ++i) {
+    EXPECT_EQ(digests[i], Sha256::Digest(*pages[i]));
+  }
+  EXPECT_EQ(pool.stats().jobs, 0u);
+  EXPECT_EQ(pool.stats().inline_jobs, 1u);
+}
+
+TEST(Sha256PoolTest, ZeroWorkersFallsBackToInlineEverywhere) {
+  const auto pages = PoolPages(200);
+  Sha256Pool pool(0);
+  const auto digests = pool.DigestAll(pages);
+  for (size_t i = 0; i < pages.size(); ++i) {
+    EXPECT_EQ(digests[i], Sha256::Digest(*pages[i]));
+  }
+  EXPECT_EQ(pool.stats().jobs, 0u);
+}
+
+TEST(Sha256PoolTest, ConcurrentCallersShareTheWorkers) {
+  Sha256Pool pool(2);
+  const auto pages = PoolPages(150);
+  std::vector<std::thread> callers;
+  std::vector<std::vector<Hash>> results(4);
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&, t] { results[t] = pool.DigestAll(pages); });
+  }
+  for (auto& c : callers) c.join();
+  for (int t = 0; t < 4; ++t) {
+    ASSERT_EQ(results[t].size(), pages.size());
+    for (size_t i = 0; i < pages.size(); ++i) {
+      EXPECT_EQ(results[t][i], Sha256::Digest(*pages[i]));
+    }
+  }
+}
+
+TEST(Sha256PoolTest, EmptyBatchIsANoOp) {
+  Sha256Pool pool(2);
+  EXPECT_TRUE(pool.DigestAll({}).empty());
 }
 
 TEST(RollingHashTest, PrimedAfterWindowFull) {

@@ -8,7 +8,9 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
+#include <thread>
 
 #include "common/varint.h"
 #include "crypto/sha256.h"
@@ -16,6 +18,8 @@
 #include "store/file_store.h"
 #include "system/ledger.h"
 #include "tests/test_util.h"
+#include "version/commit.h"
+#include "version/ref_log.h"
 
 namespace siri {
 namespace {
@@ -26,8 +30,11 @@ using testing_util::MakeKvs;
 class FileStoreTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/siri_store_" +
-            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".log";
+    // Keyed by pid AND fixture address: ctest -jN runs tests of this
+    // binary as concurrent processes, and the fixture lands at the same
+    // heap address in each — pid keeps their logs apart.
+    path_ = ::testing::TempDir() + "/siri_store_" + std::to_string(getpid()) +
+            "_" + std::to_string(reinterpret_cast<uintptr_t>(this)) + ".log";
     std::remove(path_.c_str());
   }
 
@@ -362,6 +369,263 @@ TEST_F(FileStoreTest, TornBatchedAppendRecoversCommittedPrefix) {
   EXPECT_EQ(again->recovered_truncations(), 0u);
   EXPECT_TRUE(again->Get(fresh[0].hash).ok());
   EXPECT_TRUE(again->Get(fresh[1].hash).ok());
+}
+
+// --- Group fsync (wait-a-little flush coalescing) --------------------------
+
+TEST_F(FileStoreTest, ConcurrentFlushersCoalesceIntoFewerFsyncs) {
+  std::shared_ptr<FileNodeStore> store;
+  ASSERT_TRUE(FileNodeStore::Open(path_, &store).ok());
+  ASSERT_TRUE(store->Flush().ok());  // header fsync out of the way
+  const uint64_t fsyncs_before = store->fsync_count();
+
+  // A generous window so every writer's append lands while the first
+  // flusher is still holding the door open: K committers, each one
+  // batched append + one Flush, must come out with FEWER than K fsyncs
+  // (the group-commit property) while every page is durable.
+  store->set_group_flush_window_micros(300000);
+  constexpr int kWriters = 4;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      store->PutMany(BatchOf(10 * t, 3));
+      ASSERT_TRUE(store->Flush().ok());
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& w : writers) w.join();
+
+  const uint64_t fsyncs = store->fsync_count() - fsyncs_before;
+  EXPECT_GE(fsyncs, 1u);
+  EXPECT_LT(fsyncs, static_cast<uint64_t>(kWriters));
+  EXPECT_GE(store->coalesced_flushes(), kWriters - fsyncs);
+
+  // Durability was not traded away: everything survives a reopen.
+  store.reset();
+  std::shared_ptr<FileNodeStore> reopened;
+  ASSERT_TRUE(FileNodeStore::Open(path_, &reopened).ok());
+  EXPECT_EQ(reopened->recovered_truncations(), 0u);
+  EXPECT_EQ(reopened->stats().unique_nodes, 3u * kWriters);
+}
+
+TEST_F(FileStoreTest, GroupWindowOffKeepsFlushSemantics) {
+  // Window 0 (the default): a dirty Flush issues its own fsync — the
+  // per-commit accounting the occ tests rely on is unchanged.
+  std::shared_ptr<FileNodeStore> store;
+  ASSERT_TRUE(FileNodeStore::Open(path_, &store).ok());
+  ASSERT_TRUE(store->Flush().ok());
+  const uint64_t before = store->fsync_count();
+  store->PutMany(BatchOf(0, 2));
+  ASSERT_TRUE(store->Flush().ok());
+  store->PutMany(BatchOf(10, 2));
+  ASSERT_TRUE(store->Flush().ok());
+  EXPECT_EQ(store->fsync_count(), before + 2);
+  EXPECT_EQ(store->coalesced_flushes(), 0u);
+}
+
+// --- Cross-commit write dedup (recently-flushed digest ring) ---------------
+
+TEST_F(FileStoreTest, RecentDigestRingSkipsPagesAConcurrentCommitterLanded) {
+  std::shared_ptr<FileNodeStore> store;
+  ASSERT_TRUE(FileNodeStore::Open(path_, &store).ok());
+
+  // Committer 1 lands pages 0-3; committer 2's batch shares pages 2-3
+  // (the shared-key-prefix case): the ring catches the overlap.
+  store->PutMany(BatchOf(0, 4));
+  EXPECT_EQ(store->dedup_skips(), 0u);
+  store->PutMany(BatchOf(2, 4));
+  EXPECT_EQ(store->dedup_skips(), 2u);
+  EXPECT_EQ(store->stats().unique_nodes, 6u);
+  EXPECT_EQ(store->stats().dup_puts, 2u);
+
+  // Single-page Put re-offering a recent page is caught too.
+  store->Put(PageOf(5));
+  EXPECT_EQ(store->dedup_skips(), 3u);
+  EXPECT_EQ(store->stats().unique_nodes, 6u);
+}
+
+TEST_F(FileStoreTest, RecentDigestRingEvictsOldestDigests) {
+  std::shared_ptr<FileNodeStore> store;
+  ASSERT_TRUE(FileNodeStore::Open(path_, &store).ok());
+  // Push page 0, then roll the ring over completely with unique pages.
+  store->Put(PageOf(0));
+  for (size_t i = 0; i < FileNodeStore::kRecentRingSize; ++i) {
+    store->Put("filler-" + std::to_string(i));
+  }
+  // Page 0 fell off the ring: re-offering it is still a dup (resident
+  // map), but no longer a ring hit.
+  const uint64_t skips_before = store->dedup_skips();
+  store->Put(PageOf(0));
+  EXPECT_EQ(store->dedup_skips(), skips_before);
+  EXPECT_EQ(store->stats().dup_puts, 1u);
+}
+
+// --- Branch-head persistence (sidecar ref log) -----------------------------
+
+class RefLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // pid-keyed like FileStoreTest: concurrent ctest processes of this
+    // binary must not share scratch files.
+    base_ = ::testing::TempDir() + "/siri_refs_" + std::to_string(getpid()) +
+            "_" + std::to_string(reinterpret_cast<uintptr_t>(this));
+    log_path_ = base_ + ".sirilog";
+    ref_path_ = base_ + ".refs";
+    std::remove(log_path_.c_str());
+    std::remove(ref_path_.c_str());
+  }
+
+  void TearDown() override {
+    std::remove(log_path_.c_str());
+    std::remove(ref_path_.c_str());
+  }
+
+  std::string base_, log_path_, ref_path_;
+};
+
+TEST_F(RefLogTest, LastRecordPerBranchWinsAndTombstonesDelete) {
+  Hash h1 = Sha256::Digest("one"), h2 = Sha256::Digest("two");
+  {
+    std::shared_ptr<RefLog> log;
+    ASSERT_TRUE(RefLog::Open(ref_path_, {}, &log).ok());
+    ASSERT_TRUE(log->Append("main", h1).ok());
+    ASSERT_TRUE(log->Append("dev", h1).ok());
+    ASSERT_TRUE(log->Append("main", h2).ok());   // later record wins
+    ASSERT_TRUE(log->AppendDelete("dev").ok());  // tombstone
+    ASSERT_TRUE(log->Sync().ok());
+  }
+  std::shared_ptr<RefLog> reopened;
+  ASSERT_TRUE(RefLog::Open(ref_path_, {}, &reopened).ok());
+  EXPECT_EQ(reopened->recovered_truncations(), 0u);
+  const auto& heads = reopened->recovered_heads();
+  ASSERT_EQ(heads.size(), 1u);
+  EXPECT_EQ(heads.at("main"), h2);
+}
+
+TEST_F(RefLogTest, TornTailIsTruncatedNotFatal) {
+  Hash h1 = Sha256::Digest("one");
+  {
+    std::shared_ptr<RefLog> log;
+    ASSERT_TRUE(RefLog::Open(ref_path_, {}, &log).ok());
+    ASSERT_TRUE(log->Append("main", h1).ok());
+  }
+  // Tear the file mid-way through a would-be second record.
+  FILE* f = fopen(ref_path_.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  fwrite("\x20garbage", 1, 8, f);
+  fclose(f);
+
+  std::shared_ptr<RefLog> recovered;
+  ASSERT_TRUE(RefLog::Open(ref_path_, {}, &recovered).ok());
+  EXPECT_GT(recovered->recovered_truncations(), 0u);
+  EXPECT_EQ(recovered->recovered_heads().at("main"), h1);
+  // Appends after recovery frame cleanly.
+  ASSERT_TRUE(recovered->Append("dev", h1).ok());
+  recovered.reset();
+  std::shared_ptr<RefLog> again;
+  ASSERT_TRUE(RefLog::Open(ref_path_, {}, &again).ok());
+  EXPECT_EQ(again->recovered_heads().size(), 2u);
+}
+
+TEST_F(RefLogTest, BranchHeadsSurviveProcessKill) {
+  // Child: commit on two branches through a ref-logged BranchManager over
+  // the durable store, then die without any cleanup. Parent: reopen both
+  // logs — the branches must point at the committed heads, fully
+  // readable. (Same fork/_exit pattern as CommittedBlockSurvivesProcessKill.)
+  const auto kvs = MakeKvs(120);
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    std::shared_ptr<FileNodeStore> store;
+    if (!FileNodeStore::Open(log_path_, &store).ok()) _exit(1);
+    BranchManager mgr(store);
+    if (!mgr.AttachRefLog(ref_path_).ok()) _exit(2);
+    PosTree tree(store);
+    auto root = tree.PutBatch(Hash::Zero(), kvs);
+    if (!root.ok()) _exit(3);
+    if (!mgr.CommitOnBranch("main", *root, "child", "first").ok()) _exit(4);
+    auto root2 = tree.PutBatch(*root, {{"extra/key", "extra"}});
+    if (!root2.ok()) _exit(5);
+    if (!mgr.CommitOnBranch("main", *root2, "child", "second").ok()) _exit(6);
+    if (!mgr.CommitOnBranch("dev", *root, "child", "fork").ok()) _exit(7);
+    _exit(0);  // crash: no destructors, no stdio flush-at-exit
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+
+  std::shared_ptr<FileNodeStore> store;
+  ASSERT_TRUE(FileNodeStore::Open(log_path_, &store).ok());
+  BranchManager mgr(store);
+  EXPECT_FALSE(mgr.Head("main").ok());  // nothing before attach
+  ASSERT_TRUE(mgr.AttachRefLog(ref_path_).ok());
+
+  auto main_head = mgr.Head("main");
+  ASSERT_TRUE(main_head.ok());
+  auto main_commit = mgr.ReadCommit(*main_head);
+  ASSERT_TRUE(main_commit.ok());
+  EXPECT_EQ(main_commit->message, "second");
+  PosTree tree(store);
+  auto got = tree.Get(main_commit->root, "extra/key", nullptr);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(got->has_value());
+  EXPECT_EQ(**got, "extra");
+
+  auto dev_head = mgr.Head("dev");
+  ASSERT_TRUE(dev_head.ok());
+  auto dev_commit = mgr.ReadCommit(*dev_head);
+  ASSERT_TRUE(dev_commit.ok());
+  std::map<std::string, std::string> expected;
+  for (const auto& kv : kvs) expected[kv.key] = kv.value;
+  EXPECT_EQ(Dump(tree, dev_commit->root), expected);
+
+  // History is intact, not just the tip: the recovered head's parent
+  // chain walks back to the first commit.
+  auto log = mgr.Log(*main_head);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->size(), 2u);
+}
+
+TEST_F(RefLogTest, DanglingRecoveredHeadIsSkipped) {
+  // Ref log knows a head whose commit never reached the page log (the
+  // page log was truncated further back): attach must not resurrect a
+  // dangling branch.
+  {
+    std::shared_ptr<FileNodeStore> store;
+    ASSERT_TRUE(FileNodeStore::Open(log_path_, &store).ok());
+    std::shared_ptr<RefLog> log;
+    ASSERT_TRUE(RefLog::Open(ref_path_, {}, &log).ok());
+    ASSERT_TRUE(log->Append("ghost", Sha256::Digest("never stored")).ok());
+  }
+  std::shared_ptr<FileNodeStore> store;
+  ASSERT_TRUE(FileNodeStore::Open(log_path_, &store).ok());
+  BranchManager mgr(store);
+  ASSERT_TRUE(mgr.AttachRefLog(ref_path_).ok());
+  EXPECT_FALSE(mgr.Head("ghost").ok());
+}
+
+TEST_F(RefLogTest, DeleteBranchTombstoneSurvivesReattach) {
+  {
+    std::shared_ptr<FileNodeStore> store;
+    ASSERT_TRUE(FileNodeStore::Open(log_path_, &store).ok());
+    BranchManager mgr(store);
+    ASSERT_TRUE(mgr.AttachRefLog(ref_path_).ok());
+    PosTree tree(store);
+    auto root = tree.PutBatch(Hash::Zero(), MakeKvs(20));
+    ASSERT_TRUE(root.ok());
+    ASSERT_TRUE(mgr.CommitOnBranch("gone", *root, "a", "m").ok());
+    ASSERT_TRUE(mgr.CommitOnBranch("kept", *root, "a", "m").ok());
+    ASSERT_TRUE(mgr.DeleteBranch("gone").ok());
+    ASSERT_TRUE(store->Flush().ok());
+  }
+  std::shared_ptr<FileNodeStore> store;
+  ASSERT_TRUE(FileNodeStore::Open(log_path_, &store).ok());
+  BranchManager mgr(store);
+  ASSERT_TRUE(mgr.AttachRefLog(ref_path_).ok());
+  EXPECT_FALSE(mgr.Head("gone").ok());
+  EXPECT_TRUE(mgr.Head("kept").ok());
 }
 
 TEST_F(FileStoreTest, FlushSkipsFsyncWhenNothingAppended) {

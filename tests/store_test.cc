@@ -275,6 +275,50 @@ TEST(StagingStoreTest, DroppedWithoutFlushLeavesBaseUntouched) {
   EXPECT_EQ(base->stats().puts, 0u);
 }
 
+TEST(StagingStoreTest, PutPagesMatchesSerialPutsExactly) {
+  // Bulk staging through the SHA-256 pool must be indistinguishable from
+  // per-page Put: same digests, same staged set, same flush result.
+  std::vector<std::shared_ptr<const std::string>> pages;
+  for (int i = 0; i < 120; ++i) {
+    pages.push_back(std::make_shared<const std::string>(
+        "bulk page " + std::to_string(i % 100)));  // includes duplicates
+  }
+  auto pooled = NewInMemoryNodeStore();
+  {
+    StagingNodeStore staging(pooled.get());
+    const auto digests = staging.PutPages(pages);
+    ASSERT_EQ(digests.size(), pages.size());
+    for (size_t i = 0; i < pages.size(); ++i) {
+      EXPECT_EQ(digests[i], Sha256::Digest(*pages[i]));
+    }
+    EXPECT_EQ(staging.staged_count(), 100u);  // duplicates staged once
+    // Staged pages serve re-reads before the flush, like Put's.
+    auto got = staging.Get(digests[0]);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(**got, *pages[0]);
+    staging.FlushBatch();
+  }
+  auto serial = NewInMemoryNodeStore();
+  {
+    StagingNodeStore staging(serial.get());
+    for (const auto& p : pages) staging.Put(*p);
+    staging.FlushBatch();
+  }
+  EXPECT_EQ(pooled->stats().unique_nodes, serial->stats().unique_nodes);
+  EXPECT_EQ(pooled->stats().unique_bytes, serial->stats().unique_bytes);
+  EXPECT_EQ(pooled->stats().puts, serial->stats().puts);
+}
+
+TEST(NodeStoreTest, FlushCallsAreCountedAsDurabilityPoints) {
+  auto store = NewInMemoryNodeStore();
+  EXPECT_EQ(store->stats().flushes, 0u);
+  ASSERT_TRUE(store->Flush().ok());
+  ASSERT_TRUE(store->Flush().ok());
+  EXPECT_EQ(store->stats().flushes, 2u);
+  store->ResetOpCounters();
+  EXPECT_EQ(store->stats().flushes, 0u);
+}
+
 TEST(FaultyNodeStoreTest, CorruptNodeSurfacesCorruption) {
   auto base = NewInMemoryNodeStore();
   FaultyNodeStore faulty(base);
