@@ -35,8 +35,47 @@
 namespace siri {
 namespace bench {
 
-/// Parses --scale=K (default 1) and --help from argv.
+/// Every flag any figure bench understands. Entries ending in '=' are
+/// prefix flags (take a value); the rest match exactly.
+inline const char* const kKnownBenchFlags[] = {
+    "--scale=",
+    "--threads=",
+    "--write-threads=",
+    "--help",
+    "--threads-only",
+    "--write-scaling-only",
+    "--branch-commits-only",
+    "--group-commit-only",
+    "--smoke",
+};
+
+/// Returns the first argv entry matching no known bench flag, or nullptr
+/// when every argument is recognized. Pure (no exit, no I/O) so
+/// tests/bench_flags_test.cc can cover the matching rules directly.
+inline const char* FirstUnknownFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    bool known = false;
+    for (const char* flag : kKnownBenchFlags) {
+      const size_t len = strlen(flag);
+      known = flag[len - 1] == '=' ? strncmp(argv[i], flag, len) == 0
+                                   : strcmp(argv[i], flag) == 0;
+      if (known) break;
+    }
+    if (!known) return argv[i];
+  }
+  return nullptr;
+}
+
+/// Parses --scale=K (default 1) and --help from argv. Rejects anything
+/// not in kKnownBenchFlags up front (exit 2 with a message), so a typo'd
+/// flag (--sclae=8, --thread=4) aborts the run instead of silently
+/// benchmarking the defaults and poisoning a recorded trajectory.
 inline uint64_t ParseScale(int argc, char** argv) {
+  if (const char* bad = FirstUnknownFlag(argc, argv)) {
+    fprintf(stderr, "%s: unrecognized argument '%s' (see --help)\n", argv[0],
+            bad);
+    exit(2);
+  }
   uint64_t scale = 1;
   for (int i = 1; i < argc; ++i) {
     if (strncmp(argv[i], "--scale=", 8) == 0) {

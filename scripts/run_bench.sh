@@ -26,6 +26,15 @@ while getopts "b:o:a" opt; do
     *) echo "usage: $0 [-b build_dir] [-o out.json] [-a]" >&2; exit 2 ;;
   esac
 done
+shift $((OPTIND - 1))
+if [ $# -gt 0 ]; then
+  # A stray word here is almost always a typo'd option (e.g. `-all`): fail
+  # fast instead of silently recording a baseline the caller did not ask
+  # for. The bench binaries reject unknown --flags the same way.
+  echo "error: unrecognized argument(s): $*" >&2
+  echo "usage: $0 [-b build_dir] [-o out.json] [-a]" >&2
+  exit 2
+fi
 
 BENCH_DIR="$BUILD_DIR/bench"
 if [ ! -d "$BENCH_DIR" ]; then

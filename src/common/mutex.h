@@ -1,0 +1,123 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Annotated drop-in wrappers around the std synchronization primitives.
+// Clang Thread Safety Analysis works on *capability attributes*, and
+// libstdc++'s std::mutex / std::lock_guard carry none — locking through
+// them is invisible to the analysis. siri::Mutex / siri::SharedMutex are
+// std primitives wearing CAPABILITY attributes, and siri::MutexLock /
+// siri::ReaderLock are the SCOPED_CAPABILITY guards that make an
+// acquisition visible for the scope it covers.
+//
+// Condition variables keep working: MutexLock wraps a real
+// std::unique_lock<std::mutex>, exposed via native(), so
+// `cv.wait(lock.native())` is exactly the std wait (the analysis treats
+// the capability as held across the wait, which matches what the caller
+// observes: the lock is held again when wait returns). There is no
+// Await-style wrapper surface to migrate to.
+//
+// Convention (enforced by -Wthread-safety under the SIRI_THREAD_SAFETY
+// build): fields are GUARDED_BY(mu_), private helpers that assume the
+// lock are named *Locked() and annotated REQUIRES(mu_), and public entry
+// points of internally-locked types are annotated EXCLUDES(mu_).
+
+#ifndef SIRI_COMMON_MUTEX_H_
+#define SIRI_COMMON_MUTEX_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace siri {
+
+/// \brief std::mutex with capability attributes.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The underlying std primitive, for std::unique_lock/condition_variable
+  /// interop (MutexLock uses it; nothing else should).
+  std::mutex& std_mutex() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// \brief std::shared_mutex with capability attributes (reader/writer).
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  void lock_shared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// \brief Scoped exclusive lock over a Mutex (the annotated
+/// std::unique_lock). Supports mid-scope Unlock()/Lock() — the
+/// wait-a-little window pattern — and condition-variable waits through
+/// native().
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.std_mutex()) {}
+  ~MutexLock() RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Temporarily drop the lock (e.g. to sleep a publish window).
+  void Unlock() RELEASE() { lock_.unlock(); }
+  void Lock() ACQUIRE() { lock_.lock(); }
+
+  /// The std lock for condition_variable::wait. The analysis considers
+  /// the capability held across the wait, which is what the caller sees:
+  /// wait returns with the lock reacquired.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// \brief Scoped exclusive lock over a SharedMutex (writer side).
+class SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~WriterLock() RELEASE() { mu_.unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// \brief Scoped shared lock over a SharedMutex (reader side).
+class SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderLock() RELEASE() { mu_.unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace siri
+
+#endif  // SIRI_COMMON_MUTEX_H_

@@ -16,7 +16,11 @@
 namespace siri {
 
 /// \brief Outcome of a fallible operation.
-class Status {
+///
+/// [[nodiscard]]: a dropped Status is a swallowed error — every caller
+/// must check it, or cast to (void) with a comment saying why the error
+/// genuinely cannot matter.
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,
@@ -81,9 +85,10 @@ class Status {
   std::string msg_;
 };
 
-/// \brief Either a value or an error Status.
+/// \brief Either a value or an error Status. [[nodiscard]] like Status:
+/// dropping a Result drops the error with it.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}        // NOLINT
   Result(Status status) : status_(std::move(status)) {  // NOLINT

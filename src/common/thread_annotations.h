@@ -1,0 +1,91 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Clang Thread Safety Analysis annotations — the compile-time concurrency
+// contract layer. Every mutex-owning type in siri declares which fields a
+// lock guards (GUARDED_BY), which private helpers assume the lock is held
+// (REQUIRES on the *Locked() methods), and which public entry points must
+// be called without it (EXCLUDES). Under Clang with -Wthread-safety (the
+// SIRI_THREAD_SAFETY CMake option, on in the asan/tsan presets), touching
+// a guarded field unlocked or taking a lock recursively is a *compile
+// error*; the TSan CI job then only has to catch what the static analysis
+// cannot express. Under other compilers every macro expands to nothing.
+//
+// The macro set follows the Abseil/LevelDB convention, applied to the
+// annotated wrappers in common/mutex.h (std primitives carry no
+// capability attributes under libstdc++, so std::mutex +
+// std::lock_guard are invisible to the analysis — use siri::Mutex +
+// siri::MutexLock instead).
+
+#ifndef SIRI_COMMON_THREAD_ANNOTATIONS_H_
+#define SIRI_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define SIRI_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define SIRI_THREAD_ANNOTATION__(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a lockable capability (e.g. a mutex type).
+#define CAPABILITY(x) SIRI_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII class whose lifetime equals holding a capability.
+#define SCOPED_CAPABILITY SIRI_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Field access requires holding the given mutex(es).
+#define GUARDED_BY(x) SIRI_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Dereferencing this pointer requires holding the given mutex(es).
+#define PT_GUARDED_BY(x) SIRI_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Declares a required lock ordering between capabilities.
+#define ACQUIRED_BEFORE(...) \
+  SIRI_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  SIRI_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// The caller must hold the mutex(es) exclusively / shared.
+#define REQUIRES(...) \
+  SIRI_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  SIRI_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the mutex(es) and does not release them.
+#define ACQUIRE(...) \
+  SIRI_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  SIRI_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases mutex(es) the caller held on entry.
+#define RELEASE(...) \
+  SIRI_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  SIRI_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  SIRI_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+
+/// The function acquires the mutex(es) iff it returns the given value.
+#define TRY_ACQUIRE(...) \
+  SIRI_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  SIRI_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the mutex(es) — the annotation for public
+/// entry points of internally-locked types (catches self-deadlock).
+#define EXCLUDES(...) SIRI_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (for code the analysis
+/// cannot follow, e.g. a lock taken by a caller through a callback).
+#define ASSERT_CAPABILITY(x) SIRI_THREAD_ANNOTATION__(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  SIRI_THREAD_ANNOTATION__(assert_shared_capability(x))
+
+/// The function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) SIRI_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: the function intentionally breaks the declared contract
+/// (single-threaded setup paths, fork-after-lock tricks). Every use needs
+/// a justifying comment.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SIRI_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // SIRI_COMMON_THREAD_ANNOTATIONS_H_

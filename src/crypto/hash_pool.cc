@@ -22,7 +22,7 @@ Sha256Pool::Sha256Pool(int workers) {
 
 Sha256Pool::~Sha256Pool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -38,8 +38,10 @@ void Sha256Pool::WorkerLoop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Manual wait loop: a predicate lambda would hide the guarded reads
+      // of stop_/queue_ from the thread-safety analysis.
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.wait(lock.native());
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.back());
       queue_.pop_back();
@@ -75,7 +77,7 @@ void Sha256Pool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 
   const size_t helpers = std::min(threads_.size(), n > 0 ? n - 1 : 0);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (size_t i = 0; i < helpers; ++i) queue_.push_back(Task{drain});
   }
   if (helpers > 0) cv_.notify_all();

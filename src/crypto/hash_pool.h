@@ -22,10 +22,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/slice.h"
 #include "crypto/hash.h"
 
@@ -88,10 +88,10 @@ class Sha256Pool {
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   std::vector<std::thread> threads_;
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable cv_;
-  std::vector<Task> queue_;
-  bool stop_ = false;
+  std::vector<Task> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
 
   mutable std::atomic<uint64_t> jobs_{0};
   mutable std::atomic<uint64_t> inline_jobs_{0};

@@ -38,7 +38,7 @@ class MemoizingStore : public NodeStore {
  public:
   explicit MemoizingStore(NodeStore* base) : base_(base) {}
 
-  Hash Put(Slice bytes) override {
+  [[nodiscard]] Hash Put(Slice bytes) override {
     const Hash h = base_->Put(bytes);
     // Freshly written nodes are often re-read by the next level's rebuild.
     auto it = memo_.find(h);

@@ -24,7 +24,7 @@ ProofNodeStore::ProofNodeStore(const Proof& proof) {
 
 Hash ProofNodeStore::Put(Slice bytes) {
   const Hash h = Sha256::Digest(bytes);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = nodes_.find(h);
   if (it == nodes_.end()) {
     nodes_.emplace(h, std::make_shared<const std::string>(bytes.ToString()));
@@ -35,7 +35,7 @@ Hash ProofNodeStore::Put(Slice bytes) {
 }
 
 void ProofNodeStore::PutMany(const NodeBatch& batch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const NodeRecord& rec : batch) {
     auto [it, inserted] = nodes_.emplace(rec.hash, rec.bytes);
     if (inserted) {
@@ -46,7 +46,7 @@ void ProofNodeStore::PutMany(const NodeBatch& batch) {
 }
 
 Result<std::shared_ptr<const std::string>> ProofNodeStore::Get(const Hash& h) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.gets;
   auto it = nodes_.find(h);
   if (it == nodes_.end()) {
@@ -57,19 +57,19 @@ Result<std::shared_ptr<const std::string>> ProofNodeStore::Get(const Hash& h) {
 }
 
 bool ProofNodeStore::Contains(const Hash& h) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return nodes_.count(h) > 0;
 }
 
 Result<uint64_t> ProofNodeStore::SizeOf(const Hash& h) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = nodes_.find(h);
   if (it == nodes_.end()) return Status::NotFound();
   return static_cast<uint64_t>(it->second->size());
 }
 
 NodeStore::Stats ProofNodeStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

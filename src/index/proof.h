@@ -9,11 +9,11 @@
 #ifndef SIRI_INDEX_PROOF_H_
 #define SIRI_INDEX_PROOF_H_
 
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "crypto/hash.h"
 #include "store/node_store.h"
 
@@ -44,21 +44,22 @@ class ProofNodeStore : public NodeStore {
   /// Accepts writes so that verifiers with constructor-built skeletons
   /// (MBT's empty tree) can operate; a tampered proof node still fails
   /// verification because lookups address nodes by digest.
-  Hash Put(Slice bytes) override;
+  [[nodiscard]] Hash Put(Slice bytes) override EXCLUDES(mu_);
   /// Batched variant: one lock acquisition for a whole staged batch (MBT
   /// verifiers flush their skeleton in one call).
-  void PutMany(const NodeBatch& batch) override;
-  Result<std::shared_ptr<const std::string>> Get(const Hash& h) override;
-  bool Contains(const Hash& h) const override;
-  Result<uint64_t> SizeOf(const Hash& h) const override;
-  Stats stats() const override;
+  void PutMany(const NodeBatch& batch) override EXCLUDES(mu_);
+  Result<std::shared_ptr<const std::string>> Get(const Hash& h) override
+      EXCLUDES(mu_);
+  bool Contains(const Hash& h) const override EXCLUDES(mu_);
+  Result<uint64_t> SizeOf(const Hash& h) const override EXCLUDES(mu_);
+  Stats stats() const override EXCLUDES(mu_);
   void ResetOpCounters() override {}
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::unordered_map<Hash, std::shared_ptr<const std::string>, HashHasher>
-      nodes_;
-  Stats stats_;
+      nodes_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace siri

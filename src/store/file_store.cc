@@ -75,6 +75,10 @@ Status FileNodeStore::Open(const std::string& path,
 }
 
 Status FileNodeStore::Replay() {
+  // Replay runs once from Open(), before the store is shared — the lock
+  // is uncontended and exists to satisfy the guarded-field contracts
+  // (file_, nodes_, stats_, the generation counters).
+  MutexLock lock(mu_);
   std::fseek(file_, 0, SEEK_END);
   const long end = std::ftell(file_);
   if (end < 0) return Status::IOError("ftell failed");
@@ -197,7 +201,7 @@ void FileNodeStore::RememberRecentLocked(const Hash& h) {
 
 Hash FileNodeStore::Put(Slice bytes) {
   const Hash h = Sha256::Digest(bytes);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.puts;
   stats_.put_bytes += bytes.size();
   if (nodes_.count(h) > 0) {
@@ -225,7 +229,7 @@ Hash FileNodeStore::Put(Slice bytes) {
 }
 
 void FileNodeStore::PutMany(const NodeBatch& batch) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   // One serialized run of records per batch: the whole dirty path of a
   // commit goes to the log in a single fwrite. Records of nodes already
   // resident are skipped (content-addressed dedup), exactly as per-node
@@ -259,7 +263,7 @@ void FileNodeStore::PutMany(const NodeBatch& batch) {
 }
 
 Result<std::shared_ptr<const std::string>> FileNodeStore::Get(const Hash& h) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.gets;
   auto it = nodes_.find(h);
   if (it == nodes_.end()) return Status::NotFound("node " + h.ToHex());
@@ -268,19 +272,19 @@ Result<std::shared_ptr<const std::string>> FileNodeStore::Get(const Hash& h) {
 }
 
 bool FileNodeStore::Contains(const Hash& h) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return nodes_.count(h) > 0;
 }
 
 Result<uint64_t> FileNodeStore::SizeOf(const Hash& h) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = nodes_.find(h);
   if (it == nodes_.end()) return Status::NotFound("node " + h.ToHex());
   return static_cast<uint64_t>(it->second->size());
 }
 
 NodeStore::Stats FileNodeStore::stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   Stats out = stats_;
   // Reset-relative like every other op counter, so commits-per-flush
   // accounting behaves identically on memory- and disk-backed stores.
@@ -291,13 +295,13 @@ NodeStore::Stats FileNodeStore::stats() const {
 }
 
 void FileNodeStore::ResetOpCounters() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   stats_.puts = stats_.put_bytes = stats_.dup_puts = 0;
   stats_.gets = stats_.get_bytes = 0;
   fsyncs_at_reset_ = fsyncs_;
 }
 
-Status FileNodeStore::SyncLocked(std::unique_lock<std::mutex>& lock) {
+Status FileNodeStore::SyncLocked(MutexLock& lock) {
   // The syscalls run with mu_ held: appends share the FILE* stream, so a
   // concurrent fwrite during fflush would corrupt the buffer. Concurrent
   // *flushers* do not queue on the mutex, though — they wait on sync_cv_
@@ -316,7 +320,7 @@ Status FileNodeStore::SyncLocked(std::unique_lock<std::mutex>& lock) {
 }
 
 Status FileNodeStore::Flush() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Nothing appended since the last fsync: the log is already durable, so
   // skip the syscalls — back-to-back commit boundaries (or a commit whose
   // batch was fully deduplicated) cost zero fsyncs.
@@ -335,18 +339,20 @@ Status FileNodeStore::Flush() {
     // An fsync is in flight; piggyback on it instead of queuing a second
     // syscall. If it fails (or covered an older generation), the loop
     // falls through and this thread becomes the syncer.
-    sync_cv_.wait(lock);
+    sync_cv_.wait(lock.native());
   }
 
   sync_in_progress_ = true;
   if (group_window_micros_ > 0) {
     // Wait-a-little: let concurrent committers get their appends into the
     // log so one fsync covers them all. The lock is dropped — the window
-    // exists precisely so others can append during it.
-    lock.unlock();
-    std::this_thread::sleep_for(
-        std::chrono::microseconds(group_window_micros_));
-    lock.lock();
+    // exists precisely so others can append during it — so the window
+    // length is copied out first: reading group_window_micros_ after the
+    // unlock would race set_group_flush_window_micros.
+    const uint64_t window = group_window_micros_;
+    lock.Unlock();
+    std::this_thread::sleep_for(std::chrono::microseconds(window));
+    lock.Lock();
   }
   Status s = SyncLocked(lock);
   sync_in_progress_ = false;
@@ -355,27 +361,27 @@ Status FileNodeStore::Flush() {
 }
 
 void FileNodeStore::set_group_flush_window_micros(uint64_t micros) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   group_window_micros_ = micros;
 }
 
 uint64_t FileNodeStore::group_flush_window_micros() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return group_window_micros_;
 }
 
 uint64_t FileNodeStore::fsync_count() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return fsyncs_;
 }
 
 uint64_t FileNodeStore::coalesced_flushes() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return coalesced_flushes_;
 }
 
 uint64_t FileNodeStore::dedup_skips() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return dedup_skips_;
 }
 

@@ -20,6 +20,16 @@
 // time to share it — under K-writer contention, commits-per-fsync rises
 // toward the batch size. fsync_count() stays exact (real syscalls only),
 // which is what lets tests assert the coalescing actually happened.
+//
+// Locking contract (compiler-checked under SIRI_THREAD_SAFETY): one Mutex
+// mu_ orders everything — the FILE* stream, the digest index, the
+// generation counters, and the dedup ring are all GUARDED_BY(mu_).
+// Appends happen under mu_ *before* the page becomes visible in nodes_;
+// the fsync syscall runs under mu_ too (appenders share the stdio
+// buffer), but concurrent flushers never queue behind it — they wait on
+// sync_cv_ and discover their generation covered. The wait-a-little
+// window is the one place the syncer drops mu_ (MutexLock::Unlock), which
+// is exactly what lets straggler appends join the covered generation.
 
 #ifndef SIRI_STORE_FILE_STORE_H_
 #define SIRI_STORE_FILE_STORE_H_
@@ -27,11 +37,11 @@
 #include <condition_variable>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "common/mutex.h"
 #include "store/node_store.h"
 
 namespace siri {
@@ -49,7 +59,7 @@ class FileNodeStore : public NodeStore {
 
   ~FileNodeStore() override;
 
-  Hash Put(Slice bytes) override;
+  [[nodiscard]] Hash Put(Slice bytes) override EXCLUDES(mu_);
 
   /// Appends every new node of \p batch as ONE buffered log write (a
   /// commit's whole root-to-leaf path in a single append) instead of one
@@ -58,13 +68,14 @@ class FileNodeStore : public NodeStore {
   /// landed within the last kRecentRingSize appends are attributed by the
   /// recent-digest ring and counted in dedup_skips() — the cross-commit
   /// dedup signal under shared key prefixes.
-  void PutMany(const NodeBatch& batch) override;
+  void PutMany(const NodeBatch& batch) override EXCLUDES(mu_);
 
-  Result<std::shared_ptr<const std::string>> Get(const Hash& h) override;
-  bool Contains(const Hash& h) const override;
-  Result<uint64_t> SizeOf(const Hash& h) const override;
-  Stats stats() const override;
-  void ResetOpCounters() override;
+  Result<std::shared_ptr<const std::string>> Get(const Hash& h) override
+      EXCLUDES(mu_);
+  bool Contains(const Hash& h) const override EXCLUDES(mu_);
+  Result<uint64_t> SizeOf(const Hash& h) const override EXCLUDES(mu_);
+  Stats stats() const override EXCLUDES(mu_);
+  void ResetOpCounters() override EXCLUDES(mu_);
 
   /// Flushes buffered appends all the way to stable storage (fsync), with
   /// group-commit coalescing: if another thread's fsync already covers (or
@@ -72,92 +83,97 @@ class FileNodeStore : public NodeStore {
   /// that fsync instead of issuing its own. Pages are only crash-durable
   /// once it returns OK. When nothing was appended since the last flush
   /// the syscall is skipped entirely.
-  Status Flush() override;
+  Status Flush() override EXCLUDES(mu_);
 
   /// Wait-a-little group window: before issuing an fsync, the syncing
   /// thread sleeps up to \p micros so concurrent committers' appends land
   /// in time to be covered by the same syscall. 0 (the default) disables
   /// the wait; coalescing via generations still happens. Typical
   /// contended-server settings are 100-500µs.
-  void set_group_flush_window_micros(uint64_t micros);
-  uint64_t group_flush_window_micros() const;
+  void set_group_flush_window_micros(uint64_t micros) EXCLUDES(mu_);
+  uint64_t group_flush_window_micros() const EXCLUDES(mu_);
 
   /// Number of fsyncs actually issued (skipped clean flushes and coalesced
   /// flushes excluded). Lets tests and benches assert the ≤1-fsync-per-
   /// commit and >1-commit-per-fsync properties.
-  uint64_t fsync_count() const;
+  uint64_t fsync_count() const EXCLUDES(mu_);
 
   /// Dirty Flush() calls that were made durable by another thread's fsync
   /// instead of their own syscall (the group-commit coalescing counter).
-  uint64_t coalesced_flushes() const;
+  uint64_t coalesced_flushes() const EXCLUDES(mu_);
 
   /// Offered duplicate pages whose digest sat in the recently-flushed
   /// ring — i.e. a concurrent committer landed the identical page within
   /// the last kRecentRingSize appends. A subset of stats().dup_puts:
   /// the ring attributes *recent* cross-commit dedup, which the
   /// all-time resident map cannot.
-  uint64_t dedup_skips() const;
+  uint64_t dedup_skips() const EXCLUDES(mu_);
 
   /// Number of records (pages) dropped from the recovered log: the first
   /// torn or digest-mismatching record plus everything after it — replay
   /// truncates at the first bad record.
-  uint64_t recovered_truncations() const { return truncations_; }
+  uint64_t recovered_truncations() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return truncations_;
+  }
 
   const std::string& path() const { return path_; }
 
  private:
   FileNodeStore(std::string path, FILE* file);
-  Status Replay();
+  Status Replay() EXCLUDES(mu_);
 
   /// Serializes one `varint len | digest | bytes` record into \p out.
   static void AppendRecord(std::string* out, const Hash& h, Slice bytes);
 
-  /// Remembers \p h in the recent-digest ring (caller holds mu_).
-  void RememberRecentLocked(const Hash& h);
+  /// Remembers \p h in the recent-digest ring.
+  void RememberRecentLocked(const Hash& h) REQUIRES(mu_);
 
-  /// Issues the fflush+fsync covering everything appended so far. Caller
-  /// holds mu_ and has claimed sync_in_progress_.
-  Status SyncLocked(std::unique_lock<std::mutex>& lock);
+  /// Issues the fflush+fsync covering everything appended so far. The
+  /// caller has claimed sync_in_progress_; \p lock holds mu_ (appends
+  /// share the FILE* stream, so the syscalls run locked — concurrent
+  /// flushers wait on sync_cv_ instead of queuing on the mutex).
+  Status SyncLocked(MutexLock& lock) REQUIRES(mu_);
 
   /// Atomically replaces the log with \p len bytes of \p data (written to
   /// a temp file, fsynced, renamed over the log) and reopens the append
   /// handle. Recovery uses this so a crash mid-rewrite can never destroy
   /// the valid prefix.
-  Status RewriteLog(const char* data, size_t len);
+  Status RewriteLog(const char* data, size_t len) REQUIRES(mu_);
 
   std::string path_;
-  FILE* file_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
+  FILE* file_ GUARDED_BY(mu_);
   std::unordered_map<Hash, std::shared_ptr<const std::string>, HashHasher>
-      nodes_;
-  Stats stats_;
-  uint64_t truncations_ = 0;
+      nodes_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
+  uint64_t truncations_ GUARDED_BY(mu_) = 0;
 
   // Group-commit state. An append bumps append_gen_; a successful fsync
   // records the generation it covered in synced_gen_. dirty ≡ append_gen_
   // > synced_gen_. One thread at a time owns the actual syscall
   // (sync_in_progress_); others wait on sync_cv_ and re-check whether the
   // finished fsync covered their appends.
-  uint64_t append_gen_ = 0;
-  uint64_t synced_gen_ = 0;
-  bool sync_in_progress_ = false;
+  uint64_t append_gen_ GUARDED_BY(mu_) = 0;
+  uint64_t synced_gen_ GUARDED_BY(mu_) = 0;
+  bool sync_in_progress_ GUARDED_BY(mu_) = false;
   std::condition_variable sync_cv_;
-  uint64_t group_window_micros_ = 0;
-  uint64_t fsyncs_ = 0;
+  uint64_t group_window_micros_ GUARDED_BY(mu_) = 0;
+  uint64_t fsyncs_ GUARDED_BY(mu_) = 0;
   // fsyncs_ at the last ResetOpCounters: stats().flushes reports the
   // difference so the Stats view is reset-relative like every other op
   // counter, while fsync_count() stays cumulative.
-  uint64_t fsyncs_at_reset_ = 0;
-  uint64_t coalesced_flushes_ = 0;
+  uint64_t fsyncs_at_reset_ GUARDED_BY(mu_) = 0;
+  uint64_t coalesced_flushes_ GUARDED_BY(mu_) = 0;
 
   // Recently-flushed digest ring: the last kRecentRingSize appended
   // digests, membership-indexed. Consulted on the dup path only, so
   // cross-commit duplicates are observable as dedup_skips without any
   // cost to fresh appends.
-  std::vector<Hash> recent_ring_;
-  size_t recent_next_ = 0;
-  std::unordered_set<Hash, HashHasher> recent_set_;
-  uint64_t dedup_skips_ = 0;
+  std::vector<Hash> recent_ring_ GUARDED_BY(mu_);
+  size_t recent_next_ GUARDED_BY(mu_) = 0;
+  std::unordered_set<Hash, HashHasher> recent_set_ GUARDED_BY(mu_);
+  uint64_t dedup_skips_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace siri

@@ -2,8 +2,6 @@
 
 #include "store/node_store.h"
 
-#include <mutex>
-
 #include "crypto/sha256.h"
 
 namespace siri {
@@ -31,7 +29,7 @@ void InMemoryNodeStore::InsertLocked(Shard& shard, const Hash& h,
 Hash InMemoryNodeStore::Put(Slice bytes) {
   const Hash h = Sha256::Digest(bytes);
   Shard& shard = ShardFor(h);
-  std::unique_lock lock(shard.mu);
+  WriterLock lock(shard.mu);
   puts_.fetch_add(1, std::memory_order_relaxed);
   put_bytes_.fetch_add(bytes.size(), std::memory_order_relaxed);
   auto it = shard.nodes.find(h);
@@ -52,7 +50,7 @@ void InMemoryNodeStore::PutMany(const NodeBatch& batch) {
   if (batch.size() <= shards_.size() / 2) {
     for (const NodeRecord& rec : batch) {
       Shard& shard = ShardFor(rec.hash);
-      std::unique_lock lock(shard.mu);
+      WriterLock lock(shard.mu);
       InsertLocked(shard, rec.hash, rec.bytes);
     }
     return;
@@ -66,7 +64,7 @@ void InMemoryNodeStore::PutMany(const NodeBatch& batch) {
   for (size_t s = 0; s < by_shard.size(); ++s) {
     if (by_shard[s].empty()) continue;
     Shard& shard = shards_[s];
-    std::unique_lock lock(shard.mu);
+    WriterLock lock(shard.mu);
     for (const NodeRecord* rec : by_shard[s]) {
       InsertLocked(shard, rec->hash, rec->bytes);
     }
@@ -76,7 +74,7 @@ void InMemoryNodeStore::PutMany(const NodeBatch& batch) {
 Result<std::shared_ptr<const std::string>> InMemoryNodeStore::Get(
     const Hash& h) {
   const Shard& shard = ShardFor(h);
-  std::shared_lock lock(shard.mu);
+  ReaderLock lock(shard.mu);
   gets_.fetch_add(1, std::memory_order_relaxed);
   auto it = shard.nodes.find(h);
   if (it == shard.nodes.end()) {
@@ -88,13 +86,13 @@ Result<std::shared_ptr<const std::string>> InMemoryNodeStore::Get(
 
 bool InMemoryNodeStore::Contains(const Hash& h) const {
   const Shard& shard = ShardFor(h);
-  std::shared_lock lock(shard.mu);
+  ReaderLock lock(shard.mu);
   return shard.nodes.count(h) > 0;
 }
 
 Result<uint64_t> InMemoryNodeStore::SizeOf(const Hash& h) const {
   const Shard& shard = ShardFor(h);
-  std::shared_lock lock(shard.mu);
+  ReaderLock lock(shard.mu);
   auto it = shard.nodes.find(h);
   if (it == shard.nodes.end()) {
     return Status::NotFound("node " + h.ToHex());
@@ -111,7 +109,7 @@ NodeStore::Stats InMemoryNodeStore::stats() const {
   out.get_bytes = get_bytes_.load(std::memory_order_relaxed);
   out.flushes = flushes_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
-    std::shared_lock lock(shard.mu);
+    ReaderLock lock(shard.mu);
     out.unique_nodes += shard.unique_nodes;
     out.unique_bytes += shard.unique_bytes;
   }
@@ -131,7 +129,7 @@ uint64_t InMemoryNodeStore::BytesOf(const PageSet& pages) const {
   uint64_t total = 0;
   for (const Hash& h : pages) {
     const Shard& shard = ShardFor(h);
-    std::shared_lock lock(shard.mu);
+    ReaderLock lock(shard.mu);
     auto it = shard.nodes.find(h);
     if (it != shard.nodes.end()) total += it->second->size();
   }
@@ -141,7 +139,7 @@ uint64_t InMemoryNodeStore::BytesOf(const PageSet& pages) const {
 uint64_t InMemoryNodeStore::PruneExcept(const PageSet& retain) {
   uint64_t dropped = 0;
   for (Shard& shard : shards_) {
-    std::unique_lock lock(shard.mu);
+    WriterLock lock(shard.mu);
     for (auto it = shard.nodes.begin(); it != shard.nodes.end();) {
       if (retain.count(it->first) == 0) {
         shard.unique_bytes -= it->second->size();
@@ -161,17 +159,17 @@ std::shared_ptr<InMemoryNodeStore> NewInMemoryNodeStore(int num_shards) {
 }
 
 void FaultyNodeStore::CorruptNode(const Hash& h) {
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   corrupted_.insert(h);
 }
 
 void FaultyNodeStore::DropNode(const Hash& h) {
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   dropped_.insert(h);
 }
 
 void FaultyNodeStore::ClearFaults() {
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   corrupted_.clear();
   dropped_.clear();
 }
@@ -179,7 +177,7 @@ void FaultyNodeStore::ClearFaults() {
 Result<std::shared_ptr<const std::string>> FaultyNodeStore::Get(
     const Hash& h) {
   {
-    std::shared_lock lock(mu_);
+    ReaderLock lock(mu_);
     if (corrupted_.count(h) > 0) {
       return Status::Corruption("injected corruption for " + h.ToHex());
     }
@@ -192,7 +190,7 @@ Result<std::shared_ptr<const std::string>> FaultyNodeStore::Get(
 
 bool FaultyNodeStore::Contains(const Hash& h) const {
   {
-    std::shared_lock lock(mu_);
+    ReaderLock lock(mu_);
     if (dropped_.count(h) > 0) return false;
   }
   return base_->Contains(h);

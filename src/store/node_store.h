@@ -19,11 +19,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "crypto/hash.h"
@@ -70,7 +70,10 @@ class NodeStore {
   virtual ~NodeStore() = default;
 
   /// Stores \p bytes (idempotent) and returns its SHA-256 digest.
-  virtual Hash Put(Slice bytes) = 0;
+  /// [[nodiscard]]: the digest is the only handle to the stored node —
+  /// a caller that drops it stored bytes it can never address again.
+  /// Fire-and-forget writes of *pre-digested* nodes go through PutMany.
+  [[nodiscard]] virtual Hash Put(Slice bytes) = 0;
 
   /// Stores every node of \p batch (idempotent, like Put). Implementations
   /// override this to amortize per-node overhead: the in-memory store takes
@@ -96,7 +99,9 @@ class NodeStore {
 
   /// Makes previously acknowledged Puts durable. No-op for in-memory
   /// stores; disk-backed stores fsync. Commit boundaries call this so an
-  /// acknowledged commit survives a crash.
+  /// acknowledged commit survives a crash. The Status must be checked
+  /// ([[nodiscard]] via Status): an ignored failed flush is an
+  /// acknowledged commit that does not survive a crash.
   virtual Status Flush() { return Status::OK(); }
 };
 
@@ -117,7 +122,7 @@ class InMemoryNodeStore : public NodeStore {
 
   explicit InMemoryNodeStore(int num_shards = kDefaultShards);
 
-  Hash Put(Slice bytes) override;
+  [[nodiscard]] Hash Put(Slice bytes) override;
   void PutMany(const NodeBatch& batch) override;
   Result<std::shared_ptr<const std::string>> Get(const Hash& h) override;
   bool Contains(const Hash& h) const override;
@@ -147,12 +152,12 @@ class InMemoryNodeStore : public NodeStore {
 
  private:
   struct Shard {
-    mutable std::shared_mutex mu;
+    mutable SharedMutex mu;
     std::unordered_map<Hash, std::shared_ptr<const std::string>, HashHasher>
-        nodes;
+        nodes GUARDED_BY(mu);
     // Resident-node counters only change under the shard's unique lock.
-    uint64_t unique_nodes = 0;
-    uint64_t unique_bytes = 0;
+    uint64_t unique_nodes GUARDED_BY(mu) = 0;
+    uint64_t unique_bytes GUARDED_BY(mu) = 0;
   };
 
   size_t ShardIndexFor(const Hash& h) const {
@@ -166,7 +171,8 @@ class InMemoryNodeStore : public NodeStore {
   /// Inserts one pre-digested node into \p shard (which must be uniquely
   /// locked by the caller) and bumps the op counters.
   void InsertLocked(Shard& shard, const Hash& h,
-                    std::shared_ptr<const std::string> bytes);
+                    std::shared_ptr<const std::string> bytes)
+      REQUIRES(shard.mu);
 
   std::vector<Shard> shards_;
   // Op counters are bumped on shared-lock read paths and across shards, so
@@ -196,7 +202,7 @@ class FaultyNodeStore : public NodeStore {
   void DropNode(const Hash& h);
   void ClearFaults();
 
-  Hash Put(Slice bytes) override { return base_->Put(bytes); }
+  [[nodiscard]] Hash Put(Slice bytes) override { return base_->Put(bytes); }
   void PutMany(const NodeBatch& batch) override { base_->PutMany(batch); }
   Result<std::shared_ptr<const std::string>> Get(const Hash& h) override;
   bool Contains(const Hash& h) const override;
@@ -209,9 +215,9 @@ class FaultyNodeStore : public NodeStore {
 
  private:
   NodeStorePtr base_;
-  mutable std::shared_mutex mu_;
-  PageSet corrupted_;
-  PageSet dropped_;
+  mutable SharedMutex mu_;
+  PageSet corrupted_ GUARDED_BY(mu_);
+  PageSet dropped_ GUARDED_BY(mu_);
 };
 
 }  // namespace siri

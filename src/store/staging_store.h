@@ -40,7 +40,7 @@ class StagingNodeStore : public NodeStore {
   /// Digests \p bytes and stages the node locally. The digest is computed
   /// exactly once, here; FlushBatch hands it to the base store so the
   /// batch path never re-hashes.
-  Hash Put(Slice bytes) override;
+  [[nodiscard]] Hash Put(Slice bytes) override;
 
   /// Stages every node of \p batch (used when relaying an already-digested
   /// batch, e.g. version transfer through a staging boundary).

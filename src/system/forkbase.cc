@@ -21,7 +21,7 @@ NodeCache::NodeCache(uint64_t capacity_bytes, int num_shards)
 
 std::shared_ptr<const std::string> NodeCache::Lookup(const Hash& h) {
   Shard& s = ShardFor(h);
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   auto it = s.map.find(h);
   if (it == s.map.end()) return nullptr;
   // Move to front (most recently used).
@@ -31,7 +31,7 @@ std::shared_ptr<const std::string> NodeCache::Lookup(const Hash& h) {
 
 void NodeCache::Insert(const Hash& h, std::shared_ptr<const std::string> bytes) {
   Shard& s = ShardFor(h);
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   auto it = s.map.find(h);
   if (it != s.map.end()) {
     // Content-addressed: same digest, same bytes. Refresh recency so the
@@ -52,7 +52,7 @@ void NodeCache::Insert(const Hash& h, std::shared_ptr<const std::string> bytes) 
 
 void NodeCache::Clear() {
   for (Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     s.lru.clear();
     s.map.clear();
     s.size = 0;
@@ -62,7 +62,7 @@ void NodeCache::Clear() {
 uint64_t NodeCache::size_bytes() const {
   uint64_t total = 0;
   for (const Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     total += s.size;
   }
   return total;
@@ -122,7 +122,7 @@ Result<std::shared_ptr<const std::string>> ForkbaseClientStore::Get(
   std::shared_ptr<InFlightFetch> flight;
   bool leader = false;
   {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
+    MutexLock lock(inflight_mu_);
     auto it = inflight_.find(h);
     if (it == inflight_.end()) {
       flight = std::make_shared<InFlightFetch>();
@@ -134,9 +134,11 @@ Result<std::shared_ptr<const std::string>> ForkbaseClientStore::Get(
   }
   if (!leader) {
     // Follower: the round trip is already being paid by the leader; wait
-    // for its result instead of issuing a duplicate fetch.
-    std::unique_lock<std::mutex> lock(flight->mu);
-    flight->cv.wait(lock, [&flight] { return flight->done; });
+    // for its result instead of issuing a duplicate fetch. (Manual wait
+    // loop: a predicate lambda would hide the guarded read of done from
+    // the thread-safety analysis.)
+    MutexLock lock(flight->mu);
+    while (!flight->done) flight->cv.wait(lock.native());
     coalesced_gets_.fetch_add(1, std::memory_order_relaxed);
     if (!flight->status.ok()) return flight->status;
     return flight->bytes;
@@ -152,14 +154,14 @@ Result<std::shared_ptr<const std::string>> ForkbaseClientStore::Get(
   // Publish to followers, then retire the flight so later misses start a
   // fresh fetch (by then the node is normally in the cache anyway).
   {
-    std::lock_guard<std::mutex> lock(flight->mu);
+    MutexLock lock(flight->mu);
     flight->status = bytes.ok() ? Status::OK() : bytes.status();
     if (bytes.ok()) flight->bytes = *bytes;
     flight->done = true;
   }
   flight->cv.notify_all();
   {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
+    MutexLock lock(inflight_mu_);
     inflight_.erase(h);
   }
   return bytes;

@@ -32,9 +32,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
+
+#include "common/mutex.h"
 
 #include "store/node_store.h"
 #include "version/commit.h"
@@ -77,11 +78,12 @@ class NodeCache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    uint64_t capacity = 0;
-    uint64_t size = 0;
-    std::list<Entry> lru;  // front = most recent
-    std::unordered_map<Hash, std::list<Entry>::iterator, HashHasher> map;
+    mutable Mutex mu;
+    uint64_t capacity = 0;  // set once at construction, immutable after
+    uint64_t size GUARDED_BY(mu) = 0;
+    std::list<Entry> lru GUARDED_BY(mu);  // front = most recent
+    std::unordered_map<Hash, std::list<Entry>::iterator, HashHasher> map
+        GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const Hash& h) {
@@ -169,7 +171,7 @@ class ForkbaseClientStore : public NodeStore {
                       RttModel rtt_model = RttModel::kBusyWait);
 
   /// One upload RPC per node: charges a round trip and forwards.
-  Hash Put(Slice bytes) override;
+  [[nodiscard]] Hash Put(Slice bytes) override;
 
   /// One upload RPC per *batch* (ForkBase's chunk-upload call): a staged
   /// commit of any size costs a single simulated round trip.
@@ -194,11 +196,11 @@ class ForkbaseClientStore : public NodeStore {
   /// One miss being fetched from the servlet; followers block on cv until
   /// the leader publishes the outcome.
   struct InFlightFetch {
-    std::mutex mu;
+    Mutex mu;
     std::condition_variable cv;
-    bool done = false;
-    Status status;
-    std::shared_ptr<const std::string> bytes;
+    bool done GUARDED_BY(mu) = false;
+    Status status GUARDED_BY(mu);
+    std::shared_ptr<const std::string> bytes GUARDED_BY(mu);
   };
 
   void ChargeRoundTrip() const;
@@ -212,9 +214,9 @@ class ForkbaseClientStore : public NodeStore {
   mutable std::atomic<uint64_t> remote_bytes_{0};
   mutable std::atomic<uint64_t> coalesced_gets_{0};
   mutable std::atomic<uint64_t> remote_puts_{0};
-  std::mutex inflight_mu_;
+  Mutex inflight_mu_;
   std::unordered_map<Hash, std::shared_ptr<InFlightFetch>, HashHasher>
-      inflight_;
+      inflight_ GUARDED_BY(inflight_mu_);
 };
 
 }  // namespace siri

@@ -28,7 +28,7 @@ Result<Hash> Ledger::AppendBlock(const std::vector<KV>& txs) {
     if (!s.ok()) return s;
   }
   {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    WriterLock lock(mu_);
     block_roots_.push_back(root);
   }
   return root;
@@ -44,14 +44,14 @@ Result<std::optional<std::string>> Ledger::Lookup(
   // chain on this measured hot path.
   uint64_t num_blocks;
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderLock lock(mu_);
     num_blocks = block_roots_.size();
   }
   uint64_t scanned = 0;
   for (uint64_t i = num_blocks; i-- > 0;) {
     Hash root;
     {
-      std::shared_lock<std::shared_mutex> lock(mu_);
+      ReaderLock lock(mu_);
       root = block_roots_[i];
     }
     ++scanned;

@@ -12,10 +12,10 @@
 
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "index/index.h"
 
 namespace siri {
@@ -61,11 +61,11 @@ class Ledger {
   /// Snapshot of the chain (copied under the lock: appenders may be
   /// extending it concurrently, so a reference would race).
   std::vector<Hash> block_roots() const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderLock lock(mu_);
     return block_roots_;
   }
   uint64_t num_blocks() const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderLock lock(mu_);
     return block_roots_.size();
   }
 
@@ -75,8 +75,8 @@ class Ledger {
   ImmutableIndex* index_;
   bool batch_build_;
   bool sync_on_commit_;
-  mutable std::shared_mutex mu_;  // guards block_roots_
-  std::vector<Hash> block_roots_;
+  mutable SharedMutex mu_;
+  std::vector<Hash> block_roots_ GUARDED_BY(mu_);
 };
 
 }  // namespace siri

@@ -68,7 +68,7 @@ Result<Commit> BranchManager::ReadCommit(const Hash& commit_hash) const {
 Status BranchManager::CreateBranch(const std::string& name,
                                    const Hash& commit_hash) {
   Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto [it, inserted] = shard.branches.try_emplace(name);
   if (!inserted) return Status::InvalidArgument("branch exists: " + name);
   if (ref_log_) {
@@ -85,7 +85,7 @@ Status BranchManager::CreateBranch(const std::string& name,
 Status BranchManager::MoveBranch(const std::string& name,
                                  const Hash& commit_hash) {
   Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.branches.find(name);
   if (it == shard.branches.end()) return Status::NotFound("branch " + name);
   if (ref_log_) {
@@ -98,7 +98,7 @@ Status BranchManager::MoveBranch(const std::string& name,
 
 Status BranchManager::DeleteBranch(const std::string& name) {
   Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.branches.find(name);
   if (it == shard.branches.end()) return Status::NotFound("branch " + name);
   if (ref_log_) {
@@ -120,7 +120,7 @@ Status BranchManager::AttachRefLog(const std::string& path,
     // rather than resurrect a dangling branch.
     if (!store_->Contains(head)) continue;
     Shard& shard = ShardFor(name);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto [it, inserted] = shard.branches.try_emplace(name);
     if (inserted) it->second.head = head;
   }
@@ -134,7 +134,7 @@ Status BranchManager::SyncRefs() {
 
 std::optional<Hash> BranchManager::LoadHead(const std::string& name) const {
   Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.branches.find(name);
   if (it == shard.branches.end()) return std::nullopt;
   return it->second.head;
@@ -149,7 +149,7 @@ Result<Hash> BranchManager::Head(const std::string& name) const {
 std::vector<std::string> BranchManager::ListBranches() const {
   std::vector<std::string> out;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (const auto& [name, entry] : shard.branches) out.push_back(name);
   }
   std::sort(out.begin(), out.end());
@@ -158,14 +158,14 @@ std::vector<std::string> BranchManager::ListBranches() const {
 
 BranchStats BranchManager::branch_stats(const std::string& name) const {
   Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.branches.find(name);
   return it == shard.branches.end() ? BranchStats{} : it->second.stats;
 }
 
 void BranchManager::RecordMergeRetry(const std::string& name) {
   Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.branches.find(name);
   if (it != shard.branches.end()) ++it->second.stats.merge_retries;
 }
@@ -173,7 +173,7 @@ void BranchManager::RecordMergeRetry(const std::string& name) {
 void BranchManager::RecordCombinedCommits(const std::string& name,
                                           uint64_t count) {
   Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.branches.find(name);
   if (it != shard.branches.end()) it->second.stats.combined_commits += count;
 }
@@ -182,7 +182,7 @@ CasResult BranchManager::CheckAndSwingHead(const std::string& name,
                                            const std::optional<Hash>& expected,
                                            const Hash* swing_to) {
   Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.branches.find(name);
   const bool exists = it != shard.branches.end();
   if (exists != expected.has_value() ||

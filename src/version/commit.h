@@ -24,11 +24,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "crypto/hash.h"
 #include "store/node_store.h"
@@ -60,7 +60,11 @@ struct HeadConflict {
 ///   - ok():                  `commit` is the new head digest
 ///   - status.IsConflict():   `conflict` carries the winning head
 ///   - any other error:       IO/corruption/NotFound from the store walk
-struct CasResult {
+///
+/// [[nodiscard]]: dropping a CasResult discards both the conflict signal
+/// and the error — a silent lost update. Callers that genuinely race for
+/// side effects must say so with a (void) cast and a comment.
+struct [[nodiscard]] CasResult {
   Status status;
   Hash commit;                          ///< new head; valid iff status.ok()
   std::optional<HeadConflict> conflict; ///< set iff status.IsConflict()
@@ -225,8 +229,8 @@ class BranchManager {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::map<std::string, BranchEntry> branches;
+    mutable Mutex mu;
+    std::map<std::string, BranchEntry> branches GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const std::string& name) const {

@@ -37,12 +37,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "index/index.h"
 #include "version/commit.h"
@@ -108,7 +108,7 @@ class CommitCombiner {
   /// `head` is the branch head containing it) or failed for this committer
   /// (e.g. Conflict with no resolver). Semantically equivalent to
   /// CommitWithMerge — only the batching differs.
-  Result<MergeCommitResult> Publish(const PublishSpec& spec);
+  Result<MergeCommitResult> Publish(const PublishSpec& spec) EXCLUDES(mu_);
 
   /// Deterministic single-threaded combine of \p specs — exactly what a
   /// leader does with a gathered batch, including running the individual
@@ -123,7 +123,7 @@ class CommitCombiner {
   /// Drains the queue: blocks until every enqueued request has completed,
   /// then routes future Publish calls straight to CommitWithMerge
   /// (uncombined but still correct). Idempotent.
-  void Shutdown();
+  void Shutdown() EXCLUDES(mu_);
 
   Stats stats() const;
   const GroupCommitOptions& options() const { return opts_; }
@@ -155,18 +155,19 @@ class CommitCombiner {
   /// chain, one staged flush, one head CAS; marks each request's result or
   /// fallback. Called without mu_ held; `done` flags are set by the
   /// caller under mu_.
-  void RunBatch(const std::vector<Request*>& batch);
+  void RunBatch(const std::vector<Request*>& batch) EXCLUDES(mu_);
 
-  /// True when no lane has queued or in-flight work (mu_ held).
-  bool IdleLocked() const;
+  /// True when no lane has queued or in-flight work.
+  bool IdleLocked() const REQUIRES(mu_);
 
   BranchManager* mgr_;
   const GroupCommitOptions opts_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Lane> lanes_;  // node-based: Lanes pin
+  mutable Mutex mu_;
+  // node-based map: Lanes stay pinned while threads wait on their cv.
+  std::unordered_map<std::string, Lane> lanes_ GUARDED_BY(mu_);
   std::condition_variable drain_cv_;
-  bool shutdown_ = false;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 
   std::atomic<uint64_t> publishes_{0};
   std::atomic<uint64_t> combined_commits_{0};

@@ -70,6 +70,9 @@ Status RefLog::Open(const std::string& path, const Options& opts,
 }
 
 Status RefLog::Replay() {
+  // Open() calls this before the log is shared; the lock keeps the
+  // guarded-field contract on file_ uniform.
+  MutexLock lock(mu_);
   std::fseek(file_, 0, SEEK_END);
   const long end = std::ftell(file_);
   if (end < 0) return Status::IOError("ftell failed");
@@ -161,7 +164,7 @@ Status RefLog::Append(const std::string& name, const Hash& head) {
   std::string record;
   AppendDigestRecord(&record, Sha256::Digest(payload), payload);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
     return Status::IOError("ref log append failed");
   }
@@ -175,7 +178,7 @@ Status RefLog::Append(const std::string& name, const Hash& head) {
 }
 
 Status RefLog::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (std::fflush(file_) != 0) return Status::IOError("ref log fflush failed");
   if (fsync(fileno(file_)) != 0) {
     return Status::IOError("ref log fsync failed");

@@ -26,9 +26,9 @@
 #include <cstdio>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "crypto/hash.h"
 
@@ -51,7 +51,7 @@ class RefLog {
   ~RefLog();
 
   /// Appends one head movement. Thread-safe.
-  Status Append(const std::string& name, const Hash& head);
+  Status Append(const std::string& name, const Hash& head) EXCLUDES(mu_);
 
   /// Appends a deletion tombstone for \p name.
   Status AppendDelete(const std::string& name) {
@@ -59,7 +59,7 @@ class RefLog {
   }
 
   /// fsyncs everything appended so far.
-  Status Sync();
+  Status Sync() EXCLUDES(mu_);
 
   /// Branch heads recovered at open: last record per name, tombstones
   /// removed. Snapshot of open time — later appends don't show up here.
@@ -74,12 +74,14 @@ class RefLog {
 
  private:
   RefLog(std::string path, FILE* file, Options opts);
-  Status Replay();
+  Status Replay() EXCLUDES(mu_);
 
   std::string path_;
-  FILE* file_;
+  Mutex mu_;
+  FILE* file_ GUARDED_BY(mu_);
   Options opts_;
-  std::mutex mu_;
+  // Written once by Replay (under mu_, before the log is shared), then
+  // immutable — which is why the const-ref accessors above are lock-free.
   std::map<std::string, Hash> recovered_;
   uint64_t truncations_ = 0;
 };

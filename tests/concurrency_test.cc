@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "crypto/sha256.h"
+#include "store/file_store.h"
 #include "store/staging_store.h"
 #include "system/forkbase.h"
 #include "tests/test_util.h"
@@ -555,6 +556,102 @@ TEST(ConcurrencyTest, SharedProofStoreConcurrentGets) {
   }
   RunAll(&threads, &gate);
   EXPECT_GT(proof_store->stats().gets, 0u);
+}
+
+// --- Group fsync x ref-log appends ----------------------------------------
+
+TEST(ConcurrencyTest, RefLogAppendsRideGroupFsyncWithoutReordering) {
+  // K writers commit on their own branches of one BranchManager whose page
+  // store is a FileNodeStore with the wait-a-little group-fsync window on
+  // and whose heads mirror into an attached ref log. The commit path's
+  // ordering contract — ref-log append happens under the shard lock AFTER
+  // the page flush — means a recovered head can never point at a commit
+  // (or an index root) the recovered page log does not contain. A toggler
+  // thread flips the group window while flushes are in flight: regression
+  // coverage for the syncer reading group_flush_window_micros outside the
+  // store lock (the TSan preset is what catches a reintroduction).
+  const std::string tag = std::to_string(getpid());
+  const std::string pages_path =
+      ::testing::TempDir() + "/siri_gcref_pages_" + tag + ".log";
+  const std::string refs_path =
+      ::testing::TempDir() + "/siri_gcref_refs_" + tag + ".log";
+  std::remove(pages_path.c_str());
+  std::remove(refs_path.c_str());
+
+  constexpr int kWriters = 4;
+  constexpr int kCommitsPerWriter = 12;
+  std::map<std::string, Hash> final_heads;
+  {
+    std::shared_ptr<FileNodeStore> store;
+    ASSERT_TRUE(FileNodeStore::Open(pages_path, &store).ok());
+    store->set_group_flush_window_micros(200);
+    BranchManager mgr(store);
+    ASSERT_TRUE(mgr.AttachRefLog(refs_path).ok());
+
+    StartGate gate;
+    std::atomic<bool> stop_toggling{false};
+    std::atomic<int> failures{0};
+    std::thread toggler([&] {
+      gate.Wait();
+      uint64_t w = 0;
+      while (!stop_toggling.load(std::memory_order_acquire)) {
+        store->set_group_flush_window_micros(150 + (w++ % 2) * 150);
+        std::this_thread::yield();
+      }
+    });
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kWriters; ++t) {
+      writers.emplace_back([&, t] {
+        gate.Wait();
+        const std::string branch = "b" + std::to_string(t);
+        for (int c = 0; c < kCommitsPerWriter; ++c) {
+          // The "index root" of this commit: one unique durable page.
+          const Hash root = store->Put("page-" + std::to_string(t) + "-" +
+                                       std::to_string(c));
+          auto landed = mgr.CommitOnBranch(branch, root, "w" + std::to_string(t),
+                                           "c" + std::to_string(c));
+          if (!landed.ok()) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+        }
+      });
+    }
+    RunAll(&writers, &gate);
+    stop_toggling.store(true, std::memory_order_release);
+    toggler.join();
+    ASSERT_EQ(failures.load(), 0);
+    EXPECT_GE(store->fsync_count(), 1u);
+
+    for (int t = 0; t < kWriters; ++t) {
+      const std::string branch = "b" + std::to_string(t);
+      auto head = mgr.Head(branch);
+      ASSERT_TRUE(head.ok()) << branch;
+      final_heads[branch] = *head;
+    }
+  }
+
+  // Reopen both logs fresh (the crash-free restart): every branch comes
+  // back at exactly its final head, and each recovered head's commit
+  // object and the index root it points at exist in the recovered pages.
+  std::shared_ptr<FileNodeStore> recovered;
+  ASSERT_TRUE(FileNodeStore::Open(pages_path, &recovered).ok());
+  EXPECT_EQ(recovered->recovered_truncations(), 0u);
+  BranchManager recovered_mgr(recovered);
+  ASSERT_TRUE(recovered_mgr.AttachRefLog(refs_path).ok());
+  EXPECT_EQ(recovered_mgr.ref_log()->recovered_truncations(), 0u);
+  ASSERT_EQ(recovered_mgr.ListBranches().size(),
+            static_cast<size_t>(kWriters));
+  for (const auto& [branch, head] : final_heads) {
+    auto got = recovered_mgr.Head(branch);
+    ASSERT_TRUE(got.ok()) << branch;
+    EXPECT_EQ(*got, head) << branch;
+    auto commit = recovered_mgr.ReadCommit(*got);
+    ASSERT_TRUE(commit.ok()) << branch;
+    EXPECT_TRUE(recovered->Contains(commit->root)) << branch;
+  }
+  std::remove(pages_path.c_str());
+  std::remove(refs_path.c_str());
 }
 
 }  // namespace
