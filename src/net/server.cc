@@ -1,0 +1,447 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/varint.h"
+#include "crypto/hash_pool.h"
+#include "store/file_store.h"
+#include "system/forkbase.h"
+#include "version/group_commit.h"
+
+namespace siri {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+SiriServer::SiriServer(ForkbaseServlet* servlet, ServerOptions opts)
+    : servlet_(servlet), opts_(opts) {}
+
+SiriServer::~SiriServer() { Stop(); }
+
+Status SiriServer::Listen(int port) {
+  if (listen_fd_ >= 0) return Status::InvalidArgument("already listening");
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s = Errno("bind");
+    close(fd);
+    return s;
+  }
+  if (listen(fd, opts_.listen_backlog) != 0) {
+    const Status s = Errno("listen");
+    close(fd);
+    return s;
+  }
+  return AdoptListener(fd);
+}
+
+Status SiriServer::AdoptListener(int listen_fd) {
+  if (listen_fd_ >= 0) return Status::InvalidArgument("already listening");
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  // The accept loop drains the backlog until EAGAIN; a blocking listen
+  // socket (which an adopted pre-bound fd usually is) would wedge the
+  // event loop on the accept after the last queued connection.
+  const int fl = fcntl(listen_fd, F_GETFL, 0);
+  if (fl < 0 || fcntl(listen_fd, F_SETFL, fl | O_NONBLOCK) != 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  listen_fd_ = listen_fd;
+  port_ = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+Status SiriServer::Start() {
+  if (listen_fd_ < 0) return Status::InvalidArgument("Listen first");
+  if (started_) return Status::InvalidArgument("already started");
+
+  // The server-mode half of the group-fsync policy split (ServerOptions):
+  // a file-backed store gets the wait-a-little window turned on here, so
+  // commits from independent client processes share fsyncs. Embedded
+  // users never reach this line and keep the window-off default.
+  if (auto* fs = dynamic_cast<FileNodeStore*>(servlet_->store())) {
+    fs->set_group_flush_window_micros(opts_.group_flush_window_micros);
+  }
+
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return Errno("epoll_create1");
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) return Errno("eventfd");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    return Errno("epoll_ctl(listen)");
+  }
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    return Errno("epoll_ctl(wake)");
+  }
+
+  started_ = true;
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] { EventLoop(); });
+  const int workers = opts_.worker_threads < 1 ? 1 : opts_.worker_threads;
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void SiriServer::Stop() {
+  if (!started_) return;
+  if (running_.exchange(false, std::memory_order_acq_rel)) {
+    const uint64_t one = 1;
+    // Best-effort: the loop also wakes on its 500ms epoll timeout.
+    (void)!write(wake_fd_, &one, sizeof(one));
+  }
+  if (loop_thread_.joinable()) loop_thread_.join();
+  {
+    MutexLock lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  {
+    MutexLock lock(mu_);
+    for (auto& [fd, conn] : conns_) close(fd);
+    conns_.clear();
+    ready_.clear();
+  }
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+  if (wake_fd_ >= 0) close(wake_fd_);
+  if (listen_fd_ >= 0) close(listen_fd_);
+  epoll_fd_ = wake_fd_ = listen_fd_ = -1;
+  started_ = false;
+}
+
+SiriServer::Stats SiriServer::stats() const {
+  Stats out;
+  out.connections = connections_.load(std::memory_order_relaxed);
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.frame_errors = frame_errors_.load(std::memory_order_relaxed);
+  out.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  out.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void SiriServer::EventLoop() {
+  epoll_event events[64];
+  while (running_.load(std::memory_order_acquire)) {
+    const int n = epoll_wait(epoll_fd_, events, 64, /*timeout_ms=*/500);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd gone: shutting down
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drain = 0;
+        (void)!read(wake_fd_, &drain, sizeof(drain));
+        continue;
+      }
+      if (fd == listen_fd_) {
+        for (;;) {
+          const int conn_fd = accept4(listen_fd_, nullptr, nullptr,
+                                      SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (conn_fd < 0) break;  // EAGAIN: drained the backlog
+          const int one = 1;
+          (void)setsockopt(conn_fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                           sizeof(one));
+          epoll_event cev{};
+          // One-shot: the fd stays silent while a worker owns it; the
+          // worker re-arms after processing.
+          cev.events = EPOLLIN | EPOLLRDHUP | EPOLLONESHOT;
+          cev.data.fd = conn_fd;
+          {
+            MutexLock lock(mu_);
+            conns_[conn_fd] =
+                std::make_unique<Connection>(conn_fd, opts_.max_frame_bytes);
+          }
+          if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn_fd, &cev) != 0) {
+            CloseConnection(conn_fd);
+            continue;
+          }
+          connections_.fetch_add(1, std::memory_order_relaxed);
+        }
+        continue;
+      }
+      // A connection is ready: hand it to a worker.
+      {
+        MutexLock lock(mu_);
+        ready_.push_back(fd);
+      }
+      work_cv_.notify_one();
+    }
+  }
+}
+
+void SiriServer::WorkerLoop() {
+  for (;;) {
+    Connection* conn = nullptr;
+    {
+      MutexLock lock(mu_);
+      while (ready_.empty() && !stopping_) work_cv_.wait(lock.native());
+      if (ready_.empty()) return;  // stopping, queue drained
+      const int fd = ready_.front();
+      ready_.pop_front();
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // closed while queued
+      conn = it->second.get();
+    }
+    // The connection is exclusively this worker's until it is re-armed or
+    // closed (EPOLLONESHOT keeps the event loop from re-queuing it).
+    if (ProcessConnection(conn)) {
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLRDHUP | EPOLLONESHOT;
+      ev.data.fd = conn->fd;
+      if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) != 0) {
+        CloseConnection(conn->fd);
+      }
+    } else {
+      CloseConnection(conn->fd);
+    }
+  }
+}
+
+bool SiriServer::ProcessConnection(Connection* conn) {
+  bool peer_closed = false;
+  for (;;) {
+    char buf[64 * 1024];
+    const ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->decoder.Append(buf, static_cast<size_t>(n));
+      bytes_in_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+      continue;
+    }
+    if (n == 0) {
+      peer_closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;  // connection error
+  }
+
+  // Drain every complete frame that arrived (a client that half-closed
+  // after sending still gets its final responses).
+  std::string payload;
+  for (;;) {
+    auto next = conn->decoder.Next(&payload);
+    if (!next.ok()) {
+      // Unresynchronizable stream: say why (best-effort — the peer that
+      // garbled its stream may not be reading), then hang up.
+      frame_errors_.fetch_add(1, std::memory_order_relaxed);
+      (void)SendResponse(conn, next.status(), Slice());
+      return false;
+    }
+    if (!*next) break;
+    Request req;
+    const Status decoded = DecodeRequest(payload, &req);
+    if (!decoded.ok()) {
+      frame_errors_.fetch_add(1, std::memory_order_relaxed);
+      (void)SendResponse(conn, decoded, Slice());
+      return false;
+    }
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    Status app;
+    std::string body;
+    Execute(req, &app, &body);
+    if (!SendResponse(conn, app, body)) return false;
+  }
+  return !peer_closed;
+}
+
+void SiriServer::Execute(const Request& req, Status* app, std::string* body) {
+  *app = Status::OK();
+  body->clear();
+  switch (req.type) {
+    case MsgType::kHello: {
+      if (req.version != kWireVersion) {
+        *app = Status::InvalidArgument(
+            "wire version mismatch: client speaks v" +
+            std::to_string(req.version) + ", server v" +
+            std::to_string(kWireVersion));
+        return;
+      }
+      PutVarint64(body, kWireVersion);
+      return;
+    }
+    case MsgType::kGet: {
+      auto bytes = servlet_->store()->Get(req.hash);
+      if (!bytes.ok()) {
+        *app = bytes.status();
+        return;
+      }
+      body->assign(**bytes);
+      return;
+    }
+    case MsgType::kContains:
+      body->push_back(servlet_->store()->Contains(req.hash) ? 1 : 0);
+      return;
+    case MsgType::kSizeOf: {
+      auto size = servlet_->store()->SizeOf(req.hash);
+      if (!size.ok()) {
+        *app = size.status();
+        return;
+      }
+      PutVarint64(body, *size);
+      return;
+    }
+    case MsgType::kPut:
+      PutHash(body, servlet_->store()->Put(req.bytes));
+      return;
+    case MsgType::kPutMany: {
+      if (opts_.verify_uploads) {
+        // The socket is a trust boundary: re-digest every uploaded node
+        // (in parallel — batches are exactly Sha256Pool's regime) and
+        // reject the whole batch on any mismatch, before the store sees
+        // it. A corrupted upload must not land in the content-addressed
+        // store under a digest it does not hash to.
+        std::vector<std::shared_ptr<const std::string>> pages;
+        pages.reserve(req.batch.size());
+        for (const NodeRecord& rec : req.batch) pages.push_back(rec.bytes);
+        const std::vector<Hash> digests = Sha256Pool::Shared().DigestAll(pages);
+        for (size_t i = 0; i < req.batch.size(); ++i) {
+          if (digests[i] != req.batch[i].hash) {
+            *app = Status::InvalidArgument(
+                "uploaded node digest mismatch at batch index " +
+                std::to_string(i));
+            return;
+          }
+        }
+      }
+      servlet_->store()->PutMany(req.batch);
+      return;
+    }
+    case MsgType::kFlush:
+      *app = servlet_->store()->Flush();
+      return;
+    case MsgType::kHead: {
+      auto head = servlet_->branches()->Head(req.branch);
+      if (!head.ok()) {
+        *app = head.status();
+        return;
+      }
+      PutHash(body, *head);
+      return;
+    }
+    case MsgType::kPublish: {
+      ImmutableIndex* index = servlet_->IndexFor(req.structure);
+      if (index == nullptr) {
+        *app = Status::NotFound(
+            "no server-side index registered for structure '" +
+            req.structure + "'");
+        return;
+      }
+      PublishSpec spec;
+      spec.index = index;
+      spec.branch = req.branch;
+      spec.new_root = req.new_root;
+      spec.author = req.author;
+      spec.message = req.message;
+      spec.expected_head = req.expected_head;
+      auto landed = servlet_->combiner()->Publish(spec);
+      if (!landed.ok()) {
+        *app = landed.status();
+        return;
+      }
+      WirePublishResult out;
+      out.head = landed->head;
+      out.commit = landed->commit;
+      out.cas_failures = static_cast<uint64_t>(landed->cas_failures);
+      out.merge_commits = static_cast<uint64_t>(landed->merge_commits);
+      *body = EncodePublishResultBody(out);
+      return;
+    }
+    case MsgType::kBranchStats:
+      *body =
+          EncodeBranchStatsBody(servlet_->branches()->branch_stats(req.branch));
+      return;
+    case MsgType::kStoreStats:
+      *body = EncodeStoreStatsBody(servlet_->store()->stats());
+      return;
+    case MsgType::kResetCounters:
+      servlet_->store()->ResetOpCounters();
+      return;
+    case MsgType::kListBranches:
+      *body = EncodeStringListBody(servlet_->branches()->ListBranches());
+      return;
+    case MsgType::kResponse:
+      break;
+  }
+  *app = Status::InvalidArgument("request type not servable");
+}
+
+bool SiriServer::SendResponse(Connection* conn, const Status& app,
+                              Slice body) {
+  const std::string frame = EncodeFrame(EncodeResponse(app, body));
+  size_t off = 0;
+  int stalls = 0;
+  while (off < frame.size()) {
+    const ssize_t n = send(conn->fd, frame.data() + off, frame.size() - off,
+                           MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      bytes_out_.fetch_add(static_cast<uint64_t>(n),
+                           std::memory_order_relaxed);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // The peer's receive window is full. Wait for writability, bounded:
+      // a client that stopped reading must not wedge a worker forever.
+      if (++stalls > 300) return false;  // ~30s of 100ms waits
+      pollfd pfd{conn->fd, POLLOUT, 0};
+      (void)poll(&pfd, 1, 100);
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+void SiriServer::CloseConnection(int fd) {
+  MutexLock lock(mu_);
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  close(fd);
+  conns_.erase(it);
+}
+
+}  // namespace net
+}  // namespace siri

@@ -1,0 +1,167 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// SiriServer — the epoll event loop that puts a ForkbaseServlet behind a
+// real socket. K client *processes* connect over loopback/TCP, speak the
+// framed wire protocol (net/wire.h), and share one servlet: one node
+// store, one branch table, one group-commit combiner — so commits from
+// different processes batch into combined publishes and share fsyncs
+// exactly as in-process committers do.
+//
+// Shape: one event-loop thread multiplexes the listen socket and every
+// connection (edge-ish via EPOLLONESHOT) and hands ready connections to a
+// small worker pool. A connection processes its requests in order (the
+// protocol allows one outstanding request per connection), so per-
+// connection state needs no locking — a connection is owned either by the
+// epoll set or by exactly one worker, never both. Concurrency across
+// connections is what feeds the combiner its batches.
+//
+// Malformed input never kills the server: a frame that cannot
+// resynchronize (oversized length, garbled varint, digest mismatch — the
+// typed errors FrameDecoder distinguishes from "need more bytes") gets a
+// best-effort typed error response and the connection is closed; every
+// other connection is untouched.
+
+#ifndef SIRI_NET_SERVER_H_
+#define SIRI_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace siri {
+
+class ForkbaseServlet;
+
+namespace net {
+
+/// \brief Server-mode configuration, and the documented home of the
+/// group-fsync policy split:
+///
+/// A FileNodeStore constructed directly (embedded deployment) has its
+/// wait-a-little window OFF — `set_group_flush_window_micros` defaults to
+/// 0 — because an embedded committer is usually alone and the tests that
+/// account exact fsyncs-per-commit rely on undelayed flushes. A
+/// `siri-server` serves K independent client processes whose commits
+/// *should* share durability points, so server mode turns the window ON
+/// by default: SiriServer::Start applies `group_flush_window_micros` to
+/// the servlet's store when it is file-backed. Pass 0 to keep server-side
+/// flushes undelayed.
+struct ServerOptions {
+  /// Group-fsync wait-a-little window applied at Start (file-backed
+  /// stores only). Default ON in server mode; embedded default is OFF.
+  uint64_t group_flush_window_micros = 200;
+
+  /// Request-processing threads. More workers = more concurrent publishes
+  /// feeding the combiner; connections never share a worker mid-request.
+  int worker_threads = 4;
+
+  /// Frames beyond this are rejected as corrupt (see net/wire.h).
+  uint64_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  /// listen(2) backlog: connections queued before accept. Forked client
+  /// processes may all connect before the server thread first runs.
+  int listen_backlog = 64;
+
+  /// Re-digest every node a PutMany uploads and reject the batch on any
+  /// mismatch. The in-process boundary trusts its caller (same address
+  /// space); a socket is a trust boundary.
+  bool verify_uploads = true;
+};
+
+/// \brief Epoll server for one ForkbaseServlet. Not copyable. The servlet
+/// must outlive the server; Stop() (or destruction) joins every thread.
+class SiriServer {
+ public:
+  struct Stats {
+    uint64_t connections = 0;   ///< accepted over the lifetime
+    uint64_t requests = 0;      ///< frames decoded and executed
+    uint64_t frame_errors = 0;  ///< connections dropped on malformed input
+    uint64_t bytes_in = 0;
+    uint64_t bytes_out = 0;
+  };
+
+  explicit SiriServer(ForkbaseServlet* servlet, ServerOptions opts = {});
+  ~SiriServer();
+
+  SiriServer(const SiriServer&) = delete;
+  SiriServer& operator=(const SiriServer&) = delete;
+
+  /// Binds 127.0.0.1:\p port (0 = ephemeral; read the choice back with
+  /// port()). Call once, before Start.
+  [[nodiscard]] Status Listen(int port);
+
+  /// Adopts an already-bound, already-listening socket instead of binding
+  /// one. The multi-process tests use this: the parent binds, forks, and
+  /// the server child adopts — clients that connected before the child
+  /// started sit in the backlog.
+  [[nodiscard]] Status AdoptListener(int listen_fd);
+
+  /// The bound port (after Listen/AdoptListener).
+  int port() const { return port_; }
+
+  /// Applies the server-mode group-flush window and spawns the event
+  /// loop + workers. Call once, after Listen/AdoptListener.
+  [[nodiscard]] Status Start();
+
+  /// Stops accepting, joins every thread, closes every connection.
+  /// Idempotent; in-flight requests finish first.
+  void Stop();
+
+  Stats stats() const;
+
+ private:
+  struct Connection {
+    explicit Connection(int fd_in, uint64_t max_frame)
+        : fd(fd_in), decoder(max_frame) {}
+    int fd;
+    FrameDecoder decoder;  // touched only by the owning worker
+  };
+
+  void EventLoop();
+  void WorkerLoop();
+  /// Reads, decodes, and executes everything \p conn has ready; returns
+  /// false when the connection must be closed.
+  bool ProcessConnection(Connection* conn);
+  void Execute(const Request& req, Status* app, std::string* body);
+  /// Frames and writes one response; false when the peer is unwritable.
+  bool SendResponse(Connection* conn, const Status& app, Slice body);
+  void CloseConnection(int fd) EXCLUDES(mu_);
+
+  ForkbaseServlet* servlet_;
+  ServerOptions opts_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+
+  Mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<int> ready_ GUARDED_BY(mu_);  ///< fds waiting for a worker
+  std::unordered_map<int, std::unique_ptr<Connection>> conns_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
+
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> frame_errors_{0};
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+};
+
+}  // namespace net
+}  // namespace siri
+
+#endif  // SIRI_NET_SERVER_H_

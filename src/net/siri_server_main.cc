@@ -1,0 +1,183 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// siri-server — the standalone daemon that serves one ForkbaseServlet to
+// K client processes over the framed wire protocol (src/net/wire.h).
+//
+// Quickstart:
+//   siri-server --port=4433 --data=/var/lib/siri   # durable, group-fsync on
+//   siri-server --port=4433                        # in-memory (testing)
+//
+// Clients connect with net::SocketTransport and wrap it in a
+// ForkbaseClientStore; `fig06_ycsb_throughput --transport=socket` is the
+// reference workload.
+
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "index/mbt/mbt.h"
+#include "index/mpt/mpt.h"
+#include "index/mvmb/mvmb_tree.h"
+#include "index/pos/pos_tree.h"
+#include "net/server.h"
+#include "store/file_store.h"
+#include "store/node_store.h"
+#include "system/forkbase.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+// --flag=value parser; exits with usage on anything unrecognized so a
+// typo'd flag cannot silently run a misconfigured server.
+struct Flags {
+  int port = 4433;
+  std::string data;             // empty = in-memory store
+  uint64_t window_micros = 200; // server-mode group-fsync window
+  int workers = 4;
+  uint64_t mbt_buckets = 8192;  // must match committing clients
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port=N] [--data=DIR] [--window-micros=N]\n"
+               "          [--workers=N] [--mbt-buckets=N]\n"
+               "  --port=N           TCP port on 127.0.0.1 (0 = ephemeral, "
+               "printed at start)\n"
+               "  --data=DIR         durable FileNodeStore + ref log under "
+               "DIR (default: in-memory)\n"
+               "  --window-micros=N  group-fsync wait-a-little window "
+               "(default 200; 0 = off)\n"
+               "  --workers=N        request worker threads (default 4)\n"
+               "  --mbt-buckets=N    MBT bucket count; must match clients "
+               "(default 8192)\n",
+               argv0);
+  std::exit(2);
+}
+
+bool ParseUint(const char* s, uint64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+Flags Parse(int argc, char** argv) {
+  Flags f;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* eq = std::strchr(arg, '=');
+    const std::string key = eq ? std::string(arg, eq - arg) : std::string(arg);
+    const char* val = eq ? eq + 1 : "";
+    uint64_t n = 0;
+    if (key == "--port" && ParseUint(val, &n) && n <= 65535) {
+      f.port = static_cast<int>(n);
+    } else if (key == "--data" && *val) {
+      f.data = val;
+    } else if (key == "--window-micros" && ParseUint(val, &n)) {
+      f.window_micros = n;
+    } else if (key == "--workers" && ParseUint(val, &n) && n >= 1 && n <= 64) {
+      f.workers = static_cast<int>(n);
+    } else if (key == "--mbt-buckets" && ParseUint(val, &n) && n >= 1) {
+      f.mbt_buckets = n;
+    } else {
+      std::fprintf(stderr, "siri-server: bad flag: %s\n", arg);
+      Usage(argv[0]);
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace siri;
+  const Flags flags = Parse(argc, argv);
+
+  NodeStorePtr store;
+  if (!flags.data.empty()) {
+    std::shared_ptr<FileNodeStore> file_store;
+    const Status opened =
+        FileNodeStore::Open(flags.data + "/pages.log", &file_store);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "siri-server: open %s: %s\n", flags.data.c_str(),
+                   opened.ToString().c_str());
+      return 1;
+    }
+    store = file_store;
+  } else {
+    store = std::make_shared<InMemoryNodeStore>();
+  }
+
+  ForkbaseServlet servlet(store);
+  if (!flags.data.empty()) {
+    const Status refs = servlet.branches()->AttachRefLog(flags.data + "/refs.log");
+    if (!refs.ok()) {
+      std::fprintf(stderr, "siri-server: ref log: %s\n",
+                   refs.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Every structure a client may commit must be registered with the same
+  // construction geometry the client uses (see ForkbaseServlet::RegisterIndex).
+  servlet.RegisterIndex(std::make_unique<PosTree>(store));
+  MbtOptions mbt_opt;
+  mbt_opt.num_buckets = flags.mbt_buckets;
+  mbt_opt.fanout = 32;
+  servlet.RegisterIndex(std::make_unique<Mbt>(store, mbt_opt));
+  servlet.RegisterIndex(std::make_unique<Mpt>(store));
+  servlet.RegisterIndex(std::make_unique<MvmbTree>(store));
+
+  net::ServerOptions opts;
+  opts.group_flush_window_micros = flags.window_micros;
+  opts.worker_threads = flags.workers;
+  net::SiriServer server(&servlet, opts);
+  Status s = server.Listen(flags.port);
+  if (!s.ok()) {
+    std::fprintf(stderr, "siri-server: listen: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  s = server.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "siri-server: start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  struct sigaction sa {};
+  sa.sa_handler = HandleSignal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+
+  std::printf("siri-server: listening on 127.0.0.1:%d (%s, window=%lluus, "
+              "workers=%d)\n",
+              server.port(), flags.data.empty() ? "in-memory" : "durable",
+              static_cast<unsigned long long>(flags.window_micros),
+              flags.workers);
+  std::fflush(stdout);
+
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  server.Stop();
+  const auto st = server.stats();
+  std::printf("siri-server: stopped. connections=%llu requests=%llu "
+              "frame_errors=%llu\n",
+              static_cast<unsigned long long>(st.connections),
+              static_cast<unsigned long long>(st.requests),
+              static_cast<unsigned long long>(st.frame_errors));
+  return 0;
+}

@@ -1,0 +1,303 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#include "net/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/varint.h"
+
+namespace siri {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+Result<int> DialOnce(const std::string& host, int port) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s = Errno("connect");
+    close(fd);
+    return s;
+  }
+  const int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(int fd, Options opts)
+    : opts_(opts), fd_(fd), decoder_(opts.max_frame_bytes) {}
+
+Status SocketTransport::Connect(const std::string& host, int port,
+                                std::shared_ptr<SocketTransport>* out,
+                                Options opts) {
+  auto fd = DialOnce(host, port);
+  for (int waited_ms = 0; !fd.ok() && waited_ms < opts.connect_retry_ms;
+       waited_ms += 50) {
+    // A forked client can outrun the server's bind; retry briefly.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    fd = DialOnce(host, port);
+  }
+  if (!fd.ok()) return fd.status();
+  std::shared_ptr<SocketTransport> t(new SocketTransport(*fd, opts));
+  // Version handshake up front: a non-siri peer or skewed server turns
+  // into a typed error here instead of a hung or garbled first RPC.
+  Request hello;
+  hello.type = MsgType::kHello;
+  hello.version = kWireVersion;
+  auto ack = t->Call(hello);
+  if (!ack.ok()) return ack.status();
+  *out = std::move(t);
+  return Status::OK();
+}
+
+SocketTransport::~SocketTransport() { Close(); }
+
+void SocketTransport::Close() {
+  MutexLock lock(mu_);
+  CloseLocked();
+}
+
+void SocketTransport::CloseLocked() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status SocketTransport::SendFrame(Slice frame) {
+  size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n =
+        send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    syscalls_.fetch_add(1, std::memory_order_relaxed);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      bytes_sent_.fetch_add(static_cast<uint64_t>(n),
+                            std::memory_order_relaxed);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Status SocketTransport::ReadResponse(std::string* payload) {
+  for (;;) {
+    auto next = decoder_.Next(payload);
+    if (!next.ok()) return next.status();  // corrupt stream: caller closes
+    if (*next) return Status::OK();
+    char buf[64 * 1024];
+    const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    syscalls_.fetch_add(1, std::memory_order_relaxed);
+    if (n > 0) {
+      decoder_.Append(buf, static_cast<size_t>(n));
+      bytes_received_.fetch_add(static_cast<uint64_t>(n),
+                                std::memory_order_relaxed);
+      continue;
+    }
+    if (n == 0) {
+      return Status::IOError("server closed the connection mid-response");
+    }
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+Result<std::string> SocketTransport::Call(const Request& req) {
+  const std::string frame = EncodeFrame(EncodeRequest(req));
+  rpcs_.fetch_add(1, std::memory_order_relaxed);
+  MutexLock lock(mu_);
+  if (fd_ < 0) return Status::IOError("transport closed");
+  Status sent = SendFrame(frame);
+  if (!sent.ok()) {
+    CloseLocked();
+    return sent;
+  }
+  std::string payload;
+  Status read = ReadResponse(&payload);
+  if (!read.ok()) {
+    CloseLocked();
+    return read;
+  }
+  Status app;
+  std::string body;
+  Status decoded = DecodeResponse(payload, &app, &body);
+  if (!decoded.ok()) {
+    // The response itself is garbage: the stream cannot be trusted again.
+    CloseLocked();
+    return decoded;
+  }
+  if (!app.ok()) return app;
+  return body;
+}
+
+Result<std::shared_ptr<const std::string>> SocketTransport::Get(
+    const Hash& h) {
+  Request req;
+  req.type = MsgType::kGet;
+  req.hash = h;
+  auto body = Call(req);
+  if (!body.ok()) return body.status();
+  return std::make_shared<const std::string>(std::move(*body));
+}
+
+Result<bool> SocketTransport::Contains(const Hash& h) {
+  Request req;
+  req.type = MsgType::kContains;
+  req.hash = h;
+  auto body = Call(req);
+  if (!body.ok()) return body.status();
+  if (body->size() != 1) return Status::Corruption("contains body");
+  return (*body)[0] != 0;
+}
+
+Result<uint64_t> SocketTransport::SizeOf(const Hash& h) {
+  Request req;
+  req.type = MsgType::kSizeOf;
+  req.hash = h;
+  auto body = Call(req);
+  if (!body.ok()) return body.status();
+  Slice in(*body);
+  uint64_t size = 0;
+  if (!GetVarint64(&in, &size) || !in.empty()) {
+    return Status::Corruption("sizeof body");
+  }
+  return size;
+}
+
+Result<Hash> SocketTransport::Put(Slice bytes) {
+  Request req;
+  req.type = MsgType::kPut;
+  req.bytes.assign(bytes.data(), bytes.size());
+  auto body = Call(req);
+  if (!body.ok()) return body.status();
+  Slice in(*body);
+  Hash h;
+  if (!GetHash(&in, &h) || !in.empty()) return Status::Corruption("put body");
+  return h;
+}
+
+Status SocketTransport::PutMany(const NodeBatch& batch) {
+  if (batch.empty()) return Status::OK();
+  Request req;
+  req.type = MsgType::kPutMany;
+  req.batch = batch;  // shares the node byte buffers, no copy
+  return Call(req).status();
+}
+
+Status SocketTransport::Flush() {
+  Request req;
+  req.type = MsgType::kFlush;
+  return Call(req).status();
+}
+
+Result<NodeStore::Stats> SocketTransport::StoreStats() {
+  Request req;
+  req.type = MsgType::kStoreStats;
+  auto body = Call(req);
+  if (!body.ok()) return body.status();
+  NodeStore::Stats s;
+  Status decoded = DecodeStoreStatsBody(*body, &s);
+  if (!decoded.ok()) return decoded;
+  return s;
+}
+
+Status SocketTransport::ResetServerOpCounters() {
+  Request req;
+  req.type = MsgType::kResetCounters;
+  return Call(req).status();
+}
+
+Result<Hash> SocketTransport::Head(const std::string& branch) {
+  Request req;
+  req.type = MsgType::kHead;
+  req.branch = branch;
+  auto body = Call(req);
+  if (!body.ok()) return body.status();
+  Slice in(*body);
+  Hash h;
+  if (!GetHash(&in, &h) || !in.empty()) {
+    return Status::Corruption("head body");
+  }
+  return h;
+}
+
+Result<PublishResult> SocketTransport::Publish(const PublishRequest& pub) {
+  Request req;
+  req.type = MsgType::kPublish;
+  req.structure = pub.structure;
+  req.branch = pub.branch;
+  req.new_root = pub.new_root;
+  req.author = pub.author;
+  req.message = pub.message;
+  req.expected_head = pub.expected_head;
+  auto body = Call(req);
+  if (!body.ok()) return body.status();
+  WirePublishResult wire;
+  Status decoded = DecodePublishResultBody(*body, &wire);
+  if (!decoded.ok()) return decoded;
+  PublishResult out;
+  out.head = wire.head;
+  out.commit = wire.commit;
+  out.cas_failures = wire.cas_failures;
+  out.merge_commits = wire.merge_commits;
+  return out;
+}
+
+Result<BranchStats> SocketTransport::GetBranchStats(const std::string& branch) {
+  Request req;
+  req.type = MsgType::kBranchStats;
+  req.branch = branch;
+  auto body = Call(req);
+  if (!body.ok()) return body.status();
+  BranchStats s;
+  Status decoded = DecodeBranchStatsBody(*body, &s);
+  if (!decoded.ok()) return decoded;
+  return s;
+}
+
+Result<std::vector<std::string>> SocketTransport::ListBranches() {
+  Request req;
+  req.type = MsgType::kListBranches;
+  auto body = Call(req);
+  if (!body.ok()) return body.status();
+  std::vector<std::string> branches;
+  Status decoded = DecodeStringListBody(*body, &branches);
+  if (!decoded.ok()) return decoded;
+  return branches;
+}
+
+Transport::Stats SocketTransport::stats() const {
+  Stats out;
+  out.rpcs = rpcs_.load(std::memory_order_relaxed);
+  out.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  out.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+  out.syscalls = syscalls_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace net
+}  // namespace siri

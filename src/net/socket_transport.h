@@ -1,0 +1,98 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// SocketTransport — the Transport implementation that talks to a
+// siri-server process over TCP. Synchronous RPC: one framed request, one
+// framed response, serialized by an internal mutex (the protocol allows
+// one outstanding request per connection; a client wanting parallel RPCs
+// opens parallel transports, exactly like opening more connections).
+//
+// Where InProcessTransport *simulates* its round trip, this transport
+// *measures* it: stats() reports real serialized bytes and real send/recv
+// syscall counts, which is what the socket benches report next to the
+// slept-RTT numbers.
+
+#ifndef SIRI_NET_SOCKET_TRANSPORT_H_
+#define SIRI_NET_SOCKET_TRANSPORT_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "net/transport.h"
+#include "net/wire.h"
+
+namespace siri {
+namespace net {
+
+class SocketTransport : public Transport {
+ public:
+  struct Options {
+    uint64_t max_frame_bytes = kDefaultMaxFrameBytes;
+    /// Total time to keep retrying the initial connect, for clients that
+    /// race a server still binding (0 = single attempt).
+    int connect_retry_ms = 2000;
+  };
+
+  /// Connects to 127.0.0.1:\p port (or \p host) and runs the Hello
+  /// version handshake; a version-skewed or non-siri server fails here,
+  /// not on the first real RPC.
+  [[nodiscard]] static Status Connect(const std::string& host, int port,
+                                      std::shared_ptr<SocketTransport>* out,
+                                      Options opts);
+  [[nodiscard]] static Status Connect(const std::string& host, int port,
+                                      std::shared_ptr<SocketTransport>* out) {
+    return Connect(host, port, out, Options());
+  }
+
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  Result<std::shared_ptr<const std::string>> Get(const Hash& h) override;
+  Result<bool> Contains(const Hash& h) override;
+  Result<uint64_t> SizeOf(const Hash& h) override;
+  Result<Hash> Put(Slice bytes) override;
+  Status PutMany(const NodeBatch& batch) override;
+  Status Flush() override;
+  Result<NodeStore::Stats> StoreStats() override;
+  Status ResetServerOpCounters() override;
+
+  Result<Hash> Head(const std::string& branch) override;
+  Result<PublishResult> Publish(const PublishRequest& req) override;
+  Result<BranchStats> GetBranchStats(const std::string& branch) override;
+  Result<std::vector<std::string>> ListBranches() override;
+
+  Stats stats() const override;
+
+  /// Closes the connection; every later RPC fails with IOError. Safe to
+  /// call concurrently with RPCs (they fail, they do not crash).
+  void Close() EXCLUDES(mu_);
+
+ private:
+  SocketTransport(int fd, Options opts);
+
+  /// One RPC: frame + send \p req, read one response frame, surface the
+  /// application status or the response body.
+  Result<std::string> Call(const Request& req) EXCLUDES(mu_);
+  [[nodiscard]] Status SendFrame(Slice frame) REQUIRES(mu_);
+  [[nodiscard]] Status ReadResponse(std::string* payload) REQUIRES(mu_);
+  void CloseLocked() REQUIRES(mu_);
+
+  Options opts_;
+  mutable Mutex mu_;
+  int fd_ GUARDED_BY(mu_);
+  FrameDecoder decoder_ GUARDED_BY(mu_);
+
+  std::atomic<uint64_t> rpcs_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+  std::atomic<uint64_t> syscalls_{0};
+};
+
+}  // namespace net
+}  // namespace siri
+
+#endif  // SIRI_NET_SOCKET_TRANSPORT_H_

@@ -1,0 +1,120 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#include "net/transport.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/timer.h"
+#include "system/forkbase.h"
+#include "version/group_commit.h"
+
+namespace siri {
+namespace net {
+
+InProcessTransport::InProcessTransport(ForkbaseServlet* servlet,
+                                       uint64_t rtt_nanos, RttModel rtt_model)
+    : servlet_(servlet), rtt_nanos_(rtt_nanos), rtt_model_(rtt_model) {}
+
+void InProcessTransport::ChargeRoundTrip() const {
+  rpcs_.fetch_add(1, std::memory_order_relaxed);
+  if (rtt_nanos_ == 0) return;
+  if (rtt_model_ == RttModel::kSleep) {
+    // Yield the core: concurrent clients overlap their round trips, which
+    // is what makes multi-client throughput scale on few cores.
+    std::this_thread::sleep_for(std::chrono::nanoseconds(rtt_nanos_));
+    return;
+  }
+  Timer t;
+  while (t.ElapsedNanos() < rtt_nanos_) {
+    // Busy-wait to model the round trip inside throughput measurements.
+  }
+}
+
+Result<std::shared_ptr<const std::string>> InProcessTransport::Get(
+    const Hash& h) {
+  ChargeRoundTrip();
+  return servlet_->store()->Get(h);
+}
+
+Result<bool> InProcessTransport::Contains(const Hash& h) {
+  ChargeRoundTrip();
+  return servlet_->store()->Contains(h);
+}
+
+Result<uint64_t> InProcessTransport::SizeOf(const Hash& h) {
+  ChargeRoundTrip();
+  return servlet_->store()->SizeOf(h);
+}
+
+Result<Hash> InProcessTransport::Put(Slice bytes) {
+  ChargeRoundTrip();
+  return servlet_->store()->Put(bytes);
+}
+
+Status InProcessTransport::PutMany(const NodeBatch& batch) {
+  if (batch.empty()) return Status::OK();
+  // The whole batch rides one chunk-upload RPC: a commit's dirty
+  // root-to-leaf path costs one round trip, not one per node.
+  ChargeRoundTrip();
+  servlet_->store()->PutMany(batch);
+  return Status::OK();
+}
+
+Status InProcessTransport::Flush() { return servlet_->store()->Flush(); }
+
+Result<NodeStore::Stats> InProcessTransport::StoreStats() {
+  return servlet_->store()->stats();
+}
+
+Status InProcessTransport::ResetServerOpCounters() {
+  servlet_->store()->ResetOpCounters();
+  return Status::OK();
+}
+
+Result<Hash> InProcessTransport::Head(const std::string& branch) {
+  ChargeRoundTrip();
+  return servlet_->branches()->Head(branch);
+}
+
+Result<PublishResult> InProcessTransport::Publish(const PublishRequest& req) {
+  ChargeRoundTrip();
+  ImmutableIndex* index = servlet_->IndexFor(req.structure);
+  if (index == nullptr) {
+    return Status::NotFound("no server-side index registered for structure '" +
+                            req.structure + "'");
+  }
+  PublishSpec spec;
+  spec.index = index;
+  spec.branch = req.branch;
+  spec.new_root = req.new_root;
+  spec.author = req.author;
+  spec.message = req.message;
+  spec.expected_head = req.expected_head;
+  auto landed = servlet_->combiner()->Publish(spec);
+  if (!landed.ok()) return landed.status();
+  PublishResult out;
+  out.head = landed->head;
+  out.commit = landed->commit;
+  out.cas_failures = static_cast<uint64_t>(landed->cas_failures);
+  out.merge_commits = static_cast<uint64_t>(landed->merge_commits);
+  return out;
+}
+
+Result<BranchStats> InProcessTransport::GetBranchStats(
+    const std::string& branch) {
+  return servlet_->branches()->branch_stats(branch);
+}
+
+Result<std::vector<std::string>> InProcessTransport::ListBranches() {
+  return servlet_->branches()->ListBranches();
+}
+
+Transport::Stats InProcessTransport::stats() const {
+  Stats out;
+  out.rpcs = rpcs_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace net
+}  // namespace siri

@@ -1,0 +1,341 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#include "net/wire.h"
+
+#include "common/varint.h"
+#include "crypto/sha256.h"
+
+namespace siri {
+namespace net {
+
+namespace {
+
+// A varint is at most 10 bytes; if that many are buffered and none
+// terminates the length, the stream is garbage, not merely short.
+constexpr size_t kMaxVarintBytes = 10;
+
+Status Malformed(const char* what) {
+  return Status::Corruption(std::string("malformed wire message: ") + what);
+}
+
+// Every decode must consume the body exactly: trailing bytes mean the two
+// sides disagree about the message layout, which is unrecoverable.
+Status CheckDrained(const Slice& in) {
+  return in.empty() ? Status::OK() : Malformed("trailing bytes");
+}
+
+}  // namespace
+
+void PutHash(std::string* dst, const Hash& h) {
+  dst->append(reinterpret_cast<const char*>(h.data()), Hash::kSize);
+}
+
+bool GetHash(Slice* in, Hash* h) {
+  if (in->size() < Hash::kSize) return false;
+  *h = Hash::FromBytes(in->data());
+  in->remove_prefix(Hash::kSize);
+  return true;
+}
+
+std::string EncodeRequest(const Request& req) {
+  std::string out;
+  out.push_back(static_cast<char>(req.type));
+  switch (req.type) {
+    case MsgType::kHello:
+      PutVarint64(&out, req.version);
+      break;
+    case MsgType::kGet:
+    case MsgType::kContains:
+    case MsgType::kSizeOf:
+      PutHash(&out, req.hash);
+      break;
+    case MsgType::kPut:
+      PutLengthPrefixed(&out, req.bytes);
+      break;
+    case MsgType::kPutMany:
+      PutVarint64(&out, req.batch.size());
+      for (const NodeRecord& rec : req.batch) {
+        PutHash(&out, rec.hash);
+        PutLengthPrefixed(&out, *rec.bytes);
+      }
+      break;
+    case MsgType::kHead:
+    case MsgType::kBranchStats:
+      PutLengthPrefixed(&out, req.branch);
+      break;
+    case MsgType::kPublish:
+      PutLengthPrefixed(&out, req.structure);
+      PutLengthPrefixed(&out, req.branch);
+      PutHash(&out, req.new_root);
+      PutLengthPrefixed(&out, req.author);
+      PutLengthPrefixed(&out, req.message);
+      out.push_back(req.expected_head.has_value() ? 1 : 0);
+      if (req.expected_head.has_value()) PutHash(&out, *req.expected_head);
+      break;
+    case MsgType::kFlush:
+    case MsgType::kStoreStats:
+    case MsgType::kResetCounters:
+    case MsgType::kListBranches:
+      break;  // empty body
+    case MsgType::kResponse:
+      break;  // never encoded as a request
+  }
+  return out;
+}
+
+Status DecodeRequest(Slice payload, Request* out) {
+  if (payload.empty()) return Malformed("empty payload");
+  const uint8_t type = static_cast<uint8_t>(payload[0]);
+  payload.remove_prefix(1);
+  *out = Request{};
+  out->type = static_cast<MsgType>(type);
+  switch (out->type) {
+    case MsgType::kHello: {
+      uint64_t v = 0;
+      if (!GetVarint64(&payload, &v) || v > UINT32_MAX) {
+        return Malformed("hello version");
+      }
+      out->version = static_cast<uint32_t>(v);
+      break;
+    }
+    case MsgType::kGet:
+    case MsgType::kContains:
+    case MsgType::kSizeOf:
+      if (!GetHash(&payload, &out->hash)) return Malformed("hash");
+      break;
+    case MsgType::kPut:
+      if (!GetLengthPrefixed(&payload, &out->bytes)) {
+        return Malformed("put bytes");
+      }
+      break;
+    case MsgType::kPutMany: {
+      uint64_t count = 0;
+      if (!GetVarint64(&payload, &count)) return Malformed("batch count");
+      // Each record needs at least a digest + a length byte, so an honest
+      // count never exceeds the remaining bytes — reject before reserving.
+      if (count > payload.size()) return Malformed("batch count");
+      out->batch.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        NodeRecord rec;
+        std::string bytes;
+        if (!GetHash(&payload, &rec.hash) ||
+            !GetLengthPrefixed(&payload, &bytes)) {
+          return Malformed("batch record");
+        }
+        rec.bytes = std::make_shared<const std::string>(std::move(bytes));
+        out->batch.push_back(std::move(rec));
+      }
+      break;
+    }
+    case MsgType::kHead:
+    case MsgType::kBranchStats:
+      if (!GetLengthPrefixed(&payload, &out->branch)) {
+        return Malformed("branch name");
+      }
+      break;
+    case MsgType::kPublish: {
+      if (!GetLengthPrefixed(&payload, &out->structure) ||
+          !GetLengthPrefixed(&payload, &out->branch) ||
+          !GetHash(&payload, &out->new_root) ||
+          !GetLengthPrefixed(&payload, &out->author) ||
+          !GetLengthPrefixed(&payload, &out->message) || payload.empty()) {
+        return Malformed("publish");
+      }
+      const uint8_t has_expected = static_cast<uint8_t>(payload[0]);
+      payload.remove_prefix(1);
+      if (has_expected > 1) return Malformed("publish expected flag");
+      if (has_expected) {
+        Hash h;
+        if (!GetHash(&payload, &h)) return Malformed("publish expected head");
+        out->expected_head = h;
+      }
+      break;
+    }
+    case MsgType::kFlush:
+    case MsgType::kStoreStats:
+    case MsgType::kResetCounters:
+    case MsgType::kListBranches:
+      break;
+    default:
+      return Malformed("unknown request type");
+  }
+  return CheckDrained(payload);
+}
+
+Status StatusFromWire(uint8_t code, std::string message) {
+  switch (static_cast<Status::Code>(code)) {
+    case Status::Code::kOk:
+      return Status::OK();
+    case Status::Code::kNotFound:
+      return Status::NotFound(std::move(message));
+    case Status::Code::kCorruption:
+      return Status::Corruption(std::move(message));
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case Status::Code::kConflict:
+      return Status::Conflict(std::move(message));
+    case Status::Code::kNotSupported:
+      return Status::NotSupported(std::move(message));
+    case Status::Code::kIOError:
+      return Status::IOError(std::move(message));
+  }
+  return Status::IOError("unknown wire status code: " + std::move(message));
+}
+
+std::string EncodeResponse(const Status& app, Slice body) {
+  std::string out;
+  out.push_back(static_cast<char>(MsgType::kResponse));
+  out.push_back(static_cast<char>(app.code()));
+  PutLengthPrefixed(&out, app.message());
+  out.append(body.data(), body.size());
+  return out;
+}
+
+Status DecodeResponse(Slice payload, Status* app, std::string* body) {
+  if (payload.size() < 2 ||
+      static_cast<MsgType>(payload[0]) != MsgType::kResponse) {
+    return Malformed("not a response");
+  }
+  const uint8_t code = static_cast<uint8_t>(payload[1]);
+  payload.remove_prefix(2);
+  std::string message;
+  if (!GetLengthPrefixed(&payload, &message)) {
+    return Malformed("response message");
+  }
+  *app = StatusFromWire(code, std::move(message));
+  body->assign(payload.data(), payload.size());
+  return Status::OK();
+}
+
+std::string EncodePublishResultBody(const WirePublishResult& r) {
+  std::string out;
+  PutHash(&out, r.head);
+  PutHash(&out, r.commit);
+  PutVarint64(&out, r.cas_failures);
+  PutVarint64(&out, r.merge_commits);
+  return out;
+}
+
+Status DecodePublishResultBody(Slice body, WirePublishResult* r) {
+  if (!GetHash(&body, &r->head) || !GetHash(&body, &r->commit) ||
+      !GetVarint64(&body, &r->cas_failures) ||
+      !GetVarint64(&body, &r->merge_commits)) {
+    return Malformed("publish result");
+  }
+  return CheckDrained(body);
+}
+
+std::string EncodeBranchStatsBody(const BranchStats& s) {
+  std::string out;
+  PutVarint64(&out, s.commits);
+  PutVarint64(&out, s.cas_failures);
+  PutVarint64(&out, s.merge_retries);
+  PutVarint64(&out, s.combined_commits);
+  return out;
+}
+
+Status DecodeBranchStatsBody(Slice body, BranchStats* s) {
+  if (!GetVarint64(&body, &s->commits) ||
+      !GetVarint64(&body, &s->cas_failures) ||
+      !GetVarint64(&body, &s->merge_retries) ||
+      !GetVarint64(&body, &s->combined_commits)) {
+    return Malformed("branch stats");
+  }
+  return CheckDrained(body);
+}
+
+std::string EncodeStoreStatsBody(const NodeStore::Stats& s) {
+  std::string out;
+  PutVarint64(&out, s.puts);
+  PutVarint64(&out, s.put_bytes);
+  PutVarint64(&out, s.dup_puts);
+  PutVarint64(&out, s.gets);
+  PutVarint64(&out, s.get_bytes);
+  PutVarint64(&out, s.unique_nodes);
+  PutVarint64(&out, s.unique_bytes);
+  PutVarint64(&out, s.flushes);
+  return out;
+}
+
+Status DecodeStoreStatsBody(Slice body, NodeStore::Stats* s) {
+  if (!GetVarint64(&body, &s->puts) || !GetVarint64(&body, &s->put_bytes) ||
+      !GetVarint64(&body, &s->dup_puts) || !GetVarint64(&body, &s->gets) ||
+      !GetVarint64(&body, &s->get_bytes) ||
+      !GetVarint64(&body, &s->unique_nodes) ||
+      !GetVarint64(&body, &s->unique_bytes) ||
+      !GetVarint64(&body, &s->flushes)) {
+    return Malformed("store stats");
+  }
+  return CheckDrained(body);
+}
+
+std::string EncodeStringListBody(const std::vector<std::string>& v) {
+  std::string out;
+  PutVarint64(&out, v.size());
+  for (const std::string& s : v) PutLengthPrefixed(&out, s);
+  return out;
+}
+
+Status DecodeStringListBody(Slice body, std::vector<std::string>* v) {
+  uint64_t count = 0;
+  if (!GetVarint64(&body, &count) || count > body.size()) {
+    return Malformed("string list count");
+  }
+  v->clear();
+  v->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string s;
+    if (!GetLengthPrefixed(&body, &s)) return Malformed("string list entry");
+    v->push_back(std::move(s));
+  }
+  return CheckDrained(body);
+}
+
+std::string EncodeFrame(Slice payload) {
+  std::string out;
+  AppendDigestRecord(&out, Sha256::Digest(payload), payload);
+  return out;
+}
+
+Result<bool> FrameDecoder::Next(std::string* payload) {
+  Slice in(buf_.data() + off_, buf_.size() - off_);
+  if (in.empty()) return false;
+
+  // Peek the length first so oversized / garbled lengths surface as typed
+  // errors instead of "need more bytes" forever. The wrap-safe arithmetic
+  // stays in record_io.h; this probe only classifies.
+  Slice probe = in;
+  uint64_t len = 0;
+  if (!GetVarint64(&probe, &len)) {
+    if (in.size() >= kMaxVarintBytes) {
+      return Status::Corruption("malformed frame length varint");
+    }
+    return false;  // the varint itself may still be arriving
+  }
+  if (len > max_frame_bytes_) {
+    return Status::Corruption("oversized frame: " + std::to_string(len) +
+                              " bytes exceeds limit of " +
+                              std::to_string(max_frame_bytes_));
+  }
+
+  Slice rec = in;
+  Hash stored;
+  if (!ReadDigestRecord(&rec, payload, &stored)) {
+    return false;  // torn: the rest of the frame has not arrived yet
+  }
+  if (Sha256::Digest(*payload) != stored) {
+    payload->clear();
+    return Status::Corruption("frame digest mismatch");
+  }
+  off_ += in.size() - rec.size();
+  // Compact once the consumed prefix dominates, so a long-lived
+  // connection's buffer does not grow without bound.
+  if (off_ > 4096 && off_ >= buf_.size() / 2) {
+    buf_.erase(0, off_);
+    off_ = 0;
+  }
+  return true;
+}
+
+}  // namespace net
+}  // namespace siri

@@ -1,0 +1,169 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Wire protocol for the client/server boundary: the RPC surface
+// ForkbaseClientStore uses (node Get/Contains/SizeOf, Put, the batched
+// PutMany upload, branch head/publish/stats), serialized as one framed
+// message per request and per response.
+//
+// Frame = the digest-verified record format both append-only logs already
+// use (common/record_io.h): `varint payload-len | 32-byte SHA-256(payload)
+// | payload`. The sender digests the payload it frames; the receiver
+// re-digests and drops the connection on mismatch, so a flipped bit
+// anywhere in transit surfaces as a typed Corruption instead of a
+// misparsed message. FrameDecoder reuses ReadDigestRecord/GetVarint64 for
+// the bounds logic (a corrupt varint can decode to a length near
+// UINT64_MAX; the wrap-safe check lives in record_io.h, not here).
+//
+// Payload = `u8 message-type | type-specific body`, built from the same
+// varint / length-prefixed primitives as the node codecs. Responses carry
+// a status code + message first, then a body the requester interprets by
+// the type of the call it made (one outstanding request per connection).
+
+#ifndef SIRI_NET_WIRE_H_
+#define SIRI_NET_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/record_io.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "crypto/hash.h"
+#include "store/node_store.h"
+#include "version/commit.h"
+
+namespace siri {
+namespace net {
+
+/// Bumped on incompatible protocol changes; exchanged in the Hello
+/// handshake so a version-skewed client fails fast with a typed error.
+constexpr uint32_t kWireVersion = 1;
+
+/// Frames larger than this are rejected as corrupt before any allocation:
+/// an honest PutMany of a staged commit is a few MB, so a length beyond
+/// this bound is a garbled varint or a hostile peer, not a real message.
+constexpr uint64_t kDefaultMaxFrameBytes = 64ull << 20;
+
+enum class MsgType : uint8_t {
+  kHello = 1,      ///< version handshake, first message on a connection
+  kGet = 2,        ///< body: hash
+  kContains = 3,   ///< body: hash
+  kSizeOf = 4,     ///< body: hash
+  kPut = 5,        ///< body: length-prefixed node bytes
+  kPutMany = 6,    ///< body: varint count, then (hash | lp bytes) each
+  kFlush = 7,      ///< empty body
+  kHead = 8,       ///< body: length-prefixed branch name
+  kPublish = 9,    ///< body: see EncodeRequest
+  kBranchStats = 10,    ///< body: length-prefixed branch name
+  kStoreStats = 11,     ///< empty body
+  kResetCounters = 12,  ///< empty body
+  kListBranches = 13,   ///< empty body
+  kResponse = 64,  ///< body: u8 status code | lp message | result body
+};
+
+/// One decoded request, fields populated per `type` (see MsgType).
+struct Request {
+  MsgType type = MsgType::kHello;
+  uint32_t version = kWireVersion;       ///< kHello
+  Hash hash;                             ///< kGet / kContains / kSizeOf
+  std::string bytes;                     ///< kPut node payload
+  NodeBatch batch;                       ///< kPutMany
+  std::string branch;                    ///< kHead / kBranchStats / kPublish
+  std::string structure;                 ///< kPublish: server-side index name
+  Hash new_root;                         ///< kPublish
+  std::string author;                    ///< kPublish
+  std::string message;                   ///< kPublish
+  std::optional<Hash> expected_head;     ///< kPublish
+};
+
+/// Serializes \p req into a frame payload (not yet framed).
+std::string EncodeRequest(const Request& req);
+
+/// Parses a frame payload into \p out. Corruption on anything that does
+/// not decode exactly (unknown type, short body, trailing garbage) — the
+/// connection that produced it must be dropped.
+[[nodiscard]] Status DecodeRequest(Slice payload, Request* out);
+
+/// Serializes a response payload: \p app is the application-level outcome
+/// (shipped as code + message), \p body the type-specific result bytes
+/// (empty on error).
+std::string EncodeResponse(const Status& app, Slice body);
+
+/// Parses a response payload. The returned Status is the *protocol*
+/// outcome (Corruption = drop the connection); \p app receives the
+/// application-level status, \p body the result bytes.
+[[nodiscard]] Status DecodeResponse(Slice payload, Status* app,
+                                    std::string* body);
+
+/// Rebuilds a Status from a wire code + message (unknown codes map to
+/// IOError so a skewed peer cannot smuggle an OK).
+Status StatusFromWire(uint8_t code, std::string message);
+
+// --- type-specific response bodies -----------------------------------
+
+void PutHash(std::string* dst, const Hash& h);
+[[nodiscard]] bool GetHash(Slice* in, Hash* h);
+
+/// What a publish RPC returns (mirrors MergeCommitResult).
+struct WirePublishResult {
+  Hash head;    ///< branch head after the publish
+  Hash commit;  ///< the author's content commit
+  uint64_t cas_failures = 0;
+  uint64_t merge_commits = 0;
+};
+
+std::string EncodePublishResultBody(const WirePublishResult& r);
+[[nodiscard]] Status DecodePublishResultBody(Slice body, WirePublishResult* r);
+
+std::string EncodeBranchStatsBody(const BranchStats& s);
+[[nodiscard]] Status DecodeBranchStatsBody(Slice body, BranchStats* s);
+
+std::string EncodeStoreStatsBody(const NodeStore::Stats& s);
+[[nodiscard]] Status DecodeStoreStatsBody(Slice body, NodeStore::Stats* s);
+
+std::string EncodeStringListBody(const std::vector<std::string>& v);
+[[nodiscard]] Status DecodeStringListBody(Slice body,
+                                          std::vector<std::string>* v);
+
+// --- framing ----------------------------------------------------------
+
+/// Wraps a payload in the record_io frame: varint len | sha256 | payload.
+std::string EncodeFrame(Slice payload);
+
+/// \brief Incremental frame reassembly over a byte stream.
+///
+/// Append() buffers whatever the socket produced; Next() extracts the
+/// next complete, digest-verified payload. The three outcomes are kept
+/// distinct because they demand different connection handling:
+///   - ok(true): a verified payload was extracted;
+///   - ok(false): the buffered bytes frame no complete record yet — read
+///     more (a peer that hangs up here simply tore its last frame);
+///   - error (Corruption): the stream can never resynchronize — a frame
+///     length exceeding max_frame_bytes, a malformed length varint, or a
+///     payload whose digest does not match. Drop the connection.
+///
+/// Not thread-safe; each connection owns one decoder.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(uint64_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void Append(const char* data, size_t n) { buf_.append(data, n); }
+
+  [[nodiscard]] Result<bool> Next(std::string* payload);
+
+  /// Bytes buffered but not yet consumed by a complete frame.
+  size_t buffered() const { return buf_.size() - off_; }
+
+ private:
+  uint64_t max_frame_bytes_;
+  std::string buf_;
+  size_t off_ = 0;  // consumed prefix of buf_, compacted lazily
+};
+
+}  // namespace net
+}  // namespace siri
+
+#endif  // SIRI_NET_WIRE_H_

@@ -2,12 +2,21 @@
 
 #include "system/forkbase.h"
 
-#include <chrono>
-#include <thread>
-
-#include "common/timer.h"
+#include "common/status.h"
 
 namespace siri {
+
+void ForkbaseServlet::RegisterIndex(std::unique_ptr<ImmutableIndex> index) {
+  SIRI_CHECK(index != nullptr);
+  MutexLock lock(index_mu_);
+  indexes_[index->name()] = std::move(index);
+}
+
+ImmutableIndex* ForkbaseServlet::IndexFor(const std::string& structure) const {
+  MutexLock lock(index_mu_);
+  auto it = indexes_.find(structure);
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
 
 NodeCache::NodeCache(uint64_t capacity_bytes, int num_shards)
     : capacity_bytes_(capacity_bytes),
@@ -71,40 +80,33 @@ uint64_t NodeCache::size_bytes() const {
 ForkbaseClientStore::ForkbaseClientStore(ForkbaseServlet* servlet,
                                          uint64_t cache_bytes,
                                          uint64_t rtt_nanos, RttModel rtt_model)
-    : servlet_(servlet),
-      cache_(cache_bytes),
-      rtt_nanos_(rtt_nanos),
-      rtt_model_(rtt_model) {}
+    : ForkbaseClientStore(std::make_shared<net::InProcessTransport>(
+                              servlet, rtt_nanos, rtt_model),
+                          cache_bytes) {}
 
-void ForkbaseClientStore::ChargeRoundTrip() const {
-  if (rtt_nanos_ == 0) return;
-  if (rtt_model_ == RttModel::kSleep) {
-    // Yield the core: concurrent clients overlap their round trips, which
-    // is what makes multi-client read throughput scale on few cores.
-    std::this_thread::sleep_for(std::chrono::nanoseconds(rtt_nanos_));
-    return;
-  }
-  Timer t;
-  while (t.ElapsedNanos() < rtt_nanos_) {
-    // Busy-wait to model the round trip inside throughput measurements.
-  }
-}
+ForkbaseClientStore::ForkbaseClientStore(
+    std::shared_ptr<net::Transport> transport, uint64_t cache_bytes)
+    : transport_(std::move(transport)), cache_(cache_bytes) {}
 
 Hash ForkbaseClientStore::Put(Slice bytes) {
   // One node, one upload RPC. Batched commit paths use PutMany instead,
   // which ships the whole staged batch for a single round trip.
-  ChargeRoundTrip();
   remote_puts_.fetch_add(1, std::memory_order_relaxed);
-  return servlet_->store()->Put(bytes);
+  auto uploaded = transport_->Put(bytes);
+  // NodeStore::Put has no failure channel (an upload's digest is its
+  // receipt), so a broken boundary is fatal to this client — matching the
+  // embedded deployment, where the store is in-process and cannot fail.
+  SIRI_CHECK(uploaded.ok());
+  return *uploaded;
 }
 
 void ForkbaseClientStore::PutMany(const NodeBatch& batch) {
   if (batch.empty()) return;
   // The whole batch rides one chunk-upload RPC: a commit's dirty
-  // root-to-leaf path costs one simulated round trip, not one per node.
-  ChargeRoundTrip();
+  // root-to-leaf path costs one round trip, not one per node.
   remote_puts_.fetch_add(1, std::memory_order_relaxed);
-  servlet_->store()->PutMany(batch);
+  const Status uploaded = transport_->PutMany(batch);
+  SIRI_CHECK(uploaded.ok());  // see Put: no failure channel
   // Write-allocate: the next commit of this client starts by re-reading
   // the path nodes this one just produced; without caching them each would
   // cost a fresh remote fetch.
@@ -144,8 +146,7 @@ Result<std::shared_ptr<const std::string>> ForkbaseClientStore::Get(
     return flight->bytes;
   }
 
-  ChargeRoundTrip();
-  auto bytes = servlet_->store()->Get(h);
+  auto bytes = transport_->Get(h);
   if (bytes.ok()) {
     remote_gets_.fetch_add(1, std::memory_order_relaxed);
     remote_bytes_.fetch_add((*bytes)->size(), std::memory_order_relaxed);
@@ -175,9 +176,9 @@ bool ForkbaseClientStore::Contains(const Hash& h) const {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
-  ChargeRoundTrip();
   remote_gets_.fetch_add(1, std::memory_order_relaxed);
-  return servlet_->store()->Contains(h);
+  auto present = transport_->Contains(h);
+  return present.ok() && *present;
 }
 
 Result<uint64_t> ForkbaseClientStore::SizeOf(const Hash& h) const {
@@ -185,13 +186,19 @@ Result<uint64_t> ForkbaseClientStore::SizeOf(const Hash& h) const {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
     return static_cast<uint64_t>(cached->size());
   }
-  ChargeRoundTrip();
   remote_gets_.fetch_add(1, std::memory_order_relaxed);
-  return servlet_->store()->SizeOf(h);
+  return transport_->SizeOf(h);
+}
+
+NodeStore::Stats ForkbaseClientStore::stats() const {
+  auto remote = transport_->StoreStats();
+  return remote.ok() ? *remote : Stats{};
 }
 
 void ForkbaseClientStore::ResetOpCounters() {
-  servlet_->store()->ResetOpCounters();
+  // Best-effort across the boundary: a client that cannot reach the
+  // server still zeroes its local counters.
+  (void)transport_->ResetServerOpCounters();
   remote_gets_.store(0, std::memory_order_relaxed);
   cache_hits_.store(0, std::memory_order_relaxed);
   remote_bytes_.store(0, std::memory_order_relaxed);

@@ -23,6 +23,14 @@
 // whole commit's staged batch in a single round trip — ForkBase's
 // chunk-upload call — which is what makes batched commits cost ≤ 1
 // simulated RTT each.
+//
+// The boundary itself is pluggable since the transport refactor: the
+// client store talks to a net::Transport, which is either an
+// InProcessTransport over a servlet in this address space (the embedded
+// deployment every test and bench above runs, with the simulated RTT) or
+// a SocketTransport to a siri-server process (net/socket_transport.h),
+// where the round trip is real. Cache, singleflight, and the remote
+// accounting stay here — they are client-side concerns either way.
 
 #ifndef SIRI_SYSTEM_FORKBASE_H_
 #define SIRI_SYSTEM_FORKBASE_H_
@@ -31,12 +39,16 @@
 #include <condition_variable>
 #include <cstdint>
 #include <list>
+#include <map>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/mutex.h"
 
+#include "index/index.h"
+#include "net/transport.h"
 #include "store/node_store.h"
 #include "version/commit.h"
 #include "version/group_commit.h"
@@ -126,16 +138,29 @@ class ForkbaseServlet {
   /// writer).
   CommitCombiner* combiner() { return &combiner_; }
 
+  /// Registers a server-side index (it must be bound to this servlet's
+  /// store) under index->name(), replacing any prior registration of that
+  /// name. Publish RPCs arriving over a transport merge through the
+  /// registered index of the structure they name, so a server must
+  /// register each structure its clients commit — with the same
+  /// construction options (an MBT's bucket geometry is fixed at
+  /// construction and must match the client's). Register before serving:
+  /// IndexFor hands out raw pointers that replacement would invalidate.
+  void RegisterIndex(std::unique_ptr<ImmutableIndex> index) EXCLUDES(index_mu_);
+
+  /// The registered index for \p structure, or nullptr. The pointer stays
+  /// valid while the servlet lives (registrations are not replaced while
+  /// serving, per RegisterIndex's contract).
+  ImmutableIndex* IndexFor(const std::string& structure) const
+      EXCLUDES(index_mu_);
+
  private:
   NodeStorePtr store_;
   BranchManager branches_;
   CommitCombiner combiner_;
-};
-
-/// How the simulated round trip is charged on a remote access.
-enum class RttModel {
-  kBusyWait,  ///< burn the core — accurate single-client cost accounting
-  kSleep,     ///< yield the core — round trips of concurrent clients overlap
+  mutable Mutex index_mu_;
+  std::map<std::string, std::unique_ptr<ImmutableIndex>> indexes_
+      GUARDED_BY(index_mu_);
 };
 
 /// \brief Client-side NodeStore view: cache first, then "remote" fetch.
@@ -164,11 +189,17 @@ class ForkbaseClientStore : public NodeStore {
     }
   };
 
+  /// Embedded deployment: builds an InProcessTransport over \p servlet.
   /// \param rtt_nanos simulated per-fetch round-trip cost (0 = count only),
   ///        charged per \p rtt_model so throughput numbers include it.
   ForkbaseClientStore(ForkbaseServlet* servlet, uint64_t cache_bytes,
                       uint64_t rtt_nanos = 0,
                       RttModel rtt_model = RttModel::kBusyWait);
+
+  /// Client/server deployment (or tests injecting a transport): the same
+  /// cache/singleflight/accounting over any boundary implementation.
+  ForkbaseClientStore(std::shared_ptr<net::Transport> transport,
+                      uint64_t cache_bytes);
 
   /// One upload RPC per node: charges a round trip and forwards.
   [[nodiscard]] Hash Put(Slice bytes) override;
@@ -184,13 +215,19 @@ class ForkbaseClientStore : public NodeStore {
 
   bool Contains(const Hash& h) const override;
   Result<uint64_t> SizeOf(const Hash& h) const override;
-  Stats stats() const override { return servlet_->store()->stats(); }
+  /// The *server* store's counters, fetched over the transport (empty on
+  /// a transport error — the boundary's observability is best-effort).
+  Stats stats() const override;
   void ResetOpCounters() override;
-  Status Flush() override { return servlet_->store()->Flush(); }
+  Status Flush() override { return transport_->Flush(); }
 
   /// Consistent-enough snapshot of the remote accounting counters.
   RemoteStats remote_stats() const;
   void ClearCache() { cache_.Clear(); }
+
+  /// The boundary this client talks through (e.g. for its cost stats or
+  /// for branch head/publish RPCs alongside the node traffic).
+  net::Transport* transport() const { return transport_.get(); }
 
  private:
   /// One miss being fetched from the servlet; followers block on cv until
@@ -203,12 +240,8 @@ class ForkbaseClientStore : public NodeStore {
     std::shared_ptr<const std::string> bytes GUARDED_BY(mu);
   };
 
-  void ChargeRoundTrip() const;
-
-  ForkbaseServlet* servlet_;
+  std::shared_ptr<net::Transport> transport_;
   mutable NodeCache cache_;  // Lookup refreshes recency, so const paths touch it
-  uint64_t rtt_nanos_;
-  RttModel rtt_model_;
   mutable std::atomic<uint64_t> remote_gets_{0};
   mutable std::atomic<uint64_t> cache_hits_{0};
   mutable std::atomic<uint64_t> remote_bytes_{0};

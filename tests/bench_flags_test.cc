@@ -40,8 +40,28 @@ TEST(BenchFlagsTest, NoArgumentsIsClean) {
 TEST(BenchFlagsTest, EveryKnownFlagIsAccepted) {
   Argv a({"--scale=8", "--threads=1,2,4", "--write-threads=2", "--help",
           "--threads-only", "--write-scaling-only", "--branch-commits-only",
-          "--group-commit-only", "--smoke"});
+          "--group-commit-only", "--smoke", "--transport=socket"});
   EXPECT_EQ(FirstUnknownFlag(a.argc(), a.argv()), nullptr);
+}
+
+TEST(BenchFlagsTest, ParseTransportFlagDefaultsToInproc) {
+  Argv a({"--scale=2"});
+  EXPECT_EQ(ParseTransportFlag(a.argc(), a.argv()), "inproc");
+}
+
+TEST(BenchFlagsTest, ParseTransportFlagAcceptsBothTransports) {
+  Argv inproc({"--transport=inproc"});
+  EXPECT_EQ(ParseTransportFlag(inproc.argc(), inproc.argv()), "inproc");
+  Argv socket({"--transport=socket"});
+  EXPECT_EQ(ParseTransportFlag(socket.argc(), socket.argv()), "socket");
+}
+
+TEST(BenchFlagsDeathTest, ParseTransportFlagRejectsUnknownValue) {
+  // A misspelled transport must abort, not silently benchmark in-process
+  // and record the numbers under the wrong label.
+  Argv a({"--transport=sockte"});
+  EXPECT_EXIT(ParseTransportFlag(a.argc(), a.argv()),
+              ::testing::ExitedWithCode(2), "--transport must be");
 }
 
 TEST(BenchFlagsTest, ReturnsTheFirstUnknownFlag) {

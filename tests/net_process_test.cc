@@ -1,0 +1,376 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Multi-process client/server tests: real forked client processes talking
+// to one siri server over loopback TCP — the deployment shape the socket
+// transport exists for. Three claims under test:
+//
+//   1. K concurrent client *processes* committing one branch lose no
+//      updates (the servlet's combiner + OCC hold across process
+//      boundaries exactly as across threads);
+//   2. every commit the server ACKed is durable: SIGKILL the server
+//      process, reopen its store, and each acknowledged head is
+//      reachable with all its pages;
+//   3. a client that dies mid-upload (half a frame on the wire, then
+//      _exit) harms nothing: the server drops the torn connection, prior
+//      acked commits stay readable, and the page log needs no truncation
+//      recovery.
+//
+// These tests fork; the TSan CI job excludes them (ctest -E) the same way
+// it excludes the file-store process-kill tests.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <optional>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "index/pos/pos_tree.h"
+#include "net/server.h"
+#include "net/socket_transport.h"
+#include "net/wire.h"
+#include "store/file_store.h"
+#include "system/forkbase.h"
+#include "tests/test_util.h"
+#include "version/commit.h"
+
+namespace siri {
+namespace {
+
+std::string TempPath(const char* tag) {
+  return ::testing::TempDir() + "/siri_net_" + tag + "_" +
+         std::to_string(getpid());
+}
+
+/// Binds 127.0.0.1:ephemeral and returns {fd, port}. The parent binds
+/// BEFORE forking clients so no client can race the bind; the backlog
+/// holds their connects until the server starts accepting.
+void BindLoopback(int* fd, int* port) {
+  *fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(*fd, 0);
+  const int one = 1;
+  setsockopt(*fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(bind(*fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(listen(*fd, 64), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(getsockname(*fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  *port = ntohs(addr.sin_port);
+}
+
+/// One client process: connect, commit `commits` kv pairs one publish at
+/// a time (each on top of the current head), exit 0 on full success.
+/// Exit codes identify the failing step for the test log.
+void RunClientProcess(int port, int id, int commits) {
+  std::shared_ptr<net::SocketTransport> t;
+  net::SocketTransport::Options topts;
+  topts.connect_retry_ms = 10000;  // the server may start after us
+  if (!net::SocketTransport::Connect("127.0.0.1", port, &t, topts).ok()) {
+    _exit(10);
+  }
+  auto client_store = std::make_shared<ForkbaseClientStore>(t, 8 << 20);
+  PosTree index(client_store);
+  for (int c = 0; c < commits; ++c) {
+    // Build on the current head (or empty for the very first commit).
+    Hash base = index.EmptyRoot();
+    std::optional<Hash> expected;
+    auto head = t->Head("main");
+    if (head.ok()) {
+      auto node = client_store->Get(*head);
+      if (!node.ok()) _exit(16);
+      auto commit = Commit::Decode(**node);
+      if (!commit.ok()) _exit(11);
+      base = commit->root;
+      expected = *head;
+    } else if (!head.status().IsNotFound()) {
+      _exit(12);
+    }
+    const std::string key =
+        "client" + std::to_string(id) + "/k" + std::to_string(c);
+    auto root = index.PutBatch(base, {{key, "v" + std::to_string(c)}});
+    if (!root.ok()) _exit(13);
+    if (!client_store->Flush().ok()) _exit(14);
+    net::PublishRequest pub;
+    pub.structure = "pos";
+    pub.branch = "main";
+    pub.new_root = *root;
+    pub.author = "client" + std::to_string(id);
+    pub.message = key;
+    pub.expected_head = expected;
+    auto published = t->Publish(pub);
+    if (!published.ok()) _exit(15);
+  }
+  _exit(0);
+}
+
+TEST(NetMultiProcessTest, FourClientProcessesZeroLostUpdates) {
+  constexpr int kClients = 4;
+  constexpr int kCommitsEach = 8;
+
+  int listen_fd = -1;
+  int port = 0;
+  BindLoopback(&listen_fd, &port);
+
+  // Fork the clients BEFORE the parent spawns server threads (fork in a
+  // multithreaded parent only reproduces the forking thread; binding
+  // first and starting the server after keeps both sides simple).
+  std::vector<pid_t> pids;
+  for (int id = 0; id < kClients; ++id) {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      close(listen_fd);  // the child is a pure client
+      RunClientProcess(port, id, kCommitsEach);
+    }
+    pids.push_back(pid);
+  }
+
+  auto store = NewInMemoryNodeStore();
+  ForkbaseServlet servlet(store);
+  servlet.RegisterIndex(std::make_unique<PosTree>(store));
+  net::SiriServer server(&servlet);
+  ASSERT_TRUE(server.AdoptListener(listen_fd).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  for (pid_t pid : pids) {
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0) << "client failed";
+  }
+
+  // Zero lost updates: every key every client committed is in the final
+  // version, no matter how the 4 processes' publishes interleaved.
+  auto head = servlet.branches()->Head("main");
+  ASSERT_TRUE(head.ok());
+  auto commit = servlet.branches()->ReadCommit(*head);
+  ASSERT_TRUE(commit.ok());
+  PosTree index(store);
+  for (int id = 0; id < kClients; ++id) {
+    for (int c = 0; c < kCommitsEach; ++c) {
+      const std::string key =
+          "client" + std::to_string(id) + "/k" + std::to_string(c);
+      auto got = index.Get(commit->root, key, nullptr);
+      ASSERT_TRUE(got.ok());
+      EXPECT_TRUE(got->has_value()) << "lost update: " << key;
+    }
+  }
+  // Accounting under combining: the server routes Publish through the
+  // combiner, so commits from different processes may share one head
+  // swing (bs.commits counts swings, not acked publishes). What must be
+  // exact is that each of the 32 acked publishes landed exactly once —
+  // alone, as a combined-batch member, or via a fallback retry.
+  const uint64_t acked = static_cast<uint64_t>(kClients * kCommitsEach);
+  const BranchStats bs = servlet.branches()->branch_stats("main");
+  const CommitCombiner::Stats cs = servlet.combiner()->stats();
+  EXPECT_EQ(cs.solo_commits + cs.combined_commits + cs.fallbacks, acked);
+  EXPECT_EQ(bs.combined_commits, cs.combined_commits);
+  EXPECT_LE(bs.commits, acked);
+  EXPECT_GE(bs.commits, 1u);
+  server.Stop();
+}
+
+TEST(NetMultiProcessTest, ServerProcessKillAckedCommitsStayDurable) {
+  const std::string dir = TempPath("srvkill");
+  const std::string pages = dir + "_pages.log";
+  const std::string refs = dir + "_refs.log";
+  std::remove(pages.c_str());
+  std::remove(refs.c_str());
+
+  int listen_fd = -1;
+  int port = 0;
+  BindLoopback(&listen_fd, &port);
+
+  // The SERVER runs in the forked child this time (threads are fine in a
+  // fresh child). The parent is the client that receives the acks.
+  const pid_t server_pid = fork();
+  ASSERT_GE(server_pid, 0);
+  if (server_pid == 0) {
+    std::shared_ptr<FileNodeStore> store;
+    if (!FileNodeStore::Open(pages, &store).ok()) _exit(20);
+    ForkbaseServlet servlet(store);
+    if (!servlet.branches()->AttachRefLog(refs).ok()) _exit(21);
+    servlet.RegisterIndex(std::make_unique<PosTree>(store));
+    net::SiriServer server(&servlet);
+    if (!server.AdoptListener(listen_fd).ok()) _exit(22);
+    if (!server.Start().ok()) _exit(23);
+    for (;;) pause();  // serve until SIGKILL
+  }
+  close(listen_fd);
+
+  std::shared_ptr<net::SocketTransport> t;
+  ASSERT_TRUE(net::SocketTransport::Connect("127.0.0.1", port, &t).ok());
+  auto client_store = std::make_shared<ForkbaseClientStore>(t, 8 << 20);
+  PosTree index(client_store);
+
+  // Three acked commits, remembering each acked head.
+  std::vector<Hash> acked_heads;
+  Hash base = index.EmptyRoot();
+  std::optional<Hash> expected;
+  for (int c = 0; c < 3; ++c) {
+    auto root = index.PutBatch(
+        base, {{"durable/k" + std::to_string(c), "v" + std::to_string(c)}});
+    ASSERT_TRUE(root.ok());
+    ASSERT_TRUE(client_store->Flush().ok());
+    net::PublishRequest pub;
+    pub.structure = "pos";
+    pub.branch = "main";
+    pub.new_root = *root;
+    pub.author = "parent";
+    pub.message = "c" + std::to_string(c);
+    pub.expected_head = expected;
+    auto published = t->Publish(pub);
+    ASSERT_TRUE(published.ok()) << published.status().ToString();
+    acked_heads.push_back(published->head);
+    expected = published->head;
+    base = *root;
+  }
+
+  // SIGKILL: no destructors, no flush-at-exit, no fsync the server had
+  // not already issued before acking.
+  ASSERT_EQ(kill(server_pid, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(server_pid, &status, 0), server_pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+
+  // Reopen the dead server's store: every acked commit must be reachable
+  // with all its pages, and the ref log must have the last acked head.
+  std::shared_ptr<FileNodeStore> reopened;
+  ASSERT_TRUE(FileNodeStore::Open(pages, &reopened).ok());
+  BranchManager mgr(reopened);
+  ASSERT_TRUE(mgr.AttachRefLog(refs).ok());
+  auto head = mgr.Head("main");
+  ASSERT_TRUE(head.ok()) << "acked head lost by server crash";
+  EXPECT_EQ(*head, acked_heads.back());
+  PosTree recovered(reopened);
+  for (const Hash& h : acked_heads) {
+    auto commit = mgr.ReadCommit(h);
+    ASSERT_TRUE(commit.ok()) << "acked commit unreadable after crash";
+  }
+  auto final_commit = mgr.ReadCommit(acked_heads.back());
+  ASSERT_TRUE(final_commit.ok());
+  for (int c = 0; c < 3; ++c) {
+    auto got =
+        recovered.Get(final_commit->root, "durable/k" + std::to_string(c),
+                      nullptr);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(got->has_value());
+    EXPECT_EQ(**got, "v" + std::to_string(c));
+  }
+  std::remove(pages.c_str());
+  std::remove(refs.c_str());
+}
+
+TEST(NetMultiProcessTest, ClientDeathMidUploadHarmsNothing) {
+  const std::string pages = TempPath("clikill") + "_pages.log";
+  const std::string refs = TempPath("clikill") + "_refs.log";
+  std::remove(pages.c_str());
+  std::remove(refs.c_str());
+
+  int listen_fd = -1;
+  int port = 0;
+  BindLoopback(&listen_fd, &port);
+
+  // Client child: publish one good commit, then die mid-PutMany — half a
+  // frame on the wire, then _exit without closing cleanly.
+  const pid_t client_pid = fork();
+  ASSERT_GE(client_pid, 0);
+  if (client_pid == 0) {
+    close(listen_fd);
+    std::shared_ptr<net::SocketTransport> t;
+    net::SocketTransport::Options topts;
+    topts.connect_retry_ms = 10000;
+    if (!net::SocketTransport::Connect("127.0.0.1", port, &t, topts).ok()) {
+      _exit(30);
+    }
+    auto client_store = std::make_shared<ForkbaseClientStore>(t, 8 << 20);
+    PosTree index(client_store);
+    auto root = index.PutBatch(index.EmptyRoot(), {{"acked/key", "survives"}});
+    if (!root.ok()) _exit(31);
+    if (!client_store->Flush().ok()) _exit(32);
+    net::PublishRequest pub;
+    pub.structure = "pos";
+    pub.branch = "main";
+    pub.new_root = *root;
+    pub.author = "doomed";
+    pub.message = "last good commit";
+    if (!t->Publish(pub).ok()) _exit(33);
+
+    // Now the torn upload: frame a real PutMany request but send only
+    // half of it over a raw connection, then die.
+    int raw = socket(AF_INET, SOCK_STREAM, 0);
+    if (raw < 0) _exit(34);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (connect(raw, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      _exit(35);
+    }
+    net::Request req;
+    req.type = net::MsgType::kPutMany;
+    auto bytes =
+        std::make_shared<const std::string>(std::string(4096, 't'));
+    req.batch.push_back({Sha256::Digest(*bytes), bytes});
+    const std::string frame = net::EncodeFrame(net::EncodeRequest(req));
+    if (send(raw, frame.data(), frame.size() / 2, MSG_NOSIGNAL) !=
+        static_cast<ssize_t>(frame.size() / 2)) {
+      _exit(36);
+    }
+    _exit(0);  // dies with the frame torn; no shutdown, no close handshake
+  }
+
+  std::shared_ptr<FileNodeStore> store;
+  ASSERT_TRUE(FileNodeStore::Open(pages, &store).ok());
+  ForkbaseServlet servlet(store);
+  ASSERT_TRUE(servlet.branches()->AttachRefLog(refs).ok());
+  servlet.RegisterIndex(std::make_unique<PosTree>(store));
+  net::SiriServer server(&servlet);
+  ASSERT_TRUE(server.AdoptListener(listen_fd).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  int status = 0;
+  ASSERT_EQ(waitpid(client_pid, &status, 0), client_pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0) << "client setup step failed";
+
+  // The server outlives the torn connection and still serves new clients.
+  std::shared_ptr<net::SocketTransport> fresh;
+  ASSERT_TRUE(net::SocketTransport::Connect("127.0.0.1", port, &fresh).ok());
+  auto head = fresh->Head("main");
+  ASSERT_TRUE(head.ok()) << "acked commit lost after client death";
+  auto commit = servlet.branches()->ReadCommit(*head);
+  ASSERT_TRUE(commit.ok());
+  PosTree index(store);
+  auto got = index.Get(commit->root, "acked/key", nullptr);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(got->has_value());
+  EXPECT_EQ(**got, "survives");
+
+  // A torn WIRE frame is the client's problem, not the log's: nothing of
+  // the half-received upload reached the page log, so reopening it later
+  // needs zero truncation recovery.
+  server.Stop();
+  store.reset();
+  std::shared_ptr<FileNodeStore> reopened;
+  ASSERT_TRUE(FileNodeStore::Open(pages, &reopened).ok());
+  EXPECT_EQ(reopened->recovered_truncations(), 0u);
+  std::remove(pages.c_str());
+  std::remove(refs.c_str());
+}
+
+}  // namespace
+}  // namespace siri

@@ -1,0 +1,689 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+//
+// Wire protocol and client/server boundary: codec round-trips, frame
+// decoder hardening against malformed input (truncated, oversized,
+// bit-flipped, garbled — the server must never crash on a hostile or
+// broken peer), and the SiriServer + SocketTransport loopback path
+// end-to-end against a real ForkbaseServlet.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/varint.h"
+#include "crypto/sha256.h"
+#include "index/pos/pos_tree.h"
+#include "net/server.h"
+#include "net/socket_transport.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "store/file_store.h"
+#include "system/forkbase.h"
+#include "tests/test_util.h"
+
+namespace siri {
+namespace {
+
+using net::FrameDecoder;
+using net::MsgType;
+using net::Request;
+using testing_util::MakeKvs;
+
+// --- request codec round-trips ---------------------------------------
+
+Request RoundTrip(const Request& in) {
+  const std::string payload = net::EncodeRequest(in);
+  Request out;
+  EXPECT_TRUE(net::DecodeRequest(payload, &out).ok());
+  EXPECT_EQ(out.type, in.type);
+  return out;
+}
+
+TEST(WireCodecTest, HelloRoundTrips) {
+  Request in;
+  in.type = MsgType::kHello;
+  in.version = 7;
+  EXPECT_EQ(RoundTrip(in).version, 7u);
+}
+
+TEST(WireCodecTest, HashRequestsRoundTrip) {
+  for (MsgType t : {MsgType::kGet, MsgType::kContains, MsgType::kSizeOf}) {
+    Request in;
+    in.type = t;
+    in.hash = Sha256::Digest("node");
+    EXPECT_EQ(RoundTrip(in).hash, in.hash);
+  }
+}
+
+TEST(WireCodecTest, PutRoundTripsArbitraryBytes) {
+  Request in;
+  in.type = MsgType::kPut;
+  in.bytes = std::string("\x00\xff payload \x01", 12);
+  EXPECT_EQ(RoundTrip(in).bytes, in.bytes);
+}
+
+TEST(WireCodecTest, PutManyRoundTripsBatch) {
+  Request in;
+  in.type = MsgType::kPutMany;
+  for (int i = 0; i < 5; ++i) {
+    auto bytes = std::make_shared<const std::string>(
+        std::string(100 + i, static_cast<char>('a' + i)));
+    in.batch.push_back({Sha256::Digest(*bytes), bytes});
+  }
+  Request out = RoundTrip(in);
+  ASSERT_EQ(out.batch.size(), in.batch.size());
+  for (size_t i = 0; i < in.batch.size(); ++i) {
+    EXPECT_EQ(out.batch[i].hash, in.batch[i].hash);
+    EXPECT_EQ(*out.batch[i].bytes, *in.batch[i].bytes);
+  }
+}
+
+TEST(WireCodecTest, PublishRoundTripsWithAndWithoutExpectedHead) {
+  Request in;
+  in.type = MsgType::kPublish;
+  in.structure = "pos";
+  in.branch = "feature/x";
+  in.new_root = Sha256::Digest("root");
+  in.author = "alice";
+  in.message = "commit message with spaces";
+  Request out = RoundTrip(in);
+  EXPECT_EQ(out.structure, "pos");
+  EXPECT_EQ(out.branch, "feature/x");
+  EXPECT_EQ(out.new_root, in.new_root);
+  EXPECT_EQ(out.author, "alice");
+  EXPECT_EQ(out.message, in.message);
+  EXPECT_FALSE(out.expected_head.has_value());
+
+  in.expected_head = Sha256::Digest("head");
+  out = RoundTrip(in);
+  ASSERT_TRUE(out.expected_head.has_value());
+  EXPECT_EQ(*out.expected_head, *in.expected_head);
+}
+
+TEST(WireCodecTest, EmptyBodyRequestsRoundTrip) {
+  for (MsgType t : {MsgType::kFlush, MsgType::kStoreStats,
+                    MsgType::kResetCounters, MsgType::kListBranches}) {
+    Request in;
+    in.type = t;
+    RoundTrip(in);
+  }
+}
+
+TEST(WireCodecTest, DecodeRejectsUnknownTypeAndTrailingGarbage) {
+  Request out;
+  std::string unknown(1, static_cast<char>(200));
+  EXPECT_TRUE(net::DecodeRequest(unknown, &out).IsCorruption());
+
+  Request valid;
+  valid.type = MsgType::kFlush;
+  std::string trailing = net::EncodeRequest(valid) + "x";
+  EXPECT_TRUE(net::DecodeRequest(trailing, &out).IsCorruption());
+
+  EXPECT_TRUE(net::DecodeRequest(Slice(), &out).IsCorruption());
+}
+
+TEST(WireCodecTest, PutManyRejectsCountBeyondPayload) {
+  // A count claiming more records than the payload could hold must be
+  // rejected up front, not drive a giant reserve or a long decode loop.
+  std::string payload(1, static_cast<char>(MsgType::kPutMany));
+  PutVarint64(&payload, 1u << 30);
+  Request out;
+  EXPECT_TRUE(net::DecodeRequest(payload, &out).IsCorruption());
+}
+
+TEST(WireCodecTest, ResponseRoundTripsStatusAndBody) {
+  const std::string payload =
+      net::EncodeResponse(Status::OK(), Slice("result-bytes"));
+  Status app;
+  std::string body;
+  ASSERT_TRUE(net::DecodeResponse(payload, &app, &body).ok());
+  EXPECT_TRUE(app.ok());
+  EXPECT_EQ(body, "result-bytes");
+
+  const std::string err =
+      net::EncodeResponse(Status::NotFound("no such node"), Slice());
+  ASSERT_TRUE(net::DecodeResponse(err, &app, &body).ok());
+  EXPECT_TRUE(app.IsNotFound());
+  EXPECT_NE(app.ToString().find("no such node"), std::string::npos);
+  EXPECT_TRUE(body.empty());
+}
+
+TEST(WireCodecTest, EveryStatusCodeSurvivesTheWire) {
+  const std::vector<Status> all = {
+      Status::OK(),
+      Status::NotFound("a"),
+      Status::Corruption("b"),
+      Status::InvalidArgument("c"),
+      Status::Conflict("d"),
+      Status::NotSupported("e"),
+      Status::IOError("f"),
+  };
+  for (const Status& s : all) {
+    const std::string payload = net::EncodeResponse(s, Slice());
+    Status app;
+    std::string body;
+    ASSERT_TRUE(net::DecodeResponse(payload, &app, &body).ok());
+    EXPECT_EQ(app.ok(), s.ok());
+    EXPECT_EQ(app.IsNotFound(), s.IsNotFound());
+    EXPECT_EQ(app.IsCorruption(), s.IsCorruption());
+    EXPECT_EQ(app.IsConflict(), s.IsConflict());
+  }
+}
+
+TEST(WireCodecTest, ResultBodiesRoundTrip) {
+  net::WirePublishResult pub;
+  pub.head = Sha256::Digest("head");
+  pub.commit = Sha256::Digest("commit");
+  pub.cas_failures = 3;
+  pub.merge_commits = 2;
+  net::WirePublishResult pub2;
+  ASSERT_TRUE(
+      net::DecodePublishResultBody(net::EncodePublishResultBody(pub), &pub2)
+          .ok());
+  EXPECT_EQ(pub2.head, pub.head);
+  EXPECT_EQ(pub2.commit, pub.commit);
+  EXPECT_EQ(pub2.cas_failures, 3u);
+  EXPECT_EQ(pub2.merge_commits, 2u);
+
+  BranchStats bs;
+  bs.commits = 10;
+  bs.cas_failures = 4;
+  bs.merge_retries = 2;
+  bs.combined_commits = 6;
+  BranchStats bs2;
+  ASSERT_TRUE(
+      net::DecodeBranchStatsBody(net::EncodeBranchStatsBody(bs), &bs2).ok());
+  EXPECT_EQ(bs2.commits, 10u);
+  EXPECT_EQ(bs2.combined_commits, 6u);
+
+  NodeStore::Stats ss;
+  ss.puts = 1;
+  ss.put_bytes = 2;
+  ss.dup_puts = 3;
+  ss.gets = 4;
+  ss.get_bytes = 5;
+  ss.unique_nodes = 6;
+  ss.unique_bytes = 7;
+  ss.flushes = 8;
+  NodeStore::Stats ss2;
+  ASSERT_TRUE(
+      net::DecodeStoreStatsBody(net::EncodeStoreStatsBody(ss), &ss2).ok());
+  EXPECT_EQ(ss2.puts, 1u);
+  EXPECT_EQ(ss2.flushes, 8u);
+  EXPECT_EQ(ss2.unique_bytes, 7u);
+
+  const std::vector<std::string> branches = {"main", "", "feature/long-name"};
+  std::vector<std::string> branches2;
+  ASSERT_TRUE(
+      net::DecodeStringListBody(net::EncodeStringListBody(branches), &branches2)
+          .ok());
+  EXPECT_EQ(branches2, branches);
+}
+
+// --- frame decoder hardening ------------------------------------------
+
+TEST(FrameDecoderTest, ExtractsFrameDeliveredByteByByte) {
+  const std::string payload = "hello frame";
+  const std::string frame = net::EncodeFrame(payload);
+  FrameDecoder dec;
+  std::string out;
+  for (size_t i = 0; i + 1 < frame.size(); ++i) {
+    dec.Append(&frame[i], 1);
+    auto r = dec.Next(&out);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(*r) << "complete frame before the last byte arrived";
+  }
+  dec.Append(&frame[frame.size() - 1], 1);
+  auto r = dec.Next(&out);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(*r);
+  EXPECT_EQ(out, payload);
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(FrameDecoderTest, ExtractsBackToBackFrames) {
+  FrameDecoder dec;
+  std::string stream;
+  for (int i = 0; i < 10; ++i) {
+    stream += net::EncodeFrame("payload-" + std::to_string(i));
+  }
+  dec.Append(stream.data(), stream.size());
+  std::string out;
+  for (int i = 0; i < 10; ++i) {
+    auto r = dec.Next(&out);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(*r);
+    EXPECT_EQ(out, "payload-" + std::to_string(i));
+  }
+  auto r = dec.Next(&out);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+TEST(FrameDecoderTest, TruncatedFrameIsNeedMoreNotError) {
+  const std::string frame = net::EncodeFrame(std::string(1000, 'x'));
+  FrameDecoder dec;
+  dec.Append(frame.data(), frame.size() / 2);
+  std::string out;
+  auto r = dec.Next(&out);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);  // a torn frame is a hung-up peer, not corruption
+}
+
+TEST(FrameDecoderTest, OversizedLengthIsCorruption) {
+  FrameDecoder dec(/*max_frame_bytes=*/1024);
+  std::string frame;
+  PutVarint64(&frame, 1 << 20);  // claims 1 MB against a 1 KB bound
+  frame.append(32, '\0');
+  dec.Append(frame.data(), frame.size());
+  std::string out;
+  auto r = dec.Next(&out);
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(FrameDecoderTest, MalformedLengthVarintIsCorruption) {
+  // Ten continuation bytes: no valid varint64 is that long, and more
+  // input can never fix it — must be typed corruption, not need-more.
+  FrameDecoder dec;
+  const std::string evil(10, '\xff');
+  dec.Append(evil.data(), evil.size());
+  std::string out;
+  auto r = dec.Next(&out);
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(FrameDecoderTest, BitFlipAnywhereIsCorruptionNeverWrongPayload) {
+  const std::string payload = "sensitive payload bytes";
+  const std::string frame = net::EncodeFrame(payload);
+  for (size_t i = 0; i < frame.size(); ++i) {
+    for (int bit = 0; bit < 8; bit += 3) {
+      std::string flipped = frame;
+      flipped[i] = static_cast<char>(flipped[i] ^ (1 << bit));
+      FrameDecoder dec(/*max_frame_bytes=*/1 << 16);
+      dec.Append(flipped.data(), flipped.size());
+      std::string out;
+      auto r = dec.Next(&out);
+      // A flipped bit may make the frame corrupt (length/digest damage)
+      // or incomplete (length now claims more bytes). What it must NEVER
+      // do is deliver a payload different from what was framed.
+      if (r.ok() && *r) {
+        EXPECT_EQ(out, payload)
+            << "bit flip at byte " << i << " delivered a wrong payload";
+      }
+    }
+  }
+}
+
+TEST(FrameDecoderTest, FuzzedGarbageNeverCrashesAndNeverDeliversJunk) {
+  // Deterministic xorshift fuzz: random mutations of valid frames plus
+  // pure-garbage streams, delivered in random chunk sizes. The decoder
+  // must never crash, never loop forever, and never hand back a payload
+  // that was not framed intact.
+  uint64_t rng = 0x9e3779b97f4a7c15ull;
+  auto next_rand = [&rng]() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int round = 0; round < 300; ++round) {
+    std::string stream;
+    const int pieces = 1 + next_rand() % 4;
+    std::vector<std::string> intact;
+    for (int p = 0; p < pieces; ++p) {
+      std::string payload(next_rand() % 200, ' ');
+      for (char& c : payload) c = static_cast<char>(next_rand());
+      std::string frame = net::EncodeFrame(payload);
+      const bool mutate = next_rand() % 2 == 0;
+      if (mutate) {
+        const int flips = 1 + next_rand() % 4;
+        for (int f = 0; f < flips; ++f) {
+          frame[next_rand() % frame.size()] ^=
+              static_cast<char>(1 << (next_rand() % 8));
+        }
+      } else {
+        intact.push_back(payload);
+      }
+      stream += frame;
+    }
+    FrameDecoder dec(/*max_frame_bytes=*/1 << 16);
+    size_t fed = 0;
+    size_t delivered = 0;
+    bool dead = false;
+    while (fed < stream.size() && !dead) {
+      const size_t chunk =
+          std::min(stream.size() - fed, 1 + next_rand() % 97);
+      dec.Append(stream.data() + fed, chunk);
+      fed += chunk;
+      for (;;) {
+        std::string out;
+        auto r = dec.Next(&out);
+        if (!r.ok()) {
+          dead = true;  // real connection would drop here
+          break;
+        }
+        if (!*r) break;
+        // Everything delivered before the first mutation point must be an
+        // intact payload, verbatim.
+        if (delivered < intact.size()) {
+          EXPECT_EQ(out, intact[delivered]);
+        }
+        ++delivered;
+      }
+    }
+  }
+}
+
+// --- loopback server + socket transport -------------------------------
+
+class LoopbackServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = NewInMemoryNodeStore();
+    servlet_ = std::make_unique<ForkbaseServlet>(store_);
+    servlet_->RegisterIndex(std::make_unique<PosTree>(store_));
+    net::ServerOptions opts;
+    opts.worker_threads = 2;
+    opts.group_flush_window_micros = 0;  // in-memory store: no-op anyway
+    server_ = std::make_unique<net::SiriServer>(servlet_.get(), opts);
+    ASSERT_TRUE(server_->Listen(0).ok());
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override { server_->Stop(); }
+
+  std::shared_ptr<net::SocketTransport> Connect() {
+    std::shared_ptr<net::SocketTransport> t;
+    Status s = net::SocketTransport::Connect("127.0.0.1", server_->port(), &t);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return t;
+  }
+
+  NodeStorePtr store_;
+  std::unique_ptr<ForkbaseServlet> servlet_;
+  std::unique_ptr<net::SiriServer> server_;
+};
+
+TEST_F(LoopbackServerTest, NodeOpsRoundTrip) {
+  auto t = Connect();
+  ASSERT_NE(t, nullptr);
+
+  const std::string payload(500, 'n');
+  auto put = t->Put(payload);
+  ASSERT_TRUE(put.ok()) << put.status().ToString();
+  EXPECT_EQ(*put, Sha256::Digest(payload));
+
+  auto got = t->Get(*put);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(**got, payload);
+
+  auto contains = t->Contains(*put);
+  ASSERT_TRUE(contains.ok());
+  EXPECT_TRUE(*contains);
+  auto absent = t->Contains(Sha256::Digest("never stored"));
+  ASSERT_TRUE(absent.ok());
+  EXPECT_FALSE(*absent);
+
+  auto size = t->SizeOf(*put);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, payload.size());
+
+  auto missing = t->Get(Sha256::Digest("never stored"));
+  EXPECT_TRUE(missing.status().IsNotFound());
+
+  EXPECT_TRUE(t->Flush().ok());
+
+  auto stats = t->StoreStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->puts, 1u);
+  EXPECT_GE(stats->gets, 1u);
+
+  // Real measured traffic, not simulated RTTs.
+  const auto ts = t->stats();
+  EXPECT_GT(ts.rpcs, 0u);
+  EXPECT_GT(ts.bytes_sent, payload.size());
+  EXPECT_GT(ts.bytes_received, payload.size());
+  EXPECT_GT(ts.syscalls, 0u);
+}
+
+TEST_F(LoopbackServerTest, PutManyStoresWholeBatch) {
+  auto t = Connect();
+  ASSERT_NE(t, nullptr);
+  NodeBatch batch;
+  for (int i = 0; i < 20; ++i) {
+    auto bytes = std::make_shared<const std::string>(
+        "node-" + std::to_string(i) + std::string(200, 'b'));
+    batch.push_back({Sha256::Digest(*bytes), bytes});
+  }
+  ASSERT_TRUE(t->PutMany(batch).ok());
+  for (const auto& rec : batch) {
+    EXPECT_TRUE(store_->Contains(rec.hash));
+  }
+}
+
+TEST_F(LoopbackServerTest, PutManyRejectsDigestMismatch) {
+  // A socket is a trust boundary: the server re-digests uploads and a
+  // batch whose claimed hash does not match its bytes is rejected whole.
+  auto t = Connect();
+  ASSERT_NE(t, nullptr);
+  NodeBatch batch;
+  auto good = std::make_shared<const std::string>(std::string(100, 'g'));
+  auto evil = std::make_shared<const std::string>(std::string(100, 'e'));
+  batch.push_back({Sha256::Digest(*good), good});
+  batch.push_back({Sha256::Digest("some other bytes"), evil});
+  const Status s = t->PutMany(batch);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  // The lying record was not stored under its claimed digest.
+  EXPECT_FALSE(store_->Contains(Sha256::Digest("some other bytes")));
+  // The connection survives an application-level rejection.
+  EXPECT_TRUE(t->Flush().ok());
+}
+
+TEST_F(LoopbackServerTest, BranchOpsRoundTrip) {
+  auto t = Connect();
+  ASSERT_NE(t, nullptr);
+
+  auto missing = t->Head("main");
+  EXPECT_TRUE(missing.status().IsNotFound());
+
+  // Build a version server-side, then publish through the socket.
+  PosTree index(store_);
+  auto root = index.PutBatch(index.EmptyRoot(), MakeKvs(50));
+  ASSERT_TRUE(root.ok());
+
+  net::PublishRequest pub;
+  pub.structure = "pos";
+  pub.branch = "main";
+  pub.new_root = *root;
+  pub.author = "tester";
+  pub.message = "first";
+  auto published = t->Publish(pub);
+  ASSERT_TRUE(published.ok()) << published.status().ToString();
+
+  auto head = t->Head("main");
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(*head, published->head);
+  auto commit = servlet_->branches()->ReadCommit(*head);
+  ASSERT_TRUE(commit.ok());
+  EXPECT_EQ(commit->root, *root);
+  EXPECT_EQ(commit->author, "tester");
+
+  auto bs = t->GetBranchStats("main");
+  ASSERT_TRUE(bs.ok());
+  EXPECT_EQ(bs->commits, 1u);
+
+  auto branches = t->ListBranches();
+  ASSERT_TRUE(branches.ok());
+  ASSERT_EQ(branches->size(), 1u);
+  EXPECT_EQ((*branches)[0], "main");
+
+  // Unregistered structure: typed NotFound, not a dead connection.
+  pub.structure = "mpt";
+  auto unknown = t->Publish(pub);
+  EXPECT_TRUE(unknown.status().IsNotFound());
+  EXPECT_TRUE(t->Flush().ok());
+}
+
+TEST_F(LoopbackServerTest, GarbageConnectionDiesAloneServerSurvives) {
+  auto healthy = Connect();
+  ASSERT_NE(healthy, nullptr);
+
+  // A raw socket spews garbage at the server.
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server_->port()));
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string garbage(64, '\xff');
+  ASSERT_EQ(send(fd, garbage.data(), garbage.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(garbage.size()));
+
+  // The garbage connection is closed by the server (recv sees EOF).
+  char buf[256];
+  ssize_t n;
+  for (;;) {
+    n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // typed error response bytes, then close
+  }
+  EXPECT_EQ(n, 0);
+  close(fd);
+
+  // The healthy client is untouched, and the error was counted.
+  auto put = healthy->Put(std::string(10, 'h'));
+  EXPECT_TRUE(put.ok());
+  EXPECT_GE(server_->stats().frame_errors, 1u);
+  EXPECT_GE(server_->stats().connections, 2u);
+}
+
+TEST_F(LoopbackServerTest, VersionSkewFailsHandshakeTyped) {
+  // Speak the protocol but claim a future version: the Hello must be
+  // rejected with InvalidArgument, surfaced through Connect.
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server_->port()));
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  Request hello;
+  hello.type = MsgType::kHello;
+  hello.version = net::kWireVersion + 1;
+  const std::string frame = net::EncodeFrame(net::EncodeRequest(hello));
+  ASSERT_EQ(send(fd, frame.data(), frame.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(frame.size()));
+  FrameDecoder dec;
+  std::string payload;
+  bool got_response = false;
+  for (;;) {
+    auto r = dec.Next(&payload);
+    ASSERT_TRUE(r.ok());
+    if (*r) {
+      got_response = true;
+      break;
+    }
+    char buf[4096];
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    dec.Append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  ASSERT_TRUE(got_response);
+  Status app;
+  std::string body;
+  ASSERT_TRUE(net::DecodeResponse(payload, &app, &body).ok());
+  EXPECT_TRUE(app.IsInvalidArgument()) << app.ToString();
+}
+
+TEST_F(LoopbackServerTest, ClientStoreOverSocketReadsAndCommits) {
+  // The full stack: ForkbaseClientStore on a SocketTransport, index reads
+  // through the node cache, and a commit published over the wire.
+  auto t = Connect();
+  ASSERT_NE(t, nullptr);
+  auto client_store = std::make_shared<ForkbaseClientStore>(t, 16 << 20);
+
+  PosTree server_index(store_);
+  auto base = server_index.PutBatch(server_index.EmptyRoot(), MakeKvs(200));
+  ASSERT_TRUE(base.ok());
+
+  PosTree client_index(client_store);
+  auto got = client_index.Get(*base, testing_util::TKey(21), nullptr);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(got->has_value());
+
+  auto root = client_index.PutBatch(*base, {{"socket/key", "socket/value"}});
+  ASSERT_TRUE(root.ok());
+  ASSERT_TRUE(client_store->Flush().ok());
+
+  net::PublishRequest pub;
+  pub.structure = "pos";
+  pub.branch = "main";
+  pub.new_root = *root;
+  pub.author = "socket-client";
+  pub.message = "over the wire";
+  auto published = client_store->transport()->Publish(pub);
+  ASSERT_TRUE(published.ok()) << published.status().ToString();
+
+  // Server-side visibility of the client's commit.
+  auto head = servlet_->branches()->Head("main");
+  ASSERT_TRUE(head.ok());
+  auto commit = servlet_->branches()->ReadCommit(*head);
+  ASSERT_TRUE(commit.ok());
+  auto val = server_index.Get(commit->root, "socket/key", nullptr);
+  ASSERT_TRUE(val.ok());
+  ASSERT_TRUE(val->has_value());
+  EXPECT_EQ(**val, "socket/value");
+}
+
+// --- server options ----------------------------------------------------
+
+TEST(ServerOptionsTest, GroupFsyncWindowOnByDefaultInServerMode) {
+  // The policy split this struct documents: embedded stores default the
+  // window OFF; a server turns it ON at Start.
+  EXPECT_EQ(net::ServerOptions{}.group_flush_window_micros, 200u);
+
+  const std::string path = ::testing::TempDir() + "/siri_server_opts_" +
+                           std::to_string(getpid()) + ".log";
+  std::remove(path.c_str());
+  std::shared_ptr<FileNodeStore> store;
+  ASSERT_TRUE(FileNodeStore::Open(path, &store).ok());
+  EXPECT_EQ(store->group_flush_window_micros(), 0u)  // embedded default: OFF
+      << "FileNodeStore must not delay flushes unless a server asks it to";
+
+  ForkbaseServlet servlet(store);
+  net::SiriServer server(&servlet);
+  ASSERT_TRUE(server.Listen(0).ok());
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(store->group_flush_window_micros(), 200u);  // server mode: ON
+  server.Stop();
+  std::remove(path.c_str());
+}
+
+TEST(ServerOptionsTest, ZeroWindowKeepsFlushesUndelayed) {
+  const std::string path = ::testing::TempDir() + "/siri_server_opts0_" +
+                           std::to_string(getpid()) + ".log";
+  std::remove(path.c_str());
+  std::shared_ptr<FileNodeStore> store;
+  ASSERT_TRUE(FileNodeStore::Open(path, &store).ok());
+  ForkbaseServlet servlet(store);
+  net::ServerOptions opts;
+  opts.group_flush_window_micros = 0;
+  net::SiriServer server(&servlet, opts);
+  ASSERT_TRUE(server.Listen(0).ok());
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(store->group_flush_window_micros(), 0u);
+  server.Stop();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace siri
