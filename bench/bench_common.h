@@ -53,6 +53,7 @@ inline const char* const kKnownBenchFlags[] = {
     "--group-commit-only",
     "--smoke",
     "--transport=",
+    "--chaos",
 };
 
 /// Returns the first argv entry matching no known bench flag, or nullptr
@@ -92,7 +93,9 @@ inline uint64_t ParseScale(int argc, char** argv) {
              "  YCSB benches (fig06/fig10/fig21) also take"
              " [--threads=K[,K...]] [--write-threads=K[,K...]]\n"
              "  fig06 also takes [--threads-only] [--write-scaling-only]"
-             " [--branch-commits-only] [--smoke]\n",
+             " [--branch-commits-only] [--smoke]\n"
+             "  fig06 --transport=socket also takes [--chaos] (goodput"
+             " under injected wire faults)\n",
              argv[0]);
       exit(0);
     }
@@ -989,6 +992,203 @@ inline void RunSocketCommitTable(uint64_t n, uint64_t mbt_buckets,
       clients.clear();  // closes the connections before the next cell
     }
     printf("\n");
+  }
+  for (const std::string& line : machine_lines) printf("%s\n", line.c_str());
+
+  server.Stop();
+  std::remove(store_path.c_str());
+}
+
+/// Goodput under injected wire faults: the socket commit pipeline re-run
+/// with a client-side FaultInjector (net/fault.h) sabotaging a swept
+/// fraction of wire attempts — resets before/after send, torn frames,
+/// bit flips, delays — while the resilient transport retries, reconnects,
+/// and resolves lost publish acks. Two honesty rules:
+///
+///   - the row at rate 0.00 is the healthy baseline; every other row's
+///     commits/s is GOODPUT (acked commits only) and is expected to sag
+///     as the rate climbs — the interesting number is how gracefully;
+///   - the retry/reconnect/deadline-miss counters are printed next to the
+///     goodput because nonzero values are the flag that faults shaped the
+///     numbers (net/transport.h); the run aborts if any acked commit's
+///     keys are missing at the final head or the executed-publish
+///     accounting disagrees with the acked count (a lost or duplicated
+///     commit is a correctness bug, not a slow cell).
+inline void RunSocketChaosTable(uint64_t n, int threads,
+                                int commits_per_writer,
+                                const std::vector<double>& fault_rates,
+                                uint64_t window_micros) {
+  printf("\n[socket chaos goodput] REAL loopback TCP via in-process "
+         "siri-server, file-backed store, pos structure, %d writers x %d "
+         "commits, n=%llu, window=%lluus — client-side fault injection, "
+         "acked-commit goodput\n",
+         threads, commits_per_writer, static_cast<unsigned long long>(n),
+         static_cast<unsigned long long>(window_micros));
+  printf("%10s %12s %10s %10s %12s %10s\n", "fault_rate", "goodput(c/s)",
+         "retries", "reconnects", "ddl_misses", "injected");
+
+  YcsbGenerator gen(1);
+  auto records = gen.GenerateRecords(n);
+
+  const std::string store_path =
+      "/tmp/siri_bench_chaos_" + std::to_string(getpid()) + ".log";
+  std::remove(store_path.c_str());
+  std::shared_ptr<FileNodeStore> server_store;
+  SIRI_CHECK(FileNodeStore::Open(store_path, &server_store).ok());
+
+  GroupCommitOptions gc;
+  gc.window_micros = window_micros;
+  gc.merge.max_retries = std::numeric_limits<int>::max();
+  ForkbaseServlet servlet(server_store, gc);
+  auto loaded = std::make_unique<PosTree>(server_store);
+  const Hash base_root = LoadRecords(loaded.get(), records);
+  servlet.RegisterIndex(std::make_unique<PosTree>(server_store));
+
+  net::ServerOptions sopts;
+  sopts.group_flush_window_micros = window_micros;
+  net::SiriServer server(&servlet, sopts);
+  SIRI_CHECK(server.Listen(0).ok());
+  SIRI_CHECK(server.Start().ok());
+  const int port = server.port();
+
+  std::vector<std::string> machine_lines;
+  auto pack = PackVersions(*loaded, {base_root});
+  SIRI_CHECK(pack.ok());
+  for (size_t row = 0; row < fault_rates.size(); ++row) {
+    const double rate = fault_rates[row];
+    const std::string branch = "pos-chaos-r" + std::to_string(row);
+    {
+      auto init =
+          servlet.branches()->CommitOnBranch(branch, base_root, "init", "base");
+      SIRI_CHECK(init.ok());
+    }
+
+    struct ChaosClient {
+      std::shared_ptr<net::FaultInjector> fault;
+      std::shared_ptr<net::SocketTransport> transport;
+      std::shared_ptr<ForkbaseClientStore> store;
+      std::unique_ptr<ImmutableIndex> index;
+    };
+    std::vector<ChaosClient> clients(threads);
+    for (int t = 0; t < threads; ++t) {
+      net::FaultInjector::RandomConfig cfg;
+      cfg.fault_rate = rate;
+      cfg.delay_micros = 1000;
+      clients[t].fault = std::make_shared<net::FaultInjector>(
+          /*seed=*/0x5151u + row * 64 + static_cast<uint64_t>(t), cfg);
+      net::SocketTransport::Options topts;
+      topts.rpc_timeout_ms = 10000;
+      topts.retry.max_attempts = 10;
+      topts.retry.backoff_init_ms = 2;
+      topts.retry.backoff_max_ms = 50;
+      topts.retry.jitter_seed = 0x7e57u + static_cast<uint64_t>(t);
+      topts.fault = clients[t].fault;
+      SIRI_CHECK(net::SocketTransport::Connect("127.0.0.1", port,
+                                               &clients[t].transport, topts)
+                     .ok());
+      clients[t].store = std::make_shared<ForkbaseClientStore>(
+          clients[t].transport, 32 << 20);
+      clients[t].index = loaded->WithStore(clients[t].store);
+      SIRI_CHECK(UnpackVersions(*pack, clients[t].store.get()).ok());
+    }
+    const uint64_t acked_before =
+        servlet.combiner()->stats().solo_commits +
+        servlet.combiner()->stats().combined_commits +
+        servlet.combiner()->stats().fallbacks;
+
+    std::atomic<bool> go{false};
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        auto& cl = clients[t];
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        for (int c = 0; c < commits_per_writer; ++c) {
+          auto head = cl.transport->Head(branch);
+          SIRI_CHECK(head.ok());
+          auto node = cl.store->Get(*head);
+          SIRI_CHECK(node.ok());
+          auto head_commit = Commit::Decode(**node);
+          SIRI_CHECK(head_commit.ok());
+          std::vector<KV> batch;
+          const BranchContentionConfig defaults;
+          batch.reserve(defaults.upload_kvs);
+          for (size_t k = 0; k < defaults.upload_kvs; ++k) {
+            batch.push_back(
+                KV{BranchContentionKey(t, c, row, k), "v" + std::to_string(c)});
+          }
+          auto next = cl.index->PutBatch(head_commit->root, std::move(batch));
+          SIRI_CHECK(next.ok());
+          net::PublishRequest pub;
+          pub.structure = "pos";
+          pub.branch = branch;
+          pub.new_root = *next;
+          pub.author = "w" + std::to_string(t);
+          pub.message = "c" + std::to_string(c);
+          pub.expected_head = *head;
+          auto landed = cl.transport->Publish(pub);
+          SIRI_CHECK(landed.ok());
+        }
+      });
+    }
+    Timer timer;
+    go.store(true, std::memory_order_release);
+    for (auto& w : workers) w.join();
+    const double secs = timer.ElapsedSeconds();
+
+    uint64_t retries = 0, reconnects = 0, deadline_misses = 0, injected = 0;
+    for (auto& c : clients) {
+      const auto s = c.transport->stats();
+      retries += s.retries;
+      reconnects += s.reconnects;
+      deadline_misses += s.deadline_misses;
+      injected += c.fault->stats().injected;
+    }
+    const uint64_t commits =
+        static_cast<uint64_t>(threads) * commits_per_writer;
+    const double goodput =
+        secs == 0 ? 0 : static_cast<double>(commits) / secs;
+
+    // Zero lost acked updates, and exactly-once execution: the combiner's
+    // executed-publish accounting must equal the acked count — a replayed
+    // lost-ack publish that double-applied would push it past.
+    auto head = servlet.branches()->Head(branch);
+    SIRI_CHECK(head.ok());
+    auto head_commit = servlet.branches()->ReadCommit(*head);
+    SIRI_CHECK(head_commit.ok());
+    const BranchContentionConfig defaults;
+    for (int t = 0; t < threads; ++t) {
+      for (int c = 0; c < commits_per_writer; ++c) {
+        for (size_t k = 0; k < defaults.upload_kvs; ++k) {
+          auto got = loaded->Get(head_commit->root,
+                                 BranchContentionKey(t, c, row, k), nullptr);
+          SIRI_CHECK(got.ok() && got->has_value());
+        }
+      }
+    }
+    const uint64_t acked_after = servlet.combiner()->stats().solo_commits +
+                                 servlet.combiner()->stats().combined_commits +
+                                 servlet.combiner()->stats().fallbacks;
+    SIRI_CHECK(acked_after - acked_before == commits);
+
+    printf("%10.2f %12.1f %10llu %10llu %12llu %10llu\n", rate, goodput,
+           static_cast<unsigned long long>(retries),
+           static_cast<unsigned long long>(reconnects),
+           static_cast<unsigned long long>(deadline_misses),
+           static_cast<unsigned long long>(injected));
+    fflush(stdout);
+    char line[320];
+    snprintf(line, sizeof(line),
+             "#json socket_chaos structure=pos threads=%d transport=socket "
+             "fault_rate=%.2f goodput_cps=%.1f retries=%llu reconnects=%llu "
+             "deadline_misses=%llu injected=%llu window_us=%llu",
+             threads, rate, goodput, static_cast<unsigned long long>(retries),
+             static_cast<unsigned long long>(reconnects),
+             static_cast<unsigned long long>(deadline_misses),
+             static_cast<unsigned long long>(injected),
+             static_cast<unsigned long long>(window_micros));
+    machine_lines.emplace_back(line);
+    clients.clear();  // closes the connections before the next row
   }
   for (const std::string& line : machine_lines) printf("%s\n", line.c_str());
 

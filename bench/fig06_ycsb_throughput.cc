@@ -219,6 +219,22 @@ void RunSocketCommitSection(uint64_t scale,
                        /*window_micros=*/500);
 }
 
+// Chaos goodput: the socket commit pipeline re-run under client-side
+// fault injection at a swept rate. Acked-commit goodput per rate next to
+// the retry/reconnect/deadline counters that flag how it was earned; the
+// run aborts on any lost or duplicated acked commit.
+void RunSocketChaosSection(uint64_t scale,
+                           const std::vector<int>& write_threads,
+                           bool smoke = false) {
+  const int threads = write_threads.empty() ? 4 : write_threads.back();
+  const std::vector<double> rates =
+      smoke ? std::vector<double>{0.0, 0.05}
+            : std::vector<double>{0.0, 0.02, 0.05, 0.10};
+  RunSocketChaosTable((smoke ? 500 : 4000) * scale, threads,
+                      /*commits_per_writer=*/smoke ? 3 : 16, rates,
+                      /*window_micros=*/500);
+}
+
 // Multi-client read scaling: K client threads, each with its own cache,
 // reading through one servlet. Reported per structure: aggregate kops/s
 // and mean cache hit ratio at each thread count.
@@ -270,6 +286,7 @@ int main(int argc, char** argv) {
   const bool branch_commits_only = HasFlag(argc, argv, "--branch-commits-only");
   const bool group_commit_only = HasFlag(argc, argv, "--group-commit-only");
   const bool smoke = HasFlag(argc, argv, "--smoke");
+  const bool chaos = HasFlag(argc, argv, "--chaos");
   const std::string transport = ParseTransportFlag(argc, argv);
   std::vector<uint64_t> sizes;
   for (uint64_t n : {10000, 20000, 40000, 80000}) sizes.push_back(n * scale);
@@ -283,8 +300,19 @@ int main(int argc, char** argv) {
     // The socket boundary is its own measurement regime (real loopback
     // TCP, real fsyncs): it runs alone so its numbers can never be read
     // as one series with the slept-RTT in-process sections.
-    RunSocketCommitSection(scale, write_threads, smoke);
+    if (chaos) {
+      RunSocketChaosSection(scale, write_threads, smoke);
+    } else {
+      RunSocketCommitSection(scale, write_threads, smoke);
+    }
     return 0;
+  }
+  if (chaos) {
+    fprintf(stderr,
+            "%s: --chaos requires --transport=socket (faults are injected "
+            "into the real wire)\n",
+            argv[0]);
+    return 2;
   }
 
   if (smoke) {

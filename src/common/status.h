@@ -30,6 +30,8 @@ class [[nodiscard]] Status {
     kConflict = 4,        // merge conflict requiring user resolution
     kNotSupported = 5,
     kIOError = 6,
+    kResourceExhausted = 7,  // server over capacity; back off and retry
+    kUnavailable = 8,        // retry policy exhausted; the op may not have run
   };
 
   Status() : code_(Code::kOk) {}
@@ -53,12 +55,22 @@ class [[nodiscard]] Status {
   static Status IOError(std::string msg = "") {
     return Status(Code::kIOError, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg = "") {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg = "") {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
   bool IsConflict() const { return code_ == Code::kConflict; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }
@@ -74,6 +86,8 @@ class [[nodiscard]] Status {
       case Code::kConflict: name = "Conflict"; break;
       case Code::kNotSupported: name = "NotSupported"; break;
       case Code::kIOError: name = "IOError"; break;
+      case Code::kResourceExhausted: name = "ResourceExhausted"; break;
+      case Code::kUnavailable: name = "Unavailable"; break;
     }
     return msg_.empty() ? std::string(name) : std::string(name) + ": " + msg_;
   }

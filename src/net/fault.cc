@@ -1,0 +1,103 @@
+// Copyright (c) 2026 The siri Authors. MIT license.
+
+#include "net/fault.h"
+
+#include <vector>
+
+namespace siri {
+namespace net {
+
+const char* FaultKindName(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kResetBeforeSend: return "reset-before-send";
+    case FaultKind::kShortWrite: return "short-write";
+    case FaultKind::kCorruptFrame: return "corrupt-frame";
+    case FaultKind::kResetAfterSend: return "reset-after-send";
+    case FaultKind::kDelaySend: return "delay-send";
+    case FaultKind::kDelayRecv: return "delay-recv";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(uint64_t seed, RandomConfig config)
+    : config_(config), rng_(seed) {}
+
+void FaultInjector::ScriptAt(uint64_t index, FaultAction action) {
+  MutexLock lock(mu_);
+  script_[index] = action;
+}
+
+void FaultInjector::ScriptNext(FaultAction action) {
+  MutexLock lock(mu_);
+  script_[next_index_] = action;
+}
+
+FaultAction FaultInjector::Next() {
+  MutexLock lock(mu_);
+  const uint64_t index = next_index_++;
+  ++stats_.attempts;
+  FaultAction action;
+  auto it = script_.find(index);
+  if (it != script_.end()) {
+    action = it->second;
+  } else {
+    action = DrawRandomLocked();
+  }
+  switch (action.kind) {
+    case FaultKind::kNone:
+      return action;
+    case FaultKind::kResetBeforeSend:
+      ++stats_.resets_before_send;
+      break;
+    case FaultKind::kShortWrite:
+      ++stats_.short_writes;
+      break;
+    case FaultKind::kCorruptFrame:
+      ++stats_.corrupt_frames;
+      break;
+    case FaultKind::kResetAfterSend:
+      ++stats_.resets_after_send;
+      break;
+    case FaultKind::kDelaySend:
+    case FaultKind::kDelayRecv:
+      ++stats_.delays;
+      break;
+  }
+  ++stats_.injected;
+  return action;
+}
+
+FaultAction FaultInjector::DrawRandomLocked() {
+  FaultAction action;
+  if (config_.fault_rate <= 0.0) return action;
+  // Draw the Bernoulli unconditionally so the random stream position
+  // depends only on the attempt count, never on the enabled-kind set.
+  const bool inject = rng_.Bernoulli(config_.fault_rate);
+  const uint64_t pick = rng_.Next();
+  if (!inject) return action;
+  std::vector<FaultKind> kinds;
+  if (config_.reset_before_send) kinds.push_back(FaultKind::kResetBeforeSend);
+  if (config_.short_write) kinds.push_back(FaultKind::kShortWrite);
+  if (config_.corrupt_frame) kinds.push_back(FaultKind::kCorruptFrame);
+  if (config_.reset_after_send) kinds.push_back(FaultKind::kResetAfterSend);
+  if (config_.delays) {
+    kinds.push_back(FaultKind::kDelaySend);
+    kinds.push_back(FaultKind::kDelayRecv);
+  }
+  if (kinds.empty()) return action;
+  action.kind = kinds[pick % kinds.size()];
+  if (action.kind == FaultKind::kDelaySend ||
+      action.kind == FaultKind::kDelayRecv) {
+    action.delay_micros = config_.delay_micros;
+  }
+  return action;
+}
+
+FaultInjector::Stats FaultInjector::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+}  // namespace net
+}  // namespace siri

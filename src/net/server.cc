@@ -12,8 +12,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <vector>
 
 #include "common/varint.h"
 #include "crypto/hash_pool.h"
@@ -28,6 +31,19 @@ namespace {
 
 Status Errno(const char* what) {
   return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// A frame-layer reject: the request inside was never executed, and the
+// kBadFramePrefix tells the client's retry layer exactly that (replay is
+// safe, even for a Publish).
+Status BadFrame(const Status& s) {
+  return Status::Corruption(std::string(kBadFramePrefix) + s.message());
 }
 
 }  // namespace
@@ -149,6 +165,37 @@ void SiriServer::Stop() {
   started_ = false;
 }
 
+SiriServer::DrainSummary SiriServer::Drain() {
+  DrainSummary out;
+  if (!started_) return out;
+  const uint64_t requests_before = requests_.load(std::memory_order_relaxed);
+  {
+    MutexLock lock(mu_);
+    out.connections_closed = conns_.size();
+  }
+  draining_.store(true, std::memory_order_release);
+  const uint64_t one = 1;
+  (void)!write(wake_fd_, &one, sizeof(one));
+  {
+    // The event loop sweeps idle connections each tick; workers close
+    // their in-flight ones after the response flushes. Both paths signal
+    // drain_cv_ when the table empties.
+    MutexLock lock(mu_);
+    while (!conns_.empty()) drain_cv_.wait(lock.native());
+  }
+  // Quiesced. Push everything acked to its durability point before the
+  // process exits: acked-implies-durable must survive a graceful SIGTERM.
+  // Best-effort by design — there is no one left to report a late IO
+  // error to, and the store's own fsync discipline already covered every
+  // publish ack.
+  (void)servlet_->store()->Flush();
+  (void)servlet_->branches()->SyncRefs();
+  out.inflight_completed =
+      requests_.load(std::memory_order_relaxed) - requests_before;
+  Stop();
+  return out;
+}
+
 SiriServer::Stats SiriServer::stats() const {
   Stats out;
   out.connections = connections_.load(std::memory_order_relaxed);
@@ -156,11 +203,43 @@ SiriServer::Stats SiriServer::stats() const {
   out.frame_errors = frame_errors_.load(std::memory_order_relaxed);
   out.bytes_in = bytes_in_.load(std::memory_order_relaxed);
   out.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  out.overload_rejects = overload_rejects_.load(std::memory_order_relaxed);
+  out.idle_reaped = idle_reaped_.load(std::memory_order_relaxed);
   return out;
+}
+
+size_t SiriServer::ActiveConnections() const {
+  MutexLock lock(mu_);
+  return conns_.size();
+}
+
+void SiriServer::SweepConnections(bool idle_only) {
+  // Runs only on the event-loop thread: it is the sole setter of `busy`,
+  // so a connection observed un-busy here cannot become busy while we
+  // hold mu_ and close it.
+  const int64_t now = NowMs();
+  MutexLock lock(mu_);
+  std::vector<int> doomed;
+  for (auto& [fd, conn] : conns_) {
+    if (conn->busy.load(std::memory_order_acquire)) continue;
+    if (idle_only) {
+      const int64_t idle =
+          now - conn->last_activity_ms.load(std::memory_order_relaxed);
+      if (idle < opts_.idle_timeout_ms) continue;
+      idle_reaped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    doomed.push_back(fd);
+  }
+  for (int fd : doomed) {
+    close(fd);  // also removes the fd from the epoll set
+    conns_.erase(fd);
+  }
+  if (conns_.empty()) drain_cv_.notify_all();
 }
 
 void SiriServer::EventLoop() {
   epoll_event events[64];
+  bool accepting = true;
   while (running_.load(std::memory_order_acquire)) {
     const int n = epoll_wait(epoll_fd_, events, 64, /*timeout_ms=*/500);
     if (n < 0) {
@@ -175,6 +254,7 @@ void SiriServer::EventLoop() {
         continue;
       }
       if (fd == listen_fd_) {
+        if (!accepting) continue;
         for (;;) {
           const int conn_fd = accept4(listen_fd_, nullptr, nullptr,
                                       SOCK_NONBLOCK | SOCK_CLOEXEC);
@@ -189,8 +269,8 @@ void SiriServer::EventLoop() {
           cev.data.fd = conn_fd;
           {
             MutexLock lock(mu_);
-            conns_[conn_fd] =
-                std::make_unique<Connection>(conn_fd, opts_.max_frame_bytes);
+            conns_[conn_fd] = std::make_unique<Connection>(
+                conn_fd, opts_.max_frame_bytes, NowMs());
           }
           if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn_fd, &cev) != 0) {
             CloseConnection(conn_fd);
@@ -200,12 +280,28 @@ void SiriServer::EventLoop() {
         }
         continue;
       }
-      // A connection is ready: hand it to a worker.
+      // A connection is ready: hand it to a worker. It is busy from this
+      // moment until that worker re-arms it.
       {
         MutexLock lock(mu_);
+        auto it = conns_.find(fd);
+        if (it == conns_.end()) continue;  // reaped while queued in epoll
+        it->second->busy.store(true, std::memory_order_release);
         ready_.push_back(fd);
       }
       work_cv_.notify_one();
+    }
+    // Periodic tick work, piggybacked on the 500ms epoll timeout (or any
+    // event): reap idle connections, and during a drain stop accepting
+    // and close everything no worker owns.
+    if (draining_.load(std::memory_order_acquire)) {
+      if (accepting) {
+        (void)epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        accepting = false;
+      }
+      SweepConnections(/*idle_only=*/false);
+    } else if (opts_.idle_timeout_ms > 0) {
+      SweepConnections(/*idle_only=*/true);
     }
   }
 }
@@ -224,13 +320,26 @@ void SiriServer::WorkerLoop() {
       conn = it->second.get();
     }
     // The connection is exclusively this worker's until it is re-armed or
-    // closed (EPOLLONESHOT keeps the event loop from re-queuing it).
-    if (ProcessConnection(conn)) {
+    // closed (EPOLLONESHOT keeps the event loop from re-queuing it, and
+    // busy keeps the sweeps away).
+    bool keep = ProcessConnection(conn);
+    // A drain closes the connection once its in-flight work is answered.
+    if (keep && draining_.load(std::memory_order_acquire)) keep = false;
+    if (keep) {
+      conn->last_activity_ms.store(NowMs(), std::memory_order_relaxed);
+      // Clear busy and re-arm under the lock: the sweep must never see an
+      // un-busy connection in the gap before the fd is back in epoll.
+      MutexLock lock(mu_);
       epoll_event ev{};
       ev.events = EPOLLIN | EPOLLRDHUP | EPOLLONESHOT;
       ev.data.fd = conn->fd;
       if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) != 0) {
-        CloseConnection(conn->fd);
+        const int fd = conn->fd;
+        close(fd);
+        conns_.erase(fd);
+        if (conns_.empty()) drain_cv_.notify_all();
+      } else {
+        conn->busy.store(false, std::memory_order_release);
       }
     } else {
       CloseConnection(conn->fd);
@@ -239,49 +348,84 @@ void SiriServer::WorkerLoop() {
 }
 
 bool SiriServer::ProcessConnection(Connection* conn) {
+  // Per-connection in-flight memory bound: the connection's buffer never
+  // grows past one maximum frame (plus header room) before the frames in
+  // it are executed and their memory reclaimed. A cap below one max frame
+  // could never make progress, so it is floored there.
+  const uint64_t buffer_cap =
+      opts_.max_buffered_bytes > 0
+          ? std::max(opts_.max_buffered_bytes, opts_.max_frame_bytes + 64)
+          : opts_.max_frame_bytes + 1024;
   bool peer_closed = false;
-  for (;;) {
-    char buf[64 * 1024];
-    const ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
-    if (n > 0) {
-      conn->decoder.Append(buf, static_cast<size_t>(n));
-      bytes_in_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
-      continue;
-    }
-    if (n == 0) {
-      peer_closed = true;
-      break;
-    }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    if (errno == EINTR) continue;
-    return false;  // connection error
-  }
-
-  // Drain every complete frame that arrived (a client that half-closed
-  // after sending still gets its final responses).
+  bool would_block = false;
   std::string payload;
-  for (;;) {
-    auto next = conn->decoder.Next(&payload);
-    if (!next.ok()) {
-      // Unresynchronizable stream: say why (best-effort — the peer that
-      // garbled its stream may not be reading), then hang up.
-      frame_errors_.fetch_add(1, std::memory_order_relaxed);
-      (void)SendResponse(conn, next.status(), Slice());
-      return false;
+  while (!peer_closed && !would_block) {
+    // Fill until the socket runs dry, the peer hangs up, or the buffer
+    // bound is reached (then: execute first, read more after).
+    while (conn->decoder.buffered() < buffer_cap) {
+      char buf[64 * 1024];
+      const ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn->decoder.Append(buf, static_cast<size_t>(n));
+        bytes_in_.fetch_add(static_cast<uint64_t>(n),
+                            std::memory_order_relaxed);
+        continue;
+      }
+      if (n == 0) {
+        // A client that half-closed after sending still gets its final
+        // responses: fall through and drain what arrived.
+        peer_closed = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        would_block = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      return false;  // connection error
     }
-    if (!*next) break;
-    Request req;
-    const Status decoded = DecodeRequest(payload, &req);
-    if (!decoded.ok()) {
-      frame_errors_.fetch_add(1, std::memory_order_relaxed);
-      (void)SendResponse(conn, decoded, Slice());
-      return false;
+
+    // Execute every complete frame buffered so far.
+    for (;;) {
+      auto next = conn->decoder.Next(&payload);
+      if (!next.ok()) {
+        // Unresynchronizable stream: say why with the bad-frame marker
+        // (the request was never executed — the client may safely
+        // replay), then hang up. Best-effort — the peer that garbled its
+        // stream may not be reading.
+        frame_errors_.fetch_add(1, std::memory_order_relaxed);
+        (void)SendResponse(conn, BadFrame(next.status()), Slice());
+        return false;
+      }
+      if (!*next) break;
+      Request req;
+      const Status decoded = DecodeRequest(payload, &req);
+      if (!decoded.ok()) {
+        frame_errors_.fetch_add(1, std::memory_order_relaxed);
+        (void)SendResponse(conn, BadFrame(decoded), Slice());
+        return false;
+      }
+      if (req.type == MsgType::kHello && opts_.max_connections > 0 &&
+          ActiveConnections() > static_cast<size_t>(opts_.max_connections)) {
+        // Over capacity: shed this connection with a typed reject the
+        // client's retry layer understands (back off, re-dial), delivered
+        // as a clean response + FIN rather than an accept-time RST that
+        // could discard the explanation.
+        overload_rejects_.fetch_add(1, std::memory_order_relaxed);
+        (void)SendResponse(
+            conn,
+            Status::ResourceExhausted(
+                "server at connection capacity (max " +
+                std::to_string(opts_.max_connections) + ")"),
+            Slice());
+        return false;
+      }
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      Status app;
+      std::string body;
+      Execute(req, &app, &body);
+      if (!SendResponse(conn, app, body)) return false;
     }
-    requests_.fetch_add(1, std::memory_order_relaxed);
-    Status app;
-    std::string body;
-    Execute(req, &app, &body);
-    if (!SendResponse(conn, app, body)) return false;
   }
   return !peer_closed;
 }
@@ -441,6 +585,7 @@ void SiriServer::CloseConnection(int fd) {
   if (it == conns_.end()) return;
   close(fd);
   conns_.erase(it);
+  if (conns_.empty()) drain_cv_.notify_all();
 }
 
 }  // namespace net

@@ -75,6 +75,23 @@ struct ServerOptions {
   /// mismatch. The in-process boundary trusts its caller (same address
   /// space); a socket is a trust boundary.
   bool verify_uploads = true;
+
+  /// Connection cap (0 = unlimited). Enforced at Hello time, not accept
+  /// time: the reject travels as a typed ResourceExhausted *response*
+  /// before the close, so the client sees a clean "back off and retry"
+  /// instead of a RST that may discard the explanation.
+  int max_connections = 0;
+
+  /// Connections with no traffic for this long are reaped by the event
+  /// loop's periodic tick (0 = never). In-flight connections (owned by a
+  /// worker or queued for one) are never reaped mid-request.
+  int idle_timeout_ms = 0;
+
+  /// Per-connection cap on bytes buffered but not yet executed (0 = one
+  /// max-size frame plus header room). A client that streams requests
+  /// faster than the worker drains them is paused at this bound instead
+  /// of growing the connection's buffer without limit.
+  uint64_t max_buffered_bytes = 0;
 };
 
 /// \brief Epoll server for one ForkbaseServlet. Not copyable. The servlet
@@ -87,6 +104,14 @@ class SiriServer {
     uint64_t frame_errors = 0;  ///< connections dropped on malformed input
     uint64_t bytes_in = 0;
     uint64_t bytes_out = 0;
+    uint64_t overload_rejects = 0;  ///< Hellos refused at max_connections
+    uint64_t idle_reaped = 0;       ///< connections closed by the idle sweep
+  };
+
+  /// What a graceful Drain() accomplished, for the shutdown log line.
+  struct DrainSummary {
+    uint64_t connections_closed = 0;   ///< open connections at drain start
+    uint64_t inflight_completed = 0;   ///< requests executed during the drain
   };
 
   explicit SiriServer(ForkbaseServlet* servlet, ServerOptions opts = {});
@@ -116,14 +141,27 @@ class SiriServer {
   /// Idempotent; in-flight requests finish first.
   void Stop();
 
+  /// Graceful shutdown: stop accepting, let every in-flight request run
+  /// to completion and its response flush, close the drained connections,
+  /// then push the store and ref log to their durability points — so
+  /// every response the server ever acked is on disk when this returns.
+  /// Finishes with Stop(). Idempotent with it; safe after Stop (no-op).
+  DrainSummary Drain() EXCLUDES(mu_);
+
   Stats stats() const;
 
  private:
   struct Connection {
-    explicit Connection(int fd_in, uint64_t max_frame)
-        : fd(fd_in), decoder(max_frame) {}
+    explicit Connection(int fd_in, uint64_t max_frame, int64_t now_ms)
+        : fd(fd_in), decoder(max_frame), last_activity_ms(now_ms) {}
     int fd;
     FrameDecoder decoder;  // touched only by the owning worker
+    /// Wall of the connection's last traffic, for the idle sweep.
+    std::atomic<int64_t> last_activity_ms;
+    /// True from the moment the event loop queues the fd for a worker
+    /// until that worker re-arms it: the sweep and the drain must not
+    /// close a connection a worker is (or is about to be) processing.
+    std::atomic<bool> busy{false};
   };
 
   void EventLoop();
@@ -135,6 +173,10 @@ class SiriServer {
   /// Frames and writes one response; false when the peer is unwritable.
   bool SendResponse(Connection* conn, const Status& app, Slice body);
   void CloseConnection(int fd) EXCLUDES(mu_);
+  /// Closes every connection not owned by a worker; run on the event-loop
+  /// tick for the idle sweep (\p idle_only) and during a drain (all).
+  void SweepConnections(bool idle_only) EXCLUDES(mu_);
+  size_t ActiveConnections() const EXCLUDES(mu_);
 
   ForkbaseServlet* servlet_;
   ServerOptions opts_;
@@ -143,10 +185,12 @@ class SiriServer {
   int wake_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
   bool started_ = false;
 
-  Mutex mu_;
+  mutable Mutex mu_;
   std::condition_variable work_cv_;
+  std::condition_variable drain_cv_;  ///< signaled when conns_ empties
   std::deque<int> ready_ GUARDED_BY(mu_);  ///< fds waiting for a worker
   std::unordered_map<int, std::unique_ptr<Connection>> conns_ GUARDED_BY(mu_);
   bool stopping_ GUARDED_BY(mu_) = false;
@@ -159,6 +203,8 @@ class SiriServer {
   std::atomic<uint64_t> frame_errors_{0};
   std::atomic<uint64_t> bytes_in_{0};
   std::atomic<uint64_t> bytes_out_{0};
+  std::atomic<uint64_t> overload_rejects_{0};
+  std::atomic<uint64_t> idle_reaped_{0};
 };
 
 }  // namespace net

@@ -35,8 +35,16 @@
 namespace {
 
 std::atomic<bool> g_stop{false};
+std::atomic<bool> g_drain{false};
 
-void HandleSignal(int) { g_stop.store(true); }
+void HandleStop(int) { g_stop.store(true); }
+
+// SIGTERM is the orderly-shutdown signal: drain in-flight RPCs, flush,
+// then exit. SIGINT stays the fast path.
+void HandleTerm(int) {
+  g_drain.store(true);
+  g_stop.store(true);
+}
 
 // --flag=value parser; exits with usage on anything unrecognized so a
 // typo'd flag cannot silently run a misconfigured server.
@@ -46,12 +54,16 @@ struct Flags {
   uint64_t window_micros = 200; // server-mode group-fsync window
   int workers = 4;
   uint64_t mbt_buckets = 8192;  // must match committing clients
+  int max_connections = 0;      // 0 = unlimited
+  int idle_timeout_ms = 0;      // 0 = never reap idle connections
 };
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port=N] [--data=DIR] [--window-micros=N]\n"
-               "          [--workers=N] [--mbt-buckets=N]\n"
+               "          [--workers=N] [--mbt-buckets=N] "
+               "[--max-connections=N]\n"
+               "          [--idle-timeout-ms=N]\n"
                "  --port=N           TCP port on 127.0.0.1 (0 = ephemeral, "
                "printed at start)\n"
                "  --data=DIR         durable FileNodeStore + ref log under "
@@ -60,7 +72,11 @@ void Usage(const char* argv0) {
                "(default 200; 0 = off)\n"
                "  --workers=N        request worker threads (default 4)\n"
                "  --mbt-buckets=N    MBT bucket count; must match clients "
-               "(default 8192)\n",
+               "(default 8192)\n"
+               "  --max-connections=N  reject Hellos beyond N open "
+               "connections (default 0 = unlimited)\n"
+               "  --idle-timeout-ms=N  reap connections idle this long "
+               "(default 0 = never)\n",
                argv0);
   std::exit(2);
 }
@@ -92,6 +108,12 @@ Flags Parse(int argc, char** argv) {
       f.workers = static_cast<int>(n);
     } else if (key == "--mbt-buckets" && ParseUint(val, &n) && n >= 1) {
       f.mbt_buckets = n;
+    } else if (key == "--max-connections" && ParseUint(val, &n) &&
+               n <= 1000000) {
+      f.max_connections = static_cast<int>(n);
+    } else if (key == "--idle-timeout-ms" && ParseUint(val, &n) &&
+               n <= INT32_MAX) {
+      f.idle_timeout_ms = static_cast<int>(n);
     } else {
       std::fprintf(stderr, "siri-server: bad flag: %s\n", arg);
       Usage(argv[0]);
@@ -144,6 +166,8 @@ int main(int argc, char** argv) {
   net::ServerOptions opts;
   opts.group_flush_window_micros = flags.window_micros;
   opts.worker_threads = flags.workers;
+  opts.max_connections = flags.max_connections;
+  opts.idle_timeout_ms = flags.idle_timeout_ms;
   net::SiriServer server(&servlet, opts);
   Status s = server.Listen(flags.port);
   if (!s.ok()) {
@@ -156,9 +180,13 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // A client that vanishes mid-response must surface as an EPIPE errno on
+  // the worker's send, never as a process-killing SIGPIPE.
+  signal(SIGPIPE, SIG_IGN);
   struct sigaction sa {};
-  sa.sa_handler = HandleSignal;
+  sa.sa_handler = HandleStop;
   sigaction(SIGINT, &sa, nullptr);
+  sa.sa_handler = HandleTerm;
   sigaction(SIGTERM, &sa, nullptr);
 
   std::printf("siri-server: listening on 127.0.0.1:%d (%s, window=%lluus, "
@@ -172,12 +200,22 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
 
-  server.Stop();
+  if (g_drain.load()) {
+    const auto drained = server.Drain();
+    std::printf("siri-server: drained. connections_closed=%llu "
+                "inflight_completed=%llu flushed=yes\n",
+                static_cast<unsigned long long>(drained.connections_closed),
+                static_cast<unsigned long long>(drained.inflight_completed));
+  } else {
+    server.Stop();
+  }
   const auto st = server.stats();
   std::printf("siri-server: stopped. connections=%llu requests=%llu "
-              "frame_errors=%llu\n",
+              "frame_errors=%llu overload_rejects=%llu idle_reaped=%llu\n",
               static_cast<unsigned long long>(st.connections),
               static_cast<unsigned long long>(st.requests),
-              static_cast<unsigned long long>(st.frame_errors));
+              static_cast<unsigned long long>(st.frame_errors),
+              static_cast<unsigned long long>(st.overload_rejects),
+              static_cast<unsigned long long>(st.idle_reaped));
   return 0;
 }

@@ -3,22 +3,34 @@
 #include "net/socket_transport.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <deque>
+#include <set>
 #include <thread>
 
 #include "common/varint.h"
+#include "crypto/sha256.h"
 
 namespace siri {
 namespace net {
 
 namespace {
+
+// Commit objects fetched while resolving an ambiguous publish. A branch
+// cannot gain more than (writers × retry budget) commits during one
+// resolution window, so a walk this deep means the client is hopelessly
+// behind — give up with Unavailable rather than chase the head forever.
+constexpr size_t kPublishResolveBudget = 512;
 
 Status Errno(const char* what) {
   return Status::IOError(std::string(what) + ": " + std::strerror(errno));
@@ -41,13 +53,38 @@ Result<int> DialOnce(const std::string& host, int port) {
   }
   const int one = 1;
   (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // Non-blocking from here on: every send/recv is paired with a poll that
+  // honors the per-RPC deadline instead of blocking indefinitely.
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    const Status s = Errno("fcntl(O_NONBLOCK)");
+    close(fd);
+    return s;
+  }
   return fd;
+}
+
+/// Handshake failures worth re-dialing for: the wire broke (IO) or the
+/// server is shedding load (ResourceExhausted). Typed application rejects
+/// — version skew above all — are deterministic and fail fast.
+bool RetriableHandshake(const Status& s) {
+  return s.code() == Status::Code::kIOError || s.IsResourceExhausted();
+}
+
+void SleepMicros(uint64_t micros) {
+  if (micros > 0) std::this_thread::sleep_for(std::chrono::microseconds(micros));
 }
 
 }  // namespace
 
-SocketTransport::SocketTransport(int fd, Options opts)
-    : opts_(opts), fd_(fd), decoder_(opts.max_frame_bytes) {}
+SocketTransport::SocketTransport(std::string host, int port, int fd,
+                                 Options opts)
+    : opts_(std::move(opts)),
+      host_(std::move(host)),
+      port_(port),
+      fd_(fd),
+      decoder_(opts_.max_frame_bytes),
+      jitter_rng_(opts_.retry.jitter_seed) {}
 
 Status SocketTransport::Connect(const std::string& host, int port,
                                 std::shared_ptr<SocketTransport>* out,
@@ -60,14 +97,25 @@ Status SocketTransport::Connect(const std::string& host, int port,
     fd = DialOnce(host, port);
   }
   if (!fd.ok()) return fd.status();
-  std::shared_ptr<SocketTransport> t(new SocketTransport(*fd, opts));
+  std::shared_ptr<SocketTransport> t(
+      new SocketTransport(host, port, *fd, opts));
   // Version handshake up front: a non-siri peer or skewed server turns
   // into a typed error here instead of a hung or garbled first RPC.
-  Request hello;
-  hello.type = MsgType::kHello;
-  hello.version = kWireVersion;
-  auto ack = t->Call(hello);
-  if (!ack.ok()) return ack.status();
+  Status hs;
+  {
+    MutexLock lock(t->mu_);
+    hs = t->HandshakeLocked();
+  }
+  const int max_attempts = std::max(1, opts.retry.max_attempts);
+  for (int attempt = 1; !hs.ok() && opts.auto_reconnect &&
+                        attempt < max_attempts && RetriableHandshake(hs);
+       ++attempt) {
+    t->retries_.fetch_add(1, std::memory_order_relaxed);
+    t->BackoffSleep(attempt);
+    MutexLock lock(t->mu_);
+    hs = t->ReconnectLocked();
+  }
+  if (!hs.ok()) return hs;
   *out = std::move(t);
   return Status::OK();
 }
@@ -76,6 +124,7 @@ SocketTransport::~SocketTransport() { Close(); }
 
 void SocketTransport::Close() {
   MutexLock lock(mu_);
+  closed_ = true;
   CloseLocked();
 }
 
@@ -86,16 +135,59 @@ void SocketTransport::CloseLocked() {
   }
 }
 
-Status SocketTransport::SendFrame(Slice frame) {
+SocketTransport::TimePoint SocketTransport::DeadlineFromNow() const {
+  if (opts_.rpc_timeout_ms <= 0) return TimePoint::max();
+  return std::chrono::steady_clock::now() +
+         std::chrono::milliseconds(opts_.rpc_timeout_ms);
+}
+
+Status SocketTransport::WaitReadyLocked(short events, TimePoint deadline) {
+  for (;;) {
+    int timeout_ms = -1;
+    if (deadline != TimePoint::max()) {
+      const auto remain = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              deadline - std::chrono::steady_clock::now())
+                              .count();
+      if (remain <= 0) {
+        deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+        return Status::IOError("rpc deadline exceeded (" +
+                               std::to_string(opts_.rpc_timeout_ms) + "ms)");
+      }
+      timeout_ms = static_cast<int>(std::min<int64_t>(remain, INT32_MAX));
+    }
+    pollfd p{};
+    p.fd = fd_;
+    p.events = events;
+    const int r = poll(&p, 1, timeout_ms);
+    syscalls_.fetch_add(1, std::memory_order_relaxed);
+    // Readiness includes error/hangup revents: return OK and let the next
+    // send/recv surface the precise errno.
+    if (r > 0) return Status::OK();
+    if (r == 0) {
+      deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      return Status::IOError("rpc deadline exceeded (" +
+                             std::to_string(opts_.rpc_timeout_ms) + "ms)");
+    }
+    if (errno == EINTR) continue;
+    return Errno("poll");
+  }
+}
+
+Status SocketTransport::SendBytesLocked(Slice bytes, TimePoint deadline) {
   size_t off = 0;
-  while (off < frame.size()) {
+  while (off < bytes.size()) {
     const ssize_t n =
-        send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+        send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
     syscalls_.fetch_add(1, std::memory_order_relaxed);
     if (n > 0) {
       off += static_cast<size_t>(n);
       bytes_sent_.fetch_add(static_cast<uint64_t>(n),
                             std::memory_order_relaxed);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      Status ready = WaitReadyLocked(POLLOUT, deadline);
+      if (!ready.ok()) return ready;
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
@@ -104,7 +196,8 @@ Status SocketTransport::SendFrame(Slice frame) {
   return Status::OK();
 }
 
-Status SocketTransport::ReadResponse(std::string* payload) {
+Status SocketTransport::ReadResponseLocked(std::string* payload,
+                                           TimePoint deadline) {
   for (;;) {
     auto next = decoder_.Next(payload);
     if (!next.ok()) return next.status();  // corrupt stream: caller closes
@@ -121,37 +214,199 @@ Status SocketTransport::ReadResponse(std::string* payload) {
     if (n == 0) {
       return Status::IOError("server closed the connection mid-response");
     }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      Status ready = WaitReadyLocked(POLLIN, deadline);
+      if (!ready.ok()) return ready;
+      continue;
+    }
     if (errno == EINTR) continue;
     return Errno("recv");
   }
 }
 
-Result<std::string> SocketTransport::Call(const Request& req) {
-  const std::string frame = EncodeFrame(EncodeRequest(req));
+Status SocketTransport::ExchangeLocked(const Request& req, TimePoint deadline,
+                                       Status* app, std::string* body,
+                                       bool* sent_fully) {
+  *sent_fully = false;
   rpcs_.fetch_add(1, std::memory_order_relaxed);
-  MutexLock lock(mu_);
-  if (fd_ < 0) return Status::IOError("transport closed");
-  Status sent = SendFrame(frame);
+  FaultAction fault;
+  if (opts_.fault) fault = opts_.fault->Next();
+
+  if (fault.kind == FaultKind::kResetBeforeSend) {
+    CloseLocked();
+    return Status::IOError("injected fault: connection reset before send");
+  }
+  if (fault.kind == FaultKind::kDelaySend) SleepMicros(fault.delay_micros);
+
+  std::string frame = EncodeFrame(EncodeRequest(req));
+  if (fault.kind == FaultKind::kCorruptFrame) {
+    // Flip a payload byte (never the length varint, which could leave the
+    // server waiting forever): the digest check rejects deterministically.
+    frame.back() = static_cast<char>(frame.back() ^ 0x01);
+  }
+  if (fault.kind == FaultKind::kShortWrite) {
+    // Half a frame can never execute — the length prefix promises bytes
+    // that will not come — so the send outcome genuinely does not matter.
+    (void)SendBytesLocked(Slice(frame.data(), frame.size() / 2), deadline);
+    CloseLocked();
+    return Status::IOError("injected fault: short write");
+  }
+
+  Status sent = SendBytesLocked(frame, deadline);
   if (!sent.ok()) {
+    // Nothing or a torn prefix left the socket; either way the server can
+    // never decode this request, so it is provably not executed.
     CloseLocked();
     return sent;
   }
+  *sent_fully = true;
+
+  if (fault.kind == FaultKind::kResetAfterSend) {
+    CloseLocked();
+    return Status::IOError("injected fault: connection reset after send");
+  }
+  if (fault.kind == FaultKind::kDelayRecv) SleepMicros(fault.delay_micros);
+
   std::string payload;
-  Status read = ReadResponse(&payload);
+  Status read = ReadResponseLocked(&payload, deadline);
   if (!read.ok()) {
     CloseLocked();
     return read;
   }
-  Status app;
-  std::string body;
-  Status decoded = DecodeResponse(payload, &app, &body);
+  Status decoded = DecodeResponse(payload, app, body);
   if (!decoded.ok()) {
     // The response itself is garbage: the stream cannot be trusted again.
     CloseLocked();
     return decoded;
   }
-  if (!app.ok()) return app;
-  return body;
+  return Status::OK();
+}
+
+Status SocketTransport::HandshakeLocked() {
+  Request hello;
+  hello.type = MsgType::kHello;
+  hello.version = kWireVersion;
+  Status app;
+  std::string body;
+  bool sent_fully = false;
+  Status s = ExchangeLocked(hello, DeadlineFromNow(), &app, &body, &sent_fully);
+  if (!s.ok()) return s;
+  if (!app.ok()) {
+    CloseLocked();
+    return app;
+  }
+  return Status::OK();
+}
+
+Status SocketTransport::ReconnectLocked() {
+  CloseLocked();
+  auto fd = DialOnce(host_, port_);
+  if (!fd.ok()) return fd.status();
+  fd_ = *fd;
+  // A fresh connection starts a fresh stream: stale half-frames from the
+  // old one must never prefix the new one's responses.
+  decoder_ = FrameDecoder(opts_.max_frame_bytes);
+  Status hs = HandshakeLocked();
+  if (!hs.ok()) {
+    CloseLocked();
+    return hs;
+  }
+  reconnects_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+SocketTransport::AttemptResult SocketTransport::CallOnce(const Request& req) {
+  MutexLock lock(mu_);
+  AttemptResult out;
+  if (closed_) {
+    out.permanent = true;
+    out.error = Status::IOError("transport closed");
+    return out;
+  }
+  if (fd_ < 0) {
+    if (!opts_.auto_reconnect) {
+      out.permanent = true;
+      out.error = Status::IOError("transport closed");
+      return out;
+    }
+    Status rc = ReconnectLocked();
+    if (!rc.ok()) {
+      out.error = std::move(rc);  // not executed: no connection to send on
+      return out;
+    }
+  }
+  Status app;
+  std::string body;
+  bool sent_fully = false;
+  Status s = ExchangeLocked(req, DeadlineFromNow(), &app, &body, &sent_fully);
+  if (!s.ok()) {
+    out.kind = sent_fully ? AttemptResult::Kind::kAmbiguous
+                          : AttemptResult::Kind::kNotExecuted;
+    out.error = std::move(s);
+    return out;
+  }
+  if (IsBadFrameReject(app)) {
+    // The server rejected the frame without executing it and is about to
+    // drop the connection; beat it to the close so the next attempt
+    // starts on a fresh dial.
+    CloseLocked();
+    out.kind = AttemptResult::Kind::kNotExecuted;
+    out.error = std::move(app);
+    return out;
+  }
+  if (app.IsResourceExhausted()) {
+    // Overload shed: the server refused before executing and closes the
+    // connection after the reject. Back off and re-dial.
+    CloseLocked();
+    out.kind = AttemptResult::Kind::kNotExecuted;
+    out.error = std::move(app);
+    return out;
+  }
+  out.kind = AttemptResult::Kind::kResponded;
+  out.app = std::move(app);
+  out.body = std::move(body);
+  return out;
+}
+
+void SocketTransport::BackoffSleep(int attempt) {
+  int64_t delay_ms = std::max(1, opts_.retry.backoff_init_ms);
+  const int64_t cap = std::max<int64_t>(delay_ms, opts_.retry.backoff_max_ms);
+  for (int i = 1; i < attempt && delay_ms < cap; ++i) delay_ms *= 2;
+  delay_ms = std::min(delay_ms, cap);
+  uint64_t draw;
+  {
+    MutexLock lock(mu_);
+    draw = jitter_rng_.Next();
+  }
+  // Jitter into [delay/2, delay] so a fleet of clients spreads its retries.
+  const int64_t low = delay_ms / 2;
+  const int64_t sleep_ms =
+      low + static_cast<int64_t>(draw % static_cast<uint64_t>(delay_ms - low + 1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+}
+
+Result<std::string> SocketTransport::CallIdempotent(const Request& req) {
+  const int max_attempts = std::max(1, opts_.retry.max_attempts);
+  Status last = Status::IOError("no wire attempt made");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      BackoffSleep(attempt);
+    }
+    AttemptResult r = CallOnce(req);
+    if (r.kind == AttemptResult::Kind::kResponded) {
+      if (!r.app.ok()) return r.app;
+      return std::move(r.body);
+    }
+    last = std::move(r.error);
+    // The whole surface routed through here is idempotent (reads, plus
+    // content-addressed writes a replay re-stores byte-identically), so
+    // both not-executed and ambiguous attempts are safe to replay.
+    if (r.permanent || !opts_.auto_reconnect) return last;
+  }
+  return Status::Unavailable("retry policy exhausted after " +
+                             std::to_string(max_attempts) +
+                             " attempts; last: " + last.ToString());
 }
 
 Result<std::shared_ptr<const std::string>> SocketTransport::Get(
@@ -159,7 +414,7 @@ Result<std::shared_ptr<const std::string>> SocketTransport::Get(
   Request req;
   req.type = MsgType::kGet;
   req.hash = h;
-  auto body = Call(req);
+  auto body = CallIdempotent(req);
   if (!body.ok()) return body.status();
   return std::make_shared<const std::string>(std::move(*body));
 }
@@ -168,7 +423,7 @@ Result<bool> SocketTransport::Contains(const Hash& h) {
   Request req;
   req.type = MsgType::kContains;
   req.hash = h;
-  auto body = Call(req);
+  auto body = CallIdempotent(req);
   if (!body.ok()) return body.status();
   if (body->size() != 1) return Status::Corruption("contains body");
   return (*body)[0] != 0;
@@ -178,7 +433,7 @@ Result<uint64_t> SocketTransport::SizeOf(const Hash& h) {
   Request req;
   req.type = MsgType::kSizeOf;
   req.hash = h;
-  auto body = Call(req);
+  auto body = CallIdempotent(req);
   if (!body.ok()) return body.status();
   Slice in(*body);
   uint64_t size = 0;
@@ -192,7 +447,7 @@ Result<Hash> SocketTransport::Put(Slice bytes) {
   Request req;
   req.type = MsgType::kPut;
   req.bytes.assign(bytes.data(), bytes.size());
-  auto body = Call(req);
+  auto body = CallIdempotent(req);
   if (!body.ok()) return body.status();
   Slice in(*body);
   Hash h;
@@ -205,19 +460,19 @@ Status SocketTransport::PutMany(const NodeBatch& batch) {
   Request req;
   req.type = MsgType::kPutMany;
   req.batch = batch;  // shares the node byte buffers, no copy
-  return Call(req).status();
+  return CallIdempotent(req).status();
 }
 
 Status SocketTransport::Flush() {
   Request req;
   req.type = MsgType::kFlush;
-  return Call(req).status();
+  return CallIdempotent(req).status();
 }
 
 Result<NodeStore::Stats> SocketTransport::StoreStats() {
   Request req;
   req.type = MsgType::kStoreStats;
-  auto body = Call(req);
+  auto body = CallIdempotent(req);
   if (!body.ok()) return body.status();
   NodeStore::Stats s;
   Status decoded = DecodeStoreStatsBody(*body, &s);
@@ -228,14 +483,14 @@ Result<NodeStore::Stats> SocketTransport::StoreStats() {
 Status SocketTransport::ResetServerOpCounters() {
   Request req;
   req.type = MsgType::kResetCounters;
-  return Call(req).status();
+  return CallIdempotent(req).status();
 }
 
 Result<Hash> SocketTransport::Head(const std::string& branch) {
   Request req;
   req.type = MsgType::kHead;
   req.branch = branch;
-  auto body = Call(req);
+  auto body = CallIdempotent(req);
   if (!body.ok()) return body.status();
   Slice in(*body);
   Hash h;
@@ -243,6 +498,89 @@ Result<Hash> SocketTransport::Head(const std::string& branch) {
     return Status::Corruption("head body");
   }
   return h;
+}
+
+Result<std::optional<PublishResult>> SocketTransport::CheckPublishApplied(
+    const PublishRequest& pub) {
+  // Reconstruct the content commit the server builds for this request
+  // (version/occ.cc): root + [expected_head] + author/message, sequence =
+  // parent.sequence + 1 (0 for a branch creation). Commits are
+  // content-addressed, so its digest is decidable client-side.
+  Commit want;
+  want.root = pub.new_root;
+  want.author = pub.author;
+  want.message = pub.message;
+  if (pub.expected_head.has_value()) {
+    want.parents.push_back(*pub.expected_head);
+    Request preq;
+    preq.type = MsgType::kGet;
+    preq.hash = *pub.expected_head;
+    auto parent_bytes = CallIdempotent(preq);
+    if (!parent_bytes.ok()) return parent_bytes.status();
+    auto parent = Commit::Decode(*parent_bytes);
+    if (!parent.ok()) return parent.status();
+    want.sequence = parent->sequence + 1;
+  }
+  const Hash target = Sha256::Digest(want.Encode());
+
+  Request hreq;
+  hreq.type = MsgType::kHead;
+  hreq.branch = pub.branch;
+  auto head_body = CallIdempotent(hreq);
+  if (!head_body.ok()) {
+    if (head_body.status().IsNotFound()) {
+      // No branch, no commit: a creation publish did not land and a
+      // publish onto a since-deleted branch certainly did not.
+      return std::optional<PublishResult>();
+    }
+    return head_body.status();
+  }
+  Slice in(*head_body);
+  Hash head;
+  if (!GetHash(&in, &head) || !in.empty()) {
+    return Status::Corruption("head body");
+  }
+
+  // Walk the DAG from the head looking for the target digest. Parents
+  // carry strictly smaller sequence numbers than their children, so any
+  // node at or below the target's sequence that is not the target itself
+  // cannot have the target in its ancestry — prune there. NOTE: a mere
+  // Contains(target) would NOT do: an orphaned commit object (written,
+  // lost the CAS, never merged) lives in the content-addressed store
+  // without being history, and mistaking it for "applied" loses an acked
+  // update.
+  std::deque<Hash> frontier{head};
+  std::set<std::string> visited{head.ToHex()};
+  size_t budget = kPublishResolveBudget;
+  while (!frontier.empty()) {
+    const Hash h = frontier.front();
+    frontier.pop_front();
+    if (h == target) {
+      PublishResult out;
+      out.head = head;
+      out.commit = target;
+      return std::optional<PublishResult>(out);
+    }
+    if (budget == 0) {
+      return Status::Unavailable(
+          "publish resolution budget exhausted walking branch '" + pub.branch +
+          "'; cannot prove whether the publish applied");
+    }
+    --budget;
+    Request creq;
+    creq.type = MsgType::kGet;
+    creq.hash = h;
+    auto bytes = CallIdempotent(creq);
+    if (!bytes.ok()) return bytes.status();
+    auto c = Commit::Decode(*bytes);
+    if (!c.ok()) return c.status();
+    if (c->sequence > want.sequence) {
+      for (const Hash& p : c->parents) {
+        if (visited.insert(p.ToHex()).second) frontier.push_back(p);
+      }
+    }
+  }
+  return std::optional<PublishResult>();  // provably absent: replay is safe
 }
 
 Result<PublishResult> SocketTransport::Publish(const PublishRequest& pub) {
@@ -254,24 +592,57 @@ Result<PublishResult> SocketTransport::Publish(const PublishRequest& pub) {
   req.author = pub.author;
   req.message = pub.message;
   req.expected_head = pub.expected_head;
-  auto body = Call(req);
-  if (!body.ok()) return body.status();
-  WirePublishResult wire;
-  Status decoded = DecodePublishResultBody(*body, &wire);
-  if (!decoded.ok()) return decoded;
-  PublishResult out;
-  out.head = wire.head;
-  out.commit = wire.commit;
-  out.cas_failures = wire.cas_failures;
-  out.merge_commits = wire.merge_commits;
-  return out;
+
+  const int max_attempts = std::max(1, opts_.retry.max_attempts);
+  Status last = Status::IOError("no wire attempt made");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      BackoffSleep(attempt);
+    }
+    AttemptResult r = CallOnce(req);
+    if (r.kind == AttemptResult::Kind::kResponded) {
+      if (!r.app.ok()) return r.app;
+      WirePublishResult wire;
+      Status decoded = DecodePublishResultBody(r.body, &wire);
+      if (!decoded.ok()) return decoded;
+      PublishResult out;
+      out.head = wire.head;
+      out.commit = wire.commit;
+      out.cas_failures = wire.cas_failures;
+      out.merge_commits = wire.merge_commits;
+      return out;
+    }
+    last = std::move(r.error);
+    if (r.permanent || !opts_.auto_reconnect) return last;
+    if (r.kind == AttemptResult::Kind::kAmbiguous) {
+      // Lost ack: the publish may have applied. Blind replay would land a
+      // duplicate (degenerate merge) commit, so resolve by inspecting the
+      // branch head first; only a *proven* not-applied is replayed.
+      //
+      // One inspection is not proof: the server executes a fully-received
+      // frame when a worker drains the (now dead) connection, which races
+      // an immediate head check — "absent" taken too early would replay a
+      // publish that is just about to apply. Demand two agreeing absent
+      // verdicts a backoff apart before falling through to the replay.
+      for (int probe = 0; probe < 2; ++probe) {
+        auto resolved = CheckPublishApplied(pub);
+        if (!resolved.ok()) return resolved.status();
+        if (resolved->has_value()) return **resolved;
+        if (probe == 0) BackoffSleep(attempt + 1);
+      }
+    }
+  }
+  return Status::Unavailable("publish retry policy exhausted after " +
+                             std::to_string(max_attempts) +
+                             " attempts; last: " + last.ToString());
 }
 
 Result<BranchStats> SocketTransport::GetBranchStats(const std::string& branch) {
   Request req;
   req.type = MsgType::kBranchStats;
   req.branch = branch;
-  auto body = Call(req);
+  auto body = CallIdempotent(req);
   if (!body.ok()) return body.status();
   BranchStats s;
   Status decoded = DecodeBranchStatsBody(*body, &s);
@@ -282,7 +653,7 @@ Result<BranchStats> SocketTransport::GetBranchStats(const std::string& branch) {
 Result<std::vector<std::string>> SocketTransport::ListBranches() {
   Request req;
   req.type = MsgType::kListBranches;
-  auto body = Call(req);
+  auto body = CallIdempotent(req);
   if (!body.ok()) return body.status();
   std::vector<std::string> branches;
   Status decoded = DecodeStringListBody(*body, &branches);
@@ -296,6 +667,9 @@ Transport::Stats SocketTransport::stats() const {
   out.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
   out.bytes_received = bytes_received_.load(std::memory_order_relaxed);
   out.syscalls = syscalls_.load(std::memory_order_relaxed);
+  out.retries = retries_.load(std::memory_order_relaxed);
+  out.reconnects = reconnects_.load(std::memory_order_relaxed);
+  out.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -10,21 +10,62 @@
 // *measures* it: stats() reports real serialized bytes and real send/recv
 // syscall counts, which is what the socket benches report next to the
 // slept-RTT numbers.
+//
+// Resilience. Every RPC runs under a poll-based deadline
+// (Options::rpc_timeout_ms) and, when the wire fails, a capped-exponential
+// RetryPolicy with automatic reconnect + fresh Hello handshake. The retry
+// layer classifies each failed wire attempt before replaying:
+//
+//   not executed — nothing sent, a torn frame (the length prefix makes the
+//     server wait for bytes that never come), a server frame-reject
+//     ("bad frame: ...", see net/wire.h), or a ResourceExhausted overload
+//     reject. Safe to replay any request, including Publish.
+//   ambiguous — the full frame left the socket but no clean response came
+//     back (lost ack). Safe to replay only the idempotent surface
+//     (Get/Contains/SizeOf/Put/PutMany/Flush are content-addressed: a
+//     replay re-stores identical bytes under identical digests). Publish
+//     is NOT blindly replayed: a replay after an applied-but-unacked
+//     publish would land a second, degenerate merge commit. Instead the
+//     transport *resolves* the ambiguity by head inspection — it computes
+//     the content-commit digest the server would have written and walks
+//     the branch DAG (sequence-pruned, bounded) to prove the publish
+//     either applied (return success with that commit) or did not (replay
+//     is then safe).
+//
+// When the policy is exhausted without an answer the RPC fails with a
+// typed Status::Unavailable — "the op may not have run" — never with a
+// silently wrong success. Faults can be injected deterministically via
+// Options::fault (net/fault.h); every wire exchange, handshakes included,
+// consumes one injector index.
 
 #ifndef SIRI_NET_SOCKET_TRANSPORT_H_
 #define SIRI_NET_SOCKET_TRANSPORT_H_
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/random.h"
+#include "net/fault.h"
 #include "net/transport.h"
 #include "net/wire.h"
 
 namespace siri {
 namespace net {
+
+/// Capped exponential backoff with deterministic jitter, applied between
+/// wire attempts of one RPC. Attempt k (k >= 1) sleeps roughly
+/// backoff_init_ms * 2^(k-1), capped at backoff_max_ms, jittered to
+/// [delay/2, delay] so a fleet of clients does not retry in lockstep.
+struct RetryPolicy {
+  int max_attempts = 5;     ///< total wire attempts per RPC (1 = no retry)
+  int backoff_init_ms = 10;
+  int backoff_max_ms = 500;
+  uint64_t jitter_seed = 0x5eedu;  ///< per-transport jitter stream seed
+};
 
 class SocketTransport : public Transport {
  public:
@@ -33,11 +74,25 @@ class SocketTransport : public Transport {
     /// Total time to keep retrying the initial connect, for clients that
     /// race a server still binding (0 = single attempt).
     int connect_retry_ms = 2000;
+    /// Per-RPC deadline covering one wire attempt (send + receive). An
+    /// attempt that misses it is abandoned (counted in
+    /// stats().deadline_misses) and retried under the policy. 0 = none.
+    int rpc_timeout_ms = 30000;
+    /// Re-dial + fresh handshake when the connection is lost mid-policy.
+    /// Off = any wire failure surfaces immediately (legacy behavior); an
+    /// explicit Close() always sticks regardless.
+    bool auto_reconnect = true;
+    RetryPolicy retry;
+    /// Optional deterministic saboteur for chaos tests and the chaos
+    /// bench; every wire exchange consumes one injector index.
+    std::shared_ptr<FaultInjector> fault;
   };
 
   /// Connects to 127.0.0.1:\p port (or \p host) and runs the Hello
   /// version handshake; a version-skewed or non-siri server fails here,
-  /// not on the first real RPC.
+  /// not on the first real RPC. Transient handshake failures (IO,
+  /// overload) are retried under the policy; typed application rejects
+  /// (version skew) fail fast.
   [[nodiscard]] static Status Connect(const std::string& host, int port,
                                       std::shared_ptr<SocketTransport>* out,
                                       Options opts);
@@ -67,29 +122,89 @@ class SocketTransport : public Transport {
 
   Stats stats() const override;
 
-  /// Closes the connection; every later RPC fails with IOError. Safe to
-  /// call concurrently with RPCs (they fail, they do not crash).
+  /// Closes the connection permanently; every later RPC fails with
+  /// IOError (no reconnect — an explicit Close is an instruction, not a
+  /// fault). Safe to call concurrently with RPCs.
   void Close() EXCLUDES(mu_);
 
  private:
-  SocketTransport(int fd, Options opts);
+  using TimePoint = std::chrono::steady_clock::time_point;
 
-  /// One RPC: frame + send \p req, read one response frame, surface the
-  /// application status or the response body.
-  Result<std::string> Call(const Request& req) EXCLUDES(mu_);
-  [[nodiscard]] Status SendFrame(Slice frame) REQUIRES(mu_);
-  [[nodiscard]] Status ReadResponse(std::string* payload) REQUIRES(mu_);
+  /// One failed-or-succeeded wire attempt, classified for the retry layer.
+  struct AttemptResult {
+    enum class Kind {
+      kResponded,    ///< clean response: `app` (+ `body` when app.ok())
+      kNotExecuted,  ///< server provably never ran it — replay anything
+      kAmbiguous,    ///< frame fully sent, no clean response — lost ack
+    };
+    Kind kind = Kind::kNotExecuted;
+    Status app;        ///< application status (kResponded)
+    std::string body;  ///< response body (kResponded && app.ok())
+    Status error;      ///< transport error (kNotExecuted / kAmbiguous)
+    /// Explicitly Close()d (or reconnect disabled): fail fast, no retry.
+    bool permanent = false;
+  };
+
+  SocketTransport(std::string host, int port, int fd, Options opts);
+
+  TimePoint DeadlineFromNow() const;
+
+  /// One wire exchange on the current connection: consult the fault
+  /// injector, frame + send \p req, read + decode one response. On any
+  /// non-OK return the connection has been closed. \p *sent_fully is the
+  /// ambiguity boundary: true iff the whole request frame left the socket
+  /// (so the server may have executed it).
+  [[nodiscard]] Status ExchangeLocked(const Request& req, TimePoint deadline,
+                                      Status* app, std::string* body,
+                                      bool* sent_fully) REQUIRES(mu_);
+  [[nodiscard]] Status SendBytesLocked(Slice bytes, TimePoint deadline)
+      REQUIRES(mu_);
+  [[nodiscard]] Status ReadResponseLocked(std::string* payload,
+                                          TimePoint deadline) REQUIRES(mu_);
+  /// Blocks until \p fd_ is ready for \p events or the deadline passes.
+  [[nodiscard]] Status WaitReadyLocked(short events, TimePoint deadline)
+      REQUIRES(mu_);
+
+  /// Hello on a freshly dialed fd_ (shares the fault/deadline machinery).
+  [[nodiscard]] Status HandshakeLocked() REQUIRES(mu_);
+  /// Re-dial + handshake; bumps stats().reconnects on success.
+  [[nodiscard]] Status ReconnectLocked() REQUIRES(mu_);
   void CloseLocked() REQUIRES(mu_);
 
-  Options opts_;
+  /// One classified attempt: connect if needed, exchange, classify.
+  AttemptResult CallOnce(const Request& req) EXCLUDES(mu_);
+
+  /// Full retry loop for the idempotent surface: replays on both
+  /// not-executed and ambiguous failures, Unavailable after exhaustion.
+  Result<std::string> CallIdempotent(const Request& req) EXCLUDES(mu_);
+
+  /// Sleeps the jittered backoff before wire attempt \p attempt (>= 1).
+  void BackoffSleep(int attempt) EXCLUDES(mu_);
+
+  /// Resolves an ambiguous publish by head inspection. ok(value) = the
+  /// publish applied (value is the result to return); ok(nullopt) = it
+  /// provably did not apply (replay is safe); error = undecidable within
+  /// budget (Unavailable) or the inspection itself failed.
+  Result<std::optional<PublishResult>> CheckPublishApplied(
+      const PublishRequest& pub) EXCLUDES(mu_);
+
+  const Options opts_;
+  const std::string host_;
+  const int port_;
+
   mutable Mutex mu_;
   int fd_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;  ///< explicit Close(): no reconnect
   FrameDecoder decoder_ GUARDED_BY(mu_);
+  Rng jitter_rng_ GUARDED_BY(mu_);
 
   std::atomic<uint64_t> rpcs_{0};
   std::atomic<uint64_t> bytes_sent_{0};
   std::atomic<uint64_t> bytes_received_{0};
   std::atomic<uint64_t> syscalls_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> reconnects_{0};
+  std::atomic<uint64_t> deadline_misses_{0};
 };
 
 }  // namespace net

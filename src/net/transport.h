@@ -80,6 +80,12 @@ class Transport {
     uint64_t bytes_sent = 0;
     uint64_t bytes_received = 0;
     uint64_t syscalls = 0;  ///< send+recv calls issued
+    // Resilience counters (socket transports only; an in-process call has
+    // nothing to retry). Zero on a healthy wire, so any nonzero value in a
+    // bench report is a flag that faults shaped the numbers.
+    uint64_t retries = 0;          ///< wire attempts beyond the first, per RPC
+    uint64_t reconnects = 0;       ///< re-dial + fresh handshake cycles
+    uint64_t deadline_misses = 0;  ///< attempts abandoned at the RPC deadline
   };
 
   virtual ~Transport() = default;

@@ -178,8 +178,18 @@ Status StatusFromWire(uint8_t code, std::string message) {
       return Status::NotSupported(std::move(message));
     case Status::Code::kIOError:
       return Status::IOError(std::move(message));
+    case Status::Code::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(message));
+    case Status::Code::kUnavailable:
+      return Status::Unavailable(std::move(message));
   }
   return Status::IOError("unknown wire status code: " + std::move(message));
+}
+
+bool IsBadFrameReject(const Status& s) {
+  return s.IsCorruption() &&
+         s.message().compare(0, sizeof(kBadFramePrefix) - 1, kBadFramePrefix) ==
+             0;
 }
 
 std::string EncodeResponse(const Status& app, Slice body) {

@@ -101,6 +101,19 @@ std::string EncodeResponse(const Status& app, Slice body);
 /// IOError so a skewed peer cannot smuggle an OK).
 Status StatusFromWire(uint8_t code, std::string message);
 
+/// Message prefix on the Corruption response a server sends when a
+/// *request frame* could not be decoded (garbled length, digest mismatch,
+/// undecodable payload). The distinction matters to the client's retry
+/// layer: a frame the server rejected at this layer was never executed,
+/// so replaying it — even a non-idempotent Publish — cannot double-apply.
+/// Server-side storage corruption surfaced by an executed request never
+/// carries this prefix.
+constexpr const char kBadFramePrefix[] = "bad frame: ";
+
+/// True when \p s is a server-side reject of an undecodable request frame
+/// (see kBadFramePrefix): the request was not executed.
+bool IsBadFrameReject(const Status& s);
+
 // --- type-specific response bodies -----------------------------------
 
 void PutHash(std::string* dst, const Hash& h);

@@ -71,6 +71,29 @@ void BindLoopback(int* fd, int* port) {
   *port = ntohs(addr.sin_port);
 }
 
+/// Rebinds 127.0.0.1:\p port (a specific port this time — the restart
+/// test must come back on the address the client keeps retrying).
+/// SO_REUSEADDR lets the rebind beat lingering TIME_WAIT connections from
+/// the killed server; brief retries cover the kernel releasing the port.
+void BindLoopbackAt(int* fd, int port) {
+  *fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(*fd, 0);
+  const int one = 1;
+  setsockopt(*fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  int bound = -1;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    bound = bind(*fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (bound == 0) break;
+    usleep(50 * 1000);
+  }
+  ASSERT_EQ(bound, 0);
+  ASSERT_EQ(listen(*fd, 64), 0);
+}
+
 /// One client process: connect, commit `commits` kv pairs one publish at
 /// a time (each on top of the current head), exit 0 on full success.
 /// Exit codes identify the failing step for the test log.
@@ -368,6 +391,107 @@ TEST(NetMultiProcessTest, ClientDeathMidUploadHarmsNothing) {
   std::shared_ptr<FileNodeStore> reopened;
   ASSERT_TRUE(FileNodeStore::Open(pages, &reopened).ok());
   EXPECT_EQ(reopened->recovered_truncations(), 0u);
+  std::remove(pages.c_str());
+  std::remove(refs.c_str());
+}
+
+TEST(NetMultiProcessTest, ClientSurvivesServerRestartSameData) {
+  const std::string dir = TempPath("restart");
+  const std::string pages = dir + "_pages.log";
+  const std::string refs = dir + "_refs.log";
+  std::remove(pages.c_str());
+  std::remove(refs.c_str());
+
+  int listen_fd = -1;
+  int port = 0;
+  BindLoopback(&listen_fd, &port);
+
+  // Forked server over a durable store; spawned twice, both generations
+  // opening the SAME data files.
+  const auto spawn_server = [&pages, &refs](int fd) -> pid_t {
+    const pid_t pid = fork();
+    if (pid != 0) return pid;
+    std::shared_ptr<FileNodeStore> store;
+    if (!FileNodeStore::Open(pages, &store).ok()) _exit(40);
+    ForkbaseServlet servlet(store);
+    if (!servlet.branches()->AttachRefLog(refs).ok()) _exit(41);
+    servlet.RegisterIndex(std::make_unique<PosTree>(store));
+    net::SiriServer server(&servlet);
+    if (!server.AdoptListener(fd).ok()) _exit(42);
+    if (!server.Start().ok()) _exit(43);
+    for (;;) pause();  // serve until SIGKILL
+  };
+
+  const pid_t first = spawn_server(listen_fd);
+  ASSERT_GE(first, 0);
+  close(listen_fd);
+
+  // ONE transport for the whole test: it must outlive the server it first
+  // shook hands with.
+  net::SocketTransport::Options topts;
+  topts.connect_retry_ms = 10000;
+  topts.rpc_timeout_ms = 10000;
+  topts.retry.max_attempts = 20;
+  topts.retry.backoff_init_ms = 5;
+  topts.retry.backoff_max_ms = 100;
+  std::shared_ptr<net::SocketTransport> t;
+  ASSERT_TRUE(net::SocketTransport::Connect("127.0.0.1", port, &t, topts).ok());
+  auto client_store = std::make_shared<ForkbaseClientStore>(t, 8 << 20);
+  PosTree index(client_store);
+
+  auto root1 = index.PutBatch(index.EmptyRoot(), {{"restart/before", "v0"}});
+  ASSERT_TRUE(root1.ok());
+  ASSERT_TRUE(client_store->Flush().ok());
+  net::PublishRequest pub;
+  pub.structure = "pos";
+  pub.branch = "main";
+  pub.new_root = *root1;
+  pub.author = "survivor";
+  pub.message = "before restart";
+  auto acked1 = t->Publish(pub);
+  ASSERT_TRUE(acked1.ok()) << acked1.status().ToString();
+
+  // SIGKILL the server, then bring a fresh process up on the SAME port
+  // over the SAME data directory — a crash-restart, not a clean handoff.
+  ASSERT_EQ(kill(first, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(first, &status, 0), first);
+  ASSERT_TRUE(WIFSIGNALED(status));
+
+  int listen_fd2 = -1;
+  BindLoopbackAt(&listen_fd2, port);
+  const pid_t second = spawn_server(listen_fd2);
+  ASSERT_GE(second, 0);
+  close(listen_fd2);
+
+  // Same transport object, no application-level recovery: the next RPCs
+  // ride auto-reconnect + retry through the restart invisibly.
+  auto root2 = index.PutBatch(*root1, {{"restart/after", "v1"}});
+  ASSERT_TRUE(root2.ok());
+  ASSERT_TRUE(client_store->Flush().ok());
+  pub.new_root = *root2;
+  pub.message = "after restart";
+  pub.expected_head = acked1->head;
+  auto acked2 = t->Publish(pub);
+  ASSERT_TRUE(acked2.ok()) << acked2.status().ToString();
+  EXPECT_GE(t->stats().reconnects, 1u);
+
+  // Both generations' commits are visible through the restarted server.
+  auto head = t->Head("main");
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(*head, acked2->head);
+  auto commit_bytes = client_store->Get(*head);
+  ASSERT_TRUE(commit_bytes.ok());
+  auto final_commit = Commit::Decode(**commit_bytes);
+  ASSERT_TRUE(final_commit.ok());
+  for (const char* key : {"restart/before", "restart/after"}) {
+    auto got = index.Get(final_commit->root, key, nullptr);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(got->has_value()) << key;
+  }
+
+  ASSERT_EQ(kill(second, SIGKILL), 0);
+  ASSERT_EQ(waitpid(second, &status, 0), second);
   std::remove(pages.c_str());
   std::remove(refs.c_str());
 }

@@ -165,6 +165,8 @@ TEST(WireCodecTest, EveryStatusCodeSurvivesTheWire) {
       Status::Conflict("d"),
       Status::NotSupported("e"),
       Status::IOError("f"),
+      Status::ResourceExhausted("g"),
+      Status::Unavailable("h"),
   };
   for (const Status& s : all) {
     const std::string payload = net::EncodeResponse(s, Slice());
@@ -175,7 +177,21 @@ TEST(WireCodecTest, EveryStatusCodeSurvivesTheWire) {
     EXPECT_EQ(app.IsNotFound(), s.IsNotFound());
     EXPECT_EQ(app.IsCorruption(), s.IsCorruption());
     EXPECT_EQ(app.IsConflict(), s.IsConflict());
+    EXPECT_EQ(app.IsResourceExhausted(), s.IsResourceExhausted());
+    EXPECT_EQ(app.IsUnavailable(), s.IsUnavailable());
   }
+}
+
+TEST(WireCodecTest, BadFrameRejectIsDistinguishable) {
+  // The "bad frame: " marker is the replay-safety contract: only a
+  // frame-layer reject (request never executed) carries it.
+  EXPECT_TRUE(net::IsBadFrameReject(
+      Status::Corruption(std::string(net::kBadFramePrefix) +
+                         "frame digest mismatch")));
+  EXPECT_FALSE(net::IsBadFrameReject(Status::Corruption("page log torn")));
+  EXPECT_FALSE(net::IsBadFrameReject(
+      Status::IOError(std::string(net::kBadFramePrefix) + "x")));
+  EXPECT_FALSE(net::IsBadFrameReject(Status::OK()));
 }
 
 TEST(WireCodecTest, ResultBodiesRoundTrip) {
