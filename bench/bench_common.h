@@ -54,6 +54,7 @@ inline const char* const kKnownBenchFlags[] = {
     "--smoke",
     "--transport=",
     "--chaos",
+    "--pipeline",
 };
 
 /// Returns the first argv entry matching no known bench flag, or nullptr
@@ -95,7 +96,8 @@ inline uint64_t ParseScale(int argc, char** argv) {
              "  fig06 also takes [--threads-only] [--write-scaling-only]"
              " [--branch-commits-only] [--smoke]\n"
              "  fig06 --transport=socket also takes [--chaos] (goodput"
-             " under injected wire faults)\n",
+             " under injected wire faults) and [--pipeline] (depth sweep"
+             " of writers sharing one connection)\n",
              argv[0]);
       exit(0);
     }
@@ -992,6 +994,185 @@ inline void RunSocketCommitTable(uint64_t n, uint64_t mbt_buckets,
       clients.clear();  // closes the connections before the next cell
     }
     printf("\n");
+  }
+  for (const std::string& line : machine_lines) printf("%s\n", line.c_str());
+
+  server.Stop();
+  std::remove(store_path.c_str());
+}
+
+/// The pipelined wire boundary, isolated: K writer threads SHARING ONE
+/// SocketTransport, swept over the pipelining depth (max_inflight) and
+/// the combiner-aware cache push. The depth-1 row is the serialized
+/// baseline — one outstanding RPC, exactly the pre-pipelining channel —
+/// so the sweep reads as "what did depth buy on the same connection":
+/// commits/s up, syscalls/commit down (the reader drains batched
+/// responses per recv, the server flushes coalesced writev rounds).
+/// The push rows additionally report pushed nodes per commit and the
+/// losing-committer Get RPCs they displaced (remote_gets/commit).
+/// Structure: pos only — the boundary, not the index, is under test.
+inline void RunSocketPipelineTable(uint64_t n, int threads,
+                                   int commits_per_writer,
+                                   const std::vector<int>& depths,
+                                   uint64_t window_micros) {
+  printf("\n[socket pipeline] REAL loopback TCP, %d writers sharing ONE "
+         "connection, n=%llu records, window=%lluus — depth 1 is the "
+         "serialized baseline\n",
+         threads, static_cast<unsigned long long>(n),
+         static_cast<unsigned long long>(window_micros));
+  printf("%8s %6s %10s %10s %10s %10s %10s\n", "depth", "push", "cmt/s",
+         "B/rpc", "sys/cmt", "push/cmt", "rget/cmt");
+
+  YcsbGenerator gen(1);
+  auto records = gen.GenerateRecords(n);
+
+  const std::string store_path =
+      "/tmp/siri_bench_pipeline_" + std::to_string(getpid()) + ".log";
+  std::remove(store_path.c_str());
+  std::shared_ptr<FileNodeStore> server_store;
+  SIRI_CHECK(FileNodeStore::Open(store_path, &server_store).ok());
+
+  GroupCommitOptions gc;
+  gc.window_micros = window_micros;
+  gc.merge.max_retries = std::numeric_limits<int>::max();
+  ForkbaseServlet servlet(server_store, gc);
+  PosTree server_index(server_store);
+  const Hash base_root = LoadRecords(&server_index, records);
+  servlet.RegisterIndex(std::make_unique<PosTree>(server_store));
+
+  net::ServerOptions sopts;
+  sopts.group_flush_window_micros = window_micros;
+  net::SiriServer server(&servlet, sopts);
+  SIRI_CHECK(server.Listen(0).ok());
+  SIRI_CHECK(server.Start().ok());
+  const int port = server.port();
+
+  // Cells: every depth with push off, plus the deepest depth with push on
+  // (push is flag-gated precisely so the off rows reproduce the PR 7
+  // baseline series).
+  std::vector<std::pair<int, bool>> cells;
+  for (int d : depths) cells.push_back({d, false});
+  if (!depths.empty()) cells.push_back({depths.back(), true});
+
+  std::vector<std::string> machine_lines;
+  for (const auto& [depth, push] : cells) {
+    const std::string branch = std::string("pipe-d") + std::to_string(depth) +
+                               (push ? "-push" : "");
+    {
+      auto init =
+          servlet.branches()->CommitOnBranch(branch, base_root, "init", "base");
+      SIRI_CHECK(init.ok());
+    }
+
+    net::SocketTransport::Options topts;
+    topts.max_inflight = depth;
+    topts.cache_push = push;
+    std::shared_ptr<net::SocketTransport> transport;
+    SIRI_CHECK(
+        net::SocketTransport::Connect("127.0.0.1", port, &transport, topts)
+            .ok());
+    auto client_store =
+        std::make_shared<ForkbaseClientStore>(transport, 32 << 20);
+    auto pack = PackVersions(server_index, {base_root});
+    SIRI_CHECK(pack.ok());
+    SIRI_CHECK(UnpackVersions(*pack, client_store.get()).ok());
+
+    const auto warm = transport->stats();
+    const auto warm_store = client_store->remote_stats();
+
+    std::atomic<bool> go{false};
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        PosTree index(client_store);
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        for (int c = 0; c < commits_per_writer; ++c) {
+          auto head = transport->Head(branch);
+          SIRI_CHECK(head.ok());
+          auto node = client_store->Get(*head);
+          SIRI_CHECK(node.ok());
+          auto head_commit = Commit::Decode(**node);
+          SIRI_CHECK(head_commit.ok());
+          std::vector<KV> batch;
+          const BranchContentionConfig defaults;
+          batch.reserve(defaults.upload_kvs);
+          for (size_t k = 0; k < defaults.upload_kvs; ++k) {
+            batch.push_back(
+                KV{BranchContentionKey(t, c, 0, k), "v" + std::to_string(c)});
+          }
+          auto next = index.PutBatch(head_commit->root, std::move(batch));
+          SIRI_CHECK(next.ok());
+          net::PublishRequest pub;
+          pub.structure = "pos";
+          pub.branch = branch;
+          pub.new_root = *next;
+          pub.author = "w" + std::to_string(t);
+          pub.message = "c" + std::to_string(c);
+          pub.expected_head = *head;
+          auto landed = transport->Publish(pub);
+          SIRI_CHECK(landed.ok());
+        }
+      });
+    }
+    Timer timer;
+    go.store(true, std::memory_order_release);
+    for (auto& w : workers) w.join();
+    const double secs = timer.ElapsedSeconds();
+
+    const auto total = transport->stats();
+    const auto total_store = client_store->remote_stats();
+    const uint64_t rpcs = total.rpcs - warm.rpcs;
+    const uint64_t bytes = (total.bytes_sent + total.bytes_received) -
+                           (warm.bytes_sent + warm.bytes_received);
+    const uint64_t syscalls = total.syscalls - warm.syscalls;
+    const uint64_t pushed = total.pushed_nodes - warm.pushed_nodes;
+    const uint64_t rgets = total_store.remote_gets - warm_store.remote_gets;
+    const uint64_t commits =
+        static_cast<uint64_t>(threads) * commits_per_writer;
+    const double commits_per_sec =
+        secs == 0 ? 0 : static_cast<double>(commits) / secs;
+    const double bytes_per_rpc =
+        rpcs == 0 ? 0 : static_cast<double>(bytes) / rpcs;
+    const double syscalls_per_commit =
+        commits == 0 ? 0 : static_cast<double>(syscalls) / commits;
+    const double pushed_per_commit =
+        commits == 0 ? 0 : static_cast<double>(pushed) / commits;
+    const double rgets_per_commit =
+        commits == 0 ? 0 : static_cast<double>(rgets) / commits;
+
+    // Zero lost updates on the shared pipelined connection, verified
+    // server-side before the numbers are reported.
+    auto head = servlet.branches()->Head(branch);
+    SIRI_CHECK(head.ok());
+    auto head_commit = servlet.branches()->ReadCommit(*head);
+    SIRI_CHECK(head_commit.ok());
+    const BranchContentionConfig defaults;
+    for (int t = 0; t < threads; ++t) {
+      for (int c = 0; c < commits_per_writer; ++c) {
+        for (size_t k = 0; k < defaults.upload_kvs; ++k) {
+          auto got = server_index.Get(head_commit->root,
+                                      BranchContentionKey(t, c, 0, k), nullptr);
+          SIRI_CHECK(got.ok() && got->has_value());
+        }
+      }
+    }
+
+    printf("%8d %6s %10.1f %10.0f %10.2f %10.2f %10.2f\n", depth,
+           push ? "on" : "off", commits_per_sec, bytes_per_rpc,
+           syscalls_per_commit, pushed_per_commit, rgets_per_commit);
+    fflush(stdout);
+    char line[360];
+    snprintf(line, sizeof(line),
+             "#json socket_pipeline structure=pos threads=%d "
+             "transport=socket max_inflight=%d cache_push=%s "
+             "commits_per_sec=%.1f bytes_per_rpc=%.0f "
+             "syscalls_per_commit=%.2f pushed_nodes_per_commit=%.2f "
+             "remote_gets_per_commit=%.2f window_us=%llu",
+             threads, depth, push ? "on" : "off", commits_per_sec,
+             bytes_per_rpc, syscalls_per_commit, pushed_per_commit,
+             rgets_per_commit, static_cast<unsigned long long>(window_micros));
+    machine_lines.emplace_back(line);
   }
   for (const std::string& line : machine_lines) printf("%s\n", line.c_str());
 

@@ -219,6 +219,21 @@ void RunSocketCommitSection(uint64_t scale,
                        /*window_micros=*/500);
 }
 
+// Pipelined wire boundary: K writers sharing ONE connection, swept over
+// the pipelining depth (depth 1 = the serialized baseline) plus a
+// cache-push row at the deepest depth. The acceptance read: depth >= 4
+// shows higher commits/s and strictly lower syscalls/commit than depth 1.
+void RunSocketPipelineSection(uint64_t scale,
+                              const std::vector<int>& write_threads,
+                              bool smoke = false) {
+  const int threads = write_threads.empty() ? 8 : write_threads.back();
+  const std::vector<int> depths =
+      smoke ? std::vector<int>{1, 8} : std::vector<int>{1, 4, 8};
+  RunSocketPipelineTable((smoke ? 500 : 4000) * scale, threads,
+                         /*commits_per_writer=*/smoke ? 3 : 16, depths,
+                         /*window_micros=*/500);
+}
+
 // Chaos goodput: the socket commit pipeline re-run under client-side
 // fault injection at a swept rate. Acked-commit goodput per rate next to
 // the retry/reconnect/deadline counters that flag how it was earned; the
@@ -287,6 +302,7 @@ int main(int argc, char** argv) {
   const bool group_commit_only = HasFlag(argc, argv, "--group-commit-only");
   const bool smoke = HasFlag(argc, argv, "--smoke");
   const bool chaos = HasFlag(argc, argv, "--chaos");
+  const bool pipeline = HasFlag(argc, argv, "--pipeline");
   const std::string transport = ParseTransportFlag(argc, argv);
   std::vector<uint64_t> sizes;
   for (uint64_t n : {10000, 20000, 40000, 80000}) sizes.push_back(n * scale);
@@ -302,6 +318,8 @@ int main(int argc, char** argv) {
     // as one series with the slept-RTT in-process sections.
     if (chaos) {
       RunSocketChaosSection(scale, write_threads, smoke);
+    } else if (pipeline) {
+      RunSocketPipelineSection(scale, write_threads, smoke);
     } else {
       RunSocketCommitSection(scale, write_threads, smoke);
     }
@@ -311,6 +329,13 @@ int main(int argc, char** argv) {
     fprintf(stderr,
             "%s: --chaos requires --transport=socket (faults are injected "
             "into the real wire)\n",
+            argv[0]);
+    return 2;
+  }
+  if (pipeline) {
+    fprintf(stderr,
+            "%s: --pipeline requires --transport=socket (depth only exists "
+            "on the real wire)\n",
             argv[0]);
     return 2;
   }

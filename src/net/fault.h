@@ -60,6 +60,12 @@ const char* FaultKindName(FaultKind k);
 struct FaultAction {
   FaultKind kind = FaultKind::kNone;
   uint64_t delay_micros = 0;  ///< kDelaySend / kDelayRecv only
+  /// kShortWrite only: how many bytes of the request frame to send before
+  /// closing. UINT64_MAX (default) keeps the legacy behavior — half the
+  /// frame; a scripted value pins the tear at an exact offset boundary
+  /// (0 = nothing sent, clamped to the frame size). The regression tests
+  /// sweep this across the varint/digest/payload boundaries.
+  uint64_t short_write_offset = UINT64_MAX;
 };
 
 /// Random-mode configuration: each non-scripted attempt draws one fault

@@ -10,6 +10,7 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -45,6 +46,11 @@ int64_t NowMs() {
 Status BadFrame(const Status& s) {
   return Status::Corruption(std::string(kBadFramePrefix) + s.message());
 }
+
+// writev gather width per call. IOV_MAX is at least 1024 everywhere we
+// run, but a modest cap keeps the stack iovec array small; the flush
+// loop simply issues another writev for the remainder.
+constexpr int kMaxIov = 64;
 
 }  // namespace
 
@@ -205,6 +211,7 @@ SiriServer::Stats SiriServer::stats() const {
   out.bytes_out = bytes_out_.load(std::memory_order_relaxed);
   out.overload_rejects = overload_rejects_.load(std::memory_order_relaxed);
   out.idle_reaped = idle_reaped_.load(std::memory_order_relaxed);
+  out.pushed_nodes = pushed_nodes_.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -359,16 +366,28 @@ bool SiriServer::ProcessConnection(Connection* conn) {
   bool peer_closed = false;
   bool would_block = false;
   std::string payload;
+  std::vector<std::string> outbox;
   while (!peer_closed && !would_block) {
     // Fill until the socket runs dry, the peer hangs up, or the buffer
-    // bound is reached (then: execute first, read more after).
+    // bound is reached (then: execute first, read more after). Vectored:
+    // a pipelining client lands many adjacent frames per wakeup, so give
+    // the kernel two pages of gather space per syscall.
     while (conn->decoder.buffered() < buffer_cap) {
-      char buf[64 * 1024];
-      const ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
+      char buf0[64 * 1024];
+      char buf1[64 * 1024];
+      iovec iov[2];
+      iov[0].iov_base = buf0;
+      iov[0].iov_len = sizeof(buf0);
+      iov[1].iov_base = buf1;
+      iov[1].iov_len = sizeof(buf1);
+      const ssize_t n = readv(conn->fd, iov, 2);
       if (n > 0) {
-        conn->decoder.Append(buf, static_cast<size_t>(n));
-        bytes_in_.fetch_add(static_cast<uint64_t>(n),
-                            std::memory_order_relaxed);
+        const size_t got = static_cast<size_t>(n);
+        conn->decoder.Append(buf0, std::min(got, sizeof(buf0)));
+        if (got > sizeof(buf0)) {
+          conn->decoder.Append(buf1, got - sizeof(buf0));
+        }
+        bytes_in_.fetch_add(got, std::memory_order_relaxed);
         continue;
       }
       if (n == 0) {
@@ -385,66 +404,90 @@ bool SiriServer::ProcessConnection(Connection* conn) {
       return false;  // connection error
     }
 
-    // Execute every complete frame buffered so far.
+    // Execute every complete frame buffered so far. Responses queue in
+    // the outbox and flush coalesced after the batch — one writev burst
+    // per round instead of one send per request.
     for (;;) {
       auto next = conn->decoder.Next(&payload);
       if (!next.ok()) {
         // Unresynchronizable stream: say why with the bad-frame marker
         // (the request was never executed — the client may safely
         // replay), then hang up. Best-effort — the peer that garbled its
-        // stream may not be reading.
+        // stream may not be reading. Earlier queued responses flush with
+        // the reject: they answer requests that DID execute.
         frame_errors_.fetch_add(1, std::memory_order_relaxed);
-        (void)SendResponse(conn, BadFrame(next.status()), Slice());
+        outbox.push_back(EncodeFrame(
+            EncodeResponse(BadFrame(next.status()), Slice(),
+                           conn->wire_version, /*corr_id=*/0)));
+        (void)FlushOutbox(conn, &outbox);
         return false;
       }
       if (!*next) break;
       Request req;
-      const Status decoded = DecodeRequest(payload, &req);
+      const Status decoded = DecodeRequest(payload, &req, conn->wire_version);
       if (!decoded.ok()) {
         frame_errors_.fetch_add(1, std::memory_order_relaxed);
-        (void)SendResponse(conn, BadFrame(decoded), Slice());
+        outbox.push_back(EncodeFrame(EncodeResponse(
+            BadFrame(decoded), Slice(), conn->wire_version, /*corr_id=*/0)));
+        (void)FlushOutbox(conn, &outbox);
         return false;
       }
-      if (req.type == MsgType::kHello && opts_.max_connections > 0 &&
-          ActiveConnections() > static_cast<size_t>(opts_.max_connections)) {
-        // Over capacity: shed this connection with a typed reject the
-        // client's retry layer understands (back off, re-dial), delivered
-        // as a clean response + FIN rather than an accept-time RST that
-        // could discard the explanation.
-        overload_rejects_.fetch_add(1, std::memory_order_relaxed);
-        (void)SendResponse(
-            conn,
-            Status::ResourceExhausted(
-                "server at connection capacity (max " +
-                std::to_string(opts_.max_connections) + ")"),
-            Slice());
-        return false;
+      if (req.type == MsgType::kHello) {
+        if (opts_.max_connections > 0 &&
+            ActiveConnections() > static_cast<size_t>(opts_.max_connections)) {
+          // Over capacity: shed this connection with a typed reject the
+          // client's retry layer understands (back off, re-dial),
+          // delivered as a clean response + FIN rather than an
+          // accept-time RST that could discard the explanation.
+          overload_rejects_.fetch_add(1, std::memory_order_relaxed);
+          outbox.push_back(EncodeFrame(EncodeResponse(
+              Status::ResourceExhausted(
+                  "server at connection capacity (max " +
+                  std::to_string(opts_.max_connections) + ")"),
+              Slice(), /*wire_version=*/1, /*corr_id=*/0)));
+          (void)FlushOutbox(conn, &outbox);
+          return false;
+        }
+        // Version negotiation, handled inline because it writes
+        // per-connection state. The exchange itself is always v1-shaped
+        // (it precedes the negotiation — net/wire.h); every later frame
+        // on this connection speaks the negotiated version. A below-floor
+        // client gets a typed reject and the connection stays open: the
+        // peer may retry the Hello with another version.
+        requests_.fetch_add(1, std::memory_order_relaxed);
+        Status app;
+        std::string body;
+        if (req.version < kMinWireVersion) {
+          app = Status::InvalidArgument(
+              "wire version mismatch: client speaks v" +
+              std::to_string(req.version) + ", server floor v" +
+              std::to_string(kMinWireVersion));
+        } else {
+          conn->wire_version = NegotiateWireVersion(
+              static_cast<uint32_t>(req.version), kWireVersion);
+          PutVarint64(&body, conn->wire_version);
+        }
+        outbox.push_back(EncodeFrame(
+            EncodeResponse(app, body, /*wire_version=*/1, /*corr_id=*/0)));
+        continue;
       }
       requests_.fetch_add(1, std::memory_order_relaxed);
       Status app;
       std::string body;
-      Execute(req, &app, &body);
-      if (!SendResponse(conn, app, body)) return false;
+      Execute(req, conn, &app, &body);
+      outbox.push_back(EncodeFrame(
+          EncodeResponse(app, body, conn->wire_version, req.corr_id)));
     }
+    if (!outbox.empty() && !FlushOutbox(conn, &outbox)) return false;
   }
   return !peer_closed;
 }
 
-void SiriServer::Execute(const Request& req, Status* app, std::string* body) {
+void SiriServer::Execute(const Request& req, Connection* conn, Status* app,
+                         std::string* body) {
   *app = Status::OK();
   body->clear();
   switch (req.type) {
-    case MsgType::kHello: {
-      if (req.version != kWireVersion) {
-        *app = Status::InvalidArgument(
-            "wire version mismatch: client speaks v" +
-            std::to_string(req.version) + ", server v" +
-            std::to_string(kWireVersion));
-        return;
-      }
-      PutVarint64(body, kWireVersion);
-      return;
-    }
     case MsgType::kGet: {
       auto bytes = servlet_->store()->Get(req.hash);
       if (!bytes.ok()) {
@@ -529,7 +572,23 @@ void SiriServer::Execute(const Request& req, Status* app, std::string* body) {
       out.commit = landed->commit;
       out.cas_failures = static_cast<uint64_t>(landed->cas_failures);
       out.merge_commits = static_cast<uint64_t>(landed->merge_commits);
-      *body = EncodePublishResultBody(out);
+      if (req.want_push && conn->wire_version >= 2 &&
+          opts_.cache_push_max_bytes > 0 && landed->staged != nullptr) {
+        // Combiner-aware cache push: attach the staged batch this publish
+        // landed with — merged index pages and commit objects, exactly
+        // the nodes a losing committer would Get back one round trip at a
+        // time — to the ack, up to the byte budget. Over-budget records
+        // are simply not pushed (the client fetches them the old way);
+        // the publish itself is unaffected.
+        uint64_t budget = opts_.cache_push_max_bytes;
+        for (const NodeRecord& rec : *landed->staged) {
+          if (rec.bytes == nullptr || rec.bytes->size() > budget) continue;
+          budget -= rec.bytes->size();
+          out.pushed.push_back(rec);
+        }
+        pushed_nodes_.fetch_add(out.pushed.size(), std::memory_order_relaxed);
+      }
+      *body = EncodePublishResultBody(out, conn->wire_version);
       return;
     }
     case MsgType::kBranchStats:
@@ -545,28 +604,58 @@ void SiriServer::Execute(const Request& req, Status* app, std::string* body) {
     case MsgType::kListBranches:
       *body = EncodeStringListBody(servlet_->branches()->ListBranches());
       return;
+    case MsgType::kHello:  // handled inline in ProcessConnection
     case MsgType::kResponse:
       break;
   }
   *app = Status::InvalidArgument("request type not servable");
 }
 
-bool SiriServer::SendResponse(Connection* conn, const Status& app,
-                              Slice body) {
-  const std::string frame = EncodeFrame(EncodeResponse(app, body));
+bool SiriServer::FlushOutbox(Connection* conn,
+                             std::vector<std::string>* outbox) {
+  // One gathered write for the whole round's responses: adjacent frames
+  // share syscalls on the way out exactly as readv shares them on the
+  // way in. `idx`/`off` mark the first unwritten byte across the frame
+  // list; each writev call gathers from there, chunked at kMaxIov.
+  size_t idx = 0;
   size_t off = 0;
   int stalls = 0;
-  while (off < frame.size()) {
-    const ssize_t n = send(conn->fd, frame.data() + off, frame.size() - off,
-                           MSG_NOSIGNAL);
+  while (idx < outbox->size()) {
+    iovec iov[kMaxIov];
+    int cnt = 0;
+    size_t skip = off;
+    for (size_t i = idx; i < outbox->size() && cnt < kMaxIov; ++i) {
+      const std::string& f = (*outbox)[i];
+      iov[cnt].iov_base = const_cast<char*>(f.data() + skip);
+      iov[cnt].iov_len = f.size() - skip;
+      ++cnt;
+      skip = 0;
+    }
+    const ssize_t n = writev(conn->fd, iov, cnt);
     if (n > 0) {
-      off += static_cast<size_t>(n);
       bytes_out_.fetch_add(static_cast<uint64_t>(n),
                            std::memory_order_relaxed);
+      size_t advanced = static_cast<size_t>(n);
+      while (advanced > 0) {
+        const size_t left = (*outbox)[idx].size() - off;
+        if (advanced >= left) {
+          advanced -= left;
+          ++idx;
+          off = 0;
+        } else {
+          off += advanced;
+          advanced = 0;
+        }
+      }
       continue;
     }
-    if (n < 0 && errno == EINTR) continue;
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+    if (n == 0) {
+      // writev(2) never reports 0 for a nonzero byte count on a healthy
+      // stream socket; treating it as retriable would spin. Unwritable.
+      return false;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
       // The peer's receive window is full. Wait for writability, bounded:
       // a client that stopped reading must not wedge a worker forever.
       if (++stalls > 300) return false;  // ~30s of 100ms waits
@@ -576,6 +665,7 @@ bool SiriServer::SendResponse(Connection* conn, const Status& app,
     }
     return false;
   }
+  outbox->clear();
   return true;
 }
 

@@ -9,11 +9,15 @@
 //
 // Shape: one event-loop thread multiplexes the listen socket and every
 // connection (edge-ish via EPOLLONESHOT) and hands ready connections to a
-// small worker pool. A connection processes its requests in order (the
-// protocol allows one outstanding request per connection), so per-
-// connection state needs no locking — a connection is owned either by the
-// epoll set or by exactly one worker, never both. Concurrency across
-// connections is what feeds the combiner its batches.
+// small worker pool. A connection processes its requests strictly in
+// order — wire-v2 clients may keep many requests in flight (pipelining),
+// but responses are executed and answered in arrival order, each tagged
+// with its request's correlation id — so per-connection state needs no
+// locking: a connection is owned either by the epoll set or by exactly
+// one worker, never both. Concurrency across connections is what feeds
+// the combiner its batches; pipelining concentrates it per connection.
+// A worker drains a wakeup's worth of frames with vectored reads (readv)
+// and flushes all their responses in one coalesced writev burst.
 //
 // Malformed input never kills the server: a frame that cannot
 // resynchronize (oversized length, garbled varint, digest mismatch — the
@@ -92,6 +96,14 @@ struct ServerOptions {
   /// faster than the worker drains them is paused at this bound instead
   /// of growing the connection's buffer without limit.
   uint64_t max_buffered_bytes = 0;
+
+  /// Byte budget for the combiner-aware cache push: when a wire-v2 client
+  /// asks (`want_push`), a Publish ack carries the combined publish's
+  /// staged batch — merged index pages and commit objects, the nodes a
+  /// losing committer re-reads next round — up to this many node bytes
+  /// (0 disables the push server-wide). Records are dropped from the
+  /// push, never from the publish: the cap shapes ack size only.
+  uint64_t cache_push_max_bytes = 4ull << 20;
 };
 
 /// \brief Epoll server for one ForkbaseServlet. Not copyable. The servlet
@@ -106,6 +118,7 @@ class SiriServer {
     uint64_t bytes_out = 0;
     uint64_t overload_rejects = 0;  ///< Hellos refused at max_connections
     uint64_t idle_reaped = 0;       ///< connections closed by the idle sweep
+    uint64_t pushed_nodes = 0;      ///< nodes attached to Publish acks
   };
 
   /// What a graceful Drain() accomplished, for the shutdown log line.
@@ -156,6 +169,9 @@ class SiriServer {
         : fd(fd_in), decoder(max_frame), last_activity_ms(now_ms) {}
     int fd;
     FrameDecoder decoder;  // touched only by the owning worker
+    /// Negotiated at this connection's Hello (net/wire.h); 1 until then.
+    /// Touched only by the owning worker, like the decoder.
+    uint32_t wire_version = 1;
     /// Wall of the connection's last traffic, for the idle sweep.
     std::atomic<int64_t> last_activity_ms;
     /// True from the moment the event loop queues the fd for a worker
@@ -167,11 +183,16 @@ class SiriServer {
   void EventLoop();
   void WorkerLoop();
   /// Reads, decodes, and executes everything \p conn has ready; returns
-  /// false when the connection must be closed.
+  /// false when the connection must be closed. Responses for one wakeup
+  /// accumulate in an outbox and flush coalesced (one writev burst per
+  /// round) instead of one send per frame.
   bool ProcessConnection(Connection* conn);
-  void Execute(const Request& req, Status* app, std::string* body);
-  /// Frames and writes one response; false when the peer is unwritable.
-  bool SendResponse(Connection* conn, const Status& app, Slice body);
+  void Execute(const Request& req, Connection* conn, Status* app,
+               std::string* body);
+  /// Writes every queued response frame with writev (gathering across
+  /// frame boundaries, IOV-chunked); false when the peer is unwritable.
+  /// Clears \p outbox on success.
+  bool FlushOutbox(Connection* conn, std::vector<std::string>* outbox);
   void CloseConnection(int fd) EXCLUDES(mu_);
   /// Closes every connection not owned by a worker; run on the event-loop
   /// tick for the idle sweep (\p idle_only) and during a drain (all).
@@ -205,6 +226,7 @@ class SiriServer {
   std::atomic<uint64_t> bytes_out_{0};
   std::atomic<uint64_t> overload_rejects_{0};
   std::atomic<uint64_t> idle_reaped_{0};
+  std::atomic<uint64_t> pushed_nodes_{0};
 };
 
 }  // namespace net

@@ -36,6 +36,16 @@ Status Errno(const char* what) {
   return Status::IOError(std::string(what) + ": " + std::strerror(errno));
 }
 
+Status DeadlineError(int timeout_ms) {
+  return Status::IOError("rpc deadline exceeded (" +
+                         std::to_string(timeout_ms) + "ms)");
+}
+
+bool IsDeadlineError(const Status& s) {
+  return s.code() == Status::Code::kIOError &&
+         s.message().compare(0, 21, "rpc deadline exceeded") == 0;
+}
+
 Result<int> DialOnce(const std::string& host, int port) {
   const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return Errno("socket");
@@ -54,7 +64,7 @@ Result<int> DialOnce(const std::string& host, int port) {
   const int one = 1;
   (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   // Non-blocking from here on: every send/recv is paired with a poll that
-  // honors the per-RPC deadline instead of blocking indefinitely.
+  // honors the per-attempt deadline instead of blocking indefinitely.
   const int flags = fcntl(fd, F_GETFL, 0);
   if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
     const Status s = Errno("fcntl(O_NONBLOCK)");
@@ -66,13 +76,16 @@ Result<int> DialOnce(const std::string& host, int port) {
 
 /// Handshake failures worth re-dialing for: the wire broke (IO) or the
 /// server is shedding load (ResourceExhausted). Typed application rejects
-/// — version skew above all — are deterministic and fail fast.
+/// — an unservable version above all — are deterministic and fail fast.
 bool RetriableHandshake(const Status& s) {
   return s.code() == Status::Code::kIOError || s.IsResourceExhausted();
 }
 
-void SleepMicros(uint64_t micros) {
-  if (micros > 0) std::this_thread::sleep_for(std::chrono::microseconds(micros));
+/// A pre-negotiation server's Hello reject: it could not serve the
+/// advertised version but is still listening — worth one downgrade retry.
+bool IsVersionMismatchReject(const Status& s) {
+  return s.IsInvalidArgument() &&
+         s.message().find("wire version mismatch") != std::string::npos;
 }
 
 }  // namespace
@@ -99,12 +112,15 @@ Status SocketTransport::Connect(const std::string& host, int port,
   if (!fd.ok()) return fd.status();
   std::shared_ptr<SocketTransport> t(
       new SocketTransport(host, port, *fd, opts));
-  // Version handshake up front: a non-siri peer or skewed server turns
-  // into a typed error here instead of a hung or garbled first RPC.
+  // Version handshake up front: a non-siri peer or unservable version
+  // skew turns into a typed error here instead of a hung or garbled
+  // first RPC.
   Status hs;
   {
     MutexLock lock(t->mu_);
-    hs = t->HandshakeLocked();
+    t->connecting_ = true;
+    hs = t->HandshakeLocked(lock);
+    t->connecting_ = false;
   }
   const int max_attempts = std::max(1, opts.retry.max_attempts);
   for (int attempt = 1; !hs.ok() && opts.auto_reconnect &&
@@ -113,7 +129,9 @@ Status SocketTransport::Connect(const std::string& host, int port,
     t->retries_.fetch_add(1, std::memory_order_relaxed);
     t->BackoffSleep(attempt);
     MutexLock lock(t->mu_);
-    hs = t->ReconnectLocked();
+    t->connecting_ = true;
+    hs = t->ReconnectLocked(lock);
+    t->connecting_ = false;
   }
   if (!hs.ok()) return hs;
   *out = std::move(t);
@@ -125,7 +143,17 @@ SocketTransport::~SocketTransport() { Close(); }
 void SocketTransport::Close() {
   MutexLock lock(mu_);
   closed_ = true;
-  CloseLocked();
+  CloseAndFailAllLocked(Status::IOError("transport closed"));
+}
+
+void SocketTransport::SetPushSink(PushSink sink) {
+  MutexLock lock(sink_mu_);
+  push_sink_ = std::move(sink);
+}
+
+uint32_t SocketTransport::negotiated_wire_version() const {
+  MutexLock lock(mu_);
+  return wire_version_;
 }
 
 void SocketTransport::CloseLocked() {
@@ -133,6 +161,19 @@ void SocketTransport::CloseLocked() {
     close(fd_);
     fd_ = -1;
   }
+  ++conn_epoch_;
+  decoder_ = FrameDecoder(opts_.max_frame_bytes);
+}
+
+void SocketTransport::CloseAndFailAllLocked(const Status& error) {
+  CloseLocked();
+  for (auto& [corr, rpc] : pending_) {
+    if (!rpc->done && !rpc->failed) {
+      rpc->failed = true;
+      rpc->error = error;
+    }
+  }
+  cv_.notify_all();
 }
 
 SocketTransport::TimePoint SocketTransport::DeadlineFromNow() const {
@@ -141,43 +182,58 @@ SocketTransport::TimePoint SocketTransport::DeadlineFromNow() const {
          std::chrono::milliseconds(opts_.rpc_timeout_ms);
 }
 
-Status SocketTransport::WaitReadyLocked(short events, TimePoint deadline) {
-  for (;;) {
-    int timeout_ms = -1;
-    if (deadline != TimePoint::max()) {
-      const auto remain = std::chrono::duration_cast<std::chrono::milliseconds>(
-                              deadline - std::chrono::steady_clock::now())
-                              .count();
-      if (remain <= 0) {
-        deadline_misses_.fetch_add(1, std::memory_order_relaxed);
-        return Status::IOError("rpc deadline exceeded (" +
-                               std::to_string(opts_.rpc_timeout_ms) + "ms)");
-      }
-      timeout_ms = static_cast<int>(std::min<int64_t>(remain, INT32_MAX));
-    }
-    pollfd p{};
-    p.fd = fd_;
-    p.events = events;
-    const int r = poll(&p, 1, timeout_ms);
-    syscalls_.fetch_add(1, std::memory_order_relaxed);
-    // Readiness includes error/hangup revents: return OK and let the next
-    // send/recv surface the precise errno.
-    if (r > 0) return Status::OK();
-    if (r == 0) {
-      deadline_misses_.fetch_add(1, std::memory_order_relaxed);
-      return Status::IOError("rpc deadline exceeded (" +
-                             std::to_string(opts_.rpc_timeout_ms) + "ms)");
-    }
-    if (errno == EINTR) continue;
-    return Errno("poll");
-  }
+int SocketTransport::EffectiveMaxInflightLocked() const {
+  if (wire_version_ < 2) return 1;  // no correlation ids on the wire
+  return std::max(1, opts_.max_inflight);
 }
 
-Status SocketTransport::SendBytesLocked(Slice bytes, TimePoint deadline) {
+Status SocketTransport::PollUnlocked(MutexLock& lock, int fd, short events,
+                                     TimePoint deadline) {
+  int timeout_ms = -1;
+  if (deadline != TimePoint::max()) {
+    const auto remain = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - std::chrono::steady_clock::now())
+                            .count();
+    if (remain <= 0) return DeadlineError(opts_.rpc_timeout_ms);
+    timeout_ms = static_cast<int>(std::min<int64_t>(remain, INT32_MAX));
+  }
+  pollfd p{};
+  p.fd = fd;
+  p.events = events;
+  lock.Unlock();
+  const int r = poll(&p, 1, timeout_ms);
+  const int saved_errno = errno;
+  lock.Lock();
+  syscalls_.fetch_add(1, std::memory_order_relaxed);
+  // Readiness includes error/hangup revents: return OK and let the next
+  // send/recv surface the precise errno.
+  if (r > 0) return Status::OK();
+  if (r == 0) return DeadlineError(opts_.rpc_timeout_ms);
+  if (saved_errno == EINTR) return Status::OK();  // re-check, maybe re-poll
+  errno = saved_errno;
+  return Errno("poll");
+}
+
+void SocketTransport::SleepUnlocked(MutexLock& lock, uint64_t micros) {
+  if (micros == 0) return;
+  lock.Unlock();
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  lock.Lock();
+}
+
+Status SocketTransport::SendFrameLocked(MutexLock& lock,
+                                        const std::string& frame, size_t limit,
+                                        TimePoint deadline) {
+  const uint64_t epoch = conn_epoch_;
   size_t off = 0;
-  while (off < bytes.size()) {
-    const ssize_t n =
-        send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+  while (off < limit) {
+    // Whole-attempt deadline, re-checked every iteration: a peer that
+    // accepts one byte per call (no EAGAIN ever) must still time out.
+    if (deadline != TimePoint::max() &&
+        std::chrono::steady_clock::now() >= deadline) {
+      return DeadlineError(opts_.rpc_timeout_ms);
+    }
+    const ssize_t n = send(fd_, frame.data() + off, limit - off, MSG_NOSIGNAL);
     syscalls_.fetch_add(1, std::memory_order_relaxed);
     if (n > 0) {
       off += static_cast<size_t>(n);
@@ -185,22 +241,121 @@ Status SocketTransport::SendBytesLocked(Slice bytes, TimePoint deadline) {
                             std::memory_order_relaxed);
       continue;
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      Status ready = WaitReadyLocked(POLLOUT, deadline);
+    if (n == 0) {
+      // send() returning 0 on a stream socket is not progress and not
+      // EAGAIN; errno is stale here. Treating it as retriable would spin
+      // forever — classify as a wire failure (the caller tears down, and
+      // the torn/sent boundary decides executed-ness).
+      return Status::IOError("send returned 0 (connection unusable)");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      Status ready = PollUnlocked(lock, fd_, POLLOUT, deadline);
+      // The connection may have been torn down by another thread (a
+      // fault on its RPC, an explicit Close) while we polled unlocked.
+      if (conn_epoch_ != epoch) {
+        return Status::IOError("connection reset during send");
+      }
       if (!ready.ok()) return ready;
       continue;
     }
-    if (n < 0 && errno == EINTR) continue;
+    if (errno == EINTR) continue;
     return Errno("send");
   }
   return Status::OK();
 }
 
-Status SocketTransport::ReadResponseLocked(std::string* payload,
-                                           TimePoint deadline) {
+void SocketTransport::HandleDeadlineMissLocked(PendingRpc* self) {
+  deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+  const Status miss = DeadlineError(opts_.rpc_timeout_ms);
+  if (wire_version_ >= 2 && self->sent_fully && fd_ >= 0) {
+    // v2: the request is whole on the wire and the response stream is
+    // framed per correlation id — abandon just this id. The owner
+    // deregisters it on exit, so the late response is discarded on
+    // arrival; every other in-flight RPC keeps its healthy connection.
+    self->failed = true;
+    self->error = miss;
+    return;
+  }
+  // v1 (no ids: the next response on the stream would be misattributed)
+  // or a mid-send miss (torn frame): the stream cannot be resynced.
+  CloseAndFailAllLocked(miss);
+}
+
+void SocketTransport::ReadLoopLocked(MutexLock& lock, PendingRpc* self,
+                                     TimePoint deadline) {
+  const uint64_t epoch = conn_epoch_;
+  std::string payload;
+  for (;;) {
+    if (self->done || self->failed) return;
+    if (conn_epoch_ != epoch) return;  // torn down while we polled
+    // Dispatch every complete frame already buffered.
+    for (;;) {
+      auto next = decoder_.Next(&payload);
+      if (!next.ok()) {
+        CloseAndFailAllLocked(next.status());
+        return;
+      }
+      if (!*next) break;
+      Status app;
+      std::string body;
+      uint64_t corr = 0;
+      Status dec = DecodeResponse(payload, &app, &body, wire_version_, &corr);
+      if (!dec.ok()) {
+        // The response itself is garbage: the stream cannot be trusted.
+        CloseAndFailAllLocked(dec);
+        return;
+      }
+      auto it = pending_.find(corr);
+      if (it != pending_.end() && !it->second->done && !it->second->failed) {
+        it->second->app = std::move(app);
+        it->second->body = std::move(body);
+        it->second->done = true;
+      }
+      // else: a late response for an abandoned (deadline-missed)
+      // correlation id — discard; the stream stays in sync.
+      cv_.notify_all();
+      if (self->done || self->failed) return;
+    }
+    char buf[64 * 1024];
+    const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    syscalls_.fetch_add(1, std::memory_order_relaxed);
+    if (n > 0) {
+      decoder_.Append(buf, static_cast<size_t>(n));
+      bytes_received_.fetch_add(static_cast<uint64_t>(n),
+                                std::memory_order_relaxed);
+      continue;
+    }
+    if (n == 0) {
+      CloseAndFailAllLocked(
+          Status::IOError("server closed the connection mid-response"));
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      Status ready = PollUnlocked(lock, fd_, POLLIN, deadline);
+      if (conn_epoch_ != epoch) return;
+      if (!ready.ok()) {
+        if (IsDeadlineError(ready)) {
+          HandleDeadlineMissLocked(self);
+        } else {
+          CloseAndFailAllLocked(ready);
+        }
+        return;
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    CloseAndFailAllLocked(Errno("recv"));
+    return;
+  }
+}
+
+Status SocketTransport::ReadHandshakeResponseLocked(MutexLock& lock,
+                                                    std::string* payload,
+                                                    TimePoint deadline) {
+  const uint64_t epoch = conn_epoch_;
   for (;;) {
     auto next = decoder_.Next(payload);
-    if (!next.ok()) return next.status();  // corrupt stream: caller closes
+    if (!next.ok()) return next.status();
     if (*next) return Status::OK();
     char buf[64 * 1024];
     const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
@@ -215,7 +370,10 @@ Status SocketTransport::ReadResponseLocked(std::string* payload,
       return Status::IOError("server closed the connection mid-response");
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      Status ready = WaitReadyLocked(POLLIN, deadline);
+      Status ready = PollUnlocked(lock, fd_, POLLIN, deadline);
+      if (conn_epoch_ != epoch) {
+        return Status::IOError("connection reset during handshake");
+      }
       if (!ready.ok()) return ready;
       continue;
     }
@@ -224,89 +382,132 @@ Status SocketTransport::ReadResponseLocked(std::string* payload,
   }
 }
 
-Status SocketTransport::ExchangeLocked(const Request& req, TimePoint deadline,
-                                       Status* app, std::string* body,
-                                       bool* sent_fully) {
-  *sent_fully = false;
-  rpcs_.fetch_add(1, std::memory_order_relaxed);
-  FaultAction fault;
-  if (opts_.fault) fault = opts_.fault->Next();
+Status SocketTransport::HandshakeLocked(MutexLock& lock) {
+  // The Hello exchange is always v1-shaped: it happens before the
+  // version is known (net/wire.h). Exclusive access to the connection is
+  // guaranteed by connecting_, so no pending/corr machinery is involved.
+  wire_version_ = 1;
+  uint32_t advertise = kWireVersion;
+  for (int round = 0; round < 2; ++round) {
+    rpcs_.fetch_add(1, std::memory_order_relaxed);
+    FaultAction fault;
+    if (opts_.fault) fault = opts_.fault->Next();
+    const TimePoint deadline = DeadlineFromNow();
 
-  if (fault.kind == FaultKind::kResetBeforeSend) {
-    CloseLocked();
-    return Status::IOError("injected fault: connection reset before send");
-  }
-  if (fault.kind == FaultKind::kDelaySend) SleepMicros(fault.delay_micros);
+    if (fault.kind == FaultKind::kResetBeforeSend) {
+      CloseLocked();
+      return Status::IOError("injected fault: connection reset before send");
+    }
+    if (fault.kind == FaultKind::kDelaySend) {
+      SleepUnlocked(lock, fault.delay_micros);
+      if (fd_ < 0) return Status::IOError("connection reset during handshake");
+    }
 
-  std::string frame = EncodeFrame(EncodeRequest(req));
-  if (fault.kind == FaultKind::kCorruptFrame) {
-    // Flip a payload byte (never the length varint, which could leave the
-    // server waiting forever): the digest check rejects deterministically.
-    frame.back() = static_cast<char>(frame.back() ^ 0x01);
-  }
-  if (fault.kind == FaultKind::kShortWrite) {
-    // Half a frame can never execute — the length prefix promises bytes
-    // that will not come — so the send outcome genuinely does not matter.
-    (void)SendBytesLocked(Slice(frame.data(), frame.size() / 2), deadline);
-    CloseLocked();
-    return Status::IOError("injected fault: short write");
-  }
+    Request hello;
+    hello.type = MsgType::kHello;
+    hello.version = advertise;
+    std::string frame = EncodeFrame(EncodeRequest(hello, /*wire_version=*/1));
+    if (fault.kind == FaultKind::kCorruptFrame) {
+      frame.back() = static_cast<char>(frame.back() ^ 0x01);
+    }
+    if (fault.kind == FaultKind::kShortWrite) {
+      const size_t limit =
+          fault.short_write_offset == UINT64_MAX
+              ? frame.size() / 2
+              : std::min<size_t>(fault.short_write_offset, frame.size());
+      (void)SendFrameLocked(lock, frame, limit, deadline);
+      CloseLocked();
+      return Status::IOError("injected fault: short write");
+    }
 
-  Status sent = SendBytesLocked(frame, deadline);
-  if (!sent.ok()) {
-    // Nothing or a torn prefix left the socket; either way the server can
-    // never decode this request, so it is provably not executed.
-    CloseLocked();
-    return sent;
-  }
-  *sent_fully = true;
+    Status sent = SendFrameLocked(lock, frame, frame.size(), deadline);
+    if (!sent.ok()) {
+      if (IsDeadlineError(sent)) {
+        deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      }
+      CloseLocked();
+      return sent;
+    }
+    if (fault.kind == FaultKind::kResetAfterSend) {
+      CloseLocked();
+      return Status::IOError("injected fault: connection reset after send");
+    }
+    if (fault.kind == FaultKind::kDelayRecv) {
+      SleepUnlocked(lock, fault.delay_micros);
+      if (fd_ < 0) return Status::IOError("connection reset during handshake");
+    }
 
-  if (fault.kind == FaultKind::kResetAfterSend) {
-    CloseLocked();
-    return Status::IOError("injected fault: connection reset after send");
+    std::string payload;
+    Status read = ReadHandshakeResponseLocked(lock, &payload, deadline);
+    if (!read.ok()) {
+      if (IsDeadlineError(read)) {
+        deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      }
+      CloseLocked();
+      return read;
+    }
+    Status app;
+    std::string body;
+    Status decoded = DecodeResponse(payload, &app, &body, /*wire_version=*/1);
+    if (!decoded.ok()) {
+      CloseLocked();
+      return decoded;
+    }
+    if (!app.ok()) {
+      if (IsVersionMismatchReject(app) && advertise > kMinWireVersion) {
+        // A pre-negotiation server rejects any version but its own — and
+        // keeps the connection open after the typed reject. Downgrade to
+        // the floor and offer again (one more wire attempt).
+        advertise = kMinWireVersion;
+        continue;
+      }
+      CloseLocked();
+      return app;
+    }
+    // Negotiate: the response body carries the server's verdict as a
+    // varint — a negotiating server answers min(client, server); a
+    // pre-negotiation server echoes its own (single) version, which
+    // taking the min handles identically. An empty body is an ancient
+    // peer: treat as v1.
+    uint64_t server_version = 1;
+    if (!body.empty()) {
+      Slice in(body);
+      if (!GetVarint64(&in, &server_version) || !in.empty() ||
+          server_version == 0 || server_version > UINT32_MAX) {
+        CloseLocked();
+        return Status::Corruption("malformed hello response body");
+      }
+    }
+    wire_version_ = NegotiateWireVersion(
+        advertise, static_cast<uint32_t>(server_version));
+    if (wire_version_ < kMinWireVersion) {
+      CloseLocked();
+      return Status::InvalidArgument(
+          "wire version mismatch: negotiated v" +
+          std::to_string(wire_version_) + ", client floor v" +
+          std::to_string(kMinWireVersion));
+    }
+    return Status::OK();
   }
-  if (fault.kind == FaultKind::kDelayRecv) SleepMicros(fault.delay_micros);
-
-  std::string payload;
-  Status read = ReadResponseLocked(&payload, deadline);
-  if (!read.ok()) {
-    CloseLocked();
-    return read;
-  }
-  Status decoded = DecodeResponse(payload, app, body);
-  if (!decoded.ok()) {
-    // The response itself is garbage: the stream cannot be trusted again.
-    CloseLocked();
-    return decoded;
-  }
-  return Status::OK();
-}
-
-Status SocketTransport::HandshakeLocked() {
-  Request hello;
-  hello.type = MsgType::kHello;
-  hello.version = kWireVersion;
-  Status app;
-  std::string body;
-  bool sent_fully = false;
-  Status s = ExchangeLocked(hello, DeadlineFromNow(), &app, &body, &sent_fully);
-  if (!s.ok()) return s;
-  if (!app.ok()) {
-    CloseLocked();
-    return app;
-  }
-  return Status::OK();
-}
-
-Status SocketTransport::ReconnectLocked() {
   CloseLocked();
+  return Status::InvalidArgument("wire version negotiation failed");
+}
+
+Status SocketTransport::ReconnectLocked(MutexLock& lock) {
+  CloseLocked();
+  lock.Unlock();
   auto fd = DialOnce(host_, port_);
+  lock.Lock();
   if (!fd.ok()) return fd.status();
+  if (closed_) {  // raced an explicit Close while dialing unlocked
+    close(*fd);
+    return Status::IOError("transport closed");
+  }
   fd_ = *fd;
   // A fresh connection starts a fresh stream: stale half-frames from the
   // old one must never prefix the new one's responses.
   decoder_ = FrameDecoder(opts_.max_frame_bytes);
-  Status hs = HandshakeLocked();
+  Status hs = HandshakeLocked(lock);
   if (!hs.ok()) {
     CloseLocked();
     return hs;
@@ -315,56 +516,180 @@ Status SocketTransport::ReconnectLocked() {
   return Status::OK();
 }
 
-SocketTransport::AttemptResult SocketTransport::CallOnce(const Request& req) {
+SocketTransport::AttemptResult SocketTransport::CallOnce(Request* req) {
+  // One monotonic budget for the whole attempt: admission + reconnect +
+  // send + receive. Dribbling progress never resets it.
+  const TimePoint deadline = DeadlineFromNow();
   MutexLock lock(mu_);
   AttemptResult out;
-  if (closed_) {
-    out.permanent = true;
-    out.error = Status::IOError("transport closed");
-    return out;
-  }
-  if (fd_ < 0) {
-    if (!opts_.auto_reconnect) {
+
+  // --- admission: a live connection, a free slot, the sender token ----
+  for (;;) {
+    if (closed_) {
       out.permanent = true;
       out.error = Status::IOError("transport closed");
       return out;
     }
-    Status rc = ReconnectLocked();
-    if (!rc.ok()) {
-      out.error = std::move(rc);  // not executed: no connection to send on
+    if (fd_ < 0) {
+      if (!opts_.auto_reconnect) {
+        out.permanent = true;
+        out.error = Status::IOError("transport closed");
+        return out;
+      }
+      // Reconnect only once the dead connection's RPCs have drained —
+      // their owners wake immediately (CloseAndFailAll marked them) and
+      // deregister, so this is a brief window, not a stall.
+      if (!connecting_ && !sender_active_ && !reader_active_ &&
+          pending_.empty()) {
+        connecting_ = true;
+        Status rc = ReconnectLocked(lock);
+        connecting_ = false;
+        cv_.notify_all();
+        if (!rc.ok()) {
+          out.error = std::move(rc);  // not executed: nothing to send on
+          return out;
+        }
+        continue;  // re-evaluate admission on the fresh connection
+      }
+    } else if (!connecting_ && !sender_active_ &&
+               inflight_ < EffectiveMaxInflightLocked()) {
+      break;  // admitted
+    }
+    if (deadline == TimePoint::max()) {
+      cv_.wait(lock.native());
+    } else if (cv_.wait_until(lock.native(), deadline) ==
+               std::cv_status::timeout) {
+      // Timed out before sending a byte: a deadline miss, but provably
+      // not executed — the cheapest kind to retry.
+      deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      out.error = DeadlineError(opts_.rpc_timeout_ms);
       return out;
     }
   }
-  Status app;
-  std::string body;
-  bool sent_fully = false;
-  Status s = ExchangeLocked(req, DeadlineFromNow(), &app, &body, &sent_fully);
-  if (!s.ok()) {
-    out.kind = sent_fully ? AttemptResult::Kind::kAmbiguous
-                          : AttemptResult::Kind::kNotExecuted;
-    out.error = std::move(s);
+
+  // --- claim the slot, register the correlation id, send -------------
+  sender_active_ = true;
+  ++inflight_;
+  PendingRpc rpc;
+  rpc.corr = wire_version_ >= 2 ? next_corr_++ : 0;
+  req->corr_id = rpc.corr;
+  pending_[rpc.corr] = &rpc;
+  rpcs_.fetch_add(1, std::memory_order_relaxed);
+
+  FaultAction fault;
+  if (opts_.fault) fault = opts_.fault->Next();
+
+  if (fault.kind == FaultKind::kResetBeforeSend) {
+    CloseAndFailAllLocked(
+        Status::IOError("injected fault: connection reset before send"));
+  } else {
+    if (fault.kind == FaultKind::kDelaySend) {
+      SleepUnlocked(lock, fault.delay_micros);
+    }
+    if (!rpc.failed && fd_ >= 0) {
+      std::string frame = EncodeFrame(EncodeRequest(*req, wire_version_));
+      if (fault.kind == FaultKind::kCorruptFrame) {
+        // Flip a payload byte (never the length varint, which could
+        // leave the server waiting forever): the digest check rejects
+        // deterministically.
+        frame.back() = static_cast<char>(frame.back() ^ 0x01);
+      }
+      if (fault.kind == FaultKind::kShortWrite) {
+        // A torn frame can never execute — the length prefix promises
+        // bytes that will not come — so a mid-frame tear is provably not
+        // executed whatever the send outcome. The scripted offset pins
+        // the tear exactly; an offset at (or clamped to) the full frame
+        // size delivered everything and must classify as a lost ack, not
+        // a torn send.
+        const size_t limit =
+            fault.short_write_offset == UINT64_MAX
+                ? frame.size() / 2
+                : std::min<size_t>(fault.short_write_offset, frame.size());
+        const Status sent = SendFrameLocked(lock, frame, limit, deadline);
+        if (sent.ok() && limit == frame.size()) rpc.sent_fully = true;
+        CloseAndFailAllLocked(Status::IOError("injected fault: short write"));
+      } else {
+        Status sent = SendFrameLocked(lock, frame, frame.size(), deadline);
+        if (sent.ok()) {
+          rpc.sent_fully = true;
+          if (fault.kind == FaultKind::kResetAfterSend) {
+            CloseAndFailAllLocked(Status::IOError(
+                "injected fault: connection reset after send"));
+          }
+        } else if (!rpc.failed) {
+          // Nothing or a torn prefix left the socket; either way the
+          // server can never decode this request — not executed. The
+          // torn stream position is unrecoverable for everyone.
+          if (IsDeadlineError(sent)) {
+            deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+          }
+          CloseAndFailAllLocked(sent);
+        }
+      }
+    } else if (!rpc.failed) {
+      rpc.failed = true;
+      rpc.error = Status::IOError("connection reset during send");
+    }
+  }
+  sender_active_ = false;
+  cv_.notify_all();
+
+  if (rpc.sent_fully && fault.kind == FaultKind::kDelayRecv) {
+    SleepUnlocked(lock, fault.delay_micros);
+  }
+
+  // --- await the matching response -----------------------------------
+  while (!rpc.done && !rpc.failed) {
+    if (!reader_active_) {
+      reader_active_ = true;
+      ReadLoopLocked(lock, &rpc, deadline);
+      reader_active_ = false;
+      cv_.notify_all();
+      continue;
+    }
+    if (deadline == TimePoint::max()) {
+      cv_.wait(lock.native());
+    } else if (cv_.wait_until(lock.native(), deadline) ==
+               std::cv_status::timeout) {
+      HandleDeadlineMissLocked(&rpc);
+      break;
+    }
+  }
+
+  // --- deregister and classify ---------------------------------------
+  pending_.erase(rpc.corr);
+  --inflight_;
+  cv_.notify_all();
+
+  if (rpc.failed) {
+    out.kind = rpc.sent_fully ? AttemptResult::Kind::kAmbiguous
+                              : AttemptResult::Kind::kNotExecuted;
+    out.error = std::move(rpc.error);
     return out;
   }
-  if (IsBadFrameReject(app)) {
+  if (IsBadFrameReject(rpc.app)) {
     // The server rejected the frame without executing it and is about to
     // drop the connection; beat it to the close so the next attempt
-    // starts on a fresh dial.
-    CloseLocked();
+    // starts on a fresh dial. (Everything else in flight fails with it —
+    // a garbled stream has no per-id blast radius.)
+    CloseAndFailAllLocked(
+        Status::IOError("connection dropped after server frame reject"));
     out.kind = AttemptResult::Kind::kNotExecuted;
-    out.error = std::move(app);
+    out.error = std::move(rpc.app);
     return out;
   }
-  if (app.IsResourceExhausted()) {
+  if (rpc.app.IsResourceExhausted()) {
     // Overload shed: the server refused before executing and closes the
     // connection after the reject. Back off and re-dial.
-    CloseLocked();
+    CloseAndFailAllLocked(
+        Status::IOError("connection dropped after overload reject"));
     out.kind = AttemptResult::Kind::kNotExecuted;
-    out.error = std::move(app);
+    out.error = std::move(rpc.app);
     return out;
   }
   out.kind = AttemptResult::Kind::kResponded;
-  out.app = std::move(app);
-  out.body = std::move(body);
+  out.app = std::move(rpc.app);
+  out.body = std::move(rpc.body);
   return out;
 }
 
@@ -385,7 +710,7 @@ void SocketTransport::BackoffSleep(int attempt) {
   std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
 }
 
-Result<std::string> SocketTransport::CallIdempotent(const Request& req) {
+Result<std::string> SocketTransport::CallIdempotent(Request* req) {
   const int max_attempts = std::max(1, opts_.retry.max_attempts);
   Status last = Status::IOError("no wire attempt made");
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
@@ -414,7 +739,7 @@ Result<std::shared_ptr<const std::string>> SocketTransport::Get(
   Request req;
   req.type = MsgType::kGet;
   req.hash = h;
-  auto body = CallIdempotent(req);
+  auto body = CallIdempotent(&req);
   if (!body.ok()) return body.status();
   return std::make_shared<const std::string>(std::move(*body));
 }
@@ -423,7 +748,7 @@ Result<bool> SocketTransport::Contains(const Hash& h) {
   Request req;
   req.type = MsgType::kContains;
   req.hash = h;
-  auto body = CallIdempotent(req);
+  auto body = CallIdempotent(&req);
   if (!body.ok()) return body.status();
   if (body->size() != 1) return Status::Corruption("contains body");
   return (*body)[0] != 0;
@@ -433,7 +758,7 @@ Result<uint64_t> SocketTransport::SizeOf(const Hash& h) {
   Request req;
   req.type = MsgType::kSizeOf;
   req.hash = h;
-  auto body = CallIdempotent(req);
+  auto body = CallIdempotent(&req);
   if (!body.ok()) return body.status();
   Slice in(*body);
   uint64_t size = 0;
@@ -447,7 +772,7 @@ Result<Hash> SocketTransport::Put(Slice bytes) {
   Request req;
   req.type = MsgType::kPut;
   req.bytes.assign(bytes.data(), bytes.size());
-  auto body = CallIdempotent(req);
+  auto body = CallIdempotent(&req);
   if (!body.ok()) return body.status();
   Slice in(*body);
   Hash h;
@@ -460,19 +785,19 @@ Status SocketTransport::PutMany(const NodeBatch& batch) {
   Request req;
   req.type = MsgType::kPutMany;
   req.batch = batch;  // shares the node byte buffers, no copy
-  return CallIdempotent(req).status();
+  return CallIdempotent(&req).status();
 }
 
 Status SocketTransport::Flush() {
   Request req;
   req.type = MsgType::kFlush;
-  return CallIdempotent(req).status();
+  return CallIdempotent(&req).status();
 }
 
 Result<NodeStore::Stats> SocketTransport::StoreStats() {
   Request req;
   req.type = MsgType::kStoreStats;
-  auto body = CallIdempotent(req);
+  auto body = CallIdempotent(&req);
   if (!body.ok()) return body.status();
   NodeStore::Stats s;
   Status decoded = DecodeStoreStatsBody(*body, &s);
@@ -483,14 +808,14 @@ Result<NodeStore::Stats> SocketTransport::StoreStats() {
 Status SocketTransport::ResetServerOpCounters() {
   Request req;
   req.type = MsgType::kResetCounters;
-  return CallIdempotent(req).status();
+  return CallIdempotent(&req).status();
 }
 
 Result<Hash> SocketTransport::Head(const std::string& branch) {
   Request req;
   req.type = MsgType::kHead;
   req.branch = branch;
-  auto body = CallIdempotent(req);
+  auto body = CallIdempotent(&req);
   if (!body.ok()) return body.status();
   Slice in(*body);
   Hash h;
@@ -498,6 +823,32 @@ Result<Hash> SocketTransport::Head(const std::string& branch) {
     return Status::Corruption("head body");
   }
   return h;
+}
+
+void SocketTransport::DeliverPush(const NodeBatch& pushed) {
+  if (pushed.empty()) return;
+  // The socket is a trust boundary: re-digest every pushed record and
+  // drop mismatches — a corrupt (or malicious) server must not be able
+  // to poison the client's content-addressed cache.
+  NodeBatch verified;
+  verified.reserve(pushed.size());
+  uint64_t bytes = 0;
+  for (const NodeRecord& rec : pushed) {
+    if (rec.bytes == nullptr) continue;
+    if (Sha256::Digest(*rec.bytes) != rec.hash) continue;
+    bytes += rec.bytes->size();
+    verified.push_back(rec);
+  }
+  if (verified.empty()) return;
+  PushSink sink;
+  {
+    MutexLock lock(sink_mu_);
+    sink = push_sink_;
+  }
+  if (!sink) return;
+  sink(verified);
+  pushed_nodes_.fetch_add(verified.size(), std::memory_order_relaxed);
+  pushed_bytes_.fetch_add(bytes, std::memory_order_relaxed);
 }
 
 Result<std::optional<PublishResult>> SocketTransport::CheckPublishApplied(
@@ -515,7 +866,7 @@ Result<std::optional<PublishResult>> SocketTransport::CheckPublishApplied(
     Request preq;
     preq.type = MsgType::kGet;
     preq.hash = *pub.expected_head;
-    auto parent_bytes = CallIdempotent(preq);
+    auto parent_bytes = CallIdempotent(&preq);
     if (!parent_bytes.ok()) return parent_bytes.status();
     auto parent = Commit::Decode(*parent_bytes);
     if (!parent.ok()) return parent.status();
@@ -526,7 +877,7 @@ Result<std::optional<PublishResult>> SocketTransport::CheckPublishApplied(
   Request hreq;
   hreq.type = MsgType::kHead;
   hreq.branch = pub.branch;
-  auto head_body = CallIdempotent(hreq);
+  auto head_body = CallIdempotent(&hreq);
   if (!head_body.ok()) {
     if (head_body.status().IsNotFound()) {
       // No branch, no commit: a creation publish did not land and a
@@ -570,7 +921,7 @@ Result<std::optional<PublishResult>> SocketTransport::CheckPublishApplied(
     Request creq;
     creq.type = MsgType::kGet;
     creq.hash = h;
-    auto bytes = CallIdempotent(creq);
+    auto bytes = CallIdempotent(&creq);
     if (!bytes.ok()) return bytes.status();
     auto c = Commit::Decode(*bytes);
     if (!c.ok()) return c.status();
@@ -592,6 +943,9 @@ Result<PublishResult> SocketTransport::Publish(const PublishRequest& pub) {
   req.author = pub.author;
   req.message = pub.message;
   req.expected_head = pub.expected_head;
+  // Cache push is v2-only on the wire; setting the flag on a v1
+  // connection is harmless (it is simply not encoded), so no lock here.
+  req.want_push = opts_.cache_push;
 
   const int max_attempts = std::max(1, opts_.retry.max_attempts);
   Status last = Status::IOError("no wire attempt made");
@@ -600,12 +954,14 @@ Result<PublishResult> SocketTransport::Publish(const PublishRequest& pub) {
       retries_.fetch_add(1, std::memory_order_relaxed);
       BackoffSleep(attempt);
     }
-    AttemptResult r = CallOnce(req);
+    AttemptResult r = CallOnce(&req);
     if (r.kind == AttemptResult::Kind::kResponded) {
       if (!r.app.ok()) return r.app;
       WirePublishResult wire;
-      Status decoded = DecodePublishResultBody(r.body, &wire);
+      Status decoded =
+          DecodePublishResultBody(r.body, &wire, negotiated_wire_version());
       if (!decoded.ok()) return decoded;
+      DeliverPush(wire.pushed);
       PublishResult out;
       out.head = wire.head;
       out.commit = wire.commit;
@@ -642,7 +998,7 @@ Result<BranchStats> SocketTransport::GetBranchStats(const std::string& branch) {
   Request req;
   req.type = MsgType::kBranchStats;
   req.branch = branch;
-  auto body = CallIdempotent(req);
+  auto body = CallIdempotent(&req);
   if (!body.ok()) return body.status();
   BranchStats s;
   Status decoded = DecodeBranchStatsBody(*body, &s);
@@ -653,7 +1009,7 @@ Result<BranchStats> SocketTransport::GetBranchStats(const std::string& branch) {
 Result<std::vector<std::string>> SocketTransport::ListBranches() {
   Request req;
   req.type = MsgType::kListBranches;
-  auto body = CallIdempotent(req);
+  auto body = CallIdempotent(&req);
   if (!body.ok()) return body.status();
   std::vector<std::string> branches;
   Status decoded = DecodeStringListBody(*body, &branches);
@@ -670,6 +1026,8 @@ Transport::Stats SocketTransport::stats() const {
   out.retries = retries_.load(std::memory_order_relaxed);
   out.reconnects = reconnects_.load(std::memory_order_relaxed);
   out.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
+  out.pushed_nodes = pushed_nodes_.load(std::memory_order_relaxed);
+  out.pushed_bytes = pushed_bytes_.load(std::memory_order_relaxed);
   return out;
 }
 

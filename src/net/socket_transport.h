@@ -1,50 +1,80 @@
 // Copyright (c) 2026 The siri Authors. MIT license.
 //
 // SocketTransport — the Transport implementation that talks to a
-// siri-server process over TCP. Synchronous RPC: one framed request, one
-// framed response, serialized by an internal mutex (the protocol allows
-// one outstanding request per connection; a client wanting parallel RPCs
-// opens parallel transports, exactly like opening more connections).
+// siri-server process over TCP.
+//
+// Pipelining. Under wire v2 (negotiated at Hello — a v1 peer on either
+// side degrades the connection to the legacy one-outstanding protocol)
+// the transport keeps up to Options::max_inflight RPCs outstanding on the
+// one connection. Each wire attempt carries a fresh correlation id;
+// responses are matched by id, so caller threads' RPCs overlap on the
+// wire instead of queuing behind each other's round trips. Internally:
+// one *sender* at a time owns the write side (frames never interleave),
+// and whichever waiting thread finds the read side free becomes the
+// *reader*, dispatching every decoded response to its waiter by id until
+// its own arrives, then handing the role to another waiter.
 //
 // Where InProcessTransport *simulates* its round trip, this transport
-// *measures* it: stats() reports real serialized bytes and real send/recv
-// syscall counts, which is what the socket benches report next to the
-// slept-RTT numbers.
+// *measures* it: stats() reports real serialized bytes and real
+// send/recv/poll syscall counts, which is what the socket benches report
+// next to the slept-RTT numbers.
 //
-// Resilience. Every RPC runs under a poll-based deadline
-// (Options::rpc_timeout_ms) and, when the wire fails, a capped-exponential
-// RetryPolicy with automatic reconnect + fresh Hello handshake. The retry
-// layer classifies each failed wire attempt before replaying:
+// Deadlines. Options::rpc_timeout_ms is a monotonic budget for one whole
+// wire attempt — admission wait + (re)connect + send + receive all draw
+// from the same deadline, so a server that dribbles one byte per poll
+// interval still times out on schedule. Retry backoff sleeps between
+// attempts are NOT counted against it: each attempt starts a fresh
+// budget. A v2 attempt that misses its deadline after its frame was
+// fully sent abandons just its own correlation id (the connection — and
+// every other in-flight RPC on it — stays healthy; the late response is
+// discarded on arrival); a v1 miss, or a miss mid-send, must close the
+// connection, because an un-abandoned stream position cannot be resynced.
+//
+// Resilience. When the wire fails, a capped-exponential RetryPolicy with
+// automatic reconnect + fresh Hello handshake replays the RPC. The retry
+// layer classifies each failed wire attempt *per correlation id* before
+// replaying:
 //
 //   not executed — nothing sent, a torn frame (the length prefix makes the
 //     server wait for bytes that never come), a server frame-reject
 //     ("bad frame: ...", see net/wire.h), or a ResourceExhausted overload
 //     reject. Safe to replay any request, including Publish.
 //   ambiguous — the full frame left the socket but no clean response came
-//     back (lost ack). Safe to replay only the idempotent surface
-//     (Get/Contains/SizeOf/Put/PutMany/Flush are content-addressed: a
-//     replay re-stores identical bytes under identical digests). Publish
-//     is NOT blindly replayed: a replay after an applied-but-unacked
-//     publish would land a second, degenerate merge commit. Instead the
-//     transport *resolves* the ambiguity by head inspection — it computes
-//     the content-commit digest the server would have written and walks
-//     the branch DAG (sequence-pruned, bounded) to prove the publish
-//     either applied (return success with that commit) or did not (replay
-//     is then safe).
+//     back (lost ack — including a connection torn by ANOTHER RPC's fault
+//     while ours was awaiting its response). Safe to replay only the
+//     idempotent surface (Get/Contains/SizeOf/Put/PutMany/Flush are
+//     content-addressed: a replay re-stores identical bytes under
+//     identical digests). Publish is NOT blindly replayed: the transport
+//     resolves the ambiguity by head inspection — it computes the
+//     content-commit digest the server would have written and walks the
+//     branch DAG (sequence-pruned, bounded) to prove the publish either
+//     applied (return success with that commit) or did not (replay is
+//     then safe).
 //
 // When the policy is exhausted without an answer the RPC fails with a
 // typed Status::Unavailable — "the op may not have run" — never with a
 // silently wrong success. Faults can be injected deterministically via
 // Options::fault (net/fault.h); every wire exchange, handshakes included,
 // consumes one injector index.
+//
+// Cache push. With Options::cache_push set (and v2 negotiated), Publish
+// requests ask the server to attach the publish's staged batch — merged
+// index pages and commit objects, exactly the nodes a losing committer
+// re-reads next round — to the ack. Pushed nodes are re-digested
+// client-side (the socket is a trust boundary; a mismatched record is
+// dropped, never cached) and handed to the sink installed with
+// SetPushSink (ForkbaseClientStore write-allocates them into NodeCache).
 
 #ifndef SIRI_NET_SOCKET_TRANSPORT_H_
 #define SIRI_NET_SOCKET_TRANSPORT_H_
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/mutex.h"
@@ -74,14 +104,24 @@ class SocketTransport : public Transport {
     /// Total time to keep retrying the initial connect, for clients that
     /// race a server still binding (0 = single attempt).
     int connect_retry_ms = 2000;
-    /// Per-RPC deadline covering one wire attempt (send + receive). An
-    /// attempt that misses it is abandoned (counted in
-    /// stats().deadline_misses) and retried under the policy. 0 = none.
+    /// Whole-attempt deadline: a monotonic budget covering one wire
+    /// attempt end to end — admission wait, any reconnect, send, and
+    /// receive. An attempt that misses it is abandoned (counted in
+    /// stats().deadline_misses) and retried under the policy; backoff
+    /// sleeps between attempts start a fresh budget. 0 = none.
     int rpc_timeout_ms = 30000;
     /// Re-dial + fresh handshake when the connection is lost mid-policy.
     /// Off = any wire failure surfaces immediately (legacy behavior); an
     /// explicit Close() always sticks regardless.
     bool auto_reconnect = true;
+    /// RPCs outstanding on the connection at once (request pipelining).
+    /// Effective only once the Hello negotiates wire v2; a v1 peer keeps
+    /// the one-outstanding protocol regardless. Clamped to >= 1.
+    int max_inflight = 8;
+    /// Ask the server to attach combined-publish staged batches to
+    /// Publish acks (combiner-aware cache push, wire v2 only). Off by
+    /// default so baseline bench rows stay reproducible.
+    bool cache_push = false;
     RetryPolicy retry;
     /// Optional deterministic saboteur for chaos tests and the chaos
     /// bench; every wire exchange consumes one injector index.
@@ -89,10 +129,12 @@ class SocketTransport : public Transport {
   };
 
   /// Connects to 127.0.0.1:\p port (or \p host) and runs the Hello
-  /// version handshake; a version-skewed or non-siri server fails here,
-  /// not on the first real RPC. Transient handshake failures (IO,
-  /// overload) are retried under the policy; typed application rejects
-  /// (version skew) fail fast.
+  /// version handshake (negotiating the wire version — see
+  /// net/wire.h); a non-siri server fails here, not on the first real
+  /// RPC. Transient handshake failures (IO, overload) are retried under
+  /// the policy; typed application rejects fail fast, except the
+  /// version-mismatch reject of a pre-negotiation server, which triggers
+  /// one downgrade retry at kMinWireVersion.
   [[nodiscard]] static Status Connect(const std::string& host, int port,
                                       std::shared_ptr<SocketTransport>* out,
                                       Options opts);
@@ -122,6 +164,14 @@ class SocketTransport : public Transport {
 
   Stats stats() const override;
 
+  /// Installs the consumer of publish-ack cache pushes (pass an empty
+  /// function to uninstall). Pushed records reach the sink already
+  /// digest-verified.
+  void SetPushSink(PushSink sink) override;
+
+  /// The wire version the last Hello negotiated (1 until connected).
+  uint32_t negotiated_wire_version() const EXCLUDES(mu_);
+
   /// Closes the connection permanently; every later RPC fails with
   /// IOError (no reconnect — an explicit Close is an instruction, not a
   /// fault). Safe to call concurrently with RPCs.
@@ -129,6 +179,19 @@ class SocketTransport : public Transport {
 
  private:
   using TimePoint = std::chrono::steady_clock::time_point;
+
+  /// One RPC attempt in flight on the connection, owned by the calling
+  /// thread's stack and registered in pending_ under its correlation id
+  /// until the owner deregisters it.
+  struct PendingRpc {
+    uint64_t corr = 0;
+    bool sent_fully = false;  ///< the ambiguity boundary for this id
+    bool done = false;        ///< response arrived (app/body valid)
+    bool failed = false;      ///< transport-level failure (error valid)
+    Status app;
+    std::string body;
+    Status error;
+  };
 
   /// One failed-or-succeeded wire attempt, classified for the retry layer.
   struct AttemptResult {
@@ -148,38 +211,72 @@ class SocketTransport : public Transport {
   SocketTransport(std::string host, int port, int fd, Options opts);
 
   TimePoint DeadlineFromNow() const;
+  int EffectiveMaxInflightLocked() const REQUIRES(mu_);
 
-  /// One wire exchange on the current connection: consult the fault
-  /// injector, frame + send \p req, read + decode one response. On any
-  /// non-OK return the connection has been closed. \p *sent_fully is the
-  /// ambiguity boundary: true iff the whole request frame left the socket
-  /// (so the server may have executed it).
-  [[nodiscard]] Status ExchangeLocked(const Request& req, TimePoint deadline,
-                                      Status* app, std::string* body,
-                                      bool* sent_fully) REQUIRES(mu_);
-  [[nodiscard]] Status SendBytesLocked(Slice bytes, TimePoint deadline)
-      REQUIRES(mu_);
-  [[nodiscard]] Status ReadResponseLocked(std::string* payload,
-                                          TimePoint deadline) REQUIRES(mu_);
-  /// Blocks until \p fd_ is ready for \p events or the deadline passes.
-  [[nodiscard]] Status WaitReadyLocked(short events, TimePoint deadline)
-      REQUIRES(mu_);
-
-  /// Hello on a freshly dialed fd_ (shares the fault/deadline machinery).
-  [[nodiscard]] Status HandshakeLocked() REQUIRES(mu_);
-  /// Re-dial + handshake; bumps stats().reconnects on success.
-  [[nodiscard]] Status ReconnectLocked() REQUIRES(mu_);
+  /// Fails every in-flight RPC with \p error, closes the fd, resets the
+  /// decoder, and bumps the connection epoch. Each waiter classifies its
+  /// own failure by its own sent_fully flag.
+  void CloseAndFailAllLocked(const Status& error) REQUIRES(mu_);
   void CloseLocked() REQUIRES(mu_);
 
-  /// One classified attempt: connect if needed, exchange, classify.
-  AttemptResult CallOnce(const Request& req) EXCLUDES(mu_);
+  // The helpers below temporarily release mu_ around blocking syscalls
+  // (poll) and sleeps — the scoped-capability analysis cannot express a
+  // mid-scope release performed by a callee, so they opt out and document
+  // the contract: called with mu_ held, returns with mu_ held, and every
+  // reacquisition re-validates the connection epoch.
+
+  /// Blocks until \p fd is ready for \p events or \p deadline passes,
+  /// with mu_ (held via \p lock) released for the duration of the poll.
+  Status PollUnlocked(MutexLock& lock, int fd, short events,
+                      TimePoint deadline) NO_THREAD_SAFETY_ANALYSIS;
+  /// Releases mu_ for a fault-injected delay.
+  void SleepUnlocked(MutexLock& lock, uint64_t micros)
+      NO_THREAD_SAFETY_ANALYSIS;
+  /// Sends frame[0, limit) on the current connection; the caller must be
+  /// the active sender. Checks the whole-attempt deadline every
+  /// iteration (dribble-proof) and re-validates the epoch after every
+  /// poll. Does NOT close on failure — the caller decides.
+  Status SendFrameLocked(MutexLock& lock, const std::string& frame,
+                         size_t limit, TimePoint deadline)
+      NO_THREAD_SAFETY_ANALYSIS;
+  /// The reader role: decode + dispatch responses by correlation id until
+  /// \p self is done/failed or the wire breaks. Caller set reader_active_.
+  void ReadLoopLocked(MutexLock& lock, PendingRpc* self, TimePoint deadline)
+      NO_THREAD_SAFETY_ANALYSIS;
+  /// Reads exactly one response payload during the pre-pipelining
+  /// handshake (exclusive connection access via connecting_).
+  Status ReadHandshakeResponseLocked(MutexLock& lock, std::string* payload,
+                                     TimePoint deadline)
+      NO_THREAD_SAFETY_ANALYSIS;
+
+  /// A deadline miss for \p self: under v2 with the frame fully sent the
+  /// single correlation id is abandoned (connection stays up, late
+  /// response discarded); otherwise the stream position is lost and the
+  /// connection closes, failing everything in flight.
+  void HandleDeadlineMissLocked(PendingRpc* self) REQUIRES(mu_);
+
+  /// Hello on a freshly dialed fd_ + version negotiation (shares the
+  /// fault/deadline machinery; one injector index per hello attempt).
+  Status HandshakeLocked(MutexLock& lock) REQUIRES(mu_);
+  /// Re-dial + handshake; bumps stats().reconnects on success. Caller
+  /// must have set connecting_.
+  Status ReconnectLocked(MutexLock& lock) REQUIRES(mu_);
+
+  /// One classified attempt: admission (slot + sender token), connect if
+  /// needed, send, await the matching response. \p req->corr_id is
+  /// assigned here.
+  AttemptResult CallOnce(Request* req) EXCLUDES(mu_);
 
   /// Full retry loop for the idempotent surface: replays on both
   /// not-executed and ambiguous failures, Unavailable after exhaustion.
-  Result<std::string> CallIdempotent(const Request& req) EXCLUDES(mu_);
+  Result<std::string> CallIdempotent(Request* req) EXCLUDES(mu_);
 
   /// Sleeps the jittered backoff before wire attempt \p attempt (>= 1).
   void BackoffSleep(int attempt) EXCLUDES(mu_);
+
+  /// Digest-verifies \p pushed (dropping mismatches) and hands the
+  /// surviving records to the push sink; counts stats().pushed_*.
+  void DeliverPush(const NodeBatch& pushed) EXCLUDES(mu_);
 
   /// Resolves an ambiguous publish by head inspection. ok(value) = the
   /// publish applied (value is the result to return); ok(nullopt) = it
@@ -193,10 +290,24 @@ class SocketTransport : public Transport {
   const int port_;
 
   mutable Mutex mu_;
+  std::condition_variable cv_;  ///< any channel state change
   int fd_ GUARDED_BY(mu_);
   bool closed_ GUARDED_BY(mu_) = false;  ///< explicit Close(): no reconnect
   FrameDecoder decoder_ GUARDED_BY(mu_);
   Rng jitter_rng_ GUARDED_BY(mu_);
+  uint32_t wire_version_ GUARDED_BY(mu_) = 1;  ///< negotiated at Hello
+  /// Bumped on every close; stale-epoch observers know their attempt was
+  /// failed for them while they slept.
+  uint64_t conn_epoch_ GUARDED_BY(mu_) = 0;
+  uint64_t next_corr_ GUARDED_BY(mu_) = 1;
+  bool sender_active_ GUARDED_BY(mu_) = false;
+  bool reader_active_ GUARDED_BY(mu_) = false;
+  bool connecting_ GUARDED_BY(mu_) = false;
+  int inflight_ GUARDED_BY(mu_) = 0;
+  std::unordered_map<uint64_t, PendingRpc*> pending_ GUARDED_BY(mu_);
+
+  mutable Mutex sink_mu_;
+  PushSink push_sink_ GUARDED_BY(sink_mu_);
 
   std::atomic<uint64_t> rpcs_{0};
   std::atomic<uint64_t> bytes_sent_{0};
@@ -205,6 +316,8 @@ class SocketTransport : public Transport {
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> reconnects_{0};
   std::atomic<uint64_t> deadline_misses_{0};
+  std::atomic<uint64_t> pushed_nodes_{0};
+  std::atomic<uint64_t> pushed_bytes_{0};
 };
 
 }  // namespace net

@@ -25,6 +25,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -86,7 +87,18 @@ class Transport {
     uint64_t retries = 0;          ///< wire attempts beyond the first, per RPC
     uint64_t reconnects = 0;       ///< re-dial + fresh handshake cycles
     uint64_t deadline_misses = 0;  ///< attempts abandoned at the RPC deadline
+    // Combiner-aware cache push (socket transports, wire v2, opt-in):
+    // nodes a Publish ack carried back and the push sink accepted — each
+    // one a Get round trip a losing committer no longer pays.
+    uint64_t pushed_nodes = 0;
+    uint64_t pushed_bytes = 0;
   };
+
+  /// Consumer of publish-ack cache pushes: receives digest-verified node
+  /// batches the server attached to Publish responses. Transports without
+  /// a push path (in-process: the cache already shares the address space)
+  /// ignore the sink.
+  using PushSink = std::function<void(const NodeBatch&)>;
 
   virtual ~Transport() = default;
 
@@ -108,6 +120,11 @@ class Transport {
   virtual Result<std::vector<std::string>> ListBranches() = 0;
 
   virtual Stats stats() const = 0;
+
+  /// Installs (or, with an empty function, uninstalls) the cache-push
+  /// sink. Default: no-op — only transports with a real wire have
+  /// something to push.
+  virtual void SetPushSink(PushSink sink) { (void)sink; }
 };
 
 /// \brief Transport over a servlet in this address space.

@@ -17,7 +17,22 @@
 // Payload = `u8 message-type | type-specific body`, built from the same
 // varint / length-prefixed primitives as the node codecs. Responses carry
 // a status code + message first, then a body the requester interprets by
-// the type of the call it made (one outstanding request per connection).
+// the type of the call it made.
+//
+// Pipelining (wire v2). A v1 connection allows one outstanding request.
+// Under v2 — negotiated at Hello, see below — every non-Hello request
+// carries a varint correlation id right after the type byte, and every
+// non-Hello response echoes it, so a client may keep several requests in
+// flight on one connection and match responses out of band (the server
+// answers in order; the ids make abandoning one RPC, e.g. on a deadline
+// miss, safe without desynchronizing the stream). The Hello exchange
+// itself is always v1-shaped: it happens before the version is known.
+//
+// Version negotiation. The client's Hello carries the highest version it
+// speaks; the server answers with min(client, server) in the response
+// body and both sides speak that version from the next frame on. A v1
+// peer on either side therefore degrades the connection to the v1
+// one-outstanding, no-correlation-id, no-cache-push wire format.
 
 #ifndef SIRI_NET_WIRE_H_
 #define SIRI_NET_WIRE_H_
@@ -37,9 +52,16 @@
 namespace siri {
 namespace net {
 
-/// Bumped on incompatible protocol changes; exchanged in the Hello
-/// handshake so a version-skewed client fails fast with a typed error.
-constexpr uint32_t kWireVersion = 1;
+/// Highest protocol version this build speaks; the Hello handshake
+/// negotiates min(client, server) so skewed peers interoperate at the
+/// older version instead of failing. v1 = one-outstanding-RPC frames;
+/// v2 adds per-frame correlation ids (request pipelining) and the
+/// combiner-aware cache push on Publish acks.
+constexpr uint32_t kWireVersion = 2;
+
+/// Oldest version still served. A Hello below this fails with a typed
+/// InvalidArgument instead of negotiating.
+constexpr uint32_t kMinWireVersion = 1;
 
 /// Frames larger than this are rejected as corrupt before any allocation:
 /// an honest PutMany of a staged commit is a few MB, so a length beyond
@@ -67,6 +89,9 @@ enum class MsgType : uint8_t {
 struct Request {
   MsgType type = MsgType::kHello;
   uint32_t version = kWireVersion;       ///< kHello
+  /// Pipelining correlation id (v2, every type but kHello): echoed on the
+  /// response so a client with several RPCs in flight matches them up.
+  uint64_t corr_id = 0;
   Hash hash;                             ///< kGet / kContains / kSizeOf
   std::string bytes;                     ///< kPut node payload
   NodeBatch batch;                       ///< kPutMany
@@ -76,26 +101,49 @@ struct Request {
   std::string author;                    ///< kPublish
   std::string message;                   ///< kPublish
   std::optional<Hash> expected_head;     ///< kPublish
+  /// kPublish, v2: client asks the server to attach the publish's staged
+  /// batch to the ack (combiner-aware cache push). Ignored under v1.
+  bool want_push = false;                ///< kPublish (v2)
 };
 
-/// Serializes \p req into a frame payload (not yet framed).
-std::string EncodeRequest(const Request& req);
+/// Serializes \p req into a frame payload (not yet framed), in the
+/// \p wire_version dialect the connection negotiated. kHello is encoded
+/// identically under every version (it precedes negotiation).
+std::string EncodeRequest(const Request& req,
+                          uint32_t wire_version = kWireVersion);
 
-/// Parses a frame payload into \p out. Corruption on anything that does
-/// not decode exactly (unknown type, short body, trailing garbage) — the
-/// connection that produced it must be dropped.
-[[nodiscard]] Status DecodeRequest(Slice payload, Request* out);
+/// Parses a frame payload into \p out, expecting the \p wire_version
+/// dialect. Corruption on anything that does not decode exactly (unknown
+/// type, short body, trailing garbage) — the connection that produced it
+/// must be dropped.
+[[nodiscard]] Status DecodeRequest(Slice payload, Request* out,
+                                   uint32_t wire_version = kWireVersion);
 
 /// Serializes a response payload: \p app is the application-level outcome
 /// (shipped as code + message), \p body the type-specific result bytes
-/// (empty on error).
-std::string EncodeResponse(const Status& app, Slice body);
+/// (empty on error). Under v2 the response opens with \p corr_id, echoed
+/// from the request; pass wire_version = 1 (e.g. for Hello responses,
+/// which precede negotiation) for the id-less v1 shape.
+std::string EncodeResponse(const Status& app, Slice body,
+                           uint32_t wire_version = kWireVersion,
+                           uint64_t corr_id = 0);
 
 /// Parses a response payload. The returned Status is the *protocol*
 /// outcome (Corruption = drop the connection); \p app receives the
-/// application-level status, \p body the result bytes.
+/// application-level status, \p body the result bytes, \p corr_id the
+/// echoed correlation id (0 under v1).
 [[nodiscard]] Status DecodeResponse(Slice payload, Status* app,
-                                    std::string* body);
+                                    std::string* body,
+                                    uint32_t wire_version = kWireVersion,
+                                    uint64_t* corr_id = nullptr);
+
+/// Negotiated version for a Hello advertising \p client_version against a
+/// server speaking up to \p server_version: min of the two. The caller
+/// rejects results below kMinWireVersion.
+constexpr uint32_t NegotiateWireVersion(uint32_t client_version,
+                                        uint32_t server_version) {
+  return client_version < server_version ? client_version : server_version;
+}
 
 /// Rebuilds a Status from a wire code + message (unknown codes map to
 /// IOError so a skewed peer cannot smuggle an OK).
@@ -119,16 +167,24 @@ bool IsBadFrameReject(const Status& s);
 void PutHash(std::string* dst, const Hash& h);
 [[nodiscard]] bool GetHash(Slice* in, Hash* h);
 
-/// What a publish RPC returns (mirrors MergeCommitResult).
+/// What a publish RPC returns (mirrors MergeCommitResult). Under v2 the
+/// body may carry `pushed` — the publish's staged batch (merged index
+/// pages, content commits, the combined commit), size-capped server-side —
+/// which is exactly the node set a losing committer re-reads next round;
+/// the client write-allocates it into its NodeCache instead of paying
+/// per-node Get round trips (the combiner-aware cache push).
 struct WirePublishResult {
   Hash head;    ///< branch head after the publish
   Hash commit;  ///< the author's content commit
   uint64_t cas_failures = 0;
   uint64_t merge_commits = 0;
+  NodeBatch pushed;  ///< v2 cache push (empty under v1 or push-off)
 };
 
-std::string EncodePublishResultBody(const WirePublishResult& r);
-[[nodiscard]] Status DecodePublishResultBody(Slice body, WirePublishResult* r);
+std::string EncodePublishResultBody(const WirePublishResult& r,
+                                    uint32_t wire_version = kWireVersion);
+[[nodiscard]] Status DecodePublishResultBody(
+    Slice body, WirePublishResult* r, uint32_t wire_version = kWireVersion);
 
 std::string EncodeBranchStatsBody(const BranchStats& s);
 [[nodiscard]] Status DecodeBranchStatsBody(Slice body, BranchStats* s);

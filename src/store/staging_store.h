@@ -78,6 +78,12 @@ class StagingNodeStore : public NodeStore {
 
   size_t staged_count() const { return batch_.size(); }
 
+  /// The staged nodes in insertion order. Valid until the next Put or
+  /// FlushBatch; callers that need the batch past the flush (e.g. the
+  /// publish-ack cache push, which ships the landed batch back to
+  /// clients) must copy before flushing.
+  const NodeBatch& staged_batch() const { return batch_; }
+
  private:
   // Below this many staged nodes, digest lookups linearly scan the batch —
   // a single-op commit stages only a handful of path nodes, and a scan of

@@ -86,7 +86,21 @@ ForkbaseClientStore::ForkbaseClientStore(ForkbaseServlet* servlet,
 
 ForkbaseClientStore::ForkbaseClientStore(
     std::shared_ptr<net::Transport> transport, uint64_t cache_bytes)
-    : transport_(std::move(transport)), cache_(cache_bytes) {}
+    : transport_(std::move(transport)), cache_(cache_bytes) {
+  // Combiner-aware cache push: nodes the server attaches to Publish acks
+  // (already digest-verified by the transport) are write-allocated into
+  // the cache — they are the merged pages and commit objects the next
+  // commit round would otherwise fetch back one Get at a time.
+  transport_->SetPushSink([this](const NodeBatch& pushed) {
+    for (const NodeRecord& rec : pushed) cache_.Insert(rec.hash, rec.bytes);
+    pushed_nodes_.fetch_add(pushed.size(), std::memory_order_relaxed);
+  });
+}
+
+ForkbaseClientStore::~ForkbaseClientStore() {
+  // The sink captures `this`; the transport is shared and may outlive us.
+  transport_->SetPushSink(nullptr);
+}
 
 Hash ForkbaseClientStore::Put(Slice bytes) {
   // One node, one upload RPC. Batched commit paths use PutMany instead,
@@ -213,6 +227,7 @@ ForkbaseClientStore::RemoteStats ForkbaseClientStore::remote_stats() const {
   out.remote_bytes = remote_bytes_.load(std::memory_order_relaxed);
   out.coalesced_gets = coalesced_gets_.load(std::memory_order_relaxed);
   out.remote_puts = remote_puts_.load(std::memory_order_relaxed);
+  out.pushed_nodes = pushed_nodes_.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -180,6 +180,10 @@ class ForkbaseClientStore : public NodeStore {
     /// Write RPCs issued: one per Put, one per PutMany batch. Batched
     /// commits therefore show ≤ 1 remote_put per commit.
     uint64_t remote_puts = 0;
+    /// Nodes the transport pushed into the cache off Publish acks
+    /// (combiner-aware cache push) — each one a remote_get this client
+    /// did not pay on its next round.
+    uint64_t pushed_nodes = 0;
 
     double HitRatio() const {
       const uint64_t total = remote_gets + cache_hits + coalesced_gets;
@@ -198,8 +202,15 @@ class ForkbaseClientStore : public NodeStore {
 
   /// Client/server deployment (or tests injecting a transport): the same
   /// cache/singleflight/accounting over any boundary implementation.
+  /// Installs this store's NodeCache as the transport's push sink —
+  /// nodes a Publish ack carries back (combiner-aware cache push) are
+  /// write-allocated exactly like PutMany output.
   ForkbaseClientStore(std::shared_ptr<net::Transport> transport,
                       uint64_t cache_bytes);
+
+  /// Uninstalls the push sink (it captures `this`; the shared transport
+  /// may outlive this store).
+  ~ForkbaseClientStore() override;
 
   /// One upload RPC per node: charges a round trip and forwards.
   [[nodiscard]] Hash Put(Slice bytes) override;
@@ -247,6 +258,7 @@ class ForkbaseClientStore : public NodeStore {
   mutable std::atomic<uint64_t> remote_bytes_{0};
   mutable std::atomic<uint64_t> coalesced_gets_{0};
   mutable std::atomic<uint64_t> remote_puts_{0};
+  mutable std::atomic<uint64_t> pushed_nodes_{0};
   Mutex inflight_mu_;
   std::unordered_map<Hash, std::shared_ptr<InFlightFetch>, HashHasher>
       inflight_ GUARDED_BY(inflight_mu_);

@@ -5,7 +5,9 @@
 #include <algorithm>
 #include <chrono>
 #include <thread>
+#include <utility>
 
+#include "crypto/sha256.h"
 #include "store/staging_store.h"
 
 namespace siri {
@@ -79,7 +81,12 @@ void CommitCombiner::RunBatch(const std::vector<Request*>& batch) {
     const PublishSpec& s = *r->spec;
     r->result = CommitWithMerge(mgr_, s.index, s.branch, s.new_root, s.author,
                                 s.message, s.expected_head, opts_.merge);
-    solo_commits_.fetch_add(1, std::memory_order_relaxed);
+    // A replay whose original already landed executed nothing — keeping
+    // it out of the count is what makes solo+combined+fallbacks equal
+    // the number of commits actually applied (exactly-once accounting).
+    if (!(r->result->ok() && (*r->result)->already_applied)) {
+      solo_commits_.fetch_add(1, std::memory_order_relaxed);
+    }
     return;
   }
 
@@ -148,21 +155,15 @@ void CommitCombiner::RunBatch(const std::vector<Request*>& batch) {
     }
     std::vector<Request*> landed;
     std::vector<Hash> content_hashes;
+    // Content digests staged this attempt → the member that staged them.
+    // A second member with the same digest is the replay of the first
+    // (content commits are deterministic), caught below.
+    std::unordered_map<Hash, Request*, HashHasher> batch_digests;
+    // (replay, original) pairs whose replay acks the original's landing.
+    std::vector<std::pair<Request*, Request*>> twins;
 
     for (Request* r : pending) {
       const PublishSpec& s = *r->spec;
-      // Base of this member's delta: the merge base of what it built on
-      // and the branch history it is folding into.
-      Hash base_root = index->EmptyRoot();
-      if (head) {
-        auto br = MergeBaseRoot(mgr_, index, s.expected_head, *head);
-        if (!br.ok()) {
-          r->result = Result<MergeCommitResult>(br.status());
-          continue;
-        }
-        base_root = *br;
-      }
-
       // The member's content commit, preserving its own lineage — exactly
       // the commit the individual path would have written. Built (and its
       // parent read) BEFORE any merge work so every fallible step is
@@ -180,6 +181,55 @@ void CommitCombiner::RunBatch(const std::vector<Request*>& batch) {
           continue;
         }
         ours.sequence = parent->sequence + 1;
+      }
+      const std::string ours_bytes = ours.Encode();
+      const Hash ours_digest = Sha256::Digest(ours_bytes);
+
+      // Exactly-once under lost acks, mirroring the individual retry
+      // driver: a member with a STALE expectation may be the replay of a
+      // publish that already executed (its ack was lost mid-flight). The
+      // content commit is deterministic, so history reachability decides.
+      // An expectation that still matches the head is provably
+      // un-applied — a landing would have moved the head — so the walk
+      // costs nothing on the uncontended path.
+      if (head && s.expected_head != head) {
+        auto applied =
+            CommitAlreadyApplied(mgr_, *head, ours_digest, ours.sequence);
+        if (!applied.ok()) {
+          r->result = Result<MergeCommitResult>(applied.status());
+          continue;
+        }
+        if (*applied) {
+          MergeCommitResult mr;
+          mr.head = *head;
+          mr.commit = ours_digest;
+          mr.cas_failures = attempt - 1;
+          mr.already_applied = true;
+          r->result = Result<MergeCommitResult>(std::move(mr));
+          continue;
+        }
+      }
+      // The replay can also land in the SAME batch as its original (the
+      // original was still queued behind an in-flight publish when the
+      // replay arrived). Stage the content commit once, ack both —
+      // folding it twice would double-count and write a combined commit
+      // with duplicate parents.
+      auto twin = batch_digests.find(ours_digest);
+      if (twin != batch_digests.end()) {
+        twins.emplace_back(r, twin->second);
+        continue;
+      }
+
+      // Base of this member's delta: the merge base of what it built on
+      // and the branch history it is folding into.
+      Hash base_root = index->EmptyRoot();
+      if (head) {
+        auto br = MergeBaseRoot(mgr_, index, s.expected_head, *head);
+        if (!br.ok()) {
+          r->result = Result<MergeCommitResult>(br.status());
+          continue;
+        }
+        base_root = *br;
       }
 
       Hash merged_root;
@@ -199,9 +249,11 @@ void CommitCombiner::RunBatch(const std::vector<Request*>& batch) {
           if (merged.status().IsConflict()) {
             // This member races another member of its own batch on a key:
             // send it to the individual CommitWithMerge retry, where the
-            // per-commit conflict surface (and resolver) applies.
+            // per-commit conflict surface (and resolver) applies. (The
+            // fallback counter is bumped at the retry site — Publish /
+            // PublishCombined — once the retry proves it actually
+            // executed rather than deduplicating a replay.)
             r->fallback = true;
-            fallbacks_.fetch_add(1, std::memory_order_relaxed);
           } else {
             r->result = Result<MergeCommitResult>(merged.status());
           }
@@ -211,8 +263,9 @@ void CommitCombiner::RunBatch(const std::vector<Request*>& batch) {
         merged_root = *merged;
       }
 
-      r->content = staging->Put(ours.Encode());
+      r->content = staging->Put(ours_bytes);
       content_hashes.push_back(r->content);
+      batch_digests.emplace(ours_digest, r);
       max_seq = std::max(max_seq, ours.sequence);
       acc_root = merged_root;
       landed.push_back(r);
@@ -241,6 +294,10 @@ void CommitCombiner::RunBatch(const std::vector<Request*>& batch) {
       wrapper = 1;
     }
 
+    // Capture the staged set before the CAS flushes and clears it: the
+    // publish-ack cache push ships this batch — the nodes every losing
+    // committer re-reads next round — back to the clients.
+    auto staged = std::make_shared<const NodeBatch>(staging->staged_batch());
     // One head swing for the whole batch. CompareAndSwapHead pre-checks,
     // flushes the staged batch (ONE PutMany + ONE store flush), re-checks
     // and swings — durability precedes visibility, exactly like the
@@ -254,7 +311,20 @@ void CommitCombiner::RunBatch(const std::vector<Request*>& batch) {
         mr.commit = r->content;
         mr.cas_failures = attempt - 1;
         mr.merge_commits = wrapper;
+        mr.staged = staged;
         r->result = Result<MergeCommitResult>(std::move(mr));
+      }
+      // Twins ack their original's landing: same commit, same head, but
+      // no second execution — they stay out of the landed count below.
+      for (auto& [replay, original] : twins) {
+        MergeCommitResult mr;
+        mr.head = desired;
+        mr.commit = original->content;
+        mr.cas_failures = attempt - 1;
+        mr.merge_commits = wrapper;
+        mr.staged = staged;
+        mr.already_applied = true;
+        replay->result = Result<MergeCommitResult>(std::move(mr));
       }
       publishes_.fetch_add(1, std::memory_order_relaxed);
       if (landed.size() >= 2) {
@@ -277,15 +347,16 @@ void CommitCombiner::RunBatch(const std::vector<Request*>& batch) {
     // An outside writer swung the head mid-combine. The staged attempt is
     // dropped (or, if the re-check after the flush lost, is harmless
     // content-addressed garbage); re-combine the clean members against
-    // the new head.
+    // the new head. Twins rejoin as ordinary members — against the new
+    // head their original may dedup them (or land them) afresh.
     pending = std::move(landed);
+    for (auto& tw : twins) pending.push_back(tw.first);
   }
   // Batch retries exhausted against outside writers: every remaining
   // member retries individually, where per-commit backoff applies.
   for (Request* r : pending) {
     if (r->result || r->fallback) continue;
     r->fallback = true;
-    fallbacks_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -348,9 +419,16 @@ Result<MergeCommitResult> CommitCombiner::Publish(const PublishSpec& spec) {
   // Shutdown, or this member fell out of its combined batch: individual
   // CommitWithMerge retry on the caller's own thread — same semantics,
   // just uncombined.
-  return CommitWithMerge(mgr_, spec.index, spec.branch, spec.new_root,
-                         spec.author, spec.message, spec.expected_head,
-                         opts_.merge);
+  auto res = CommitWithMerge(mgr_, spec.index, spec.branch, spec.new_root,
+                             spec.author, spec.message, spec.expected_head,
+                             opts_.merge);
+  // Counted here, not where the member fell out of its batch: a fallback
+  // whose retry discovered the commit already applied (a lost-ack replay)
+  // executed nothing, and must stay out of the executed-commit tally.
+  if (req.fallback && !(res.ok() && res->already_applied)) {
+    fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return res;
 }
 
 std::vector<Result<MergeCommitResult>> CommitCombiner::PublishCombined(
@@ -382,9 +460,12 @@ std::vector<Result<MergeCommitResult>> CommitCombiner::PublishCombined(
       continue;
     }
     const PublishSpec& s = *r.spec;
-    out.push_back(CommitWithMerge(mgr_, s.index, s.branch, s.new_root,
-                                  s.author, s.message, s.expected_head,
-                                  opts_.merge));
+    auto res = CommitWithMerge(mgr_, s.index, s.branch, s.new_root, s.author,
+                               s.message, s.expected_head, opts_.merge);
+    if (r.fallback && !(res.ok() && res->already_applied)) {
+      fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    }
+    out.push_back(std::move(res));
   }
   return out;
 }

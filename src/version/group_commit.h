@@ -89,11 +89,17 @@ struct PublishSpec {
 /// within a lane one leader at a time runs the combine.
 class CommitCombiner {
  public:
+  /// Counters of commits actually EXECUTED: a lost-ack replay that found
+  /// its original already landed (MergeCommitResult::already_applied)
+  /// counts in none of them, so solo + combined + fallbacks equals the
+  /// number of distinct commits applied — the server side of the
+  /// exactly-once publish contract.
   struct Stats {
     uint64_t publishes = 0;         ///< combined head swings that landed
     uint64_t combined_commits = 0;  ///< commits landed in batches of ≥ 2
     uint64_t solo_commits = 0;      ///< requests published alone (fast path)
-    uint64_t fallbacks = 0;         ///< combine members sent to individual retry
+    uint64_t fallbacks = 0;         ///< combine members executed via the
+                                    ///< individual retry
     uint64_t max_batch_seen = 0;    ///< largest batch landed so far
   };
 

@@ -5,7 +5,10 @@
 #include <algorithm>
 #include <chrono>
 #include <thread>
+#include <vector>
 
+#include "crypto/sha256.h"
+#include "store/node_store.h"
 #include "store/staging_store.h"
 
 namespace siri {
@@ -34,6 +37,28 @@ Result<Hash> MergeBaseRoot(BranchManager* mgr, ImmutableIndex* index,
   auto mb_commit = mgr->ReadCommit(base_hash);
   if (!mb_commit.ok()) return mb_commit.status();
   return mb_commit->root;
+}
+
+Result<bool> CommitAlreadyApplied(BranchManager* mgr, const Hash& head,
+                                  const Hash& target,
+                                  uint64_t target_sequence) {
+  PageSet seen;
+  std::vector<Hash> stack = {head};
+  while (!stack.empty()) {
+    const Hash h = stack.back();
+    stack.pop_back();
+    if (h == target) return true;
+    if (!seen.insert(h).second) continue;
+    auto c = mgr->ReadCommit(h);
+    if (!c.ok()) return c.status();
+    // Sequences strictly dominate parents, so a commit at or below the
+    // target's sequence cannot hold it anywhere in its ancestry — the
+    // target itself was compared above, before pruning.
+    if (c->sequence > target_sequence) {
+      for (const Hash& p : c->parents) stack.push_back(p);
+    }
+  }
+  return false;
 }
 
 Result<MergeCommitResult> CommitWithMerge(
@@ -70,6 +95,7 @@ Result<MergeCommitResult> CommitWithMerge(
     ours.sequence = base_commit->sequence + 1;
   }
   const std::string ours_bytes = ours.Encode();
+  const Hash ours_digest = Sha256::Digest(ours_bytes);
 
   for (int retry = 0; retry < opts.max_retries; ++retry) {
     if (!r.status.IsConflict()) return r.status;
@@ -80,6 +106,23 @@ Result<MergeCommitResult> CommitWithMerge(
     if (retry > 0) {
       const uint64_t us = MergeBackoffMicros(opts, retry - 1);
       if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+    }
+
+    // Exactly-once under lost acks: this call may be the replay of a
+    // publish whose original execution landed but whose ack never made
+    // it back. The content commit is deterministic, so if its digest is
+    // already reachable from the head that won, there is nothing left to
+    // do — re-merging would double-apply. Checking inside the conflict
+    // loop is what makes it race-free: whichever of original and replay
+    // loses the head CAS re-enters here and observes the other's landing.
+    auto applied = CommitAlreadyApplied(mgr, actual, ours_digest,
+                                        ours.sequence);
+    if (!applied.ok()) return applied.status();
+    if (*applied) {
+      out.head = actual;
+      out.commit = ours_digest;
+      out.already_applied = true;
+      return out;
     }
 
     auto winner = mgr->ReadCommit(actual);
@@ -110,11 +153,16 @@ Result<MergeCommitResult> CommitWithMerge(
     merge_commit.sequence = std::max(winner->sequence, ours.sequence) + 1;
     const Hash merge_hash = staging->Put(merge_commit.Encode());
 
+    // Capture the staged set before the CAS: landing flushes the staging
+    // store and clears its batch, and the publish-ack cache push needs
+    // exactly these nodes.
+    auto staged = std::make_shared<NodeBatch>(staging->staged_batch());
     r = mgr->CompareAndSwapHead(branch, actual, merge_hash, staging.get());
     if (r.ok()) {
       out.head = merge_hash;
       out.commit = ours_hash;
       ++out.merge_commits;
+      out.staged = std::move(staged);
       return out;
     }
   }

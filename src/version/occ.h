@@ -61,6 +61,21 @@ struct MergeCommitResult {
                           ///< first CAS won; a merge parent otherwise)
   int cas_failures = 0;   ///< head races lost along the way
   int merge_commits = 0;  ///< two-parent commits written (0 = clean commit)
+  /// The nodes this publish landed (merged index pages + commit objects),
+  /// captured on the contended paths only — a clean fast-path commit wrote
+  /// nothing the author does not already hold, so it stays null. The
+  /// server's publish ack ships this back to the client (the
+  /// combiner-aware cache push): it is exactly the node set a losing
+  /// committer re-reads next round.
+  std::shared_ptr<const NodeBatch> staged;
+  /// True when the publish's deterministic content commit was ALREADY in
+  /// the branch history — this call executed nothing and wrote nothing;
+  /// `head`/`commit` just point at the earlier landing. That happens when
+  /// a lost-ack publish is replayed after the original execution landed
+  /// (the transport's exactly-once resolution can probe "absent" while
+  /// the original is still inside its combine window / CAS retries).
+  /// Callers keeping executed-commit accounting must not count these.
+  bool already_applied = false;
 };
 
 /// Commits \p new_root — built on top of \p expected_head's root — to
@@ -100,6 +115,21 @@ uint64_t MergeBackoffMicros(const MergeCommitOptions& opts, int ordinal);
 Result<Hash> MergeBaseRoot(BranchManager* mgr, ImmutableIndex* index,
                            const std::optional<Hash>& expected_head,
                            const Hash& actual_head);
+
+/// Whether \p target — a content commit known to carry sequence
+/// \p target_sequence — is already reachable from \p head. Commit
+/// sequences strictly dominate every parent (version/commit.h), so the
+/// walk descends only through commits whose sequence exceeds the
+/// target's: O(commits landed since the target's parent), the same order
+/// as the merge-base probe, NOT O(history). This is the server side of
+/// exactly-once publishes: a content commit is deterministic in
+/// (root, expected_head, author, message), so "is the replay's commit
+/// reachable from the head" decides applied-vs-absent race-free — the
+/// head CAS serializes every landing against this read. Shared by the
+/// per-commit retry driver and the group-commit combiner.
+Result<bool> CommitAlreadyApplied(BranchManager* mgr, const Hash& head,
+                                  const Hash& target,
+                                  uint64_t target_sequence);
 
 }  // namespace siri
 

@@ -28,6 +28,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -501,8 +502,9 @@ TEST(DeadlineTest, StalledServerMissesDeadlineTypedAndCounted) {
     }
     std::string body;
     PutVarint64(&body, net::kWireVersion);
-    const std::string resp =
-        net::EncodeFrame(net::EncodeResponse(Status::OK(), body));
+    // Hello responses are always v1-shaped (they precede negotiation).
+    const std::string resp = net::EncodeFrame(
+        net::EncodeResponse(Status::OK(), body, /*wire_version=*/1));
     (void)send(c, resp.data(), resp.size(), MSG_NOSIGNAL);
     // Swallow everything else without ever answering, until the client
     // hangs up.
@@ -534,7 +536,310 @@ TEST(DeadlineTest, StalledServerMissesDeadlineTypedAndCounted) {
   close(listen_fd);
 }
 
-// --- server-side degradation -------------------------------------------
+TEST(DeadlineTest, DribblingServerCannotResetTheWholeAttemptDeadline) {
+  // The sharper regression: a server that trickles ONE response byte per
+  // poll interval. Under a per-poll timeout every poll sees progress and
+  // the attempt never ends; rpc_timeout_ms is a *whole-attempt* monotonic
+  // budget, so the dribble must still miss it on time.
+  int listen_fd = -1;
+  int port = 0;
+  BindLoopback(&listen_fd, &port);
+  std::atomic<bool> stop{false};
+  std::thread dribble([listen_fd, &stop] {
+    const int c = accept(listen_fd, nullptr, nullptr);
+    if (c < 0) return;
+    net::FrameDecoder dec;
+    char buf[4096];
+    std::string payload;
+    // Round 1: complete the Hello honestly (v1-shaped both ways).
+    auto read_frame = [&]() -> bool {
+      for (;;) {
+        auto next = dec.Next(&payload);
+        if (!next.ok()) return false;
+        if (*next) return true;
+        const ssize_t n = recv(c, buf, sizeof(buf), 0);
+        if (n <= 0) return false;
+        dec.Append(buf, static_cast<size_t>(n));
+      }
+    };
+    if (!read_frame()) {
+      close(c);
+      return;
+    }
+    std::string body;
+    PutVarint64(&body, net::kWireVersion);
+    const std::string hello = net::EncodeFrame(
+        net::EncodeResponse(Status::OK(), body, /*wire_version=*/1));
+    (void)send(c, hello.data(), hello.size(), MSG_NOSIGNAL);
+    // Round 2: read the request, then answer it one byte at a time — a
+    // steady trickle of real protocol bytes, never a stall, never an end.
+    if (!read_frame()) {
+      close(c);
+      return;
+    }
+    net::Request req;
+    if (net::DecodeRequest(payload, &req, net::kWireVersion).ok()) {
+      const std::string resp = net::EncodeFrame(net::EncodeResponse(
+          Status::NotFound("not here"), "", net::kWireVersion, req.corr_id));
+      for (size_t i = 0; i < resp.size() && !stop.load(); ++i) {
+        if (send(c, resp.data() + i, 1, MSG_NOSIGNAL) != 1) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      }
+    }
+    close(c);
+  });
+
+  net::SocketTransport::Options opts;
+  opts.rpc_timeout_ms = 200;
+  opts.auto_reconnect = false;
+  opts.retry.max_attempts = 1;
+  std::shared_ptr<net::SocketTransport> t;
+  ASSERT_TRUE(net::SocketTransport::Connect("127.0.0.1", port, &t, opts).ok());
+
+  const auto start = std::chrono::steady_clock::now();
+  auto got = t->Get(Sha256::Digest("dribbled"));
+  const int64_t elapsed = ElapsedMs(start);
+  EXPECT_EQ(got.status().code(), Status::Code::kIOError)
+      << got.status().ToString();
+  EXPECT_NE(got.status().ToString().find("deadline"), std::string::npos)
+      << got.status().ToString();
+  // The response is tens of bytes: at one byte per 25ms a per-poll budget
+  // would have let the dribble run for seconds. The whole-attempt budget
+  // ends it at ~200ms.
+  EXPECT_GE(elapsed, 150);
+  EXPECT_LT(elapsed, 2000);
+  EXPECT_GE(t->stats().deadline_misses, 1u);
+
+  stop.store(true);
+  t->Close();
+  dribble.join();
+  close(listen_fd);
+}
+
+// --- short-write offset boundaries -------------------------------------
+
+TEST_F(ChaosServerTest, ShortWriteAtEveryOffsetBoundaryRecovers) {
+  // kShortWrite with a scripted cut offset, swept across the exact frame
+  // boundaries: nothing sent, one byte, mid-frame, one byte short, and the
+  // full frame (a "short" write that actually delivered everything). Every
+  // case must classify, close, replay, and succeed — never spin.
+  const std::string payload = "short-write-sweep";
+  const Hash h = Sha256::Digest(payload);
+  // The Get request frame size is deterministic while corr ids stay
+  // 1-byte varints: type | corr | 32-byte hash, framed.
+  net::Request probe;
+  probe.type = net::MsgType::kGet;
+  probe.corr_id = 1;
+  probe.hash = h;
+  const uint64_t frame_size =
+      net::EncodeFrame(net::EncodeRequest(probe, net::kWireVersion)).size();
+
+  const uint64_t offsets[] = {0, 1, frame_size / 2, frame_size - 1,
+                              frame_size};
+  for (const uint64_t off : offsets) {
+    SCOPED_TRACE("cut offset " + std::to_string(off));
+    auto fault = std::make_shared<FaultInjector>();
+    auto opts = FastRetryOptions();
+    opts.fault = fault;
+    auto t = Connect(opts);
+    ASSERT_NE(t, nullptr);
+    auto put = t->Put(payload);
+    ASSERT_TRUE(put.ok());
+
+    fault->ScriptNext({FaultKind::kShortWrite, 0, off});
+    auto got = t->Get(h);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(**got, payload);
+    const auto ts = t->stats();
+    EXPECT_GE(ts.retries, 1u);
+    EXPECT_GE(ts.reconnects, 1u);
+    EXPECT_EQ(fault->stats().injected, 1u);
+  }
+}
+
+TEST_F(ChaosServerTest, PublishShortWriteOneByteShortIsTornNotExecuted) {
+  // Cut one byte before the end: the server never sees a complete frame,
+  // so the publish provably did not execute and the replay is the first
+  // execution — exactly one commit, via the replay path (not resolution).
+  auto fault = std::make_shared<FaultInjector>();
+  auto opts = FastRetryOptions();
+  opts.fault = fault;
+  auto t = Connect(opts);
+  ASSERT_NE(t, nullptr);
+
+  // Build the index server-side so the publish is the transport's first
+  // RPC (corr id 1 → the frame size is computable client-side).
+  PosTree index(store_);
+  auto root = index.PutBatch(index.EmptyRoot(), MakeKvs(10));
+  ASSERT_TRUE(root.ok());
+
+  net::PublishRequest pub;
+  pub.structure = "pos";
+  pub.branch = "main";
+  pub.new_root = *root;
+  pub.author = "chaos";
+  pub.message = "torn-boundary";
+  net::Request probe;
+  probe.type = net::MsgType::kPublish;
+  probe.corr_id = 1;
+  probe.structure = pub.structure;
+  probe.branch = pub.branch;
+  probe.new_root = pub.new_root;
+  probe.author = pub.author;
+  probe.message = pub.message;
+  const uint64_t frame_size =
+      net::EncodeFrame(net::EncodeRequest(probe, net::kWireVersion)).size();
+
+  fault->ScriptNext({FaultKind::kShortWrite, 0, frame_size - 1});
+  auto published = t->Publish(pub);
+  ASSERT_TRUE(published.ok()) << published.status().ToString();
+  EXPECT_GE(t->stats().retries, 1u);
+  EXPECT_EQ(servlet_->branches()->branch_stats("main").commits, 1u);
+  EXPECT_EQ(MessageCount(published->head, "torn-boundary"), 1);
+  // Exactly one server-side execution: torn frames are replayed, and the
+  // replay is the only run.
+  const CommitCombiner::Stats cs = servlet_->combiner()->stats();
+  EXPECT_EQ(cs.solo_commits + cs.combined_commits + cs.fallbacks, 1u);
+}
+
+TEST_F(ChaosServerTest, PublishShortWriteOfFullFrameIsAmbiguousNotReplayed) {
+  // Cut *at* the frame size: every byte was delivered before the close, so
+  // the server executed the publish and only the ack was lost. Classifying
+  // this torn (kNotExecuted) would blindly replay an applied commit; it
+  // must classify ambiguous and prove the publish applied instead.
+  auto fault = std::make_shared<FaultInjector>();
+  auto opts = FastRetryOptions();
+  opts.fault = fault;
+  auto t = Connect(opts);
+  ASSERT_NE(t, nullptr);
+
+  PosTree index(store_);
+  auto root = index.PutBatch(index.EmptyRoot(), MakeKvs(10));
+  ASSERT_TRUE(root.ok());
+
+  net::PublishRequest pub;
+  pub.structure = "pos";
+  pub.branch = "main";
+  pub.new_root = *root;
+  pub.author = "chaos";
+  pub.message = "delivered-boundary";
+  net::Request probe;
+  probe.type = net::MsgType::kPublish;
+  probe.corr_id = 1;
+  probe.structure = pub.structure;
+  probe.branch = pub.branch;
+  probe.new_root = pub.new_root;
+  probe.author = pub.author;
+  probe.message = pub.message;
+  const uint64_t frame_size =
+      net::EncodeFrame(net::EncodeRequest(probe, net::kWireVersion)).size();
+
+  fault->ScriptNext({FaultKind::kShortWrite, 0, frame_size});
+  auto published = t->Publish(pub);
+  ASSERT_TRUE(published.ok()) << published.status().ToString();
+  EXPECT_EQ(servlet_->branches()->branch_stats("main").commits, 1u);
+  EXPECT_EQ(MessageCount(published->head, "delivered-boundary"), 1);
+  // ONE execution, and it was the original send — resolution, not replay.
+  // A torn misclassification would score 2 here.
+  const CommitCombiner::Stats cs = servlet_->combiner()->stats();
+  EXPECT_EQ(cs.solo_commits + cs.combined_commits + cs.fallbacks, 1u);
+}
+
+// --- pipelining × chaos ------------------------------------------------
+
+TEST_F(ChaosServerTest, PublishLostAckResolvesUnderPipelinedConcurrentTraffic) {
+  // The lost-ack resolution rerun with the connection pipelined and busy:
+  // concurrent readers share the transport before and after the faulted
+  // publish, and exactly-once must still hold.
+  auto fault = std::make_shared<FaultInjector>();
+  auto opts = FastRetryOptions();
+  opts.max_inflight = 8;
+  opts.fault = fault;
+  auto t = Connect(opts);
+  ASSERT_NE(t, nullptr);
+
+  constexpr int kThreads = 4;
+  constexpr int kGetsPerThread = 16;
+  std::vector<Hash> hashes;
+  for (int i = 0; i < kGetsPerThread; ++i) {
+    const std::string payload = "pipelined-chaos-" + std::to_string(i);
+    auto put = t->Put(payload);
+    ASSERT_TRUE(put.ok());
+    hashes.push_back(*put);
+  }
+  auto hammer = [&]() {
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+      threads.emplace_back([&] {
+        for (const Hash& h : hashes) {
+          auto got = t->Get(h);
+          if (!got.ok()) failures.fetch_add(1);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    return failures.load();
+  };
+  ASSERT_EQ(hammer(), 0);  // pipelined traffic is healthy pre-fault
+
+  PosTree index(store_);
+  auto root1 = index.PutBatch(index.EmptyRoot(), MakeKvs(10));
+  ASSERT_TRUE(root1.ok());
+  net::PublishRequest first;
+  first.structure = "pos";
+  first.branch = "main";
+  first.new_root = *root1;
+  first.author = "chaos";
+  first.message = "pipelined-first";
+  auto head0 = t->Publish(first);
+  ASSERT_TRUE(head0.ok());
+
+  auto root2 = index.PutBatch(*root1, {{"pipelined/second", "v"}});
+  ASSERT_TRUE(root2.ok());
+  net::PublishRequest second;
+  second.structure = "pos";
+  second.branch = "main";
+  second.new_root = *root2;
+  second.author = "chaos";
+  second.message = "pipelined-second";
+  second.expected_head = head0->head;
+  fault->ScriptNext({FaultKind::kResetAfterSend, 0});
+  auto published = t->Publish(second);
+  ASSERT_TRUE(published.ok()) << published.status().ToString();
+  EXPECT_EQ(fault->stats().resets_after_send, 1u);
+
+  // Exactly-once under pipelining: two commits, each message once.
+  EXPECT_EQ(servlet_->branches()->branch_stats("main").commits, 2u);
+  EXPECT_EQ(MessageCount(published->head, "pipelined-first"), 1);
+  EXPECT_EQ(MessageCount(published->head, "pipelined-second"), 1);
+
+  ASSERT_EQ(hammer(), 0);  // and the channel recovered to full depth
+}
+
+// --- in-order per-branch sequencing ------------------------------------
+
+/// Every commit reachable from \p head must carry a sequence strictly
+/// greater than each of its parents' — the per-branch in-order invariant
+/// the pipelined channel must not break.
+void ExpectMonotonicSequences(BranchManager* branches, const Hash& head) {
+  std::deque<Hash> frontier{head};
+  std::set<std::string> seen{head.ToHex()};
+  while (!frontier.empty()) {
+    const Hash h = frontier.front();
+    frontier.pop_front();
+    auto c = branches->ReadCommit(h);
+    ASSERT_TRUE(c.ok()) << c.status().ToString();
+    for (const Hash& p : c->parents) {
+      auto parent = branches->ReadCommit(p);
+      ASSERT_TRUE(parent.ok()) << parent.status().ToString();
+      EXPECT_LT(parent->sequence, c->sequence)
+          << "commit " << h.ToHex() << " does not dominate parent "
+          << p.ToHex();
+      if (seen.insert(p.ToHex()).second) frontier.push_back(p);
+    }
+  }
+}
 
 TEST(ServerDegradationTest, MaxConnectionsRejectIsTypedAndRecovers) {
   auto store = NewInMemoryNodeStore();
@@ -816,6 +1121,143 @@ TEST(ChaosProcessTest, ForkedClientsCommitThroughRandomFaults) {
   const uint64_t acked = static_cast<uint64_t>(kClients * kCommitsEach);
   const CommitCombiner::Stats cs = servlet.combiner()->stats();
   EXPECT_EQ(cs.solo_commits + cs.combined_commits + cs.fallbacks, acked);
+
+  // Invariant 3 — in-order per-branch sequencing: every commit dominates
+  // its parents.
+  ExpectMonotonicSequences(servlet.branches(), *head);
+  server.Stop();
+}
+
+/// The pipelined variant of RunChaosClient: one forked process, ONE
+/// transport with max_inflight depth, and two threads committing through
+/// it concurrently against the same seeded random fault stream. Exit
+/// codes match RunChaosClient's.
+void RunPipelinedChaosClient(int port, int id, int commits_per_thread,
+                             double fault_rate) {
+  FaultInjector::RandomConfig cfg;
+  cfg.fault_rate = fault_rate;
+  cfg.delay_micros = 1000;
+  net::SocketTransport::Options topts;
+  topts.connect_retry_ms = 10000;
+  topts.rpc_timeout_ms = 10000;
+  topts.max_inflight = 8;
+  topts.retry.max_attempts = 10;
+  topts.retry.backoff_init_ms = 2;
+  topts.retry.backoff_max_ms = 50;
+  topts.retry.jitter_seed = 0x3000u + static_cast<uint64_t>(id);
+  topts.fault =
+      std::make_shared<FaultInjector>(0x4000u + static_cast<uint64_t>(id), cfg);
+  std::shared_ptr<net::SocketTransport> t;
+  if (!net::SocketTransport::Connect("127.0.0.1", port, &t, topts).ok()) {
+    _exit(10);
+  }
+  auto client_store = std::make_shared<ForkbaseClientStore>(t, 8 << 20);
+  std::atomic<int> first_error{0};
+  auto fail = [&first_error](int code) {
+    int expected = 0;
+    first_error.compare_exchange_strong(expected, code);
+  };
+  auto worker = [&](int tid) {
+    PosTree index(client_store);
+    for (int c = 0; c < commits_per_thread && first_error.load() == 0; ++c) {
+      const auto started = std::chrono::steady_clock::now();
+      Hash base = index.EmptyRoot();
+      std::optional<Hash> expected;
+      auto head = t->Head("main");
+      if (head.ok()) {
+        auto node = client_store->Get(*head);
+        if (!node.ok()) return fail(16);
+        auto commit = Commit::Decode(**node);
+        if (!commit.ok()) return fail(11);
+        base = commit->root;
+        expected = *head;
+      } else if (!head.status().IsNotFound()) {
+        return fail(12);
+      }
+      const std::string key = "chaos" + std::to_string(id) + "t" +
+                              std::to_string(tid) + "/k" + std::to_string(c);
+      auto root = index.PutBatch(base, {{key, "v" + std::to_string(c)}});
+      if (!root.ok()) return fail(13);
+      if (!client_store->Flush().ok()) return fail(14);
+      net::PublishRequest pub;
+      pub.structure = "pos";
+      pub.branch = "main";
+      pub.new_root = *root;
+      pub.author = "chaos" + std::to_string(id);
+      pub.message = key;
+      pub.expected_head = expected;
+      auto published = t->Publish(pub);
+      if (!published.ok()) return fail(15);
+      if (ElapsedMs(started) > 30000) return fail(17);
+    }
+  };
+  std::thread a(worker, 0), b(worker, 1);
+  a.join();
+  b.join();
+  _exit(first_error.load());
+}
+
+TEST(ChaosProcessTest, ForkedPipelinedClientsCommitThroughRandomFaults) {
+  // Satellite: the random-fault stress rerun with max_inflight > 1 and
+  // intra-process concurrency on the shared connection. Same three
+  // invariants — zero lost, zero duplicated, bounded — plus per-branch
+  // sequence monotonicity.
+  const int kClients = ChaosHeavy() ? 3 : 2;
+  const int kCommitsPerThread = ChaosHeavy() ? 6 : 3;
+  const double kFaultRate = ChaosHeavy() ? 0.12 : 0.06;
+  constexpr int kThreadsPerClient = 2;
+
+  int listen_fd = -1;
+  int port = 0;
+  BindLoopback(&listen_fd, &port);
+
+  std::vector<pid_t> pids;
+  for (int id = 0; id < kClients; ++id) {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      close(listen_fd);
+      RunPipelinedChaosClient(port, id, kCommitsPerThread, kFaultRate);
+    }
+    pids.push_back(pid);
+  }
+
+  auto store = NewInMemoryNodeStore();
+  ForkbaseServlet servlet(store);
+  servlet.RegisterIndex(std::make_unique<PosTree>(store));
+  net::SiriServer server(&servlet);
+  ASSERT_TRUE(server.AdoptListener(listen_fd).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  for (pid_t pid : pids) {
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0) << "pipelined chaos client failed";
+  }
+
+  auto head = servlet.branches()->Head("main");
+  ASSERT_TRUE(head.ok());
+  auto commit = servlet.branches()->ReadCommit(*head);
+  ASSERT_TRUE(commit.ok());
+  PosTree index(store);
+  for (int id = 0; id < kClients; ++id) {
+    for (int tid = 0; tid < kThreadsPerClient; ++tid) {
+      for (int c = 0; c < kCommitsPerThread; ++c) {
+        const std::string key = "chaos" + std::to_string(id) + "t" +
+                                std::to_string(tid) + "/k" + std::to_string(c);
+        auto got = index.Get(commit->root, key, nullptr);
+        ASSERT_TRUE(got.ok());
+        EXPECT_TRUE(got->has_value()) << "lost acked update: " << key;
+      }
+    }
+  }
+
+  const uint64_t acked =
+      static_cast<uint64_t>(kClients * kThreadsPerClient * kCommitsPerThread);
+  const CommitCombiner::Stats cs = servlet.combiner()->stats();
+  EXPECT_EQ(cs.solo_commits + cs.combined_commits + cs.fallbacks, acked);
+  ExpectMonotonicSequences(servlet.branches(), *head);
   server.Stop();
 }
 

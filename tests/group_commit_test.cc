@@ -290,6 +290,76 @@ TEST_F(GroupCommitTest, StaleMemberFoldsInViaMergeBase) {
   EXPECT_EQ(bob->parents[0], *c0);
 }
 
+// A lost-ack replay arriving in a LATER batch: its expectation is stale
+// because the original already landed, and the identical content commit
+// is reachable from the head — the combiner acks the original landing
+// without executing. solo+combined+fallbacks counts the two real
+// executions only, exactly-once accounting under replays.
+TEST_F(GroupCommitTest, StaleReplayInLaterBatchDeduplicatesWithoutCounting) {
+  auto c0 = mgr_->CommitOnBranch("main", base_root_, "init", "base");
+  ASSERT_TRUE(c0.ok());
+
+  CommitCombiner combiner(mgr_.get());
+  const PublishSpec original =
+      Spec("main", Put(base_root_, Keys("a", 4)), "a", *c0);
+  auto first = combiner.Publish(original);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->already_applied);
+
+  // The ack was lost in flight; the client replays the identical publish,
+  // and a fresh committer happens to share its batch.
+  const PublishSpec fresh =
+      Spec("main", Put(base_root_, Keys("b", 4)), "b", first->head);
+  auto results = combiner.PublishCombined({original, fresh});
+  ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
+  ASSERT_TRUE(results[1].ok()) << results[1].status().ToString();
+  EXPECT_TRUE(results[0]->already_applied);
+  EXPECT_EQ(results[0]->commit, first->commit);
+  EXPECT_FALSE(results[1]->already_applied);
+
+  const auto s = combiner.stats();
+  EXPECT_EQ(s.solo_commits + s.combined_commits + s.fallbacks, 2u);
+  // History holds exactly a's commit once: the fresh member shrank to a
+  // sole survivor, so the head is b's content commit on top of it.
+  EXPECT_EQ(mgr_->branch_stats("main").commits, 3u);  // c0, a, b
+}
+
+// The replay can even share the SAME batch as its original (the original
+// was still queued when the replay arrived). The batch stages the content
+// commit once — no duplicate parent in the combined commit — and both
+// requests ack the same landing, with only real executions counted.
+TEST_F(GroupCommitTest, TwinReplayInSameBatchAcksOriginalsLandingOnce) {
+  auto c0 = mgr_->CommitOnBranch("main", base_root_, "init", "base");
+  ASSERT_TRUE(c0.ok());
+
+  CommitCombiner combiner(mgr_.get());
+  const PublishSpec pub = Spec("main", Put(base_root_, Keys("a", 4)), "a", *c0);
+  const PublishSpec fresh =
+      Spec("main", Put(base_root_, Keys("b", 4)), "b", *c0);
+  auto results = combiner.PublishCombined({pub, pub, fresh});
+  for (auto& r : results) ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  EXPECT_FALSE(results[0]->already_applied);
+  EXPECT_TRUE(results[1]->already_applied);
+  EXPECT_EQ(results[1]->commit, results[0]->commit);
+  EXPECT_EQ(results[1]->head, results[0]->head);
+
+  // Combined parents: [c0, content_a, content_b] — a's content exactly
+  // once despite two requests carrying it.
+  auto combined = mgr_->ReadCommit(results[0]->head);
+  ASSERT_TRUE(combined.ok());
+  ASSERT_EQ(combined->parents.size(), 3u);
+  EXPECT_EQ(combined->parents[0], *c0);
+
+  const auto s = combiner.stats();
+  EXPECT_EQ(s.solo_commits + s.combined_commits + s.fallbacks, 2u);
+
+  auto content = Dump(*index_, combined->root);
+  for (const char* who : {"a", "b"}) {
+    for (const KV& kv : Keys(who, 4)) EXPECT_EQ(content.at(kv.key), kv.value);
+  }
+}
+
 // A solo committer through the threaded Publish path never pays the
 // publish window: with a multi-second window configured, a lone publish
 // returns in a fraction of it.

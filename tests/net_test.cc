@@ -13,9 +13,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/varint.h"
@@ -244,6 +247,103 @@ TEST(WireCodecTest, ResultBodiesRoundTrip) {
   EXPECT_EQ(branches2, branches);
 }
 
+// --- wire v2: correlation ids, want_push, pushed batches ---------------
+
+TEST(WireCodecTest, CorrelationIdRoundTripsUnderV2AndIsAbsentUnderV1) {
+  Request req;
+  req.type = MsgType::kGet;
+  req.hash = Sha256::Digest("corr");
+  req.corr_id = 0x1234567u;
+
+  Request v2;
+  ASSERT_TRUE(net::DecodeRequest(net::EncodeRequest(req, 2), &v2, 2).ok());
+  EXPECT_EQ(v2.corr_id, 0x1234567u);
+  EXPECT_EQ(v2.hash, req.hash);
+
+  // The v1 dialect has no corr-id slot: it is not encoded, and a v1
+  // decode of a v1 frame yields 0.
+  Request v1;
+  ASSERT_TRUE(net::DecodeRequest(net::EncodeRequest(req, 1), &v1, 1).ok());
+  EXPECT_EQ(v1.corr_id, 0u);
+  EXPECT_EQ(v1.hash, req.hash);
+}
+
+TEST(WireCodecTest, ResponseCorrelationIdRoundTripsUnderV2) {
+  const std::string v2 =
+      net::EncodeResponse(Status::OK(), Slice("pipelined"), 2, 0x42u);
+  Status app;
+  std::string body;
+  uint64_t corr = 0;
+  ASSERT_TRUE(net::DecodeResponse(v2, &app, &body, 2, &corr).ok());
+  EXPECT_TRUE(app.ok());
+  EXPECT_EQ(body, "pipelined");
+  EXPECT_EQ(corr, 0x42u);
+
+  // v1 responses carry no id; the out-param reports 0.
+  const std::string v1 = net::EncodeResponse(Status::OK(), Slice("solo"), 1);
+  corr = 99;
+  ASSERT_TRUE(net::DecodeResponse(v1, &app, &body, 1, &corr).ok());
+  EXPECT_EQ(body, "solo");
+  EXPECT_EQ(corr, 0u);
+}
+
+TEST(WireCodecTest, HelloIsAlwaysV1ShapedRegardlessOfRequestedVersion) {
+  // The Hello precedes negotiation, so its encoding must not depend on
+  // the version being negotiated — both dialects produce identical bytes.
+  Request hello;
+  hello.type = MsgType::kHello;
+  hello.version = net::kWireVersion;
+  hello.corr_id = 7;  // must be ignored: Hello has no corr slot
+  EXPECT_EQ(net::EncodeRequest(hello, 2), net::EncodeRequest(hello, 1));
+}
+
+TEST(WireCodecTest, WantPushRoundTripsUnderV2Only) {
+  Request pub;
+  pub.type = MsgType::kPublish;
+  pub.structure = "pos";
+  pub.branch = "main";
+  pub.new_root = Sha256::Digest("root");
+  pub.author = "a";
+  pub.message = "m";
+  pub.want_push = true;
+
+  Request v2;
+  ASSERT_TRUE(net::DecodeRequest(net::EncodeRequest(pub, 2), &v2, 2).ok());
+  EXPECT_TRUE(v2.want_push);
+
+  Request v1;
+  ASSERT_TRUE(net::DecodeRequest(net::EncodeRequest(pub, 1), &v1, 1).ok());
+  EXPECT_FALSE(v1.want_push);  // the v1 dialect cannot ask for a push
+}
+
+TEST(WireCodecTest, PublishResultPushedBatchRoundTripsUnderV2) {
+  net::WirePublishResult pub;
+  pub.head = Sha256::Digest("head");
+  pub.commit = Sha256::Digest("commit");
+  auto page = std::make_shared<const std::string>(std::string(256, 'p'));
+  auto node = std::make_shared<const std::string>("commit-object-bytes");
+  pub.pushed.push_back({Sha256::Digest(*page), page});
+  pub.pushed.push_back({Sha256::Digest(*node), node});
+
+  net::WirePublishResult v2;
+  ASSERT_TRUE(
+      net::DecodePublishResultBody(net::EncodePublishResultBody(pub, 2), &v2, 2)
+          .ok());
+  ASSERT_EQ(v2.pushed.size(), 2u);
+  EXPECT_EQ(v2.pushed[0].hash, pub.pushed[0].hash);
+  EXPECT_EQ(*v2.pushed[0].bytes, *page);
+  EXPECT_EQ(*v2.pushed[1].bytes, *node);
+
+  // Encoded for a v1 peer, the push is silently dropped — the ack stays
+  // exactly the legacy shape.
+  net::WirePublishResult v1;
+  ASSERT_TRUE(
+      net::DecodePublishResultBody(net::EncodePublishResultBody(pub, 1), &v1, 1)
+          .ok());
+  EXPECT_TRUE(v1.pushed.empty());
+  EXPECT_EQ(v1.head, pub.head);
+}
+
 // --- frame decoder hardening ------------------------------------------
 
 TEST(FrameDecoderTest, ExtractsFrameDeliveredByteByByte) {
@@ -303,6 +403,40 @@ TEST(FrameDecoderTest, OversizedLengthIsCorruption) {
   std::string out;
   auto r = dec.Next(&out);
   EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(FrameDecoderTest, PayloadAtExactCapDecodes) {
+  // The cap bounds the *payload* length, inclusively: a payload of
+  // exactly max_frame_bytes is legal and must decode. (Off-by-one here
+  // would make the largest advertised frame size unusable.)
+  constexpr uint64_t kCap = 4096;
+  const std::string payload(kCap, 'm');
+  const std::string frame = net::EncodeFrame(payload);
+  FrameDecoder dec(/*max_frame_bytes=*/kCap);
+  dec.Append(frame.data(), frame.size());
+  std::string out;
+  auto r = dec.Next(&out);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(*r);
+  EXPECT_EQ(out, payload);
+}
+
+TEST(FrameDecoderTest, PayloadOneOverCapIsTypedCorruptionNotNeedMore) {
+  // One byte past the cap must be a typed Corruption the moment the
+  // length varint is readable — not "need more bytes", which would leave
+  // the reader waiting for a frame it will never accept. Only the length
+  // prefix is appended here to pin exactly that: classification must not
+  // require the (oversized) body to arrive.
+  constexpr uint64_t kCap = 4096;
+  std::string prefix;
+  PutVarint64(&prefix, kCap + 1);
+  FrameDecoder dec(/*max_frame_bytes=*/kCap);
+  dec.Append(prefix.data(), prefix.size());
+  std::string out;
+  auto r = dec.Next(&out);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption()) << r.status().ToString();
+  EXPECT_NE(r.status().ToString().find("oversized frame"), std::string::npos);
 }
 
 TEST(FrameDecoderTest, MalformedLengthVarintIsCorruption) {
@@ -581,28 +715,39 @@ TEST_F(LoopbackServerTest, GarbageConnectionDiesAloneServerSurvives) {
   EXPECT_GE(server_->stats().connections, 2u);
 }
 
-TEST_F(LoopbackServerTest, VersionSkewFailsHandshakeTyped) {
-  // Speak the protocol but claim a future version: the Hello must be
-  // rejected with InvalidArgument, surfaced through Connect.
+namespace {
+
+/// Hand-rolls one Hello advertising \p version against \p port and
+/// returns the server's application verdict; on success, \p negotiated
+/// receives the version the server answered with. The exchange is
+/// v1-shaped on both legs, as every Hello is (it precedes negotiation).
+Status HandRolledHello(int port, uint64_t version, uint64_t* negotiated) {
   const int fd = socket(AF_INET, SOCK_STREAM, 0);
-  ASSERT_GE(fd, 0);
+  if (fd < 0) return Status::IOError("socket");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(server_->port()));
-  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
-  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr) != 1 ||
+      connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return Status::IOError("connect");
+  }
   Request hello;
   hello.type = MsgType::kHello;
-  hello.version = net::kWireVersion + 1;
-  const std::string frame = net::EncodeFrame(net::EncodeRequest(hello));
-  ASSERT_EQ(send(fd, frame.data(), frame.size(), MSG_NOSIGNAL),
-            static_cast<ssize_t>(frame.size()));
+  hello.version = static_cast<uint32_t>(version);
+  const std::string frame =
+      net::EncodeFrame(net::EncodeRequest(hello, /*wire_version=*/1));
+  if (send(fd, frame.data(), frame.size(), MSG_NOSIGNAL) !=
+      static_cast<ssize_t>(frame.size())) {
+    close(fd);
+    return Status::IOError("send");
+  }
   FrameDecoder dec;
   std::string payload;
   bool got_response = false;
   for (;;) {
     auto r = dec.Next(&payload);
-    ASSERT_TRUE(r.ok());
+    if (!r.ok()) break;
     if (*r) {
       got_response = true;
       break;
@@ -613,11 +758,54 @@ TEST_F(LoopbackServerTest, VersionSkewFailsHandshakeTyped) {
     dec.Append(buf, static_cast<size_t>(n));
   }
   close(fd);
-  ASSERT_TRUE(got_response);
+  if (!got_response) return Status::IOError("no response");
   Status app;
   std::string body;
-  ASSERT_TRUE(net::DecodeResponse(payload, &app, &body).ok());
-  EXPECT_TRUE(app.IsInvalidArgument()) << app.ToString();
+  const Status decoded =
+      net::DecodeResponse(payload, &app, &body, /*wire_version=*/1);
+  if (!decoded.ok()) return decoded;
+  if (!app.ok()) return app;
+  Slice in(body);
+  if (!GetVarint64(&in, negotiated) || !in.empty()) {
+    return Status::Corruption("hello body");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+TEST_F(LoopbackServerTest, HelloNegotiatesFutureAndCurrentVersionsDown) {
+  // The negotiation matrix, server side. A future-version client is not
+  // rejected: the server answers min(client, server) and the connection
+  // proceeds at the version both speak.
+  uint64_t negotiated = 0;
+  ASSERT_TRUE(
+      HandRolledHello(server_->port(), net::kWireVersion + 1, &negotiated)
+          .ok());
+  EXPECT_EQ(negotiated, net::kWireVersion);
+
+  negotiated = 0;
+  ASSERT_TRUE(
+      HandRolledHello(server_->port(), net::kWireVersion, &negotiated).ok());
+  EXPECT_EQ(negotiated, net::kWireVersion);
+
+  // A legacy v1 client pins the connection at v1: the server must not
+  // assume corr ids it would never receive.
+  negotiated = 0;
+  ASSERT_TRUE(
+      HandRolledHello(server_->port(), net::kMinWireVersion, &negotiated)
+          .ok());
+  EXPECT_EQ(negotiated, net::kMinWireVersion);
+}
+
+TEST_F(LoopbackServerTest, VersionSkewBelowFloorFailsHandshakeTyped) {
+  // Below the floor there is no common dialect: the Hello is rejected
+  // with a typed InvalidArgument (and the connection survives the reject
+  // — the peer may offer another version; HandRolledHello closes it).
+  uint64_t negotiated = 0;
+  const Status s = HandRolledHello(server_->port(), 0, &negotiated);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.ToString().find("wire version mismatch"), std::string::npos);
 }
 
 TEST_F(LoopbackServerTest, ClientStoreOverSocketReadsAndCommits) {
@@ -658,6 +846,247 @@ TEST_F(LoopbackServerTest, ClientStoreOverSocketReadsAndCommits) {
   ASSERT_TRUE(val.ok());
   ASSERT_TRUE(val->has_value());
   EXPECT_EQ(**val, "socket/value");
+}
+
+// --- pipelining --------------------------------------------------------
+
+TEST_F(LoopbackServerTest, PipelinedThreadsShareOneConnectionWithoutCrosstalk) {
+  // Many threads, ONE transport, max_inflight deep: every response must
+  // come back to the thread whose correlation id it carries. Each key
+  // stores distinct bytes, so any misrouted response would surface as a
+  // wrong-value failure, not a flake.
+  net::SocketTransport::Options opts;
+  opts.max_inflight = 8;
+  std::shared_ptr<net::SocketTransport> t;
+  ASSERT_TRUE(
+      net::SocketTransport::Connect("127.0.0.1", server_->port(), &t, opts)
+          .ok());
+  EXPECT_EQ(t->negotiated_wire_version(), 2u);
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 40;
+  std::vector<std::vector<std::pair<Hash, std::string>>> stored(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    for (int j = 0; j < kOpsPerThread; ++j) {
+      const std::string payload =
+          "pipelined-" + std::to_string(i) + "-" + std::to_string(j) +
+          std::string(64 + (i * kOpsPerThread + j) % 128, 'q');
+      stored[i].push_back({Sha256::Digest(payload), payload});
+    }
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      for (const auto& [hash, payload] : stored[i]) {
+        auto put = t->Put(payload);
+        if (!put.ok() || *put != hash) {
+          failures.fetch_add(1);
+          continue;
+        }
+        auto got = t->Get(hash);
+        if (!got.ok() || **got != payload) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  const auto ts = t->stats();
+  EXPECT_EQ(ts.retries, 0u);
+  EXPECT_EQ(ts.reconnects, 0u);
+  // 1 handshake + 2 RPCs per op, all down one connection.
+  EXPECT_EQ(ts.rpcs, 1u + 2u * kThreads * kOpsPerThread);
+  EXPECT_EQ(server_->stats().connections, 1u);
+}
+
+namespace {
+
+/// A minimal v1-only peer: answers the Hello with version 1 (v1-shaped,
+/// as every Hello exchange is), then serves kFlush requests in the v1
+/// dialect until the client hangs up. Anything else gets a typed error.
+void RunV1OnlyPeer(int listen_fd) {
+  const int c = accept(listen_fd, nullptr, nullptr);
+  if (c < 0) return;
+  FrameDecoder dec;
+  std::string payload;
+  char buf[4096];
+  for (;;) {
+    auto next = dec.Next(&payload);
+    if (!next.ok()) break;
+    if (!*next) {
+      const ssize_t n = recv(c, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      dec.Append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    Request req;
+    if (!net::DecodeRequest(payload, &req, /*wire_version=*/1).ok()) break;
+    Status app;
+    std::string body;
+    if (req.type == MsgType::kHello) {
+      PutVarint64(&body, 1);  // a pre-v2 server knows only its own version
+    } else if (req.type != MsgType::kFlush) {
+      app = Status::NotSupported("v1 peer serves only Flush");
+    }
+    const std::string resp =
+        net::EncodeFrame(net::EncodeResponse(app, body, /*wire_version=*/1));
+    if (send(c, resp.data(), resp.size(), MSG_NOSIGNAL) !=
+        static_cast<ssize_t>(resp.size())) {
+      break;
+    }
+  }
+  close(c);
+}
+
+}  // namespace
+
+TEST(WireNegotiationTest, V1PeerDegradesConnectionToLegacyProtocol) {
+  // New client, old server: the Hello negotiates the connection down to
+  // v1 — no corr ids on the wire, effective inflight 1 — and RPCs still
+  // work. This pins the old-server row of the negotiation matrix.
+  int listen_fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_EQ(listen(listen_fd, 4), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const int port = ntohs(addr.sin_port);
+  std::thread peer([listen_fd] { RunV1OnlyPeer(listen_fd); });
+
+  net::SocketTransport::Options opts;
+  opts.max_inflight = 8;  // requested, but v1 must pin the effective depth
+  opts.auto_reconnect = false;
+  opts.retry.max_attempts = 1;
+  std::shared_ptr<net::SocketTransport> t;
+  ASSERT_TRUE(net::SocketTransport::Connect("127.0.0.1", port, &t, opts).ok());
+  EXPECT_EQ(t->negotiated_wire_version(), 1u);
+  EXPECT_TRUE(t->Flush().ok());
+  EXPECT_TRUE(t->Flush().ok());
+  t->Close();
+  peer.join();
+  close(listen_fd);
+}
+
+TEST(ServerFrameCapTest, RequestAtExactCapExecutesOneOverIsRejected) {
+  // The decoder-boundary tests, replayed through the real server: a
+  // request payload of exactly the server's max_frame_bytes executes; one
+  // byte more draws the typed bad-frame reject (provably not executed)
+  // and the connection drop.
+  auto store = NewInMemoryNodeStore();
+  ForkbaseServlet servlet(store);
+  net::ServerOptions sopts;
+  sopts.worker_threads = 1;
+  sopts.group_flush_window_micros = 0;
+  sopts.max_frame_bytes = 8192;
+  net::SiriServer server(&servlet, sopts);
+  ASSERT_TRUE(server.Listen(0).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  net::SocketTransport::Options copts;
+  // The client's own frame cap must admit the response AND its request:
+  // give it headroom so the server's bound is the one under test.
+  copts.max_frame_bytes = 1 << 20;
+  copts.auto_reconnect = false;
+  copts.retry.max_attempts = 1;
+  std::shared_ptr<net::SocketTransport> t;
+  ASSERT_TRUE(
+      net::SocketTransport::Connect("127.0.0.1", server.port(), &t, copts)
+          .ok());
+
+  // A kPut request payload is `type | corr varint | len varint | bytes`:
+  // solve for the user bytes that land the payload exactly on the
+  // server's cap. The first post-handshake RPC draws corr id 1 (a 1-byte
+  // varint), and a ~8KB length is a 2-byte varint.
+  const size_t overhead = 1 /*type*/ + 1 /*corr*/ + 2 /*len varint*/;
+  const std::string at_cap(sopts.max_frame_bytes - overhead, 'z');
+  auto put = t->Put(at_cap);
+  ASSERT_TRUE(put.ok()) << put.status().ToString();
+  EXPECT_EQ(*put, Sha256::Digest(at_cap));
+
+  const std::string over_cap(sopts.max_frame_bytes - overhead + 1, 'z');
+  auto rejected = t->Put(over_cap);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(server.stats().frame_errors, 1u);
+  server.Stop();
+}
+
+// --- combiner-aware cache push -----------------------------------------
+
+TEST_F(LoopbackServerTest, CachePushCutsLosingCommitterRoundTrips) {
+  // Writer A lands a commit; writer B (push enabled) publishes against a
+  // stale expectation and loses — the server merges, and the ack carries
+  // the staged batch (merged pages + commit objects) back to B. B's next
+  // reads of exactly those nodes must be cache hits, not Get RPCs.
+  auto ta = Connect();
+  ASSERT_NE(ta, nullptr);
+  auto store_a = std::make_shared<ForkbaseClientStore>(ta, 16 << 20);
+
+  net::SocketTransport::Options bopts;
+  bopts.cache_push = true;
+  bopts.max_inflight = 8;
+  std::shared_ptr<net::SocketTransport> tb;
+  ASSERT_TRUE(
+      net::SocketTransport::Connect("127.0.0.1", server_->port(), &tb, bopts)
+          .ok());
+  auto store_b = std::make_shared<ForkbaseClientStore>(tb, 16 << 20);
+
+  PosTree index_a(store_a);
+  auto root_a = index_a.PutBatch(index_a.EmptyRoot(), MakeKvs(50));
+  ASSERT_TRUE(root_a.ok());
+  ASSERT_TRUE(store_a->Flush().ok());
+  net::PublishRequest first;
+  first.structure = "pos";
+  first.branch = "main";
+  first.new_root = *root_a;
+  first.author = "a";
+  first.message = "first";
+  ASSERT_TRUE(ta->Publish(first).ok());
+
+  // B builds from the empty root, unaware of A's commit: its publish
+  // takes the contended merge path, which is exactly the path that
+  // captures a staged batch to push.
+  PosTree index_b(store_b);
+  auto root_b = index_b.PutBatch(index_b.EmptyRoot(), {{"push/key", "v"}});
+  ASSERT_TRUE(root_b.ok());
+  ASSERT_TRUE(store_b->Flush().ok());
+  net::PublishRequest second;
+  second.structure = "pos";
+  second.branch = "main";
+  second.new_root = *root_b;
+  second.author = "b";
+  second.message = "second";
+  auto published = tb->Publish(second);
+  ASSERT_TRUE(published.ok()) << published.status().ToString();
+
+  // The push arrived, digest-verified, at every layer's counter.
+  const auto ts = tb->stats();
+  ASSERT_GT(ts.pushed_nodes, 0u);
+  EXPECT_GT(ts.pushed_bytes, 0u);
+  EXPECT_GT(server_->stats().pushed_nodes, 0u);
+  EXPECT_EQ(store_b->remote_stats().pushed_nodes, ts.pushed_nodes);
+
+  // The merged head commit was in the staged batch: reading it back costs
+  // B zero remote fetches.
+  const uint64_t gets_before = store_b->remote_stats().remote_gets;
+  auto head_commit = store_b->Get(published->head);
+  ASSERT_TRUE(head_commit.ok());
+  auto decoded = Commit::Decode(**head_commit);
+  ASSERT_TRUE(decoded.ok());
+  auto merged_root = store_b->Get(decoded->root);
+  ASSERT_TRUE(merged_root.ok());
+  EXPECT_EQ(store_b->remote_stats().remote_gets, gets_before)
+      << "pushed nodes should have been cache hits";
+
+  // Push is opt-in: A never asked, A never received.
+  EXPECT_EQ(ta->stats().pushed_nodes, 0u);
+  EXPECT_EQ(store_a->remote_stats().pushed_nodes, 0u);
 }
 
 // --- server options ----------------------------------------------------

@@ -304,6 +304,69 @@ TEST_F(OccTest, RacingBranchCreationMergesFromEmptyBase) {
   }
 }
 
+// A lost-ack replay: the identical (root, expected_head, author, message)
+// arrives again after the original execution landed — the transport does
+// this when its ambiguity probes raced the original still sitting inside
+// a combine window or CAS retry. The content commit is deterministic, so
+// the retry driver finds it already reachable from the head and returns
+// the original landing WITHOUT executing: exactly-once, no new commits,
+// head untouched.
+TEST_F(OccTest, ReplayOfLandedPublishDeduplicatesInsteadOfReExecuting) {
+  auto c0 = mgr_->CommitOnBranch("main", base_root_, "init", "base");
+  ASSERT_TRUE(c0.ok());
+  const Hash root_b = Put(base_root_, Keys("b", 5));
+
+  auto first = CommitWithMerge(mgr_.get(), index_.get(), "main", root_b,
+                               "bob", "B", *c0);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->already_applied);
+  const Hash head_after = *mgr_->Head("main");
+  const uint64_t commits_before = mgr_->branch_stats("main").commits;
+
+  auto replay = CommitWithMerge(mgr_.get(), index_.get(), "main", root_b,
+                                "bob", "B", *c0);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_TRUE(replay->already_applied);
+  EXPECT_EQ(replay->commit, first->commit);
+  EXPECT_EQ(replay->head, head_after);
+  EXPECT_EQ(replay->merge_commits, 0);
+  EXPECT_EQ(replay->staged, nullptr);
+  EXPECT_EQ(*mgr_->Head("main"), head_after);
+  EXPECT_EQ(mgr_->branch_stats("main").commits, commits_before);
+
+  // Replays keep resolving after more history lands on top: the
+  // sequence-pruned walk descends past the newer commits to the landing.
+  auto more = CommitWithMerge(mgr_.get(), index_.get(), "main",
+                              Put(base_root_, Keys("a", 3)), "alice", "A",
+                              head_after);
+  ASSERT_TRUE(more.ok());
+  auto replay2 = CommitWithMerge(mgr_.get(), index_.get(), "main", root_b,
+                                 "bob", "B", *c0);
+  ASSERT_TRUE(replay2.ok()) << replay2.status().ToString();
+  EXPECT_TRUE(replay2->already_applied);
+  EXPECT_EQ(replay2->commit, first->commit);
+  EXPECT_EQ(replay2->head, *mgr_->Head("main"));
+}
+
+// Same contract for a branch-creation publish (expected_head = nullopt):
+// the replayed creation resolves to the landed creation commit instead of
+// writing a gratuitous merge-from-empty.
+TEST_F(OccTest, ReplayOfBranchCreationDeduplicates) {
+  const Hash root = Put(index_->EmptyRoot(), Keys("c", 3));
+  auto first = CommitWithMerge(mgr_.get(), index_.get(), "fresh", root,
+                               "carol", "C", std::nullopt);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->already_applied);
+
+  auto replay = CommitWithMerge(mgr_.get(), index_.get(), "fresh", root,
+                                "carol", "C", std::nullopt);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_TRUE(replay->already_applied);
+  EXPECT_EQ(replay->commit, first->commit);
+  EXPECT_EQ(replay->head, first->head);
+  EXPECT_EQ(*mgr_->Head("fresh"), first->head);
+}
+
 // --- Conflict-path cost accounting (file store: fsyncs) --------------------
 
 TEST(OccAccountingTest, LosingCasZeroFsyncsWinningRetryExactlyOne) {
