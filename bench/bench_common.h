@@ -23,13 +23,16 @@
 
 #include "common/histogram.h"
 #include "common/timer.h"
+#include "crypto/sha256.h"
 #include "index/index.h"
+#include "io/fault_env.h"
 #include "index/mbt/mbt.h"
 #include "index/mpt/mpt.h"
 #include "index/mvmb/mvmb_tree.h"
 #include "index/pos/pos_tree.h"
 #include "net/server.h"
 #include "net/socket_transport.h"
+#include "net/wire.h"
 #include "store/file_store.h"
 #include "store/node_store.h"
 #include "system/forkbase.h"
@@ -55,6 +58,7 @@ inline const char* const kKnownBenchFlags[] = {
     "--transport=",
     "--chaos",
     "--pipeline",
+    "--disk-fault=",
 };
 
 /// Returns the first argv entry matching no known bench flag, or nullptr
@@ -154,6 +158,22 @@ inline std::string ParseTransportFlag(int argc, char** argv) {
     exit(2);
   }
   return transport;
+}
+
+/// --disk-fault=enospc (default none). Rejects anything else with exit 2
+/// for the same reason as --transport: a misspelled fault kind must not
+/// silently run the healthy benchmark and report it as a fault run.
+inline std::string ParseDiskFaultFlag(int argc, char** argv) {
+  std::string fault = "none";
+  for (int i = 1; i < argc; ++i) {
+    if (strncmp(argv[i], "--disk-fault=", 13) == 0) fault = argv[i] + 13;
+  }
+  if (fault != "none" && fault != "enospc") {
+    fprintf(stderr, "%s: --disk-fault must be 'enospc', got '%s'\n", argv[0],
+            fault.c_str());
+    exit(2);
+  }
+  return fault;
 }
 
 /// True if \p flag (e.g. "--threads-only") was passed.
@@ -1373,6 +1393,245 @@ inline void RunSocketChaosTable(uint64_t n, int threads,
   }
   for (const std::string& line : machine_lines) printf("%s\n", line.c_str());
 
+  server.Stop();
+  std::remove(store_path.c_str());
+}
+
+/// Read-only degradation under a disk fault: the socket commit pipeline
+/// with the server's file-backed store sitting on an io::FaultEnv. Phase 1
+/// runs the healthy publish loop; then the "disk fills" (every further
+/// write op returns ENOSPC) and phase 2 asserts the failure semantics
+/// end-to-end over the real wire:
+///
+///   - every write a client attempts after the trip fails with the TYPED
+///     degraded reject (net::IsDegradedReject) — never a raw store error,
+///     and never an ack;
+///   - degraded rejects fail FAST: the transport's retry counter must not
+///     move after the trip (retrying a full disk only burns the window);
+///   - reads keep serving — Head and node fetches succeed throughout
+///     phase 2 against the degraded server;
+///   - zero lost acked commits: the head recorded at the trip never moves
+///     again, and every key acked in phase 1 is still readable under it.
+inline void RunSocketDiskFaultTable(uint64_t n, int threads,
+                                    int commits_per_writer,
+                                    uint64_t window_micros) {
+  printf("\n[socket disk-fault degradation] REAL loopback TCP via "
+         "in-process siri-server, file-backed store on a FaultEnv, pos "
+         "structure, %d writers x %d commits then ENOSPC, n=%llu, "
+         "window=%lluus\n",
+         threads, commits_per_writer, static_cast<unsigned long long>(n),
+         static_cast<unsigned long long>(window_micros));
+  printf("%10s %12s %14s %16s %12s\n", "acked", "goodput(c/s)",
+         "typed_rejects", "degraded_rejects", "lost_acked");
+
+  YcsbGenerator gen(1);
+  auto records = gen.GenerateRecords(n);
+
+  const std::string store_path =
+      "/tmp/siri_bench_diskfault_" + std::to_string(getpid()) + ".log";
+  std::remove(store_path.c_str());
+  io::FaultEnv fault_env(io::Env::Default(), io::FaultEnv::Mode::kPassthrough);
+  std::shared_ptr<FileNodeStore> server_store;
+  SIRI_CHECK(FileNodeStore::Open(&fault_env, store_path, &server_store).ok());
+
+  GroupCommitOptions gc;
+  gc.window_micros = window_micros;
+  gc.merge.max_retries = std::numeric_limits<int>::max();
+  ForkbaseServlet servlet(server_store, gc);
+  auto loaded = std::make_unique<PosTree>(server_store);
+  const Hash base_root = LoadRecords(loaded.get(), records);
+  servlet.RegisterIndex(std::make_unique<PosTree>(server_store));
+
+  net::ServerOptions sopts;
+  sopts.group_flush_window_micros = window_micros;
+  net::SiriServer server(&servlet, sopts);
+  SIRI_CHECK(server.Listen(0).ok());
+  SIRI_CHECK(server.Start().ok());
+  const int port = server.port();
+
+  const std::string branch = "pos-diskfault";
+  {
+    auto init =
+        servlet.branches()->CommitOnBranch(branch, base_root, "init", "base");
+    SIRI_CHECK(init.ok());
+  }
+
+  struct DiskFaultClient {
+    std::shared_ptr<net::SocketTransport> transport;
+    std::shared_ptr<ForkbaseClientStore> store;
+    std::unique_ptr<ImmutableIndex> index;
+  };
+  std::vector<DiskFaultClient> clients(threads);
+  auto pack = PackVersions(*loaded, {base_root});
+  SIRI_CHECK(pack.ok());
+  for (int t = 0; t < threads; ++t) {
+    net::SocketTransport::Options topts;
+    topts.rpc_timeout_ms = 10000;
+    topts.retry.max_attempts = 10;
+    topts.retry.backoff_init_ms = 2;
+    topts.retry.backoff_max_ms = 50;
+    topts.retry.jitter_seed = 0xd15cu + static_cast<uint64_t>(t);
+    SIRI_CHECK(net::SocketTransport::Connect("127.0.0.1", port,
+                                             &clients[t].transport, topts)
+                   .ok());
+    clients[t].store =
+        std::make_shared<ForkbaseClientStore>(clients[t].transport, 32 << 20);
+    clients[t].index = loaded->WithStore(clients[t].store);
+    SIRI_CHECK(UnpackVersions(*pack, clients[t].store.get()).ok());
+  }
+
+  // Phase 1: the healthy publish loop — every commit here must be acked.
+  const int row = 0;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto& cl = clients[t];
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int c = 0; c < commits_per_writer; ++c) {
+        auto head = cl.transport->Head(branch);
+        SIRI_CHECK(head.ok());
+        auto node = cl.store->Get(*head);
+        SIRI_CHECK(node.ok());
+        auto head_commit = Commit::Decode(**node);
+        SIRI_CHECK(head_commit.ok());
+        std::vector<KV> batch;
+        const BranchContentionConfig defaults;
+        batch.reserve(defaults.upload_kvs);
+        for (size_t k = 0; k < defaults.upload_kvs; ++k) {
+          batch.push_back(
+              KV{BranchContentionKey(t, c, row, k), "v" + std::to_string(c)});
+        }
+        auto next = cl.index->PutBatch(head_commit->root, std::move(batch));
+        SIRI_CHECK(next.ok());
+        net::PublishRequest pub;
+        pub.structure = "pos";
+        pub.branch = branch;
+        pub.new_root = *next;
+        pub.author = "w" + std::to_string(t);
+        pub.message = "c" + std::to_string(c);
+        pub.expected_head = *head;
+        auto landed = cl.transport->Publish(pub);
+        SIRI_CHECK(landed.ok());
+      }
+    });
+  }
+  Timer timer;
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  const double secs = timer.ElapsedSeconds();
+  const uint64_t acked = static_cast<uint64_t>(threads) * commits_per_writer;
+  const double goodput = secs == 0 ? 0 : static_cast<double>(acked) / secs;
+
+  // The trip: from the next mutating op on, the disk is full. The head at
+  // this instant is the last acked state — it must never move again.
+  auto acked_head = servlet.branches()->Head(branch);
+  SIRI_CHECK(acked_head.ok());
+  uint64_t retries_at_trip = 0;
+  for (auto& c : clients) retries_at_trip += c.transport->stats().retries;
+  fault_env.set_enospc_after_op(fault_env.op_count());
+
+  // Phase 2: every client keeps trying to write against the full disk.
+  // The writes go through the raw transport, NOT ForkbaseClientStore —
+  // the client store treats a failed upload as fatal (NodeStore::Put has
+  // no failure channel), which is exactly right for an application but
+  // wrong for a harness that wants to LOOK at the reject. Order matters:
+  // a bare upload is fire-and-forget (durability is only claimed at
+  // publish), so the op that TRIPS the latch must be a Publish — its
+  // group flush fails, the raw ENOSPC is remapped by the server, and
+  // every write after it (publish or upload alike) is rejected up front.
+  // All of them must surface as the SAME typed degraded reject. Reads
+  // interleave and must keep working.
+  std::atomic<uint64_t> typed_rejects{0};
+  workers.clear();
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto& cl = clients[t];
+      auto expect_degraded = [&](const Status& failure) {
+        SIRI_CHECK(!failure.ok());  // a full disk must never ack
+        SIRI_CHECK(failure.IsResourceExhausted());
+        SIRI_CHECK(net::IsDegradedReject(failure));
+        typed_rejects.fetch_add(1, std::memory_order_relaxed);
+      };
+      for (int a = 0; a < 2; ++a) {
+        auto head = cl.transport->Head(branch);
+        SIRI_CHECK(head.ok());  // reads serve while degraded
+        auto node = cl.store->Get(*head);
+        SIRI_CHECK(node.ok());
+        auto head_commit = Commit::Decode(**node);
+        SIRI_CHECK(head_commit.ok());
+
+        net::PublishRequest pub;
+        pub.structure = "pos";
+        pub.branch = branch;
+        pub.new_root = head_commit->root;
+        pub.author = "w" + std::to_string(t);
+        pub.message = "overflow";
+        pub.expected_head = *head;
+        expect_degraded(cl.transport->Publish(pub).status());
+
+        // By now this client has seen a degraded reject, so the sticky
+        // latch is set server-side: even a fire-and-forget upload is
+        // answered with the typed reject instead of silently dropped.
+        const std::string payload = "overflow-" + std::to_string(t) + "-" +
+                                    std::to_string(a);
+        NodeBatch batch;
+        batch.push_back(NodeRecord{
+            Sha256::Digest(payload),
+            std::make_shared<const std::string>(payload)});
+        expect_degraded(cl.transport->PutMany(batch));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  // Degraded rejects fail fast: retrying a full disk cannot help, so the
+  // transports' retry counters must not have moved during phase 2.
+  uint64_t retries_after = 0;
+  for (auto& c : clients) retries_after += c.transport->stats().retries;
+  SIRI_CHECK(retries_after == retries_at_trip);
+
+  // Zero lost acked commits: the head never moved past the trip point and
+  // every phase-1 key is still readable under it, server-side.
+  auto final_head = servlet.branches()->Head(branch);
+  SIRI_CHECK(final_head.ok());
+  SIRI_CHECK(*final_head == *acked_head);
+  auto head_commit = servlet.branches()->ReadCommit(*final_head);
+  SIRI_CHECK(head_commit.ok());
+  uint64_t lost = 0;
+  const BranchContentionConfig defaults;
+  for (int t = 0; t < threads; ++t) {
+    for (int c = 0; c < commits_per_writer; ++c) {
+      for (size_t k = 0; k < defaults.upload_kvs; ++k) {
+        auto got = loaded->Get(head_commit->root,
+                               BranchContentionKey(t, c, row, k), nullptr);
+        if (!got.ok() || !got->has_value()) ++lost;
+      }
+    }
+  }
+  SIRI_CHECK(lost == 0);
+
+  const auto st = server.stats();
+  SIRI_CHECK(st.degraded);
+  SIRI_CHECK(st.degraded_cause.find("enospc") != std::string::npos);
+  SIRI_CHECK(st.degraded_rejects >= 1);
+
+  printf("%10llu %12.1f %14llu %16llu %12llu\n",
+         static_cast<unsigned long long>(acked), goodput,
+         static_cast<unsigned long long>(typed_rejects.load()),
+         static_cast<unsigned long long>(st.degraded_rejects),
+         static_cast<unsigned long long>(lost));
+  printf("#json socket_disk_fault structure=pos threads=%d transport=socket "
+         "fault=enospc acked=%llu goodput_cps=%.1f typed_rejects=%llu "
+         "degraded_rejects=%llu lost_acked=%llu window_us=%llu\n",
+         threads, static_cast<unsigned long long>(acked), goodput,
+         static_cast<unsigned long long>(typed_rejects.load()),
+         static_cast<unsigned long long>(st.degraded_rejects),
+         static_cast<unsigned long long>(lost),
+         static_cast<unsigned long long>(window_micros));
+
+  clients.clear();
   server.Stop();
   std::remove(store_path.c_str());
 }

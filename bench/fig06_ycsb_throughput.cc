@@ -250,6 +250,21 @@ void RunSocketChaosSection(uint64_t scale,
                       /*window_micros=*/500);
 }
 
+// Disk-fault degradation: the socket commit pipeline with the server's
+// file-backed store on an io::FaultEnv. Half-way marker semantics: a
+// healthy publish phase, then ENOSPC on every further write op. The
+// acceptance read: every post-trip write fails with the typed degraded
+// reject (no retry burn), reads keep serving, and zero acked commits are
+// lost — the run aborts otherwise.
+void RunSocketDiskFaultSection(uint64_t scale,
+                               const std::vector<int>& write_threads,
+                               bool smoke = false) {
+  const int threads = write_threads.empty() ? 4 : write_threads.back();
+  RunSocketDiskFaultTable((smoke ? 500 : 4000) * scale, threads,
+                          /*commits_per_writer=*/smoke ? 3 : 16,
+                          /*window_micros=*/500);
+}
+
 // Multi-client read scaling: K client threads, each with its own cache,
 // reading through one servlet. Reported per structure: aggregate kops/s
 // and mean cache hit ratio at each thread count.
@@ -304,6 +319,7 @@ int main(int argc, char** argv) {
   const bool chaos = HasFlag(argc, argv, "--chaos");
   const bool pipeline = HasFlag(argc, argv, "--pipeline");
   const std::string transport = ParseTransportFlag(argc, argv);
+  const std::string disk_fault = ParseDiskFaultFlag(argc, argv);
   std::vector<uint64_t> sizes;
   for (uint64_t n : {10000, 20000, 40000, 80000}) sizes.push_back(n * scale);
   const uint64_t num_ops = 3000;
@@ -316,7 +332,9 @@ int main(int argc, char** argv) {
     // The socket boundary is its own measurement regime (real loopback
     // TCP, real fsyncs): it runs alone so its numbers can never be read
     // as one series with the slept-RTT in-process sections.
-    if (chaos) {
+    if (disk_fault == "enospc") {
+      RunSocketDiskFaultSection(scale, write_threads, smoke);
+    } else if (chaos) {
       RunSocketChaosSection(scale, write_threads, smoke);
     } else if (pipeline) {
       RunSocketPipelineSection(scale, write_threads, smoke);
@@ -324,6 +342,13 @@ int main(int argc, char** argv) {
       RunSocketCommitSection(scale, write_threads, smoke);
     }
     return 0;
+  }
+  if (disk_fault != "none") {
+    fprintf(stderr,
+            "%s: --disk-fault requires --transport=socket (degradation is "
+            "asserted through the real wire)\n",
+            argv[0]);
+    return 2;
   }
   if (chaos) {
     fprintf(stderr,

@@ -212,6 +212,10 @@ SiriServer::Stats SiriServer::stats() const {
   out.overload_rejects = overload_rejects_.load(std::memory_order_relaxed);
   out.idle_reaped = idle_reaped_.load(std::memory_order_relaxed);
   out.pushed_nodes = pushed_nodes_.load(std::memory_order_relaxed);
+  out.degraded_rejects = degraded_rejects_.load(std::memory_order_relaxed);
+  const Status disk = DiskHealth();
+  out.degraded = !disk.ok();
+  if (!disk.ok()) out.degraded_cause = disk.ToString();
   return out;
 }
 
@@ -483,8 +487,61 @@ bool SiriServer::ProcessConnection(Connection* conn) {
   return !peer_closed;
 }
 
+namespace {
+
+bool IsWriteRequest(MsgType type) {
+  return type == MsgType::kPut || type == MsgType::kPutMany ||
+         type == MsgType::kFlush || type == MsgType::kPublish;
+}
+
+/// The typed reject a degraded server answers writes with: the sticky
+/// cause keeps its ResourceExhausted identity (out of space), everything
+/// else maps to Unavailable. The kDegradedPrefix is what lets the client
+/// fail fast instead of treating the reject as a transient overload.
+Status DegradedReject(const Status& cause) {
+  const std::string msg = std::string(kDegradedPrefix) + cause.ToString();
+  if (cause.IsResourceExhausted()) return Status::ResourceExhausted(msg);
+  return Status::Unavailable(msg);
+}
+
+}  // namespace
+
+Status SiriServer::DiskHealth() const {
+  Status s = servlet_->store()->DiskStatus();
+  if (!s.ok()) return s;
+  if (RefLog* refs = servlet_->branches()->ref_log()) return refs->DiskStatus();
+  return Status::OK();
+}
+
 void SiriServer::Execute(const Request& req, Connection* conn, Status* app,
                          std::string* body) {
+  const bool is_write = IsWriteRequest(req.type);
+  if (is_write) {
+    // Read-only degraded mode: once the store (or ref log) latched a
+    // sticky disk error, no write can be made durable — answer with the
+    // typed reject instead of letting the request fail deep in the
+    // store. Reads keep serving resident state below.
+    Status disk = DiskHealth();
+    if (!disk.ok()) {
+      degraded_rejects_.fetch_add(1, std::memory_order_relaxed);
+      *app = DegradedReject(disk);
+      body->clear();
+      return;
+    }
+  }
+  ExecuteOp(req, conn, app, body);
+  if (is_write && !app->ok()) {
+    // This request may be the one that tripped the disk fault: its error
+    // surfaced raw from the store (e.g. IOError("fsync ...")). Remap it
+    // to the same typed shape every later write will get, so clients see
+    // one degraded-mode error, not two.
+    Status disk = DiskHealth();
+    if (!disk.ok()) *app = DegradedReject(disk);
+  }
+}
+
+void SiriServer::ExecuteOp(const Request& req, Connection* conn, Status* app,
+                           std::string* body) {
   *app = Status::OK();
   body->clear();
   switch (req.type) {

@@ -119,6 +119,16 @@ class SiriServer {
     uint64_t overload_rejects = 0;  ///< Hellos refused at max_connections
     uint64_t idle_reaped = 0;       ///< connections closed by the idle sweep
     uint64_t pushed_nodes = 0;      ///< nodes attached to Publish acks
+    /// Write requests answered with the typed degraded-mode reject
+    /// (kDegradedPrefix) because the store or ref log holds a sticky
+    /// disk error.
+    uint64_t degraded_rejects = 0;
+    /// True while the servlet's store or ref log reports a sticky disk
+    /// error: writes are rejected, reads keep serving resident state.
+    bool degraded = false;
+    /// The sticky cause when degraded (empty otherwise) — what the
+    /// shutdown summary line prints.
+    std::string degraded_cause;
   };
 
   /// What a graceful Drain() accomplished, for the shutdown log line.
@@ -187,8 +197,18 @@ class SiriServer {
   /// accumulate in an outbox and flush coalesced (one writev burst per
   /// round) instead of one send per frame.
   bool ProcessConnection(Connection* conn);
+  /// Degraded-mode gate around ExecuteOp: write requests (Put / PutMany /
+  /// Flush / Publish) are rejected with the typed kDegradedPrefix error
+  /// while DiskHealth() reports a sticky fault; reads pass through. The
+  /// very request that *trips* the fault gets its raw store error
+  /// remapped to the same typed reject, so clients see one error shape.
   void Execute(const Request& req, Connection* conn, Status* app,
                std::string* body);
+  void ExecuteOp(const Request& req, Connection* conn, Status* app,
+                 std::string* body);
+  /// The sticky disk health across everything the servlet persists: the
+  /// node store first, then the attached ref log (if any).
+  Status DiskHealth() const;
   /// Writes every queued response frame with writev (gathering across
   /// frame boundaries, IOV-chunked); false when the peer is unwritable.
   /// Clears \p outbox on success.
@@ -227,6 +247,7 @@ class SiriServer {
   std::atomic<uint64_t> overload_rejects_{0};
   std::atomic<uint64_t> idle_reaped_{0};
   std::atomic<uint64_t> pushed_nodes_{0};
+  std::atomic<uint64_t> degraded_rejects_{0};
 };
 
 }  // namespace net

@@ -211,11 +211,19 @@ int main(int argc, char** argv) {
   }
   const auto st = server.stats();
   std::printf("siri-server: stopped. connections=%llu requests=%llu "
-              "frame_errors=%llu overload_rejects=%llu idle_reaped=%llu\n",
+              "frame_errors=%llu overload_rejects=%llu idle_reaped=%llu "
+              "degraded_rejects=%llu\n",
               static_cast<unsigned long long>(st.connections),
               static_cast<unsigned long long>(st.requests),
               static_cast<unsigned long long>(st.frame_errors),
               static_cast<unsigned long long>(st.overload_rejects),
-              static_cast<unsigned long long>(st.idle_reaped));
+              static_cast<unsigned long long>(st.idle_reaped),
+              static_cast<unsigned long long>(st.degraded_rejects));
+  if (st.degraded) {
+    // An operator reading the shutdown log must learn the server spent
+    // its final stretch read-only, and why.
+    std::printf("siri-server: DEGRADED (read-only): %s\n",
+                st.degraded_cause.c_str());
+  }
   return 0;
 }

@@ -678,9 +678,12 @@ SocketTransport::AttemptResult SocketTransport::CallOnce(Request* req) {
     out.error = std::move(rpc.app);
     return out;
   }
-  if (rpc.app.IsResourceExhausted()) {
+  if (rpc.app.IsResourceExhausted() && !IsDegradedReject(rpc.app)) {
     // Overload shed: the server refused before executing and closes the
-    // connection after the reject. Back off and re-dial.
+    // connection after the reject. Back off and re-dial. A degraded-store
+    // reject (kDegradedPrefix) is NOT this case: the server's disk fault
+    // is sticky, so the typed error goes straight to the caller below —
+    // retrying against a read-only server is a hang with extra steps.
     CloseAndFailAllLocked(
         Status::IOError("connection dropped after overload reject"));
     out.kind = AttemptResult::Kind::kNotExecuted;

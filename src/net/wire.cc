@@ -210,6 +210,12 @@ bool IsBadFrameReject(const Status& s) {
              0;
 }
 
+bool IsDegradedReject(const Status& s) {
+  return (s.IsResourceExhausted() || s.IsUnavailable()) &&
+         s.message().compare(0, sizeof(kDegradedPrefix) - 1, kDegradedPrefix) ==
+             0;
+}
+
 std::string EncodeResponse(const Status& app, Slice body,
                            uint32_t wire_version, uint64_t corr_id) {
   std::string out;

@@ -162,6 +162,18 @@ constexpr const char kBadFramePrefix[] = "bad frame: ";
 /// (see kBadFramePrefix): the request was not executed.
 bool IsBadFrameReject(const Status& s);
 
+/// Message prefix on the typed reject a *degraded* (read-only) server
+/// answers write requests with after its store latched a sticky disk
+/// error (ENOSPC -> ResourceExhausted, other I/O failures ->
+/// Unavailable; the rest of the message is the sticky cause). The prefix
+/// lets the client's retry layer tell a persistent degraded-store reject
+/// (fail fast to the caller — retrying cannot help until an operator
+/// intervenes) from a transient overload shed (back off and retry).
+constexpr const char kDegradedPrefix[] = "store degraded (read-only): ";
+
+/// True when \p s is a degraded-store write reject (see kDegradedPrefix).
+bool IsDegradedReject(const Status& s);
+
 // --- type-specific response bodies -----------------------------------
 
 void PutHash(std::string* dst, const Hash& h);

@@ -2,8 +2,6 @@
 
 #include "store/file_store.h"
 
-#include <unistd.h>
-
 #include <chrono>
 #include <cstring>
 #include <thread>
@@ -29,46 +27,50 @@ constexpr size_t kLogMagicSize = 8;
 
 }  // namespace
 
-FileNodeStore::FileNodeStore(std::string path, FILE* file)
-    : path_(std::move(path)), file_(file) {}
+FileNodeStore::FileNodeStore(io::Env* env, std::string path,
+                             std::unique_ptr<io::WritableFile> file)
+    : env_(env), path_(std::move(path)), file_(std::move(file)) {}
 
-FileNodeStore::~FileNodeStore() {
-  if (file_ != nullptr) {
-    std::fflush(file_);
-    std::fclose(file_);
-  }
-}
+FileNodeStore::~FileNodeStore() = default;
 
 Status FileNodeStore::RewriteLog(const char* data, size_t len) {
   const std::string tmp = path_ + ".tmp";
-  FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) return Status::IOError("cannot create " + tmp);
-  if ((len > 0 && std::fwrite(data, 1, len, f) != len) ||
-      std::fflush(f) != 0 || fsync(fileno(f)) != 0) {
-    std::fclose(f);
-    std::remove(tmp.c_str());
-    return Status::IOError("failed writing " + tmp);
+  std::unique_ptr<io::WritableFile> f;
+  Status s = env_->NewWritableFile(tmp, /*truncate=*/true, &f);
+  if (!s.ok()) return s;
+  if (len > 0) s = f->Append(Slice(data, len));
+  if (s.ok()) s = f->Sync();
+  f.reset();
+  if (!s.ok()) {
+    (void)env_->DeleteFile(tmp);
+    return s;
   }
-  std::fclose(f);
-  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::IOError("cannot rename " + tmp + " over " + path_);
-  }
-  FILE* fresh = std::fopen(path_.c_str(), "a+b");
-  if (fresh == nullptr) return Status::IOError("cannot reopen " + path_);
-  if (file_ != nullptr) std::fclose(file_);
-  file_ = fresh;
+  // Rename + parent-directory fsync: the rename alone is not
+  // crash-durable — a power cut can roll the directory back to the OLD
+  // inode, orphaning every fsync issued against this one, which silently
+  // resurrects the pre-rewrite file.
+  s = env_->RenameAndSyncDir(tmp, path_);
+  if (!s.ok()) return s;
+  std::unique_ptr<io::WritableFile> fresh;
+  s = env_->NewWritableFile(path_, /*truncate=*/false, &fresh);
+  if (!s.ok()) return s;
+  file_ = std::move(fresh);
   return Status::OK();
 }
 
 Status FileNodeStore::Open(const std::string& path,
                            std::shared_ptr<FileNodeStore>* out) {
-  FILE* f = std::fopen(path.c_str(), "a+b");
-  if (f == nullptr) {
-    return Status::IOError("cannot open " + path + ": " + strerror(errno));
-  }
-  std::shared_ptr<FileNodeStore> store(new FileNodeStore(path, f));
-  Status s = store->Replay();
+  return Open(io::Env::Default(), path, out);
+}
+
+Status FileNodeStore::Open(io::Env* env, const std::string& path,
+                           std::shared_ptr<FileNodeStore>* out) {
+  std::unique_ptr<io::WritableFile> f;
+  Status s = env->NewWritableFile(path, /*truncate=*/false, &f);
+  if (!s.ok()) return s;
+  std::shared_ptr<FileNodeStore> store(
+      new FileNodeStore(env, path, std::move(f)));
+  s = store->Replay();
   if (!s.ok()) return s;
   *out = std::move(store);
   return Status::OK();
@@ -79,26 +81,16 @@ Status FileNodeStore::Replay() {
   // is uncontended and exists to satisfy the guarded-field contracts
   // (file_, nodes_, stats_, the generation counters).
   MutexLock lock(mu_);
-  std::fseek(file_, 0, SEEK_END);
-  const long end = std::ftell(file_);
-  if (end < 0) return Status::IOError("ftell failed");
-  std::rewind(file_);
-
   std::string contents;
-  contents.resize(static_cast<size_t>(end));
-  if (end > 0 &&
-      std::fread(contents.data(), 1, contents.size(), file_) !=
-          contents.size()) {
-    return Status::IOError("short read replaying " + path_);
-  }
+  Status read = env_->ReadFileToString(path_, &contents);
+  if (!read.ok()) return read;
 
   Slice in(contents);
   if (in.empty()) {
     // Fresh log: stamp the format header.
-    if (std::fwrite(kLogMagic, 1, kLogMagicSize, file_) != kLogMagicSize ||
-        std::fflush(file_) != 0) {
-      return Status::IOError("cannot write log header to " + path_);
-    }
+    Status s = file_->Append(Slice(kLogMagic, kLogMagicSize));
+    if (s.ok()) s = file_->Flush();
+    if (!s.ok()) return s;
     ++append_gen_;  // header not yet fsynced; first Flush pushes it down
     return Status::OK();
   }
@@ -179,7 +171,6 @@ Status FileNodeStore::Replay() {
     Status s = RewriteLog(contents.data(), valid_bytes);
     if (!s.ok()) return s;
   }
-  std::fseek(file_, 0, SEEK_END);
   return Status::OK();
 }
 
@@ -199,6 +190,14 @@ void FileNodeStore::RememberRecentLocked(const Hash& h) {
   recent_next_ = (recent_next_ + 1) % kRecentRingSize;
 }
 
+void FileNodeStore::LatchLocked(const Status& s) {
+  if (!latch_errors_) return;
+  if (io_error_.ok()) io_error_ = s;
+  // Flushers parked on an in-flight fsync must observe the latch instead
+  // of waiting for a durability point that will never come.
+  sync_cv_.notify_all();
+}
+
 Hash FileNodeStore::Put(Slice bytes) {
   const Hash h = Sha256::Digest(bytes);
   MutexLock lock(mu_);
@@ -213,12 +212,19 @@ Hash FileNodeStore::Put(Slice bytes) {
     ++stats_.dup_puts;
     return h;
   }
+  if (!io_error_.ok()) {
+    // Sticky failure: nothing new becomes visible after a failed or torn
+    // append — a record appended now would land after the tear and bury
+    // it mid-file, beyond what replay's truncation can recover. Callers
+    // learn at Flush() (the commit is not acked).
+    return h;
+  }
   std::string record;
   AppendRecord(&record, h, bytes);
-  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
-    // Treat append failure as fatal for this page: report via CHECK since
-    // Put has no Status channel (matching the in-memory contract).
-    SIRI_CHECK(false && "FileNodeStore append failed");
+  Status s = file_->Append(record);
+  if (!s.ok()) {
+    LatchLocked(s);
+    return h;
   }
   ++append_gen_;
   nodes_.emplace(h, std::make_shared<const std::string>(bytes.ToString()));
@@ -230,36 +236,56 @@ Hash FileNodeStore::Put(Slice bytes) {
 
 void FileNodeStore::PutMany(const NodeBatch& batch) {
   MutexLock lock(mu_);
+  if (!io_error_.ok()) {
+    // Fail fast (see Put): the batch is neither appended nor indexed.
+    for (const NodeRecord& rec : batch) {
+      ++stats_.puts;
+      stats_.put_bytes += rec.bytes->size();
+    }
+    return;
+  }
   // One serialized run of records per batch: the whole dirty path of a
-  // commit goes to the log in a single fwrite. Records of nodes already
+  // commit goes to the log in a single append. Records of nodes already
   // resident are skipped (content-addressed dedup), exactly as per-node
   // Put would have done; pages a concurrent committer landed within the
   // last kRecentRingSize appends are caught by the recent-digest ring
-  // first and surfaced as dedup_skips.
+  // first and surfaced as dedup_skips. Nothing is indexed until the
+  // append has succeeded — a failed batch must leave no in-memory state
+  // a later commit could dedup against without durable backing.
   std::string records;
+  std::vector<const NodeRecord*> fresh;
+  std::unordered_set<Hash, HashHasher> staged;
   for (const NodeRecord& rec : batch) {
     ++stats_.puts;
     stats_.put_bytes += rec.bytes->size();
-    if (nodes_.count(rec.hash) > 0) {
+    const bool resident = nodes_.count(rec.hash) > 0;
+    const bool in_batch = staged.count(rec.hash) > 0;
+    if (resident || in_batch) {
       // Dup path only (see Put): a ring hit attributes the dup to a
       // committer that landed the page within the last kRecentRingSize
-      // appends — the cross-commit dedup signal.
-      if (recent_set_.count(rec.hash) > 0) ++dedup_skips_;
+      // appends — the cross-commit dedup signal. An intra-batch dup
+      // counts as recent by definition.
+      if (in_batch || recent_set_.count(rec.hash) > 0) ++dedup_skips_;
       ++stats_.dup_puts;
       continue;
     }
+    staged.insert(rec.hash);
     AppendRecord(&records, rec.hash, Slice(*rec.bytes));
-    nodes_.emplace(rec.hash, rec.bytes);
-    RememberRecentLocked(rec.hash);
-    ++stats_.unique_nodes;
-    stats_.unique_bytes += rec.bytes->size();
+    fresh.push_back(&rec);
   }
   if (records.empty()) return;
-  if (std::fwrite(records.data(), 1, records.size(), file_) !=
-      records.size()) {
-    SIRI_CHECK(false && "FileNodeStore batch append failed");
+  Status s = file_->Append(records);
+  if (!s.ok()) {
+    LatchLocked(s);
+    return;
   }
   ++append_gen_;
+  for (const NodeRecord* rec : fresh) {
+    nodes_.emplace(rec->hash, rec->bytes);
+    RememberRecentLocked(rec->hash);
+    ++stats_.unique_nodes;
+    stats_.unique_bytes += rec->bytes->size();
+  }
 }
 
 Result<std::shared_ptr<const std::string>> FileNodeStore::Get(const Hash& h) {
@@ -301,18 +327,33 @@ void FileNodeStore::ResetOpCounters() {
   fsyncs_at_reset_ = fsyncs_;
 }
 
+Status FileNodeStore::DiskStatus() const {
+  MutexLock lock(mu_);
+  return io_error_;
+}
+
+void FileNodeStore::set_sticky_errors_for_testing(bool on) {
+  MutexLock lock(mu_);
+  latch_errors_ = on;
+}
+
 Status FileNodeStore::SyncLocked(MutexLock& lock) {
-  // The syscalls run with mu_ held: appends share the FILE* stream, so a
-  // concurrent fwrite during fflush would corrupt the buffer. Concurrent
-  // *flushers* do not queue on the mutex, though — they wait on sync_cv_
-  // and find their generation covered when this fsync finishes.
+  // The syscalls run with mu_ held: appends share the write handle, so a
+  // concurrent append during the flush would corrupt the stream.
+  // Concurrent *flushers* do not queue on the mutex, though — they wait
+  // on sync_cv_ and find their generation covered when this fsync
+  // finishes.
   (void)lock;
+  if (!io_error_.ok()) return io_error_;
   const uint64_t covering = append_gen_;
-  if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
   // Flush is the durability point acknowledged to callers (commit
-  // boundaries call it), so push all the way to stable storage.
-  if (fsync(fileno(file_)) != 0) {
-    return Status::IOError(std::string("fsync failed: ") + strerror(errno));
+  // boundaries call it), so push all the way to stable storage. A
+  // failure latches: synced_gen_ must never advance past bytes the
+  // failed fsync may have discarded, and no later fsync may claim them.
+  Status s = file_->Sync();
+  if (!s.ok()) {
+    LatchLocked(s);
+    return latch_errors_ ? io_error_ : s;
   }
   ++fsyncs_;
   synced_gen_ = covering;
@@ -321,6 +362,10 @@ Status FileNodeStore::SyncLocked(MutexLock& lock) {
 
 Status FileNodeStore::Flush() {
   MutexLock lock(mu_);
+  // A latched store fails every Flush — even one whose appends all
+  // predate the failure: the failed fsync may have discarded exactly
+  // those dirty bytes, so no durability claim is safe anymore.
+  if (!io_error_.ok()) return io_error_;
   // Nothing appended since the last fsync: the log is already durable, so
   // skip the syscalls — back-to-back commit boundaries (or a commit whose
   // batch was fully deduplicated) cost zero fsyncs.
@@ -330,6 +375,7 @@ Status FileNodeStore::Flush() {
   // the generation observed here.
   const uint64_t target = append_gen_;
   for (;;) {
+    if (!io_error_.ok()) return io_error_;
     if (synced_gen_ >= target) {
       // Another thread's fsync covered us: group commit in action.
       ++coalesced_flushes_;

@@ -11,6 +11,20 @@
 // The log starts with a format header ("SIRILOG" v2); older digest-less
 // logs are rejected with Corruption rather than mis-read.
 //
+// All file I/O flows through an io::Env (io/env.h) — the seam that lets
+// tests swap in io::FaultEnv to inject short writes, ENOSPC, fsync
+// failures, and simulated power cuts.
+//
+// Failure semantics: the first failed append, fflush, or fsync latches a
+// sticky error (DiskStatus()). After the latch nothing new becomes
+// visible or durable — Put/PutMany stop appending and indexing, Flush
+// fails fast — and a later fsync never retroactively claims durability
+// for bytes that were dirty at the failure (the kernel marks those pages
+// clean on fsync error, so a "successful" retry covers nothing: the
+// fsyncgate bug class). A torn append (short write) therefore stays at
+// the file tail where replay's truncation recovers the valid prefix; no
+// record can land after a tear and bury it mid-file.
+//
 // Group fsync: Flush() coalesces. Appends carry a generation number and an
 // fsync makes everything appended up to its covering generation durable,
 // so a Flush whose data an in-flight or just-finished fsync already covers
@@ -22,11 +36,11 @@
 // which is what lets tests assert the coalescing actually happened.
 //
 // Locking contract (compiler-checked under SIRI_THREAD_SAFETY): one Mutex
-// mu_ orders everything — the FILE* stream, the digest index, the
+// mu_ orders everything — the write handle, the digest index, the
 // generation counters, and the dedup ring are all GUARDED_BY(mu_).
 // Appends happen under mu_ *before* the page becomes visible in nodes_;
-// the fsync syscall runs under mu_ too (appenders share the stdio
-// buffer), but concurrent flushers never queue behind it — they wait on
+// the fsync syscall runs under mu_ too (appenders share the write
+// handle), but concurrent flushers never queue behind it — they wait on
 // sync_cv_ and discover their generation covered. The wait-a-little
 // window is the one place the syncer drops mu_ (MutexLock::Unlock), which
 // is exactly what lets straggler appends join the covered generation.
@@ -35,13 +49,13 @@
 #define SIRI_STORE_FILE_STORE_H_
 
 #include <condition_variable>
-#include <cstdio>
 #include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "common/mutex.h"
+#include "io/env.h"
 #include "store/node_store.h"
 
 namespace siri {
@@ -57,6 +71,11 @@ class FileNodeStore : public NodeStore {
   static Status Open(const std::string& path,
                      std::shared_ptr<FileNodeStore>* out);
 
+  /// Same, with every byte of I/O routed through \p env (which must
+  /// outlive the store).
+  static Status Open(io::Env* env, const std::string& path,
+                     std::shared_ptr<FileNodeStore>* out);
+
   ~FileNodeStore() override;
 
   [[nodiscard]] Hash Put(Slice bytes) override EXCLUDES(mu_);
@@ -67,7 +86,9 @@ class FileNodeStore : public NodeStore {
   /// commit costs exactly one fsync. Duplicate pages another committer
   /// landed within the last kRecentRingSize appends are attributed by the
   /// recent-digest ring and counted in dedup_skips() — the cross-commit
-  /// dedup signal under shared key prefixes.
+  /// dedup signal under shared key prefixes. The batch becomes visible in
+  /// the index only after its log append succeeded: a failed or short
+  /// append latches the sticky error and indexes nothing.
   void PutMany(const NodeBatch& batch) override EXCLUDES(mu_);
 
   Result<std::shared_ptr<const std::string>> Get(const Hash& h) override
@@ -82,8 +103,18 @@ class FileNodeStore : public NodeStore {
   /// is about to cover) everything this caller appended, the call waits on
   /// that fsync instead of issuing its own. Pages are only crash-durable
   /// once it returns OK. When nothing was appended since the last flush
-  /// the syscall is skipped entirely.
+  /// the syscall is skipped entirely. Once the sticky error is latched,
+  /// every Flush fails fast with it — including flushes whose appends all
+  /// predate the failure, because the failed fsync may have discarded
+  /// exactly those dirty bytes.
   Status Flush() override EXCLUDES(mu_);
+
+  /// The sticky disk error: OK until the first failed append/fflush/fsync,
+  /// that failure's typed Status afterwards (ResourceExhausted for
+  /// out-of-space, IOError otherwise). Reads keep serving resident state;
+  /// writes and flushes fail fast. Never resets — a store that has lied
+  /// about durability once cannot un-lie (reopen to recover).
+  Status DiskStatus() const override EXCLUDES(mu_);
 
   /// Wait-a-little group window: before issuing an fsync, the syncing
   /// thread sleeps up to \p micros so concurrent committers' appends land
@@ -117,10 +148,17 @@ class FileNodeStore : public NodeStore {
     return truncations_;
   }
 
+  /// Harness self-test hook: turns OFF the sticky-error latch, restoring
+  /// the historical report-once-and-forget behavior (the fsyncgate bug).
+  /// Exists so the crash-consistency harness can prove it catches that
+  /// bug when deliberately reintroduced. Never use outside tests.
+  void set_sticky_errors_for_testing(bool on) EXCLUDES(mu_);
+
   const std::string& path() const { return path_; }
 
  private:
-  FileNodeStore(std::string path, FILE* file);
+  FileNodeStore(io::Env* env, std::string path,
+                std::unique_ptr<io::WritableFile> file);
   Status Replay() EXCLUDES(mu_);
 
   /// Serializes one `varint len | digest | bytes` record into \p out.
@@ -129,21 +167,28 @@ class FileNodeStore : public NodeStore {
   /// Remembers \p h in the recent-digest ring.
   void RememberRecentLocked(const Hash& h) REQUIRES(mu_);
 
-  /// Issues the fflush+fsync covering everything appended so far. The
-  /// caller has claimed sync_in_progress_; \p lock holds mu_ (appends
-  /// share the FILE* stream, so the syscalls run locked — concurrent
-  /// flushers wait on sync_cv_ instead of queuing on the mutex).
+  /// Latches \p s as the sticky disk error (first failure wins) and wakes
+  /// flushers so they observe it instead of waiting forever.
+  void LatchLocked(const Status& s) REQUIRES(mu_);
+
+  /// Issues the fsync covering everything appended so far. The caller has
+  /// claimed sync_in_progress_; \p lock holds mu_ (appenders share the
+  /// write handle, so the syscalls run locked — concurrent flushers wait
+  /// on sync_cv_ instead of queuing on the mutex).
   Status SyncLocked(MutexLock& lock) REQUIRES(mu_);
 
   /// Atomically replaces the log with \p len bytes of \p data (written to
-  /// a temp file, fsynced, renamed over the log) and reopens the append
-  /// handle. Recovery uses this so a crash mid-rewrite can never destroy
-  /// the valid prefix.
+  /// a temp file, fsynced, renamed over the log, parent directory
+  /// fsynced) and reopens the append handle. Recovery uses this so a
+  /// crash mid-rewrite can never destroy the valid prefix.
   Status RewriteLog(const char* data, size_t len) REQUIRES(mu_);
 
+  io::Env* const env_;
   std::string path_;
   mutable Mutex mu_;
-  FILE* file_ GUARDED_BY(mu_);
+  std::unique_ptr<io::WritableFile> file_ GUARDED_BY(mu_);
+  Status io_error_ GUARDED_BY(mu_);
+  bool latch_errors_ GUARDED_BY(mu_) = true;
   std::unordered_map<Hash, std::shared_ptr<const std::string>, HashHasher>
       nodes_ GUARDED_BY(mu_);
   Stats stats_ GUARDED_BY(mu_);

@@ -103,6 +103,14 @@ class NodeStore {
   /// ([[nodiscard]] via Status): an ignored failed flush is an
   /// acknowledged commit that does not survive a crash.
   virtual Status Flush() { return Status::OK(); }
+
+  /// Sticky disk health. OK for stores with no failure mode (the
+  /// in-memory default); disk-backed stores latch the first
+  /// unrecoverable write/sync error here (typed: ResourceExhausted for
+  /// out-of-space, IOError otherwise) and never reset it — see
+  /// FileNodeStore. Servers poll this to flip into read-only degraded
+  /// mode.
+  virtual Status DiskStatus() const { return Status::OK(); }
 };
 
 using NodeStorePtr = std::shared_ptr<NodeStore>;
@@ -212,6 +220,7 @@ class FaultyNodeStore : public NodeStore {
   Stats stats() const override { return base_->stats(); }
   void ResetOpCounters() override { base_->ResetOpCounters(); }
   Status Flush() override { return base_->Flush(); }
+  Status DiskStatus() const override { return base_->DiskStatus(); }
 
  private:
   NodeStorePtr base_;

@@ -72,6 +72,8 @@ class StagingNodeStore : public NodeStore {
     return base_->Flush();
   }
 
+  Status DiskStatus() const override { return base_->DiskStatus(); }
+
   /// Hands the staged nodes to the base store in one PutMany call and
   /// clears the buffer. Idempotent; an empty batch is a no-op.
   void FlushBatch();

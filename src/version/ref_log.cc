@@ -2,8 +2,6 @@
 
 #include "version/ref_log.h"
 
-#include <unistd.h>
-
 #include <cstring>
 
 #include "common/record_io.h"
@@ -46,26 +44,48 @@ bool ReadFramed(Slice* in, std::string* payload, bool* verified) {
 
 }  // namespace
 
-RefLog::RefLog(std::string path, FILE* file, Options opts)
-    : path_(std::move(path)), file_(file), opts_(opts) {}
+RefLog::RefLog(io::Env* env, std::string path,
+               std::unique_ptr<io::WritableFile> file, Options opts)
+    : env_(env), path_(std::move(path)), file_(std::move(file)),
+      opts_(opts) {}
 
-RefLog::~RefLog() {
-  if (file_ != nullptr) {
-    std::fflush(file_);
-    std::fclose(file_);
-  }
-}
+RefLog::~RefLog() = default;
 
 Status RefLog::Open(const std::string& path, const Options& opts,
                     std::shared_ptr<RefLog>* out) {
-  FILE* f = std::fopen(path.c_str(), "a+b");
-  if (f == nullptr) {
-    return Status::IOError("cannot open " + path + ": " + strerror(errno));
-  }
-  std::shared_ptr<RefLog> log(new RefLog(path, f, opts));
-  Status s = log->Replay();
+  io::Env* env = opts.env != nullptr ? opts.env : io::Env::Default();
+  std::unique_ptr<io::WritableFile> f;
+  Status s = env->NewWritableFile(path, /*truncate=*/false, &f);
+  if (!s.ok()) return s;
+  std::shared_ptr<RefLog> log(new RefLog(env, path, std::move(f), opts));
+  s = log->Replay();
   if (!s.ok()) return s;
   *out = std::move(log);
+  return Status::OK();
+}
+
+Status RefLog::RewriteLog(const char* data, size_t len) {
+  const std::string tmp = path_ + ".tmp";
+  std::unique_ptr<io::WritableFile> f;
+  Status s = env_->NewWritableFile(tmp, /*truncate=*/true, &f);
+  if (!s.ok()) return s;
+  if (len > 0) s = f->Append(Slice(data, len));
+  if (s.ok()) s = f->Sync();
+  f.reset();
+  if (!s.ok()) {
+    (void)env_->DeleteFile(tmp);
+    return s;
+  }
+  // Rename + parent-directory fsync: without the dir fsync a power cut
+  // after this rewrite can roll the directory back to the old inode —
+  // resurrecting the torn tail and orphaning every head swing fsynced
+  // into the rewritten file.
+  s = env_->RenameAndSyncDir(tmp, path_);
+  if (!s.ok()) return s;
+  std::unique_ptr<io::WritableFile> fresh;
+  s = env_->NewWritableFile(path_, /*truncate=*/false, &fresh);
+  if (!s.ok()) return s;
+  file_ = std::move(fresh);
   return Status::OK();
 }
 
@@ -73,18 +93,9 @@ Status RefLog::Replay() {
   // Open() calls this before the log is shared; the lock keeps the
   // guarded-field contract on file_ uniform.
   MutexLock lock(mu_);
-  std::fseek(file_, 0, SEEK_END);
-  const long end = std::ftell(file_);
-  if (end < 0) return Status::IOError("ftell failed");
-  std::rewind(file_);
-
   std::string contents;
-  contents.resize(static_cast<size_t>(end));
-  if (end > 0 &&
-      std::fread(contents.data(), 1, contents.size(), file_) !=
-          contents.size()) {
-    return Status::IOError("short read replaying " + path_);
-  }
+  Status read = env_->ReadFileToString(path_, &contents);
+  if (!read.ok()) return read;
 
   Slice in(contents);
   if (in.size() < kRefMagicSize) {
@@ -93,19 +104,7 @@ Status RefLog::Replay() {
     if (std::memcmp(in.data(), kRefMagic, in.size()) != 0) {
       return Status::Corruption("unrecognized ref log in " + path_);
     }
-    FILE* fresh = std::fopen(path_.c_str(), "wb");
-    if (fresh == nullptr) return Status::IOError("cannot restamp " + path_);
-    if (std::fwrite(kRefMagic, 1, kRefMagicSize, fresh) != kRefMagicSize ||
-        std::fflush(fresh) != 0) {
-      std::fclose(fresh);
-      return Status::IOError("cannot write ref header to " + path_);
-    }
-    std::fclose(fresh);
-    FILE* reopened = std::fopen(path_.c_str(), "a+b");
-    if (reopened == nullptr) return Status::IOError("cannot reopen " + path_);
-    std::fclose(file_);
-    file_ = reopened;
-    return Status::OK();
+    return RewriteLog(kRefMagic, kRefMagicSize);
   }
   if (std::memcmp(in.data(), kRefMagic, kRefMagicSize) != 0) {
     return Status::Corruption("unrecognized ref log in " + path_);
@@ -144,18 +143,13 @@ Status RefLog::Replay() {
   }
 
   if (truncations_ > 0) {
-    // Truncate the file back to the valid prefix so future appends are
-    // framed cleanly.
-    const long keep = static_cast<long>(valid_end - contents.data());
-    if (truncate(path_.c_str(), keep) != 0) {
-      return Status::IOError("cannot truncate " + path_);
-    }
-    FILE* reopened = std::fopen(path_.c_str(), "a+b");
-    if (reopened == nullptr) return Status::IOError("cannot reopen " + path_);
-    std::fclose(file_);
-    file_ = reopened;
+    // Rewrite the file back to the valid prefix (atomically — temp +
+    // rename + dir fsync) so future appends are framed cleanly and a
+    // crash mid-recovery cannot resurrect the torn tail.
+    const size_t keep = static_cast<size_t>(valid_end - contents.data());
+    Status s = RewriteLog(contents.data(), keep);
+    if (!s.ok()) return s;
   }
-  std::fseek(file_, 0, SEEK_END);
   return Status::OK();
 }
 
@@ -165,25 +159,39 @@ Status RefLog::Append(const std::string& name, const Hash& head) {
   AppendDigestRecord(&record, Sha256::Digest(payload), payload);
 
   MutexLock lock(mu_);
-  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
-    return Status::IOError("ref log append failed");
+  if (!io_error_.ok()) {
+    // Sticky failure: a record appended now could land after a torn one
+    // and bury it mid-file, beyond what replay's truncation recovers.
+    return io_error_;
   }
-  // fflush so the record survives process death (_exit skips stdio
+  Status s = file_->Append(record);
+  // Flush so the record survives process death (_exit skips stdio
   // cleanup); fsync_each upgrades to power-loss durability per swing.
-  if (std::fflush(file_) != 0) return Status::IOError("ref log fflush failed");
-  if (opts_.fsync_each && fsync(fileno(file_)) != 0) {
-    return Status::IOError("ref log fsync failed");
+  if (s.ok()) s = file_->Flush();
+  if (s.ok() && opts_.fsync_each) s = file_->Sync();
+  if (!s.ok()) {
+    if (io_error_.ok()) io_error_ = s;
+    return io_error_;
   }
   return Status::OK();
 }
 
 Status RefLog::Sync() {
   MutexLock lock(mu_);
-  if (std::fflush(file_) != 0) return Status::IOError("ref log fflush failed");
-  if (fsync(fileno(file_)) != 0) {
-    return Status::IOError("ref log fsync failed");
+  if (!io_error_.ok()) return io_error_;
+  Status s = file_->Sync();
+  if (!s.ok()) {
+    // A failed fsync may have discarded the dirty bytes; no later fsync
+    // can cover them, so the error is permanent for this handle.
+    if (io_error_.ok()) io_error_ = s;
+    return io_error_;
   }
   return Status::OK();
+}
+
+Status RefLog::DiskStatus() const {
+  MutexLock lock(mu_);
+  return io_error_;
 }
 
 }  // namespace siri

@@ -11,19 +11,28 @@
 // Record framing mirrors the page log: `varint len | SHA-256(payload) |
 // payload`, payload = `varint name-len | name | 32-byte head`. Replay
 // verifies each record's digest and truncates at the first torn or corrupt
-// record, recovering the longest valid prefix.
+// record, recovering the longest valid prefix; the truncation itself is an
+// atomic rewrite (temp file + rename + parent-dir fsync via
+// Env::RenameAndSyncDir), so a crash mid-recovery can never lose the
+// valid prefix or resurrect the torn tail.
 //
-// Durability: every append is fwrite+fflush (survives process death, e.g.
+// All file I/O flows through Options::env (io/env.h), so io::FaultEnv can
+// inject disk faults and power cuts here exactly as it does in the page
+// log.
+//
+// Durability: every append is write+flush (survives process death, e.g.
 // the fork/_exit crash tests); Options::fsync_each upgrades that to a
 // per-swing fsync (survives power loss), and Sync() lets callers batch
 // that cost at their own boundaries. Appends happen after the page store
 // flush in the commit path, so a recovered head never points ahead of the
-// recovered pages.
+// recovered pages. Like FileNodeStore, the first failed append, flush, or
+// fsync latches a sticky error (DiskStatus()): later appends fail fast —
+// no head record can land after a torn one — and no later fsync
+// retroactively claims durability.
 
 #ifndef SIRI_VERSION_REF_LOG_H_
 #define SIRI_VERSION_REF_LOG_H_
 
-#include <cstdio>
 #include <map>
 #include <memory>
 #include <string>
@@ -31,6 +40,7 @@
 #include "common/mutex.h"
 #include "common/status.h"
 #include "crypto/hash.h"
+#include "io/env.h"
 
 namespace siri {
 
@@ -39,8 +49,12 @@ class RefLog {
  public:
   struct Options {
     /// fsync after every append (power-loss durability per swing). Off by
-    /// default: appends are fflushed, and Sync() batches the fsync.
+    /// default: appends are flushed to the OS, and Sync() batches the
+    /// fsync.
     bool fsync_each = false;
+    /// File system to run on; null means io::Env::Default(). Must
+    /// outlive the log.
+    io::Env* env = nullptr;
   };
 
   /// Opens (or creates) the ref log at \p path, replaying existing
@@ -50,7 +64,8 @@ class RefLog {
 
   ~RefLog();
 
-  /// Appends one head movement. Thread-safe.
+  /// Appends one head movement. Thread-safe. Fails fast with the sticky
+  /// error once one is latched.
   Status Append(const std::string& name, const Hash& head) EXCLUDES(mu_);
 
   /// Appends a deletion tombstone for \p name.
@@ -60,6 +75,11 @@ class RefLog {
 
   /// fsyncs everything appended so far.
   Status Sync() EXCLUDES(mu_);
+
+  /// The sticky disk error: OK until the first failed append/flush/fsync,
+  /// that failure's typed Status afterwards. Never resets (reopen to
+  /// recover) — mirrors FileNodeStore::DiskStatus.
+  Status DiskStatus() const EXCLUDES(mu_);
 
   /// Branch heads recovered at open: last record per name, tombstones
   /// removed. Snapshot of open time — later appends don't show up here.
@@ -73,12 +93,20 @@ class RefLog {
   const std::string& path() const { return path_; }
 
  private:
-  RefLog(std::string path, FILE* file, Options opts);
+  RefLog(io::Env* env, std::string path,
+         std::unique_ptr<io::WritableFile> file, Options opts);
   Status Replay() EXCLUDES(mu_);
 
+  /// Atomically replaces the log with \p len bytes of \p data (temp file
+  /// + fsync + RenameAndSyncDir) and reopens the append handle — the
+  /// compact/rewrite primitive replay's truncation uses.
+  Status RewriteLog(const char* data, size_t len) REQUIRES(mu_);
+
+  io::Env* const env_;
   std::string path_;
-  Mutex mu_;
-  FILE* file_ GUARDED_BY(mu_);
+  mutable Mutex mu_;
+  std::unique_ptr<io::WritableFile> file_ GUARDED_BY(mu_);
+  Status io_error_ GUARDED_BY(mu_);
   Options opts_;
   // Written once by Replay (under mu_, before the log is shared), then
   // immutable — which is why the const-ref accessors above are lock-free.
